@@ -1,0 +1,83 @@
+"""Figure 7(a): sequential overhead, computational fault tolerance only.
+
+The paper's figure plots the fault-free overhead (relative to plain FFTW) of
+four schemes - naive offline, optimized offline, naive online
+("CFTO-Online") and optimized online - for N = 2^25 ... 2^28.
+
+This harness reproduces the figure in two ways:
+
+* each scheme is timed with pytest-benchmark at the configured sizes (the
+  relative ordering of the bars can be read from the benchmark table), and
+* a summary entry measures all schemes interleaved, computes the overhead
+  percentages against the plain baseline, and writes the Fig. 7(a)-style
+  table to ``benchmarks/results/fig7a.txt`` together with the Section 7
+  model's prediction at the paper's sizes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _harness import interleaved_overhead, make_input, save_table, seq_sizes
+from repro.core import create_scheme
+from repro.perfmodel import predict_sequential
+from repro.utils.reporting import Table
+
+#: Figure 7(a) bars, in paper order.
+SCHEMES = ["fftw", "offline", "opt-offline", "online", "opt-online"]
+
+
+@pytest.mark.parametrize("n", seq_sizes())
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_fig7a_scheme_timing(benchmark, scheme, n):
+    """Raw per-scheme timings (one bar of Fig. 7(a) per parameter point)."""
+
+    x = make_input(n)
+    instance = create_scheme(scheme, n)
+    instance.execute(x)  # warm plan/twiddle caches outside the measurement
+    result = benchmark(instance.execute, x)
+    assert result.output.shape == (n,)
+    benchmark.extra_info["scheme"] = scheme
+    benchmark.extra_info["n"] = n
+
+
+def test_fig7a_overhead_table(benchmark):
+    """Regenerate the Fig. 7(a) rows (measured + Section 7 model)."""
+
+    def run() -> Table:
+        table = Table(
+            "Fig. 7(a) - sequential overhead, computational FT only (percent over plain FFT)",
+            ["N", "Offline", "Opt-Offline", "CFTO-Online", "Opt-Online"],
+            digits=1,
+        )
+        for n in seq_sizes():
+            x = make_input(n)
+            schemes = {name: create_scheme(name, n) for name in SCHEMES}
+            overhead = interleaved_overhead(
+                "fftw",
+                {name: (lambda s=s, x=x: s.execute(x)) for name, s in schemes.items()},
+                repeats=9,
+            )
+            table.add_row(
+                f"2^{n.bit_length() - 1}",
+                overhead["offline"],
+                overhead["opt-offline"],
+                overhead["online"],
+                overhead["opt-online"],
+            )
+        for n_exp in (25, 28):
+            preds = {p.scheme: p for p in predict_sequential(2**n_exp)}
+            table.add_row(
+                f"2^{n_exp} (model)",
+                None,
+                preds["opt-offline"].overhead_percent,
+                None,
+                preds["opt-online"].overhead_percent,
+            )
+        table.add_note("paper: Offline ~55-75%, Opt-Offline ~27%, CFTO-Online ~22%, Opt-Online ~15-20%")
+        table.add_note("measured rows use this repository's NumPy FFT substrate; model rows use Section 7 op counts")
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    path = save_table(table, "fig7a.txt")
+    assert path.exists()

@@ -1,0 +1,65 @@
+"""Figure 8(b): parallel weak scaling (fixed rank count, growing N).
+
+Paper setting: p = 256 ranks, N = 2^31 ... 2^34.  As in Fig. 8(a) the
+harness combines cost-model predictions at the paper's sizes with executed
+simulated runs at laptop scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from _harness import make_input, parallel_ranks, relative_error, save_table
+from repro.parallel import ParallelFFT, ParallelFTFFT
+from repro.utils.reporting import Table
+
+CONFIGS = ["FFTW", "FT-FFTW", "opt-FFTW", "opt-FT-FFTW"]
+
+
+def _build(config: str, n: int, ranks: int):
+    if config == "FFTW":
+        return ParallelFFT(n, ranks)
+    if config == "opt-FFTW":
+        return ParallelFFT(n, ranks, overlap_twiddle=True)
+    if config == "FT-FFTW":
+        return ParallelFTFFT(n, ranks, overlap=False)
+    return ParallelFTFFT(n, ranks, overlap=True)
+
+
+@pytest.mark.parametrize("scale", [1, 2, 4])
+@pytest.mark.parametrize("config", CONFIGS)
+def test_fig8b_simulated_execution(benchmark, config, scale):
+    """Executed weak scaling: fixed rank count, local size doubling."""
+
+    ranks = parallel_ranks()[-1]
+    n = 2048 * ranks * scale
+    x = make_input(n)
+    reference = np.fft.fft(x)
+    scheme = _build(config, n, ranks)
+    execution = benchmark(scheme.execute, x)
+    assert relative_error(reference, execution.output) < 1e-8
+    benchmark.extra_info.update({"config": config, "n": n, "virtual_time": execution.virtual_time})
+
+
+def test_fig8b_weak_scaling_table(benchmark):
+    """Predicted virtual times at the paper's scale (p = 256, N = 2^31..2^34)."""
+
+    def run() -> Table:
+        ranks = 256
+        table = Table(
+            "Fig. 8(b) - weak scaling, predicted virtual time (seconds), p=256",
+            ["N", *CONFIGS],
+            digits=2,
+        )
+        for exponent in (31, 32, 33, 34):
+            n = 2**exponent
+            row = [f"2^{exponent}"]
+            for config in CONFIGS:
+                row.append(_build(config, n, ranks).predict_timeline().elapsed)
+            table.add_row(*row)
+        table.add_note("paper: FFTW 3.7-35 s band, FT-FFTW above it, opt-FT-FFTW back near opt-FFTW; times roughly double per size step")
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert save_table(table, "fig8b.txt").exists()

@@ -1,0 +1,124 @@
+"""Table 1: sequential execution time when faults are injected.
+
+The paper compares, for N = 2^25 ... 2^28:
+
+* plain FFTW (no faults),
+* the optimized offline scheme, fault free and with one memory fault
+  (which forces a full re-execution and roughly doubles the runtime), and
+* the optimized online scheme, fault free and with 1c, 1m+1c and 1m+2c
+  faults (whose recovery recomputes only sqrt(N)-sized sub-FFTs and is
+  therefore almost free).
+
+The harness reproduces the same rows at the configured sizes and records
+the per-configuration timings with pytest-benchmark; the rendered table is
+written to ``benchmarks/results/table1.txt``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+import numpy as np
+import pytest
+
+from _harness import interleaved_best, make_input, relative_error, save_table, seq_sizes
+from repro.core import create_scheme
+from repro.faults.injector import FaultInjector
+from repro.faults.models import FaultSite
+from repro.utils.reporting import Table
+
+
+def _injector_factories() -> Dict[str, Callable[[], FaultInjector]]:
+    """The Table 1 fault scenarios (fresh injector per execution)."""
+
+    return {
+        "0": lambda: None,
+        "1c": lambda: FaultInjector().arm_computational(FaultSite.STAGE1_COMPUTE, index=3, magnitude=5.0),
+        "1m": lambda: FaultInjector().arm_memory(FaultSite.INPUT, magnitude=3.0),
+        "1m+1c": lambda: (
+            FaultInjector()
+            .arm_memory(FaultSite.INTERMEDIATE, magnitude=3.0)
+            .arm_computational(FaultSite.STAGE1_COMPUTE, index=7, magnitude=5.0)
+        ),
+        "1m+2c": lambda: (
+            FaultInjector()
+            .arm_memory(FaultSite.INTERMEDIATE, magnitude=3.0)
+            .arm_computational(FaultSite.STAGE1_COMPUTE, index=7, magnitude=5.0)
+            .arm_computational(FaultSite.STAGE2_COMPUTE, index=11, magnitude=2.0)
+        ),
+    }
+
+
+#: Table 1 rows: (label, scheme, fault scenario)
+ROWS = [
+    ("FFTW (0)", "fftw", "0"),
+    ("Opt-Offline (0)", "opt-offline+mem", "0"),
+    ("Opt-Offline (1m)", "opt-offline+mem", "1m"),
+    ("Opt-Online (0)", "opt-online+mem", "0"),
+    ("Opt-Online (1c)", "opt-online+mem", "1c"),
+    ("Opt-Online (1m+1c)", "opt-online+mem", "1m+1c"),
+    ("Opt-Online (1m+2c)", "opt-online+mem", "1m+2c"),
+]
+
+
+@pytest.mark.parametrize("label,scheme,scenario", ROWS, ids=[r[0] for r in ROWS])
+def test_table1_row_timing(benchmark, label, scheme, scenario):
+    """Time one Table 1 row at the smallest configured size."""
+
+    n = seq_sizes()[0]
+    x = make_input(n)
+    reference = np.fft.fft(x)
+    instance = create_scheme(scheme, n)
+    factory = _injector_factories()[scenario]
+    instance.execute(x)  # warm-up without faults
+
+    def run():
+        injector = factory()
+        return instance.execute(x, injector)
+
+    result = benchmark(run)
+    if scheme != "fftw":
+        assert relative_error(reference, result.output) < 1e-8
+    benchmark.extra_info.update({"row": label, "n": n})
+
+
+def test_table1_execution_time_table(benchmark):
+    """Regenerate the full Table 1 grid (rows x sizes)."""
+
+    def run() -> Table:
+        factories = _injector_factories()
+        table = Table(
+            "Table 1 - sequential execution time (seconds) with injected faults",
+            ["configuration", *[f"N=2^{n.bit_length() - 1}" for n in seq_sizes()]],
+            digits=4,
+        )
+        grid: Dict[str, List[float]] = {label: [] for label, _, _ in ROWS}
+        for n in seq_sizes():
+            x = make_input(n)
+            reference = np.fft.fft(x)
+            schemes = {name: create_scheme(name, n) for name in {r[1] for r in ROWS}}
+
+            def make_runner(scheme_name: str, scenario: str):
+                instance = schemes[scheme_name]
+                factory = factories[scenario]
+
+                def run_once():
+                    result = instance.execute(x, factory())
+                    if scheme_name != "fftw":
+                        assert relative_error(reference, result.output) < 1e-8
+                    return result
+
+                return run_once
+
+            callables = {label: make_runner(scheme, scenario) for label, scheme, scenario in ROWS}
+            timings = interleaved_best(callables, repeats=3)
+            for label, _, _ in ROWS:
+                grid[label].append(timings[label])
+        for label, _, _ in ROWS:
+            table.add_row(label, *grid[label])
+        table.add_note("paper (N=2^25): FFTW 3.71s, Opt-Offline 4.88/9.63s (0/1m), Opt-Online 4.64-4.86s (0..1m+2c)")
+        table.add_note("shape to check: offline with a fault ~2x its fault-free time; online rows stay flat")
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert save_table(table, "table1.txt").exists()

@@ -1,0 +1,111 @@
+"""Table 2: parallel strong scaling of opt-FT-FFTW with injected faults.
+
+The paper injects 2 memory faults (2m), 2 computational faults (2c) and both
+(2m+2c) into the protected parallel transform at p = 128 ... 1024 and shows
+the execution time is indistinguishable from the fault-free run - recovery
+only re-executes tiny sub-FFTs or repairs single elements.
+
+The harness executes the simulated transform at the configured rank counts,
+times each scenario with pytest-benchmark, and writes both wall-clock and
+virtual-time grids to ``benchmarks/results/table2.txt``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+import pytest
+
+from _harness import interleaved_best, make_input, parallel_ranks, relative_error, save_table
+from repro.faults.injector import FaultInjector
+from repro.faults.models import FaultSite
+from repro.parallel import ParallelFTFFT
+from repro.utils.reporting import Table
+
+
+def _scenarios() -> Dict[str, Callable[[], FaultInjector]]:
+    return {
+        "0": lambda: None,
+        "2m": lambda: (
+            FaultInjector()
+            .arm_memory(FaultSite.COMM_BLOCK, rank=0, magnitude=20.0)
+            .arm_memory(FaultSite.COMM_BLOCK, rank=1, magnitude=10.0)
+        ),
+        "2c": lambda: (
+            FaultInjector()
+            .arm_computational(FaultSite.RANK_LOCAL_FFT, rank=0, magnitude=9.0)
+            .arm_computational(FaultSite.STAGE2_COMPUTE, magnitude=4.0)
+        ),
+        "2m+2c": lambda: (
+            FaultInjector()
+            .arm_memory(FaultSite.COMM_BLOCK, rank=0, magnitude=20.0)
+            .arm_memory(FaultSite.COMM_BLOCK, rank=1, magnitude=10.0)
+            .arm_computational(FaultSite.RANK_LOCAL_FFT, rank=2, magnitude=9.0)
+            .arm_computational(FaultSite.STAGE2_COMPUTE, magnitude=4.0)
+        ),
+    }
+
+
+@pytest.mark.parametrize("ranks", parallel_ranks())
+@pytest.mark.parametrize("scenario", list(_scenarios().keys()))
+def test_table2_row_timing(benchmark, ranks, scenario):
+    n = 4096 * ranks
+    x = make_input(n)
+    reference = np.fft.fft(x)
+    scheme = ParallelFTFFT(n, ranks, overlap=True)
+    factory = _scenarios()[scenario]
+    scheme.execute(x)  # warm-up
+
+    def run():
+        return scheme.execute(x, factory())
+
+    execution = benchmark(run)
+    assert relative_error(reference, execution.output) < 1e-8
+    benchmark.extra_info.update({"ranks": ranks, "scenario": scenario})
+
+
+def test_table2_strong_scaling_fault_table(benchmark):
+    def run() -> Table:
+        scenarios = _scenarios()
+        table = Table(
+            "Table 2 - opt-FT-FFTW strong scaling with faults (wall seconds of the simulated run)",
+            ["scenario", *[f"p={p}" for p in parallel_ranks()]],
+            digits=4,
+        )
+        grid = {name: [] for name in scenarios}
+        for ranks in parallel_ranks():
+            n = 4096 * ranks
+            x = make_input(n)
+            reference = np.fft.fft(x)
+            scheme = ParallelFTFFT(n, ranks, overlap=True)
+
+            def make_runner(factory):
+                def run_once():
+                    execution = scheme.execute(x, factory())
+                    assert relative_error(reference, execution.output) < 1e-8
+                    return execution
+
+                return run_once
+
+            timings = interleaved_best(
+                {name: make_runner(factory) for name, factory in scenarios.items()}, repeats=2
+            )
+            for name in scenarios:
+                grid[name].append(timings[name])
+        for name in scenarios:
+            table.add_row(f"opt-FT-FFTW ({name})", *grid[name])
+        virtual = {
+            ranks: ParallelFTFFT(4096 * ranks, ranks, overlap=True).predict_timeline().elapsed
+            for ranks in parallel_ranks()
+        }
+        table.add_note(
+            "virtual time (identical across fault scenarios - recovery cost is negligible): "
+            + ", ".join(f"p={p}: {t:.4f}s" for p, t in virtual.items())
+        )
+        table.add_note("paper: all rows within ~1% of the fault-free row at every p (7.8-12.6 s)")
+        table.add_note("shape to check: the fault rows do not grow relative to the fault-free row")
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert save_table(table, "table2.txt").exists()

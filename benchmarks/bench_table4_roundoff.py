@@ -1,0 +1,70 @@
+"""Table 4: approximation quality of the round-off threshold estimate.
+
+For inputs drawn from U(-1, 1) and N(0, 1), the paper runs 1000 transforms
+of size 2^25 and reports, for the first-part (m-point) and second-part
+(k-point) verifications separately:
+
+* the maximum fault-free checksum residual observed (``Max``),
+* the Section 8 estimate of the threshold eta (``Est``), and
+* the resulting throughput (fraction of fault-free verifications accepted).
+
+The harness runs the same measurement at a configurable size/run count and
+writes the four-column table to ``benchmarks/results/table4.txt``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from _harness import env_int, save_table
+from repro.analysis.roundoff import measure_stage1_residuals, measure_stage2_residuals
+from repro.utils.reporting import Table
+
+
+def _size() -> int:
+    return env_int("REPRO_BENCH_ROUNDOFF_N", 2**14)
+
+
+def _runs() -> int:
+    return env_int("REPRO_BENCH_ROUNDOFF_RUNS", 20)
+
+
+@pytest.mark.parametrize("distribution", ["uniform", "normal"])
+def test_table4_residual_measurement(benchmark, distribution):
+    """Benchmark the residual-collection pass itself (one distribution per row)."""
+
+    study = benchmark.pedantic(
+        lambda: measure_stage1_residuals(_size(), runs=3, distribution=distribution, seed=1),
+        rounds=1,
+        iterations=1,
+    )
+    assert study.throughput >= 0.99
+    benchmark.extra_info.update(study.summary())
+
+
+def test_table4_roundoff_table(benchmark):
+    def run() -> Table:
+        n, runs = _size(), _runs()
+        table = Table(
+            f"Table 4 - round-off error approximation (N=2^{n.bit_length() - 1}, {runs} runs)",
+            ["input", "Max 1", "Est 1", "Thput 1", "Max 2", "Est 2", "Thput 2"],
+            digits=3,
+        )
+        for distribution, label in [("uniform", "U(-1,1)"), ("normal", "N(0,1)")]:
+            stage1 = measure_stage1_residuals(n, runs=runs, distribution=distribution, seed=7)
+            stage2 = measure_stage2_residuals(n, runs=runs, distribution=distribution, seed=7)
+            table.add_row(
+                label,
+                stage1.max_residual,
+                stage1.estimated_eta,
+                stage1.throughput,
+                stage2.max_residual,
+                stage2.estimated_eta,
+                stage2.throughput,
+            )
+        table.add_note("paper (N=2^25): Max1 ~1e-8, Est1 ~1.5-2.5e-8, Max2 ~1e-6, Est2 ~4-7e-6, throughput ~100%")
+        table.add_note("shape to check: Est >= Max (estimate covers the observed residuals) and throughput ~= 100%")
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert save_table(table, "table4.txt").exists()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Quickstart: protected FFTs, fault injection, and recovery reports.
+
+Run with::
+
+    python examples/quickstart.py
+
+The script walks through the public API:
+
+1. create a reusable protected transform (``FaultTolerantFFT``),
+2. run it fault-free and check the result against ``numpy.fft``,
+3. inject a computational soft error into one sub-FFT and watch the online
+   scheme detect and repair it mid-transform,
+4. inject a memory bit flip and watch the locating checksums repair the
+   exact element,
+5. compare the scheme registry entries on the same input.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import FaultTolerantFFT, FaultInjector, FaultSite, available_schemes, create_scheme
+
+
+def relative_error(reference: np.ndarray, candidate: np.ndarray) -> float:
+    return float(np.max(np.abs(candidate - reference)) / np.max(np.abs(reference)))
+
+
+def main() -> None:
+    n = 2**14
+    rng = np.random.default_rng(7)
+    x = rng.uniform(-1.0, 1.0, n) + 1j * rng.uniform(-1.0, 1.0, n)
+    reference = np.fft.fft(x)
+
+    # ------------------------------------------------------------------ 1-2
+    ft = FaultTolerantFFT(n)  # default: the paper's opt-online scheme + memory FT
+    result = ft.forward(x)
+    print("fault-free run")
+    print(f"  scheme           : {result.scheme}")
+    print(f"  relative error   : {relative_error(reference, result.output):.2e}")
+    print(f"  errors detected  : {result.report.detected}")
+
+    # ------------------------------------------------------------------ 3
+    injector = FaultInjector().arm_computational(
+        FaultSite.STAGE1_COMPUTE, index=17, magnitude=42.0
+    )
+    result = ft.forward(x, injector)
+    print("\ncomputational soft error in sub-FFT 17")
+    print(f"  faults injected  : {injector.fired_count}")
+    print(f"  detected         : {result.report.detected}")
+    print(f"  sub-FFTs redone  : {result.report.recompute_count}")
+    print(f"  relative error   : {relative_error(reference, result.output):.2e}")
+
+    # ------------------------------------------------------------------ 4
+    injector = FaultInjector().arm_bitflip(FaultSite.INTERMEDIATE, bit=58)
+    result = ft.forward(x, injector)
+    print("\nmemory bit flip in the intermediate array")
+    print(f"  memory repairs   : {result.report.memory_correction_count}")
+    print(f"  relative error   : {relative_error(reference, result.output):.2e}")
+
+    # ------------------------------------------------------------------ 5
+    print("\nscheme comparison on the same faulty run "
+          "(computational fault in the first part):")
+    print(f"  {'scheme':<18s} {'detected':<9s} {'corrected':<10s} {'rel. error':<12s}")
+    for name in available_schemes():
+        injector = FaultInjector().arm_computational(FaultSite.STAGE1_COMPUTE, magnitude=5.0)
+        res = create_scheme(name, n).execute(x, injector)
+        print(
+            f"  {name:<18s} {str(res.report.detected):<9s} "
+            f"{str(res.report.corrected):<10s} {relative_error(reference, res.output):<12.2e}"
+        )
+
+    print("\nNote: the unprotected 'fftw' baseline silently returns a corrupted "
+          "spectrum; every ABFT scheme detects the error, and the online schemes "
+          "repair it by recomputing a single sqrt(N)-point sub-FFT.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Domain scenario: spectral analysis of a sensor signal under soft errors.
+
+A typical HPC/DSP workload: find the dominant tones of a long, noisy sensor
+recording by looking at the magnitude spectrum.  A soft error that strikes
+the FFT silently moves energy to the wrong bins and can create spurious
+peaks or bury real ones - the failure mode the paper's introduction
+motivates.
+
+The script builds a multi-tone signal, injects a high-bit memory flip into
+the transform, and compares three pipelines:
+
+* the unprotected FFT (the corrupted spectrum and the peaks it reports),
+* the offline ABFT scheme (detects the error at the end, pays a full
+  re-execution),
+* the online ABFT scheme (detects the error mid-transform and repairs it by
+  recomputing one sub-FFT).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import FaultInjector, FaultSite, create_scheme
+from repro.utils.rng import RandomSource
+
+
+TONES = [311, 1287, 3750, 9000]          # true frequencies (bins)
+AMPLITUDES = [1.0, 0.8, 0.6, 0.4]
+N = 2**15
+NOISE = 0.05
+
+
+def build_signal() -> np.ndarray:
+    source = RandomSource(seed=42)
+    t = np.arange(N)
+    signal = np.zeros(N, dtype=np.complex128)
+    for tone, amplitude in zip(TONES, AMPLITUDES):
+        signal += amplitude * np.exp(2j * np.pi * tone * t / N)
+    signal += NOISE * source.normal_complex(N)
+    return signal
+
+
+def top_peaks(spectrum: np.ndarray, count: int = 4) -> list[int]:
+    magnitude = np.abs(spectrum)
+    return sorted(int(i) for i in np.argsort(magnitude)[-count:])
+
+
+def peak_report(name: str, spectrum: np.ndarray, reference: np.ndarray, report=None) -> None:
+    peaks = top_peaks(spectrum)
+    rel_err = float(np.max(np.abs(spectrum - reference)) / np.max(np.abs(reference)))
+    correct = peaks == sorted(TONES)
+    extras = ""
+    if report is not None:
+        extras = (f"  detected={report.detected} recomputed={report.recompute_count} "
+                  f"memory-repairs={report.memory_correction_count}")
+    print(f"  {name:<22s} peaks={peaks}  correct={correct}  rel.err={rel_err:.2e}{extras}")
+
+
+def main() -> None:
+    signal = build_signal()
+    reference = np.fft.fft(signal)
+    print(f"signal: {N} samples, true tones at bins {sorted(TONES)}\n")
+
+    def fresh_injector() -> FaultInjector:
+        # One high-bit flip in the intermediate results of the transform -
+        # exactly the Table 6 fault model.
+        return FaultInjector().arm_bitflip(FaultSite.INTERMEDIATE, bit=60, element=12345)
+
+    print("spectra computed under a single high-bit memory flip:")
+
+    unprotected = create_scheme("fftw", N).execute(signal, fresh_injector())
+    peak_report("unprotected FFTW", unprotected.output, reference)
+
+    offline = create_scheme("opt-offline+mem", N).execute(signal, fresh_injector())
+    peak_report("offline ABFT", offline.output, reference, offline.report)
+
+    online = create_scheme("opt-online+mem", N).execute(signal, fresh_injector())
+    peak_report("online ABFT (FT-FFTW)", online.output, reference, online.report)
+
+    print("\nthe unprotected spectrum is silently wrong (energy leaks across bins);")
+    print("both ABFT schemes return the correct spectrum, but the offline scheme")
+    print("re-executes the whole transform while the online scheme only recomputes")
+    print("the sub-FFT that was hit.")
+
+
+if __name__ == "__main__":
+    main()

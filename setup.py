@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` also works with legacy (non-PEP-517) editable installs
+in offline environments that lack the ``wheel`` package.
+"""
+
+from setuptools import setup
+
+setup()

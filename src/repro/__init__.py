@@ -1,0 +1,47 @@
+"""repro: online ABFT for the fast Fourier transform.
+
+A from-scratch reproduction of *Liang et al., "Correcting Soft Errors Online
+in Fast Fourier Transform", SC'17*: a plan-based FFT library (the FFTW
+stand-in), the offline and online algorithm-based fault tolerance schemes,
+fault injection machinery, a simulated-MPI parallel in-place scheme with
+communication-computation overlap, and the paper's analytic overhead model.
+
+Quick start
+-----------
+>>> import numpy as np
+>>> from repro import FaultTolerantFFT
+>>> ft = FaultTolerantFFT(4096)                     # opt-online+mem scheme
+>>> x = np.random.default_rng(0).standard_normal(4096) + 0j
+>>> result = ft.forward(x)
+>>> bool(np.allclose(result.output, np.fft.fft(x)))
+True
+>>> result.report.detected                           # nothing went wrong
+False
+
+See ``examples/`` for fault-injection demos and ``benchmarks/`` for the
+harnesses that regenerate every table and figure of the paper.
+"""
+
+from repro.core.api import FaultTolerantFFT, available_schemes, create_scheme, ft_fft
+from repro.core.base import OptimizationFlags, SchemeResult
+from repro.core.thresholds import RoundoffModel, ThresholdPolicy
+from repro.faults.injector import FaultInjector
+from repro.faults.models import FaultKind, FaultSite, FaultSpec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FaultTolerantFFT",
+    "available_schemes",
+    "create_scheme",
+    "ft_fft",
+    "OptimizationFlags",
+    "SchemeResult",
+    "RoundoffModel",
+    "ThresholdPolicy",
+    "FaultInjector",
+    "FaultKind",
+    "FaultSite",
+    "FaultSpec",
+    "__version__",
+]

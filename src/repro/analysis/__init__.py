@@ -1,0 +1,33 @@
+"""Round-off statistics and coverage metrics (Sections 8 and 9.4).
+
+``roundoff``
+    Empirical measurement of fault-free checksum residuals, the estimated
+    thresholds of Section 8, and throughput evaluation (Table 4).
+``metrics``
+    Output-error metrics, detection-threshold search (Table 5) and the
+    error-distribution summaries of Table 6.
+"""
+
+from repro.analysis.roundoff import (
+    ResidualStudy,
+    measure_stage1_residuals,
+    measure_stage2_residuals,
+    throughput_from_residuals,
+)
+from repro.analysis.metrics import (
+    DetectionSearchResult,
+    error_distribution_row,
+    minimal_detectable_magnitude,
+    relative_inf_error,
+)
+
+__all__ = [
+    "ResidualStudy",
+    "measure_stage1_residuals",
+    "measure_stage2_residuals",
+    "throughput_from_residuals",
+    "DetectionSearchResult",
+    "error_distribution_row",
+    "minimal_detectable_magnitude",
+    "relative_inf_error",
+]

@@ -1,0 +1,98 @@
+"""Output-error metrics and detection-ability searches (Tables 5 and 6).
+
+``minimal_detectable_magnitude`` reproduces the Table 5 methodology: inject
+an error of a given magnitude at a fixed position and observe whether the
+scheme flags it; sweep the magnitude downwards (decade by decade, as in the
+paper) until detection stops.
+
+``error_distribution_row`` reproduces one row of Table 6: given the relative
+output errors of a fault-injection campaign, report the fraction of runs
+whose error exceeds each bound (with failed corrections counted as
+infinite).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.faults.campaign import relative_inf_error
+
+__all__ = [
+    "relative_inf_error",
+    "DetectionSearchResult",
+    "minimal_detectable_magnitude",
+    "error_distribution_row",
+]
+
+
+@dataclass(frozen=True)
+class DetectionSearchResult:
+    """Result of a minimal-detectable-magnitude search."""
+
+    label: str
+    magnitudes: Sequence[float]
+    detected: Sequence[bool]
+
+    @property
+    def minimal_detected(self) -> Optional[float]:
+        """The smallest injected magnitude that was still detected."""
+
+        detected_magnitudes = [m for m, d in zip(self.magnitudes, self.detected) if d]
+        return min(detected_magnitudes) if detected_magnitudes else None
+
+
+def minimal_detectable_magnitude(
+    detect: Callable[[float], bool],
+    *,
+    magnitudes: Optional[Iterable[float]] = None,
+    label: str = "",
+) -> DetectionSearchResult:
+    """Sweep injected-error magnitudes and record which are detected.
+
+    Parameters
+    ----------
+    detect:
+        ``detect(magnitude) -> bool`` runs the protected transform with an
+        error of the given magnitude injected and returns whether the scheme
+        flagged it.
+    magnitudes:
+        Magnitudes to test; defaults to the paper's decades
+        ``10^-1 ... 10^-9``.
+    """
+
+    if magnitudes is None:
+        magnitudes = [10.0 ** (-e) for e in range(1, 10)]
+    magnitudes = list(magnitudes)
+    results = [bool(detect(mag)) for mag in magnitudes]
+    return DetectionSearchResult(label=label, magnitudes=magnitudes, detected=results)
+
+
+def error_distribution_row(
+    relative_errors: Sequence[float],
+    *,
+    uncorrected: Sequence[bool],
+    bounds: Sequence[float] = (1e-6, 1e-8, 1e-10, 1e-12),
+) -> Dict[str, float]:
+    """One row of Table 6.
+
+    Returns the fraction of runs that remained uncorrected plus, for each
+    bound, the fraction of runs whose relative output error exceeds it
+    (uncorrected runs count as infinite error, as in the paper).
+    """
+
+    errors = list(relative_errors)
+    flags = list(uncorrected)
+    if len(errors) != len(flags):
+        raise ValueError("relative_errors and uncorrected must have the same length")
+    total = len(errors)
+    if total == 0:
+        raise ValueError("at least one run is required")
+
+    effective = [float("inf") if bad else err for err, bad in zip(errors, flags)]
+    row: Dict[str, float] = {"uncorrected": sum(flags) / total}
+    for bound in bounds:
+        row[f"> {bound:g}"] = sum(1 for err in effective if err > bound) / total
+    return row

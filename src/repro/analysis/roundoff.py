@@ -1,0 +1,150 @@
+"""Empirical round-off study (Table 4 of the paper).
+
+Table 4 checks how well the Section 8 threshold estimate covers the actual
+fault-free checksum residuals: many independent m-point (and k-point)
+sub-FFT verifications are executed on random inputs and the maximum residual
+is compared against the estimated threshold, while the throughput (fraction
+of fault-free verifications accepted) is measured.
+
+The functions here perform exactly that measurement on the two layers of the
+online scheme, for any input distribution, and are reused by the
+``bench_table4_roundoff`` harness and the statistical tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.core.checksums import computational_weights, input_checksum_weights, weighted_sum
+from repro.core.thresholds import ThresholdPolicy
+from repro.fftlib.two_layer import TwoLayerPlan
+from repro.utils.rng import RandomSource
+
+__all__ = [
+    "ResidualStudy",
+    "measure_stage1_residuals",
+    "measure_stage2_residuals",
+    "throughput_from_residuals",
+]
+
+
+@dataclass
+class ResidualStudy:
+    """Residuals of many fault-free sub-FFT verifications plus the estimate."""
+
+    label: str
+    sub_size: int
+    residuals: np.ndarray
+    estimated_eta: float
+
+    @property
+    def max_residual(self) -> float:
+        return float(np.max(self.residuals)) if self.residuals.size else 0.0
+
+    @property
+    def throughput(self) -> float:
+        """Fraction of fault-free verifications below the estimated threshold."""
+
+        return throughput_from_residuals(self.residuals, self.estimated_eta)
+
+    def summary(self) -> dict:
+        return {
+            "label": self.label,
+            "sub_size": self.sub_size,
+            "samples": int(self.residuals.size),
+            "max_residual": self.max_residual,
+            "estimated_eta": self.estimated_eta,
+            "throughput": self.throughput,
+        }
+
+
+def throughput_from_residuals(residuals: np.ndarray, eta: float) -> float:
+    """Fraction of residuals that do *not* trigger a (false) detection."""
+
+    residuals = np.asarray(residuals)
+    if residuals.size == 0:
+        return 1.0
+    return float(np.mean(residuals <= eta))
+
+
+def _make_input(distribution: str, n: int, source: RandomSource) -> np.ndarray:
+    if distribution == "uniform":
+        return source.uniform_complex(n)
+    if distribution == "normal":
+        return source.normal_complex(n)
+    raise ValueError("distribution must be 'uniform' or 'normal'")
+
+
+def measure_stage1_residuals(
+    n: int,
+    *,
+    runs: int = 10,
+    distribution: str = "uniform",
+    thresholds: Optional[ThresholdPolicy] = None,
+    seed: Optional[int] = None,
+) -> ResidualStudy:
+    """Fault-free residuals of all first-part (m-point) verifications.
+
+    Each run performs the full first part of an ``n``-point two-layer
+    transform, i.e. ``k`` m-point sub-FFT verifications, so ``runs * k``
+    residual samples are collected (the paper uses 1000 runs of a 2^25-point
+    FFT for 8 192 000 samples; scale ``n`` and ``runs`` to taste).
+    """
+
+    thresholds = thresholds or ThresholdPolicy()
+    plan = TwoLayerPlan(n)
+    m, k = plan.m, plan.k
+    r_m = computational_weights(m)
+    c_m = input_checksum_weights(m)
+    source = RandomSource(seed)
+
+    residuals = np.empty(runs * k, dtype=np.float64)
+    eta = 0.0
+    for run in range(runs):
+        x = _make_input(distribution, n, source)
+        work = plan.gather_input(x)
+        ccg = weighted_sum(c_m, work, axis=0)
+        intermediate = plan.stage1(np.array(work))
+        out_ck = weighted_sum(r_m, intermediate, axis=0)
+        residuals[run * k:(run + 1) * k] = np.abs(out_ck - ccg)
+        eta = max(eta, thresholds.eta_stage1(m, x))
+    return ResidualStudy(
+        label=f"stage1[{distribution}]", sub_size=m, residuals=residuals, estimated_eta=eta
+    )
+
+
+def measure_stage2_residuals(
+    n: int,
+    *,
+    runs: int = 10,
+    distribution: str = "uniform",
+    thresholds: Optional[ThresholdPolicy] = None,
+    seed: Optional[int] = None,
+) -> ResidualStudy:
+    """Fault-free residuals of all second-part (k-point) verifications."""
+
+    thresholds = thresholds or ThresholdPolicy()
+    plan = TwoLayerPlan(n)
+    m, k = plan.m, plan.k
+    r_k = computational_weights(k)
+    c_k = input_checksum_weights(k)
+    source = RandomSource(seed)
+
+    residuals = np.empty(runs * m, dtype=np.float64)
+    eta = 0.0
+    for run in range(runs):
+        x = _make_input(distribution, n, source)
+        work = plan.gather_input(x)
+        intermediate = plan.stage1(np.array(work))
+        twiddled = plan.apply_twiddle(intermediate)
+        ccg = weighted_sum(c_k, twiddled, axis=1)
+        result = plan.stage2(twiddled)
+        out_ck = weighted_sum(r_k, result, axis=1)
+        residuals[run * m:(run + 1) * m] = np.abs(out_ck - ccg)
+        eta = max(eta, thresholds.eta_stage2(k, m, x))
+    return ResidualStudy(
+        label=f"stage2[{distribution}]", sub_size=k, residuals=residuals, estimated_eta=eta
+    )

@@ -1,0 +1,218 @@
+"""Command-line interface.
+
+A small operational front end to the library, usable as ``python -m
+repro.cli <command>``:
+
+``schemes``
+    List the available protection schemes.
+``transform``
+    Run a protected transform on a synthetic signal (or a file of samples)
+    and print the fault-tolerance report.
+``inject``
+    Run a protected transform with a soft error injected at a chosen site
+    and show detection/correction behaviour and the residual output error.
+``predict``
+    Print the Section 7 overhead predictions for a problem size (and,
+    optionally, the parallel per-rank figures).
+
+The CLI only composes public library APIs; everything it prints can also be
+obtained programmatically.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.api import available_schemes, create_scheme
+from repro.faults.injector import FaultInjector
+from repro.faults.models import FaultKind, FaultSite, FaultSpec
+from repro.perfmodel import parallel_scheme_ops, predict_sequential
+from repro.utils.reporting import Table
+from repro.utils.rng import RandomSource
+
+__all__ = ["build_parser", "main"]
+
+
+# ----------------------------------------------------------------------
+# input handling
+# ----------------------------------------------------------------------
+
+def _load_signal(args: argparse.Namespace) -> np.ndarray:
+    """Build the input vector: from ``--input`` (one value per line) or synthetic."""
+
+    if args.input:
+        values = np.loadtxt(args.input, dtype=np.complex128, ndmin=1)
+        return np.asarray(values, dtype=np.complex128)
+    source = RandomSource(seed=args.seed)
+    if args.signal == "uniform":
+        return source.uniform_complex(args.size)
+    if args.signal == "normal":
+        return source.normal_complex(args.size)
+    return source.signal_with_tones(args.size, tones=[args.size // 8, args.size // 3], noise=0.05)
+
+
+def _add_signal_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--size", "-n", type=int, default=4096, help="transform length (default 4096)")
+    parser.add_argument(
+        "--signal", choices=["uniform", "normal", "tones"], default="uniform",
+        help="synthetic input kind (ignored when --input is given)",
+    )
+    parser.add_argument("--input", help="file with one (complex) sample per line")
+    parser.add_argument("--seed", type=int, default=None, help="seed for the synthetic input")
+    parser.add_argument(
+        "--scheme", default="opt-online+mem", choices=list(available_schemes()),
+        help="protection scheme (default: opt-online+mem)",
+    )
+
+
+# ----------------------------------------------------------------------
+# sub-commands
+# ----------------------------------------------------------------------
+
+def _cmd_schemes(args: argparse.Namespace) -> int:
+    table = Table("available protection schemes", ["name", "description"])
+    descriptions = {
+        "fftw": "unprotected baseline (two-layer plan, no checksums)",
+        "offline": "offline ABFT, naive encoding, computational FT only",
+        "opt-offline": "offline ABFT, optimized encoding, computational FT only",
+        "offline+mem": "offline ABFT with memory fault tolerance (naive)",
+        "opt-offline+mem": "offline ABFT with memory fault tolerance (optimized)",
+        "online": "online two-layer ABFT (Algorithm 2), computational FT only",
+        "opt-online": "optimized online ABFT, computational FT only",
+        "online+mem": "online ABFT with the Fig. 2 memory protection hierarchy",
+        "opt-online+mem": "the paper's FT-FFTW scheme (Fig. 3, all optimizations)",
+    }
+    for name in available_schemes():
+        table.add_row(name, descriptions.get(name, ""))
+    print(table.render())
+    return 0
+
+
+def _print_report(result, reference: Optional[np.ndarray]) -> None:
+    report = result.report
+    print(f"scheme               : {result.scheme}")
+    print(f"errors detected      : {report.detected}")
+    print(f"sub-FFT recomputations: {report.recompute_count}")
+    print(f"memory repairs       : {report.memory_correction_count}")
+    print(f"DMR corrections      : {report.dmr_correction_count}")
+    print(f"uncorrectable        : {len(report.uncorrectable)}")
+    if reference is not None:
+        err = float(np.max(np.abs(result.output - reference)) / max(np.max(np.abs(reference)), 1e-300))
+        print(f"relative output error: {err:.3e}")
+
+
+def _cmd_transform(args: argparse.Namespace) -> int:
+    x = _load_signal(args)
+    scheme = create_scheme(args.scheme, x.size)
+    result = scheme.execute(x)
+    reference = np.fft.fft(x)
+    _print_report(result, reference)
+    if args.output:
+        np.savetxt(args.output, np.column_stack([result.output.real, result.output.imag]))
+        print(f"spectrum written to   {args.output}")
+    return 0 if not result.report.has_uncorrectable else 1
+
+
+def _cmd_inject(args: argparse.Namespace) -> int:
+    x = _load_signal(args)
+    site = FaultSite(args.site)
+    kind = FaultKind(args.kind)
+    spec = FaultSpec(
+        site=site,
+        index=args.index,
+        element=args.element,
+        kind=kind,
+        magnitude=args.magnitude,
+        bit=args.bit,
+    )
+    injector = FaultInjector(specs=[spec])
+    scheme = create_scheme(args.scheme, x.size)
+    reference = np.fft.fft(x)
+    result = scheme.execute(x, injector)
+    print(f"faults injected      : {injector.fired_count}")
+    if injector.events:
+        event = injector.events[0]
+        print(f"fault site/element   : {event.site.value} / {event.element}")
+    _print_report(result, reference)
+    err = float(np.max(np.abs(result.output - reference)) / np.max(np.abs(reference)))
+    return 0 if err < args.tolerance else 1
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    table = Table(
+        f"Section 7 predicted fault-free overhead for N=2^{int(np.log2(args.size))}",
+        ["scheme", "overhead %", "overhead % with one error"],
+        digits=1,
+    )
+    for prediction in predict_sequential(args.size):
+        table.add_row(prediction.scheme, prediction.overhead_percent, prediction.overhead_percent_with_error)
+    print(table.render())
+    if args.ranks:
+        local = args.size // args.ranks
+        before = parallel_scheme_ops(local)
+        after = parallel_scheme_ops(local, overlap=True)
+        print()
+        print(f"parallel per-rank overhead (local n = N/p = {local}):")
+        print(f"  FT-FFTW      : {before.fault_free / local:.0f} n operations")
+        print(f"  opt-FT-FFTW  : {after.fault_free / local:.0f} n operations (after overlap)")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# parser / entry point
+# ----------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Fault-tolerant FFT (reproduction of Liang et al., SC'17)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("schemes", help="list available protection schemes").set_defaults(func=_cmd_schemes)
+
+    transform = sub.add_parser("transform", help="run a protected transform")
+    _add_signal_options(transform)
+    transform.add_argument("--output", "-o", help="write the spectrum (re, im columns) to this file")
+    transform.set_defaults(func=_cmd_transform)
+
+    inject = sub.add_parser("inject", help="run a protected transform with an injected soft error")
+    _add_signal_options(inject)
+    inject.add_argument(
+        "--site", default=FaultSite.STAGE1_COMPUTE.value,
+        choices=[site.value for site in FaultSite], help="where the fault strikes",
+    )
+    inject.add_argument(
+        "--kind", default=FaultKind.ADD_CONSTANT.value,
+        choices=[kind.value for kind in FaultKind], help="corruption model",
+    )
+    inject.add_argument("--magnitude", type=float, default=10.0, help="constant used by add/set faults")
+    inject.add_argument("--bit", type=int, default=None, help="bit position for bit-flip faults")
+    inject.add_argument("--index", type=int, default=None, help="sub-FFT index to target")
+    inject.add_argument("--element", type=int, default=None, help="element offset to corrupt")
+    inject.add_argument(
+        "--tolerance", type=float, default=1e-8,
+        help="relative output error above which the command exits non-zero",
+    )
+    inject.set_defaults(func=_cmd_inject)
+
+    predict = sub.add_parser("predict", help="print the Section 7 overhead model")
+    predict.add_argument("--size", "-n", type=int, default=2**25, help="problem size (default 2^25)")
+    predict.add_argument("--ranks", "-p", type=int, default=None, help="also print parallel per-rank figures")
+    predict.set_defaults(func=_cmd_predict)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

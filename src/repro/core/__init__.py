@@ -1,0 +1,87 @@
+"""The paper's contribution: offline and online ABFT schemes for the FFT.
+
+Layout
+------
+
+``checksums``
+    The checksum algebra: the :math:`\\omega_3` computational checksum vector
+    of Wang & Jha, the closed-form input checksum vector ``rA``, the classic
+    and modified (Section 4.1) memory checksum pairs, and the
+    locate-and-correct procedure for memory errors.
+``thresholds``
+    Round-off error modelling and the selection of the detection threshold
+    :math:`\\eta` (Section 8).
+``detection``
+    Verification / correction bookkeeping shared by all schemes.
+``dmr``
+    Double/triple modular redundancy helpers used for the twiddle stage and
+    checksum generation.
+``plain``
+    The unprotected baseline (our FFTW stand-in).
+``offline``
+    The classical offline ABFT scheme (Algorithm 1), naive and optimized,
+    with optional memory fault tolerance.
+``online``
+    The paper's two-layer online ABFT scheme (Algorithm 2) and the memory
+    fault tolerance hierarchy of Fig. 2, without the Section 4 optimizations.
+``optimized``
+    The fully optimized online scheme of Fig. 3 (modified checksums,
+    verification postponing, incremental checksum generation, contiguous
+    buffering), with individual optimizations toggleable for ablations.
+``api``
+    ``FaultTolerantFFT`` facade and the scheme registry used by examples and
+    benchmarks.
+"""
+
+from repro.core.base import FTScheme, OptimizationFlags, SchemeResult
+from repro.core.checksums import (
+    ChecksumPair,
+    MemoryChecksumVectors,
+    computational_weights,
+    input_checksum_weights,
+    input_checksum_weights_naive,
+    locate_single_error,
+    memory_weights_classic,
+    memory_weights_modified,
+    omega3,
+    weighted_sum,
+)
+from repro.core.thresholds import RoundoffModel, ThresholdPolicy
+from repro.core.detection import CorrectionRecord, FTReport, VerificationRecord
+from repro.core.dmr import dmr_elementwise, dmr_scalar
+from repro.core.plain import PlainFFT
+from repro.core.offline import OfflineABFT
+from repro.core.online import OnlineABFT
+from repro.core.optimized import OptimizedOnlineABFT
+from repro.core.api import FaultTolerantFFT, available_schemes, create_scheme, ft_fft
+
+__all__ = [
+    "FTScheme",
+    "OptimizationFlags",
+    "SchemeResult",
+    "ChecksumPair",
+    "MemoryChecksumVectors",
+    "computational_weights",
+    "input_checksum_weights",
+    "input_checksum_weights_naive",
+    "locate_single_error",
+    "memory_weights_classic",
+    "memory_weights_modified",
+    "omega3",
+    "weighted_sum",
+    "RoundoffModel",
+    "ThresholdPolicy",
+    "CorrectionRecord",
+    "FTReport",
+    "VerificationRecord",
+    "dmr_elementwise",
+    "dmr_scalar",
+    "PlainFFT",
+    "OfflineABFT",
+    "OnlineABFT",
+    "OptimizedOnlineABFT",
+    "FaultTolerantFFT",
+    "available_schemes",
+    "create_scheme",
+    "ft_fft",
+]

@@ -1,0 +1,160 @@
+"""Public convenience API: scheme registry and the ``FaultTolerantFFT`` facade.
+
+Most downstream users want one of two things:
+
+* a one-shot protected transform: :func:`ft_fft`, or
+* a reusable protected plan: :class:`FaultTolerantFFT` (create once, execute
+  many times - the analogue of creating an FFTW plan and calling
+  ``fftw_execute``).
+
+The string-keyed registry (:func:`create_scheme`, :func:`available_schemes`)
+is what the benchmark harnesses and examples use to iterate over the schemes
+the paper compares.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.core.base import FTScheme, OptimizationFlags, SchemeResult
+from repro.core.offline import OfflineABFT
+from repro.core.online import OnlineABFT
+from repro.core.optimized import OptimizedOnlineABFT
+from repro.core.plain import PlainFFT
+from repro.core.thresholds import ThresholdPolicy
+from repro.faults.injector import FaultInjector
+
+__all__ = ["available_schemes", "create_scheme", "ft_fft", "FaultTolerantFFT"]
+
+
+_SchemeFactory = Callable[..., FTScheme]
+
+
+def _registry() -> Dict[str, _SchemeFactory]:
+    return {
+        # baseline
+        "fftw": lambda n, **kw: PlainFFT(n, **kw),
+        # offline ABFT, computational FT only
+        "offline": lambda n, **kw: OfflineABFT(n, optimized=False, memory_ft=False, **kw),
+        "opt-offline": lambda n, **kw: OfflineABFT(n, optimized=True, memory_ft=False, **kw),
+        # offline ABFT with memory FT
+        "offline+mem": lambda n, **kw: OfflineABFT(n, optimized=False, memory_ft=True, **kw),
+        "opt-offline+mem": lambda n, **kw: OfflineABFT(n, optimized=True, memory_ft=True, **kw),
+        # online ABFT, computational FT only
+        "online": lambda n, **kw: OnlineABFT(n, memory_ft=False, **kw),
+        "opt-online": lambda n, **kw: OptimizedOnlineABFT(n, memory_ft=False, **kw),
+        # online ABFT with memory FT
+        "online+mem": lambda n, **kw: OnlineABFT(n, memory_ft=True, **kw),
+        "opt-online+mem": lambda n, **kw: OptimizedOnlineABFT(n, memory_ft=True, **kw),
+    }
+
+
+def available_schemes() -> Sequence[str]:
+    """Names accepted by :func:`create_scheme` (and the ``--scheme`` options)."""
+
+    return tuple(_registry().keys())
+
+
+def create_scheme(name: str, n: int, **kwargs) -> FTScheme:
+    """Instantiate a scheme by registry name.
+
+    ``kwargs`` are forwarded to the scheme constructor (``m``, ``k``,
+    ``thresholds``, ``flags`` where applicable).
+    """
+
+    registry = _registry()
+    if name not in registry:
+        raise KeyError(f"unknown scheme {name!r}; available: {', '.join(registry)}")
+    return registry[name](n, **kwargs)
+
+
+def ft_fft(
+    x: np.ndarray,
+    *,
+    scheme: str = "opt-online+mem",
+    injector: Optional[FaultInjector] = None,
+    **kwargs,
+) -> SchemeResult:
+    """One-shot fault-tolerant FFT of ``x`` under the named scheme."""
+
+    x = np.asarray(x)
+    instance = create_scheme(scheme, x.shape[-1], **kwargs)
+    return instance.execute(x, injector)
+
+
+class FaultTolerantFFT:
+    """A reusable protected transform of a fixed size.
+
+    Parameters
+    ----------
+    n:
+        Transform length.
+    scheme:
+        Registry name (default: the paper's fully optimized online scheme
+        with memory fault tolerance).
+    m, k:
+        Optional explicit two-layer factors.
+    thresholds:
+        Detection-threshold policy.
+    flags:
+        Optimization flags (online schemes only).
+
+    Example
+    -------
+    >>> import numpy as np
+    >>> ft = FaultTolerantFFT(1024)
+    >>> x = np.random.default_rng(0).standard_normal(1024) + 0j
+    >>> result = ft.forward(x)
+    >>> np.allclose(result.output, np.fft.fft(x))
+    True
+    """
+
+    def __init__(
+        self,
+        n: int,
+        *,
+        scheme: str = "opt-online+mem",
+        m: Optional[int] = None,
+        k: Optional[int] = None,
+        thresholds: Optional[ThresholdPolicy] = None,
+        flags: Optional[OptimizationFlags] = None,
+    ) -> None:
+        kwargs: Dict[str, object] = {}
+        if m is not None:
+            kwargs["m"] = m
+        if k is not None:
+            kwargs["k"] = k
+        if thresholds is not None:
+            kwargs["thresholds"] = thresholds
+        if flags is not None and scheme in {"online", "online+mem", "opt-online", "opt-online+mem"}:
+            kwargs["flags"] = flags
+        self.scheme_name = scheme
+        self.scheme = create_scheme(scheme, n, **kwargs)
+        self.n = n
+
+    # ------------------------------------------------------------------
+    def forward(self, x: np.ndarray, injector: Optional[FaultInjector] = None) -> SchemeResult:
+        """Protected forward transform."""
+
+        return self.scheme.execute(x, injector)
+
+    def inverse(self, spectrum: np.ndarray, injector: Optional[FaultInjector] = None) -> SchemeResult:
+        """Protected inverse transform.
+
+        Implemented with the conjugation identity
+        ``ifft(X) = conj(fft(conj(X))) / n`` so the exact same protected
+        forward machinery (and therefore the same coverage) applies.
+        """
+
+        spectrum = np.asarray(spectrum, dtype=np.complex128)
+        result = self.scheme.execute(np.conj(spectrum), injector)
+        output = np.conj(result.output) / self.n
+        return SchemeResult(output=output, report=result.report, scheme=result.scheme)
+
+    def __call__(self, x: np.ndarray, injector: Optional[FaultInjector] = None) -> SchemeResult:
+        return self.forward(x, injector)
+
+    def describe(self) -> str:
+        return f"FaultTolerantFFT(n={self.n}, scheme={self.scheme_name})"

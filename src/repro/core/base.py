@@ -1,0 +1,127 @@
+"""Common scheme interface and optimization flags.
+
+All sequential schemes (plain, offline, online, optimized online) share the
+same calling convention::
+
+    scheme = SomeScheme(n, ...)
+    result = scheme.execute(x, injector=maybe_injector)
+    result.output  # the transform
+    result.report  # what was verified / detected / corrected
+
+which is what lets the benchmark harnesses and fault campaigns treat them
+interchangeably.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.core.detection import FTReport
+from repro.core.thresholds import ThresholdPolicy
+from repro.faults.injector import FaultInjector, NullInjector
+from repro.utils.validation import as_complex_vector, ensure_positive_int
+
+__all__ = ["OptimizationFlags", "SchemeResult", "FTScheme"]
+
+
+@dataclass(frozen=True)
+class OptimizationFlags:
+    """Toggles for the Section 4 optimizations (used for ablations).
+
+    Attributes
+    ----------
+    modified_checksums:
+        Reuse the computational input checksum vector ``rA`` as the first
+        memory checksum (Section 4.1).  Off = classic ``(1..1)/(1..n)``
+        weights and a separate computational checksum pass.
+    postpone_verification:
+        Postpone the input memory verification of each first-part sub-FFT
+        into its computational verification (Section 4.2).
+    incremental_checksums:
+        Build the memory checksums of the second-part inputs incrementally
+        as the first-part outputs are produced instead of re-reading the
+        intermediate array (Section 4.3).
+    contiguous_buffer:
+        Gather each group of strided first-part columns into a contiguous
+        buffer before computing on them (Section 4.4 / Section 6.2).
+    group_size:
+        Number of sub-FFTs executed between consecutive verifications (the
+        paper's ``s``); verification granularity - and therefore recovery
+        granularity - remains a single sub-FFT.
+    max_retries:
+        Bound on the recompute-and-reverify loop of Algorithm 2 so that a
+        persistent (non-transient) fault cannot hang the transform.
+    """
+
+    modified_checksums: bool = True
+    postpone_verification: bool = True
+    incremental_checksums: bool = True
+    contiguous_buffer: bool = True
+    group_size: int = 32
+    max_retries: int = 3
+
+    @classmethod
+    def all_off(cls) -> "OptimizationFlags":
+        """The naive configuration used by the un-optimized online scheme."""
+
+        return cls(
+            modified_checksums=False,
+            postpone_verification=False,
+            incremental_checksums=False,
+            contiguous_buffer=False,
+        )
+
+
+@dataclass
+class SchemeResult:
+    """Output of one protected execution."""
+
+    output: np.ndarray
+    report: FTReport
+    scheme: str = ""
+
+    @property
+    def detected(self) -> bool:
+        return self.report.detected
+
+    @property
+    def corrected(self) -> bool:
+        return self.report.corrected
+
+    @property
+    def uncorrectable(self) -> bool:
+        return self.report.has_uncorrectable
+
+
+class FTScheme(abc.ABC):
+    """Base class of all sequential (single-process) schemes."""
+
+    #: short identifier used by the scheme registry and benchmark tables
+    name: str = "base"
+
+    def __init__(self, n: int, *, thresholds: Optional[ThresholdPolicy] = None) -> None:
+        self.n = ensure_positive_int(n, name="n")
+        self.thresholds = thresholds or ThresholdPolicy()
+
+    # ------------------------------------------------------------------
+    def execute(self, x: np.ndarray, injector: Optional[FaultInjector] = None) -> SchemeResult:
+        """Transform ``x`` under this scheme's protection."""
+
+        x = as_complex_vector(x, copy=True, name="x")
+        if x.size != self.n:
+            raise ValueError(f"input has length {x.size}, expected {self.n}")
+        report = FTReport(scheme=self.name)
+        output = self._run(x, injector or NullInjector(), report)
+        return SchemeResult(output=output, report=report, scheme=self.name)
+
+    def __call__(self, x: np.ndarray, injector: Optional[FaultInjector] = None) -> SchemeResult:
+        return self.execute(x, injector)
+
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def _run(self, x: np.ndarray, injector, report: FTReport) -> np.ndarray:
+        """Scheme-specific execution; must return the transform of ``x``."""

@@ -1,0 +1,149 @@
+"""Verification and correction bookkeeping.
+
+Every protected scheme returns an :class:`FTReport` alongside its output.
+The report records each checksum verification (site, residual, threshold,
+verdict), each correction action (sub-FFT recomputation, memory-element
+repair, DMR vote), and whether anything remained uncorrectable.  Campaigns
+and benchmarks read these records to build the paper's fault tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["VerificationRecord", "CorrectionRecord", "FTReport"]
+
+
+@dataclass(frozen=True)
+class VerificationRecord:
+    """One checksum comparison."""
+
+    site: str
+    index: Optional[int]
+    residual: float
+    threshold: float
+    detected: bool
+
+
+@dataclass(frozen=True)
+class CorrectionRecord:
+    """One corrective action taken by a scheme."""
+
+    kind: str  # "recompute", "memory-correct", "dmr-vote", "restart"
+    site: str
+    index: Optional[int]
+    detail: str = ""
+
+
+@dataclass
+class FTReport:
+    """Aggregated fault-tolerance activity of one protected execution."""
+
+    scheme: str = ""
+    verifications: List[VerificationRecord] = field(default_factory=list)
+    corrections: List[CorrectionRecord] = field(default_factory=list)
+    uncorrectable: List[str] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    counters: Dict[str, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # recording helpers
+    # ------------------------------------------------------------------
+    def record_verification(
+        self,
+        site: str,
+        index: Optional[int],
+        residual: float,
+        threshold: float,
+        detected: bool,
+    ) -> VerificationRecord:
+        record = VerificationRecord(site, index, float(residual), float(threshold), bool(detected))
+        self.verifications.append(record)
+        self.bump("verifications")
+        if detected:
+            self.bump("detections")
+        return record
+
+    def record_correction(self, kind: str, site: str, index: Optional[int], detail: str = "") -> CorrectionRecord:
+        record = CorrectionRecord(kind, site, index, detail)
+        self.corrections.append(record)
+        self.bump(f"corrections::{kind}")
+        self.bump("corrections")
+        return record
+
+    def record_uncorrectable(self, message: str) -> None:
+        self.uncorrectable.append(message)
+        self.bump("uncorrectable")
+
+    def note(self, message: str) -> None:
+        self.notes.append(message)
+
+    def bump(self, counter: str, amount: int = 1) -> None:
+        self.counters[counter] = self.counters.get(counter, 0) + amount
+
+    def merge(self, other: "FTReport") -> None:
+        """Fold another report (e.g. from a per-rank execution) into this one."""
+
+        self.verifications.extend(other.verifications)
+        self.corrections.extend(other.corrections)
+        self.uncorrectable.extend(other.uncorrectable)
+        self.notes.extend(other.notes)
+        for key, value in other.counters.items():
+            self.counters[key] = self.counters.get(key, 0) + value
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def detected(self) -> bool:
+        """Whether any verification flagged an error."""
+
+        return any(v.detected for v in self.verifications)
+
+    @property
+    def detection_count(self) -> int:
+        return sum(1 for v in self.verifications if v.detected)
+
+    @property
+    def corrected(self) -> bool:
+        """Whether at least one corrective action was taken and nothing was left broken."""
+
+        return bool(self.corrections) and not self.uncorrectable
+
+    @property
+    def correction_count(self) -> int:
+        return len(self.corrections)
+
+    @property
+    def recompute_count(self) -> int:
+        return self.counters.get("corrections::recompute", 0) + self.counters.get("corrections::restart", 0)
+
+    @property
+    def memory_correction_count(self) -> int:
+        return self.counters.get("corrections::memory-correct", 0)
+
+    @property
+    def dmr_correction_count(self) -> int:
+        return self.counters.get("corrections::dmr-vote", 0)
+
+    @property
+    def clean(self) -> bool:
+        """True when no error was detected and nothing was corrected."""
+
+        return not self.detected and not self.corrections and not self.uncorrectable
+
+    @property
+    def has_uncorrectable(self) -> bool:
+        return bool(self.uncorrectable)
+
+    def summary(self) -> Dict[str, int]:
+        return {
+            "verifications": len(self.verifications),
+            "detections": self.detection_count,
+            "corrections": len(self.corrections),
+            "recomputations": self.recompute_count,
+            "memory_corrections": self.memory_correction_count,
+            "dmr_corrections": self.dmr_correction_count,
+            "uncorrectable": len(self.uncorrectable),
+        }

@@ -1,0 +1,85 @@
+"""Double/triple modular redundancy helpers.
+
+The online ABFT scheme cannot protect everything with checksums: the twiddle
+multiplication between the two parts and the (tiny) checksum-vector
+generation have no algebraic invariant of their own, so the paper protects
+them with DMR - compute twice, compare, and on a mismatch compute a third
+time and take the majority (Section 3.1).
+
+Fault injection interacts with DMR through the ``injector``: only the first
+computation's result is exposed to the injector (a transient fault strikes
+one execution, not all replicas), which is exactly the assumption under
+which DMR is a valid detector.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from repro.core.detection import FTReport
+from repro.faults.models import FaultSite
+
+__all__ = ["dmr_elementwise", "dmr_scalar"]
+
+
+def dmr_elementwise(
+    compute: Callable[[], np.ndarray],
+    *,
+    injector=None,
+    site: FaultSite = FaultSite.TWIDDLE_COMPUTE,
+    index: Optional[int] = None,
+    rank: Optional[int] = None,
+    report: Optional[FTReport] = None,
+    rtol: float = 0.0,
+    atol: float = 0.0,
+    label: str = "twiddle-dmr",
+) -> np.ndarray:
+    """Run ``compute`` with DMR and return the verified array.
+
+    ``compute`` must be deterministic; replicas are compared elementwise
+    (exact comparison by default - replicas of the same floating-point
+    expression agree bit-for-bit unless a fault struck one of them).  On a
+    mismatch a third replica votes per element.
+    """
+
+    first = compute()
+    if injector is not None:
+        injector.visit(site, first, index=index, rank=rank)
+    second = compute()
+    if rtol == 0.0 and atol == 0.0:
+        mismatch = first != second
+    else:
+        mismatch = ~np.isclose(first, second, rtol=rtol, atol=atol)
+    if not np.any(mismatch):
+        return first
+
+    third = compute()
+    result = np.where(first == third, first, second)
+    corrected = int(np.count_nonzero(mismatch))
+    if report is not None:
+        report.record_verification(label, index, float(corrected), 0.0, True)
+        report.record_correction("dmr-vote", label, index, f"{corrected} element(s) re-voted")
+    return result
+
+
+def dmr_scalar(
+    compute: Callable[[], complex],
+    *,
+    report: Optional[FTReport] = None,
+    label: str = "checksum-dmr",
+    index: Optional[int] = None,
+) -> complex:
+    """DMR for a scalar quantity (e.g. a checksum value)."""
+
+    first = complex(compute())
+    second = complex(compute())
+    if first == second:
+        return first
+    third = complex(compute())
+    result = first if first == third else second
+    if report is not None:
+        report.record_verification(label, index, abs(first - second), 0.0, True)
+        report.record_correction("dmr-vote", label, index, "scalar re-voted")
+    return result

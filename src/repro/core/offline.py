@@ -1,0 +1,188 @@
+"""The classical offline ABFT FFT (Algorithm 1 of the paper).
+
+The offline scheme computes the input checksum ``c . x`` (with ``c = r A``)
+before the transform, runs the *whole* FFT, and compares ``r . X`` against
+the stored value at the very end.  A detected error - no matter how early it
+occurred - forces a restart of the entire transform, which is exactly the
+weakness the online scheme removes.
+
+Two variants are provided:
+
+* ``optimized=False`` ("Offline" in Fig. 7): the encoding vector ``rA`` is
+  evaluated with one trigonometric call per element and, when memory fault
+  tolerance is enabled, the classic ``(1..1)/(1..n)`` locating pair is
+  computed in separate passes (14N operations in the paper's accounting).
+* ``optimized=True`` ("Opt-Offline"): ``rA`` is evaluated with the
+  closed-form/split-table method (O(sqrt(N)) trigonometric calls) and the
+  locating pair reuses ``rA`` (Section 4.1), for 10N checksum operations.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.base import FTScheme
+from repro.core.checksums import (
+    computational_weights,
+    input_checksum_weights,
+    input_checksum_weights_naive,
+    repair_single_error,
+    memory_weights_classic,
+    weighted_sum,
+)
+from repro.core.detection import FTReport
+from repro.core.thresholds import ThresholdPolicy, residual_exceeds
+from repro.faults.models import FaultSite
+from repro.fftlib.two_layer import TwoLayerPlan
+
+__all__ = ["OfflineABFT"]
+
+
+class OfflineABFT(FTScheme):
+    """Offline ABFT FFT with optional memory fault tolerance."""
+
+    def __init__(
+        self,
+        n: int,
+        m: Optional[int] = None,
+        k: Optional[int] = None,
+        *,
+        optimized: bool = True,
+        memory_ft: bool = False,
+        thresholds: Optional[ThresholdPolicy] = None,
+        max_retries: int = 2,
+        group_size: int = 32,
+    ) -> None:
+        super().__init__(n, thresholds=thresholds)
+        self.plan = TwoLayerPlan(n, m, k)
+        self.optimized = bool(optimized)
+        self.memory_ft = bool(memory_ft)
+        self.max_retries = int(max_retries)
+        self.group_size = max(1, int(group_size))
+        self.name = ("opt-offline" if optimized else "offline") + ("+mem" if memory_ft else "")
+
+    # ------------------------------------------------------------------
+    def _execute_plan(self, x: np.ndarray, injector) -> np.ndarray:
+        """One unprotected run of the full transform, visiting fault sites.
+
+        The traversal (grouped sub-FFT blocks) matches the plain baseline and
+        the online schemes so that measured overheads isolate the
+        fault-tolerance work.
+        """
+
+        plan = self.plan
+        m, k = plan.m, plan.k
+        group = self.group_size
+
+        work = np.array(plan.gather_input(x))
+        injector.visit(FaultSite.STAGE1_INPUT, work)
+
+        intermediate = np.empty_like(work)
+        for start in range(0, k, group):
+            stop = min(start + group, k)
+            sub = plan.stage1_columns(work, start, stop)
+            for i in range(start, stop):
+                injector.visit(FaultSite.STAGE1_COMPUTE, sub[:, i - start], index=i)
+            intermediate[:, start:stop] = sub
+        injector.visit(FaultSite.INTERMEDIATE, intermediate)
+
+        result = np.empty_like(intermediate)
+        for start in range(0, m, group):
+            stop = min(start + group, m)
+            rows = slice(start, stop)
+            twiddled = intermediate[rows, :] * plan.twiddles[rows, :]
+            injector.visit(FaultSite.TWIDDLE_COMPUTE, twiddled, index=start)
+            injector.visit(FaultSite.STAGE2_INPUT, twiddled, index=start)
+            sub = plan.outer_plan.execute_batch(twiddled, axis=1)
+            for j in range(start, stop):
+                injector.visit(FaultSite.STAGE2_COMPUTE, sub[j - start, :], index=j)
+            result[rows, :] = sub
+
+        output = plan.scatter_output(result)
+        injector.visit(FaultSite.OUTPUT, output)
+        return output
+
+    # ------------------------------------------------------------------
+    def _run(self, x: np.ndarray, injector, report: FTReport) -> np.ndarray:
+        n = self.n
+
+        # ----- encoding: input checksum vector and memory checksums -------
+        if self.optimized:
+            c = input_checksum_weights(n)
+        else:
+            c = input_checksum_weights_naive(n)
+        r = computational_weights(n)
+
+        if self.memory_ft:
+            if self.optimized:
+                # Section 4.1: reuse rA as the first locating weight vector.
+                w1 = c
+                w2 = c * np.arange(1, n + 1, dtype=np.float64)
+                s1 = weighted_sum(w1, x)
+                s2 = weighted_sum(w2, x)
+                cx = s1
+            else:
+                w1, w2 = memory_weights_classic(n)
+                s1 = weighted_sum(w1, x)
+                s2 = weighted_sum(w2, x)
+                cx = weighted_sum(c, x)
+            eta_mem = self.thresholds.eta_memory(w1, x)
+        else:
+            w1 = w2 = None
+            s1 = s2 = None
+            eta_mem = 0.0
+            cx = weighted_sum(c, x)
+
+        eta = self.thresholds.eta_offline(n, x)
+
+        # Faults may strike the input only after the checksums exist (the
+        # paper's fault model excludes faults during checksum generation).
+        injector.visit(FaultSite.INPUT, x)
+
+        # ----- compute, verify at the end, restart on error ---------------
+        output = None
+        attempts = 0
+        while True:
+            attempts += 1
+            output = self._execute_plan(x, injector)
+            residual = float(np.abs(weighted_sum(r, output) - cx))
+            detected = bool(residual_exceeds(residual, eta))
+            report.record_verification("offline-ccv", None, residual, eta, detected)
+            if not detected:
+                break
+            if self.memory_ft:
+                # Distinguish an input memory fault from a computational one:
+                # verify the input against its stored locating checksums and
+                # repair it before restarting.
+                mem_residual = float(np.abs(weighted_sum(w1, x) - s1))
+                mem_detected = bool(residual_exceeds(mem_residual, eta_mem))
+                report.record_verification("offline-mcv", None, mem_residual, eta_mem, mem_detected)
+                if mem_detected:
+                    repaired = repair_single_error(x, w1, w2, s1, s2)
+                    if repaired is None:
+                        report.record_uncorrectable("offline: input corruption could not be located")
+                        break
+                    report.record_correction(
+                        "memory-correct", "input", None, f"element {repaired[0]} repaired"
+                    )
+            if attempts > self.max_retries:
+                report.record_uncorrectable(
+                    f"offline: verification still failing after {self.max_retries} restarts"
+                )
+                break
+            report.record_correction("restart", "offline", None, "full transform restarted")
+
+        # ----- output protection (memory FT only) --------------------------
+        if self.memory_ft and output is not None:
+            out_pair_w1 = w1
+            out_s1 = weighted_sum(out_pair_w1, output)
+            report.bump("output-mcg")
+            # Verify immediately (the offline scheme has nothing to overlap
+            # this with); a corruption of the output array after this point
+            # is outside the scheme's window of protection.
+            final_residual = float(np.abs(weighted_sum(out_pair_w1, output) - out_s1))
+            report.record_verification("offline-output-mcv", None, final_residual, eta_mem, False)
+
+        return output

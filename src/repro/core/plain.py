@@ -1,0 +1,93 @@
+"""The unprotected baseline scheme (the repository's "FFTW").
+
+All overhead percentages reported by the benchmarks are measured against
+this scheme, which runs exactly the same two-layer decomposition and the
+same underlying sub-FFT engine as the protected schemes but performs no
+checksum work at all.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.base import FTScheme, SchemeResult
+from repro.core.detection import FTReport
+from repro.core.thresholds import ThresholdPolicy
+from repro.faults.models import FaultSite
+from repro.fftlib.two_layer import TwoLayerPlan
+
+__all__ = ["PlainFFT"]
+
+
+class PlainFFT(FTScheme):
+    """Unprotected two-layer FFT.
+
+    The execution is grouped exactly like the protected schemes (blocks of
+    ``group_size`` sub-FFTs at a time) so that overhead percentages measured
+    against this baseline reflect only the fault-tolerance work and not a
+    difference in FFT traversal order.
+
+    Fault-injection sites are still visited (so campaigns can measure the
+    impact of *unprotected* faults, the "No Correction" row of Table 6), but
+    nothing is verified and nothing is ever corrected.
+    """
+
+    name = "fftw"
+
+    def __init__(
+        self,
+        n: int,
+        m: Optional[int] = None,
+        k: Optional[int] = None,
+        *,
+        thresholds: Optional[ThresholdPolicy] = None,
+        group_size: int = 32,
+    ) -> None:
+        super().__init__(n, thresholds=thresholds)
+        self.plan = TwoLayerPlan(n, m, k)
+        self.group_size = max(1, int(group_size))
+
+    @property
+    def m(self) -> int:
+        return self.plan.m
+
+    @property
+    def k(self) -> int:
+        return self.plan.k
+
+    # ------------------------------------------------------------------
+    def _run(self, x: np.ndarray, injector, report: FTReport) -> np.ndarray:
+        plan = self.plan
+        m, k = plan.m, plan.k
+        group = self.group_size
+
+        injector.visit(FaultSite.INPUT, x)
+        work = np.array(plan.gather_input(x))
+        injector.visit(FaultSite.STAGE1_INPUT, work)
+
+        intermediate = np.empty_like(work)
+        for start in range(0, k, group):
+            stop = min(start + group, k)
+            sub = plan.stage1_columns(work, start, stop)
+            for i in range(start, stop):
+                injector.visit(FaultSite.STAGE1_COMPUTE, sub[:, i - start], index=i)
+            intermediate[:, start:stop] = sub
+        injector.visit(FaultSite.INTERMEDIATE, intermediate)
+
+        result = np.empty_like(intermediate)
+        for start in range(0, m, group):
+            stop = min(start + group, m)
+            rows = slice(start, stop)
+            twiddled = intermediate[rows, :] * plan.twiddles[rows, :]
+            injector.visit(FaultSite.TWIDDLE_COMPUTE, twiddled, index=start)
+            injector.visit(FaultSite.STAGE2_INPUT, twiddled, index=start)
+            sub = plan.outer_plan.execute_batch(twiddled, axis=1)
+            for j in range(start, stop):
+                injector.visit(FaultSite.STAGE2_COMPUTE, sub[j - start, :], index=j)
+            result[rows, :] = sub
+
+        output = plan.scatter_output(result)
+        injector.visit(FaultSite.OUTPUT, output)
+        return output

@@ -1,0 +1,270 @@
+"""Round-off error modelling and detection-threshold selection (Section 8).
+
+Floating-point round-off makes the two sides of a checksum identity differ
+even in fault-free runs, so every verification compares the residual against
+a threshold :math:`\\eta`.  Picking :math:`\\eta` trades *throughput* (the
+probability a fault-free run is not flagged) against *fault coverage* (the
+smallest error that can still be detected).
+
+The paper follows Weinstein's floating-point round-off analysis: for an
+``m``-point FFT with i.i.d. zero-mean inputs of per-component variance
+:math:`\\sigma_0^2`,
+
+.. math::
+
+    \\sigma_e = \\sqrt{2 m \\sigma_0^2 \\sigma_\\epsilon^2 \\log_2 m},
+    \\qquad
+    \\sigma_{roe} = m\\,\\sigma_e,
+
+where :math:`\\sigma_\\epsilon^2 = 0.21\\cdot 2^{-2t}` is the experimentally
+measured variance of a single rounding (``t`` = mantissa bits).  The
+threshold is then set to :math:`\\eta = 3\\sqrt{m}\\,\\sigma_{roe}` so that,
+by the central-limit argument of Section 8.1, the theoretical throughput is
+about 99.7%.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+from scipy.stats import norm
+
+__all__ = [
+    "MANTISSA_BITS_DOUBLE",
+    "RoundoffModel",
+    "ThresholdMode",
+    "ThresholdPolicy",
+    "residual_exceeds",
+]
+
+
+def residual_exceeds(residual, eta):
+    """``True`` where a checksum residual violates its threshold.
+
+    Implemented as ``not (residual <= eta)`` rather than ``residual > eta`` so
+    that non-finite residuals - which arise when a corrupted value overflows a
+    weighted sum to inf/NaN - count as violations instead of silently passing
+    the comparison.  Works elementwise on arrays and on scalars.
+    """
+
+    return ~(np.asarray(residual) <= eta)
+
+#: Mantissa bits of IEEE-754 binary64 (excluding the implicit leading bit).
+MANTISSA_BITS_DOUBLE = 52
+
+
+@dataclass(frozen=True)
+class RoundoffModel:
+    """Weinstein-style round-off statistics for floating-point FFTs.
+
+    Parameters
+    ----------
+    mantissa_bits:
+        ``t`` in the paper; 52 for double precision.
+    rounding_constant:
+        The 0.21 constant from Gentleman & Sande's measurement
+        (``sigma_eps^2 = rounding_constant * 2^{-2t}``).
+    """
+
+    mantissa_bits: int = MANTISSA_BITS_DOUBLE
+    rounding_constant: float = 0.21
+
+    # ------------------------------------------------------------------
+    @property
+    def sigma_eps(self) -> float:
+        """Standard deviation of a single rounding error."""
+
+        return float(np.sqrt(self.rounding_constant) * 2.0 ** (-self.mantissa_bits))
+
+    def noise_to_signal_ratio(self, n: int) -> float:
+        """Weinstein's output noise-to-signal ratio ``2 sigma_eps^2 log2 n``."""
+
+        if n < 2:
+            return 0.0
+        return 2.0 * self.sigma_eps ** 2 * float(np.log2(n))
+
+    def fft_output_sigma(self, n: int, sigma0: float) -> float:
+        """Standard deviation of an output element of an ``n``-point FFT."""
+
+        return float(np.sqrt(n) * sigma0)
+
+    def fft_roundoff_sigma(self, n: int, sigma0: float) -> float:
+        """``sigma_e``: per-element round-off noise of an ``n``-point FFT."""
+
+        if n < 2:
+            return 0.0
+        return float(np.sqrt(2.0 * n * sigma0 ** 2 * self.sigma_eps ** 2 * np.log2(n)))
+
+    def checksum_roundoff_sigma(self, n: int, sigma0: float) -> float:
+        """``sigma_roe``: round-off of the checksum *difference* (upper bound).
+
+        The checksum sums ``n`` output elements; the paper uses the
+        conservative upper bound ``n * sigma_e`` rather than the
+        ``sqrt(n)``-scaling of independent errors to improve fault coverage.
+        """
+
+        return float(n * self.fft_roundoff_sigma(n, sigma0))
+
+    def second_stage_checksum_sigma(self, k: int, m: int, sigma0: float) -> float:
+        """``sigma_roe2`` for the second-part ``k``-point FFTs.
+
+        Their input is the output of the ``m``-point FFTs, hence has
+        per-component standard deviation ``sqrt(m) * sigma0``.
+        """
+
+        return self.checksum_roundoff_sigma(k, float(np.sqrt(m) * sigma0))
+
+    def summation_sigma(self, n: int, value_rms: float) -> float:
+        """Round-off of a plain weighted sum of ``n`` values (memory checksums)."""
+
+        return float(n * value_rms * self.sigma_eps)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def throughput(eta: float, n: int, sigma: float) -> float:
+        """Theoretical throughput ``1 / (3 - 2 Phi(eta / (sqrt(n) sigma)))``.
+
+        ``sigma`` is the per-element round-off standard deviation; a
+        fault-free run is accepted when the |residual| stays below ``eta``.
+        """
+
+        if sigma <= 0:
+            return 1.0
+        z = eta / (np.sqrt(n) * sigma)
+        return float(1.0 / (3.0 - 2.0 * norm.cdf(z)))
+
+
+class ThresholdMode(enum.Enum):
+    """How verification thresholds are derived."""
+
+    #: The paper's variance-based estimate (Section 8.1) with sigma_0
+    #: measured from the data being protected.
+    PAPER = "paper"
+    #: A norm-relative engineering bound: ``eta = factor * eps * scale``.
+    RELATIVE = "relative"
+
+
+@dataclass
+class ThresholdPolicy:
+    """Produces the detection thresholds used by the ABFT schemes.
+
+    A single policy instance is shared by a scheme; all thresholds scale
+    linearly with the magnitude of the protected data, so the policy is
+    applicable to inputs of any scale.
+    """
+
+    mode: ThresholdMode = ThresholdMode.PAPER
+    model: RoundoffModel = RoundoffModel()
+    safety_factor: float = 3.0
+    #: Extra multiplier applied to memory-checksum thresholds.  Memory
+    #: verifications compare sums accumulated in *different orders* (e.g. the
+    #: incremental checksums of Section 4.3 against a direct re-summation),
+    #: so their fault-free residual can approach the paper's 3-sigma bound;
+    #: the margin keeps the throughput at ~100% without materially reducing
+    #: coverage (memory faults of interest flip high bits).
+    memory_margin: float = 8.0
+    relative_factor: float = 5e-12
+    floor: float = 1e-300
+
+    #: Number of elements sampled when estimating data statistics.  The
+    #: thresholds only need the *scale* of the data; sampling keeps the
+    #: estimation cost O(1) relative to the transform instead of adding an
+    #: extra full pass per verification boundary.
+    sample_size: int = 4096
+
+    # ------------------------------------------------------------------
+    def _sample(self, data: np.ndarray) -> np.ndarray:
+        flat = np.asarray(data).reshape(-1)
+        if flat.size <= self.sample_size:
+            return flat
+        step = max(1, flat.size // self.sample_size)
+        return flat[::step]
+
+    def _magnitude_rms(self, data: np.ndarray) -> float:
+        """Robust RMS of ``|data|`` (sampled).
+
+        Genuine FFT data can be extremely spiky (a narrowband signal's
+        spectrum has a handful of huge bins), so a plain median would
+        underestimate the scale badly; a plain RMS, on the other hand, can be
+        hijacked - or overflowed - by a single corrupted element when a
+        threshold is derived from data that already contains the fault.  The
+        compromise: RMS over the sample after discarding non-finite values
+        and elements more than ``1e6`` times the median magnitude (legitimate
+        spikes stay well below that ratio; exponent-bit flips do not).
+        """
+
+        sample = np.abs(self._sample(data))
+        if sample.size == 0:
+            return 0.0
+        sample = sample[np.isfinite(sample)]
+        if sample.size == 0:
+            return 0.0
+        median = float(np.median(sample))
+        if median > 0:
+            sample = sample[sample <= 1e6 * median]
+        if sample.size == 0:
+            return median
+        return float(np.sqrt(np.mean(sample ** 2)))
+
+    def component_sigma(self, data: np.ndarray) -> float:
+        """Estimate sigma_0 (per real/imaginary component) from data."""
+
+        rms = self._magnitude_rms(data)
+        return float(rms / np.sqrt(2.0))
+
+    # ------------------------------------------------------------------
+    def eta_stage1(self, m: int, data: np.ndarray) -> float:
+        """Threshold for verifying one first-part ``m``-point FFT."""
+
+        sigma0 = self.component_sigma(data)
+        if self.mode is ThresholdMode.RELATIVE:
+            scale = float(np.sqrt(m)) * m * max(sigma0, 1e-30)
+            return max(self.relative_factor * scale, self.floor)
+        sigma_roe = self.model.checksum_roundoff_sigma(m, sigma0)
+        return max(self.safety_factor * float(np.sqrt(m)) * sigma_roe, self.floor)
+
+    def eta_stage2(self, k: int, m: int, data: np.ndarray) -> float:
+        """Threshold for verifying one second-part ``k``-point FFT.
+
+        ``data`` is the *original* input (its sigma_0 is amplified by
+        ``sqrt(m)`` through the first part, as in the paper's derivation).
+        """
+
+        sigma0 = self.component_sigma(data)
+        if self.mode is ThresholdMode.RELATIVE:
+            scale = float(np.sqrt(k)) * k * max(np.sqrt(m) * sigma0, 1e-30)
+            return max(self.relative_factor * scale, self.floor)
+        sigma_roe2 = self.model.second_stage_checksum_sigma(k, m, sigma0)
+        return max(self.safety_factor * float(np.sqrt(k)) * sigma_roe2, self.floor)
+
+    def eta_offline(self, n: int, data: np.ndarray) -> float:
+        """Threshold for the single offline verification of an ``n``-point FFT."""
+
+        return self.eta_stage1(n, data)
+
+    def eta_memory(self, weights: np.ndarray, data: np.ndarray) -> float:
+        """Threshold for a memory-checksum verification.
+
+        The residual of a fault-free weighted sum is bounded by the round-off
+        of summing ``len(weights)`` terms of magnitude ``|w_j x_j|``; the RMS
+        of those terms is measured from the data so the bound adapts to the
+        modified (non-uniform) weights as well.
+        """
+
+        weights = np.asarray(weights)
+        n = weights.shape[0]
+        # |w_j x_j| RMS approximated as rms(|w|) * robust-rms(|x|) on a sample
+        # of the data; the threshold only needs the right order of magnitude
+        # and this keeps verification from re-reading whole arrays.  The data
+        # scale is outlier-filtered (see _magnitude_rms) so that a threshold
+        # derived from already-corrupted data is not inflated - or overflowed
+        # - by the corruption it is supposed to expose.
+        weight_rms = float(np.sqrt(np.mean(np.abs(weights) ** 2))) if n else 0.0
+        value_rms = weight_rms * self._magnitude_rms(data)
+        if self.mode is ThresholdMode.RELATIVE:
+            return max(self.relative_factor * n * value_rms, self.floor)
+        sigma = self.model.summation_sigma(n, value_rms)
+        return max(self.safety_factor * self.memory_margin * sigma, self.floor)

@@ -1,0 +1,37 @@
+"""Fault models and injection machinery.
+
+The paper evaluates its schemes by *injecting* soft errors (Sections 9.2.2,
+9.3.2, 9.4.2 and 9.4.3):
+
+* **computational faults** - an element of a sub-FFT's freshly computed
+  output is perturbed (the paper adds a constant), modelling a transient
+  error in a logic unit;
+* **memory faults** - an element of a live data array (input, intermediate
+  or output) is overwritten or has a single bit flipped, modelling an
+  uncorrected memory upset.
+
+This package provides those fault models, a site-based injector that the
+ABFT schemes consult at well-defined points of their execution, and campaign
+drivers that run many randomized trials and aggregate detection/correction
+statistics (used by Tables 1-3, 5 and 6).
+"""
+
+from repro.faults.models import FaultKind, FaultSite, FaultSpec, FaultEvent
+from repro.faults.bitflip import flip_bit_in_float, flip_bit_in_complex, random_high_bit
+from repro.faults.injector import FaultInjector, NullInjector
+from repro.faults.campaign import CampaignResult, CoverageCampaign, TrialOutcome
+
+__all__ = [
+    "FaultKind",
+    "FaultSite",
+    "FaultSpec",
+    "FaultEvent",
+    "flip_bit_in_float",
+    "flip_bit_in_complex",
+    "random_high_bit",
+    "FaultInjector",
+    "NullInjector",
+    "CampaignResult",
+    "CoverageCampaign",
+    "TrialOutcome",
+]

@@ -1,0 +1,54 @@
+"""IEEE-754 bit manipulation for memory-fault injection.
+
+Table 6 of the paper injects *single bit flips* into the input or output
+array of a 2^25-point FFT and only considers flips of "higher" bits because
+low-mantissa flips are numerically masked.  These helpers flip a chosen bit
+of a ``float64`` (or of one component of a ``complex128``) by reinterpreting
+the value as a 64-bit integer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["flip_bit_in_float", "flip_bit_in_complex", "random_high_bit", "HIGH_BIT_RANGE"]
+
+#: Bits considered "high" for the purposes of Table 6: the sign bit, the 11
+#: exponent bits and the top mantissa bits (positions 40-63 of the little
+#: endian representation).  Flipping below this range changes the value by a
+#: relative amount smaller than ~1e-6, which the paper observes is usually
+#: masked by round-off.
+HIGH_BIT_RANGE = (40, 64)
+
+
+def flip_bit_in_float(value: float, bit: int) -> float:
+    """Return ``value`` with bit ``bit`` (0 = LSB, 63 = sign) flipped."""
+
+    if not 0 <= int(bit) < 64:
+        raise ValueError(f"bit must be in [0, 64), got {bit}")
+    as_int = np.float64(value).view(np.uint64)
+    flipped = np.uint64(as_int ^ np.uint64(1) << np.uint64(int(bit)))
+    return float(flipped.view(np.float64))
+
+
+def flip_bit_in_complex(value: complex, bit: int, *, imaginary: bool = False) -> complex:
+    """Flip one bit of the real (or imaginary) component of a complex number."""
+
+    real, imag = float(np.real(value)), float(np.imag(value))
+    if imaginary:
+        imag = flip_bit_in_float(imag, bit)
+    else:
+        real = flip_bit_in_float(real, bit)
+    return complex(real, imag)
+
+
+def random_high_bit(rng: np.random.Generator, *, low: Optional[int] = None, high: Optional[int] = None) -> int:
+    """Draw a random bit position from the "high bit" range used by Table 6."""
+
+    lo = HIGH_BIT_RANGE[0] if low is None else int(low)
+    hi = HIGH_BIT_RANGE[1] if high is None else int(high)
+    if not 0 <= lo < hi <= 64:
+        raise ValueError(f"invalid bit range [{lo}, {hi})")
+    return int(rng.integers(lo, hi))

@@ -1,0 +1,186 @@
+"""Randomized fault-injection campaigns.
+
+A campaign repeats the same protected computation many times, each time with
+a freshly armed injector, and aggregates what happened: was the fault
+detected, was it corrected, and how large is the remaining relative error of
+the output.  This is the machinery behind Table 6 (coverage distribution
+over 1000 runs) and the fault rows of Tables 1-3.
+
+The campaign is deliberately scheme-agnostic: it drives two callables
+(``make_input`` and ``run_trial``) so it can wrap any of the sequential or
+parallel schemes without import cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.faults.injector import FaultInjector
+from repro.faults.models import FaultSpec
+from repro.utils.rng import default_rng
+
+__all__ = ["TrialOutcome", "CampaignResult", "CoverageCampaign", "relative_inf_error"]
+
+
+def relative_inf_error(reference: np.ndarray, candidate: np.ndarray) -> float:
+    """The paper's error metric ``||x' - x||_inf / ||x||_inf`` (Section 9.4.3)."""
+
+    reference = np.asarray(reference)
+    candidate = np.asarray(candidate)
+    denom = np.max(np.abs(reference))
+    if denom == 0:
+        return float(np.max(np.abs(candidate - reference)))
+    return float(np.max(np.abs(candidate - reference)) / denom)
+
+
+@dataclass(frozen=True)
+class TrialOutcome:
+    """Outcome of one injected trial."""
+
+    trial: int
+    injected: int
+    detected: bool
+    corrected: bool
+    uncorrected: bool
+    relative_error: float
+
+    @property
+    def silent_corruption(self) -> bool:
+        """A fault fired but nothing was detected."""
+
+        return self.injected > 0 and not self.detected
+
+
+@dataclass
+class CampaignResult:
+    """Aggregated statistics over all trials of a campaign."""
+
+    outcomes: List[TrialOutcome] = field(default_factory=list)
+
+    def add(self, outcome: TrialOutcome) -> None:
+        self.outcomes.append(outcome)
+
+    # ------------------------------------------------------------------
+    @property
+    def trials(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def detection_rate(self) -> float:
+        injected = [o for o in self.outcomes if o.injected]
+        if not injected:
+            return 1.0
+        return sum(o.detected for o in injected) / len(injected)
+
+    @property
+    def correction_rate(self) -> float:
+        injected = [o for o in self.outcomes if o.injected]
+        if not injected:
+            return 1.0
+        return sum(o.corrected for o in injected) / len(injected)
+
+    @property
+    def uncorrected_fraction(self) -> float:
+        """Fraction of trials whose correction failed outright (Table 6 col. 2)."""
+
+        if not self.outcomes:
+            return 0.0
+        return sum(o.uncorrected for o in self.outcomes) / len(self.outcomes)
+
+    def fraction_with_error_above(self, bound: float) -> float:
+        """Fraction of trials with relative output error above ``bound``.
+
+        Uncorrected trials count as infinite error, mirroring the paper.
+        """
+
+        if not self.outcomes:
+            return 0.0
+        count = 0
+        for o in self.outcomes:
+            err = float("inf") if o.uncorrected else o.relative_error
+            if err > bound:
+                count += 1
+        return count / len(self.outcomes)
+
+    def coverage_at(self, bound: float) -> float:
+        """Fault coverage when ``bound`` is the acceptable output error."""
+
+        return 1.0 - self.fraction_with_error_above(bound)
+
+    def error_distribution(self, bounds: Sequence[float]) -> Dict[float, float]:
+        """Map each bound to the fraction of trials exceeding it (Table 6 row)."""
+
+        return {b: self.fraction_with_error_above(b) for b in bounds}
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "trials": float(self.trials),
+            "detection_rate": self.detection_rate,
+            "correction_rate": self.correction_rate,
+            "uncorrected_fraction": self.uncorrected_fraction,
+        }
+
+
+class CoverageCampaign:
+    """Drive many injected trials of a protected computation.
+
+    Parameters
+    ----------
+    make_input:
+        ``make_input(trial, rng) -> ndarray`` producing the input vector.
+    run_trial:
+        ``run_trial(x, injector) -> (output, detected, corrected, uncorrected)``.
+        The boolean triple describes what the scheme reported; ``output`` is
+        the (possibly still corrupted) result.
+    reference:
+        ``reference(x) -> ndarray`` computing the fault-free ground truth.
+    make_faults:
+        ``make_faults(trial, rng) -> list[FaultSpec]`` describing the faults
+        to arm for this trial (may be empty for fault-free control trials).
+    seed:
+        Seed of the campaign-level RNG (inputs, fault placement).
+    """
+
+    def __init__(
+        self,
+        *,
+        make_input: Callable[[int, np.random.Generator], np.ndarray],
+        run_trial: Callable[[np.ndarray, FaultInjector], tuple],
+        reference: Callable[[np.ndarray], np.ndarray],
+        make_faults: Callable[[int, np.random.Generator], List[FaultSpec]],
+        seed: Optional[int] = None,
+    ) -> None:
+        self.make_input = make_input
+        self.run_trial = run_trial
+        self.reference = reference
+        self.make_faults = make_faults
+        self.seed = seed
+
+    def run(self, trials: int) -> CampaignResult:
+        """Run ``trials`` independent injected trials and aggregate them."""
+
+        if trials <= 0:
+            raise ValueError("trials must be positive")
+        rng = default_rng(self.seed)
+        result = CampaignResult()
+        for trial in range(trials):
+            x = np.asarray(self.make_input(trial, rng), dtype=np.complex128)
+            specs = self.make_faults(trial, rng)
+            injector = FaultInjector(specs=list(specs), rng=rng)
+            expected = self.reference(x.copy())
+            output, detected, corrected, uncorrected = self.run_trial(x.copy(), injector)
+            rel_err = relative_inf_error(expected, np.asarray(output))
+            result.add(
+                TrialOutcome(
+                    trial=trial,
+                    injected=injector.fired_count,
+                    detected=bool(detected),
+                    corrected=bool(corrected),
+                    uncorrected=bool(uncorrected),
+                    relative_error=rel_err,
+                )
+            )
+        return result

@@ -1,0 +1,151 @@
+"""Fault model definitions.
+
+A :class:`FaultSpec` describes *what* to corrupt and *where*; it is armed
+inside a :class:`repro.faults.injector.FaultInjector` and fires when the
+protected computation visits the matching site.  A fired spec produces a
+:class:`FaultEvent` record so campaigns can correlate injected faults with
+detection/correction outcomes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["FaultKind", "FaultSite", "FaultSpec", "FaultEvent"]
+
+
+class FaultKind(enum.Enum):
+    """The corruption applied to the targeted element."""
+
+    #: Add a constant to the element (the paper's computational-fault model).
+    ADD_CONSTANT = "add-constant"
+    #: Overwrite the element with a constant (the paper's memory-fault model).
+    SET_CONSTANT = "set-constant"
+    #: Flip one bit of the IEEE-754 representation (Table 6 methodology).
+    BIT_FLIP = "bit-flip"
+
+
+class FaultSite(enum.Enum):
+    """Named locations in the protected FFT where faults can strike.
+
+    The sequential schemes visit the ``STAGE1_*`` / ``TWIDDLE`` / ``STAGE2_*``
+    / array sites; the parallel scheme additionally visits the communication
+    and per-rank sites.  The ``index`` of a :class:`FaultSpec` selects the
+    sub-FFT (or rank, or block) at that site.
+    """
+
+    # data-at-rest sites (memory faults)
+    INPUT = "input"
+    STAGE1_INPUT = "stage1-input"
+    INTERMEDIATE = "intermediate"
+    STAGE2_INPUT = "stage2-input"
+    OUTPUT = "output"
+
+    # computation sites (computational faults strike the produced values)
+    STAGE1_COMPUTE = "stage1-compute"
+    TWIDDLE_COMPUTE = "twiddle-compute"
+    STAGE2_COMPUTE = "stage2-compute"
+    CHECKSUM_COMPUTE = "checksum-compute"
+
+    # parallel-only sites
+    COMM_BLOCK = "comm-block"
+    RANK_LOCAL_FFT = "rank-local-fft"
+    RANK_LOCAL_MEMORY = "rank-local-memory"
+
+
+#: Sites whose corruption models a *computational* error (strikes freshly
+#: produced values); everything else models a memory error.
+COMPUTE_SITES = frozenset(
+    {
+        FaultSite.STAGE1_COMPUTE,
+        FaultSite.TWIDDLE_COMPUTE,
+        FaultSite.STAGE2_COMPUTE,
+        FaultSite.CHECKSUM_COMPUTE,
+        FaultSite.RANK_LOCAL_FFT,
+    }
+)
+
+
+@dataclass
+class FaultSpec:
+    """Description of a single fault to inject.
+
+    Parameters
+    ----------
+    site:
+        Where the fault strikes (see :class:`FaultSite`).
+    index:
+        Which sub-FFT / rank / block at that site; ``None`` matches the first
+        visit to the site regardless of index.
+    element:
+        Offset of the corrupted element within the visited array; ``None``
+        selects a random element using the injector's RNG.
+    kind:
+        Corruption model.
+    magnitude:
+        Constant used by ``ADD_CONSTANT`` / ``SET_CONSTANT``.
+    bit:
+        Bit position (0-63 over the float64 representation) used by
+        ``BIT_FLIP``; ``None`` selects a random high (exponent/high-mantissa)
+        bit, matching the paper's observation that low-bit flips are usually
+        masked.
+    imaginary:
+        Corrupt the imaginary part instead of the real part.
+    rank:
+        Restrict the fault to one simulated rank (parallel campaigns).
+    fire_once:
+        When ``True`` (default) the spec disarms after firing, so recovery
+        re-executions are not corrupted again.  Persistent faults (``False``)
+        model a sticky hardware defect.
+    """
+
+    site: FaultSite
+    index: Optional[int] = None
+    element: Optional[int] = None
+    kind: FaultKind = FaultKind.ADD_CONSTANT
+    magnitude: float = 1.0
+    bit: Optional[int] = None
+    imaginary: bool = False
+    rank: Optional[int] = None
+    fire_once: bool = True
+    fired: int = field(default=0, compare=False)
+
+    @property
+    def is_computational(self) -> bool:
+        """Whether this spec models a computational (logic-unit) error."""
+
+        return self.site in COMPUTE_SITES
+
+    def matches(self, site: FaultSite, index: Optional[int], rank: Optional[int]) -> bool:
+        """Return ``True`` when this (still armed) spec applies to a visit."""
+
+        if self.fire_once and self.fired:
+            return False
+        if site is not self.site:
+            return False
+        if self.index is not None and index is not None and int(self.index) != int(index):
+            return False
+        if self.rank is not None and rank is not None and int(self.rank) != int(rank):
+            return False
+        return True
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """Record of a fault that actually fired."""
+
+    site: FaultSite
+    index: Optional[int]
+    element: int
+    kind: FaultKind
+    rank: Optional[int]
+    original_value: complex
+    corrupted_value: complex
+
+    @property
+    def delta(self) -> complex:
+        """The value change caused by the fault."""
+
+        return self.corrupted_value - self.original_value

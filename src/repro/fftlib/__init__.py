@@ -1,0 +1,73 @@
+"""A from-scratch, plan-based FFT library (the repository's FFTW stand-in).
+
+The SC'17 paper instruments FFTW, whose execution of a large transform is a
+tree of plans: the highest level splits an ``N``-point problem into ``k``
+``m``-point sub-transforms, a twiddle-factor multiplication, and ``m``
+``k``-point sub-transforms.  The online ABFT scheme attaches checksums to the
+boundaries of exactly those stages.  This package provides the same
+structure:
+
+``dft``
+    Reference O(N^2) discrete Fourier transforms used for validation and as
+    the base-case "codelet" for small prime sizes.
+``codelets``
+    Hand-written butterflies for tiny sizes (1-8, 16), batched over leading
+    axes, mirroring FFTW codelets.
+``mixed_radix``
+    A recursive decimation-in-time Cooley-Tukey engine for arbitrary sizes,
+    vectorised over a batch axis.
+``bluestein``
+    Chirp-z transform for large prime sizes.
+``plan`` / ``planner``
+    Plan objects with precomputed twiddle factors and a small planner that
+    picks a strategy per size (mirroring FFTW's estimate mode).
+``two_layer``
+    The explicit highest-level ``N = m * k`` decomposition with stage-level
+    entry points (per-sub-FFT execution, twiddle stage) used by the ABFT
+    schemes in :mod:`repro.core`.
+``three_layer``
+    The ``N = r * k^2`` decomposition used by in-place plans in the parallel
+    scheme (Fig. 5 of the paper).
+``real``
+    Real-input forward/backward transforms built on the complex engine.
+"""
+
+from repro.fftlib.dft import direct_dft, direct_idft, dft_matrix
+from repro.fftlib.twiddle import TwiddleCache, twiddle_factors, omega
+from repro.fftlib.codelets import SUPPORTED_CODELET_SIZES, apply_codelet, has_codelet
+from repro.fftlib.mixed_radix import fft as mixed_radix_fft, ifft as mixed_radix_ifft, fft_along_axis
+from repro.fftlib.bluestein import bluestein_fft
+from repro.fftlib.plan import Plan, PlanDirection
+from repro.fftlib.planner import Planner, PlannerPolicy, plan_fft, get_default_planner
+from repro.fftlib.two_layer import TwoLayerDecomposition, TwoLayerPlan
+from repro.fftlib.three_layer import ThreeLayerPlan
+from repro.fftlib.inplace import InPlaceTwoLayerPlan
+from repro.fftlib.real import rfft, irfft
+
+__all__ = [
+    "direct_dft",
+    "direct_idft",
+    "dft_matrix",
+    "TwiddleCache",
+    "twiddle_factors",
+    "omega",
+    "SUPPORTED_CODELET_SIZES",
+    "apply_codelet",
+    "has_codelet",
+    "mixed_radix_fft",
+    "mixed_radix_ifft",
+    "fft_along_axis",
+    "bluestein_fft",
+    "Plan",
+    "PlanDirection",
+    "Planner",
+    "PlannerPolicy",
+    "plan_fft",
+    "get_default_planner",
+    "TwoLayerDecomposition",
+    "TwoLayerPlan",
+    "ThreeLayerPlan",
+    "InPlaceTwoLayerPlan",
+    "rfft",
+    "irfft",
+]

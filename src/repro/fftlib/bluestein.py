@@ -1,0 +1,65 @@
+"""Bluestein (chirp-z) transform for large prime sizes.
+
+FFTW falls back to Rader/Bluestein algorithms when a transform size contains
+a large prime factor.  The ABFT schemes never require this path (the paper's
+two-layer decomposition uses highly composite sizes), but a credible FFT
+library must accept arbitrary sizes, and the planner tests exercise it.
+
+The algorithm expresses an ``n``-point DFT as a circular convolution of two
+chirp-modulated sequences, evaluated with power-of-two FFTs of length
+``M >= 2n - 1``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["bluestein_fft", "next_fast_power_of_two"]
+
+
+def next_fast_power_of_two(n: int) -> int:
+    """Smallest power of two >= ``n``."""
+
+    if n <= 1:
+        return 1
+    return 1 << (int(n - 1).bit_length())
+
+
+def _chirp(n: int) -> np.ndarray:
+    """Return ``exp(-i pi k^2 / n)`` for ``k = 0..n-1`` with reduced arguments.
+
+    The exponent is reduced modulo ``2 n`` before the division so the phase
+    stays accurate even for very large ``n`` (naively squaring the index loses
+    precision once ``k^2 / n`` exceeds ~2^53).
+    """
+
+    k = np.arange(n, dtype=np.int64)
+    reduced = (k * k) % (2 * n)
+    return np.exp(-1j * np.pi * reduced / n)
+
+
+def bluestein_fft(x: np.ndarray) -> np.ndarray:
+    """Forward DFT of the last axis of ``x`` via the chirp-z transform."""
+
+    from repro.fftlib.mixed_radix import fft as _fft, ifft as _ifft
+
+    x = np.asarray(x, dtype=np.complex128)
+    n = x.shape[-1]
+    if n == 1:
+        return x.copy()
+
+    chirp = _chirp(n)
+    a = x * chirp
+
+    m = next_fast_power_of_two(2 * n - 1)
+
+    # Kernel b_k = conj(chirp)_{|k|} arranged for circular convolution.
+    b = np.zeros(m, dtype=np.complex128)
+    b[:n] = np.conj(chirp)
+    b[m - n + 1:] = np.conj(chirp[1:][::-1])
+
+    a_padded = np.zeros(x.shape[:-1] + (m,), dtype=np.complex128)
+    a_padded[..., :n] = a
+
+    conv = _ifft(_fft(a_padded) * _fft(b))
+    return chirp * conv[..., :n]

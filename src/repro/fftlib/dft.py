@@ -1,0 +1,66 @@
+"""Reference discrete Fourier transforms.
+
+These O(N^2) routines serve three purposes:
+
+* ground truth for testing every fast algorithm in the package,
+* the base case ("codelet of last resort") for small prime sizes in the
+  mixed-radix engine, and
+* the matrix form ``X = A x`` that the ABFT checksum relation
+  ``r X = (r A) x`` is defined against (Section 2.2 of the paper).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import ensure_positive_int
+
+__all__ = ["dft_matrix", "direct_dft", "direct_idft", "direct_dft_along_axis"]
+
+
+def dft_matrix(n: int, *, inverse: bool = False) -> np.ndarray:
+    """Return the ``n x n`` DFT matrix ``A`` with ``A[j, k] = omega_n^{j k}``.
+
+    The forward matrix uses :math:`\\omega_n = e^{-2\\pi i/n}`; the inverse
+    matrix uses the conjugate root and includes the ``1/n`` normalisation so
+    that ``dft_matrix(n, inverse=True) @ dft_matrix(n) == I``.
+    """
+
+    n = ensure_positive_int(n, name="n")
+    sign = 1.0 if inverse else -1.0
+    idx = np.arange(n)
+    exponent = np.outer(idx, idx)
+    matrix = np.exp(sign * 2j * np.pi * exponent / n)
+    if inverse:
+        matrix /= n
+    return matrix
+
+
+def direct_dft(x: np.ndarray, *, inverse: bool = False) -> np.ndarray:
+    """Compute the DFT of the last axis of ``x`` by direct summation.
+
+    Accepts arrays of any shape; the transform is applied along the last
+    axis.  Complexity is O(n^2) per transform, so this is only used for small
+    sizes and for validation.
+    """
+
+    x = np.asarray(x, dtype=np.complex128)
+    n = x.shape[-1]
+    matrix = dft_matrix(n, inverse=inverse)
+    # x @ matrix.T computes sum_k x[..., k] * matrix[j, k] for each output j.
+    return x @ matrix.T
+
+
+def direct_idft(x: np.ndarray) -> np.ndarray:
+    """Inverse DFT (normalised by 1/n) along the last axis by direct summation."""
+
+    return direct_dft(x, inverse=True)
+
+
+def direct_dft_along_axis(x: np.ndarray, axis: int, *, inverse: bool = False) -> np.ndarray:
+    """Direct DFT along an arbitrary axis (validation helper)."""
+
+    x = np.asarray(x, dtype=np.complex128)
+    moved = np.moveaxis(x, axis, -1)
+    out = direct_dft(moved, inverse=inverse)
+    return np.moveaxis(out, -1, axis)

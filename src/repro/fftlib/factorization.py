@@ -1,0 +1,145 @@
+"""Integer factorization helpers used by the planner.
+
+FFTW factors a transform size into a sequence of radices; the choice of
+radices determines the plan tree.  The helpers here provide prime
+factorizations, "FFT-friendly" factor orderings (large radices first so the
+recursion stays shallow), and the balanced two-factor split used by the
+highest decomposition level that the ABFT scheme protects.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import List, Tuple
+
+from repro.utils.validation import ensure_positive_int
+
+__all__ = [
+    "prime_factors",
+    "factor_pairs",
+    "balanced_split",
+    "largest_prime_factor",
+    "is_prime",
+    "smallest_prime_factor",
+    "radix_schedule",
+]
+
+
+@lru_cache(maxsize=4096)
+def smallest_prime_factor(n: int) -> int:
+    """Return the smallest prime factor of ``n`` (``n`` itself when prime)."""
+
+    n = ensure_positive_int(n, name="n")
+    if n == 1:
+        return 1
+    if n % 2 == 0:
+        return 2
+    if n % 3 == 0:
+        return 3
+    i = 5
+    while i * i <= n:
+        if n % i == 0:
+            return i
+        if n % (i + 2) == 0:
+            return i + 2
+        i += 6
+    return n
+
+
+def is_prime(n: int) -> bool:
+    """Return ``True`` when ``n`` is prime."""
+
+    n = ensure_positive_int(n, name="n")
+    if n == 1:
+        return False
+    return smallest_prime_factor(n) == n
+
+
+@lru_cache(maxsize=4096)
+def prime_factors(n: int) -> Tuple[int, ...]:
+    """Return the prime factorization of ``n`` as a non-decreasing tuple."""
+
+    n = ensure_positive_int(n, name="n")
+    factors: List[int] = []
+    value = n
+    while value > 1:
+        p = smallest_prime_factor(value)
+        factors.append(p)
+        value //= p
+    return tuple(factors)
+
+
+def largest_prime_factor(n: int) -> int:
+    """Return the largest prime factor of ``n`` (1 for ``n == 1``)."""
+
+    factors = prime_factors(n)
+    return factors[-1] if factors else 1
+
+
+def factor_pairs(n: int) -> List[Tuple[int, int]]:
+    """Return all ordered factor pairs ``(a, b)`` with ``a * b == n, a <= b``."""
+
+    n = ensure_positive_int(n, name="n")
+    pairs: List[Tuple[int, int]] = []
+    d = 1
+    while d * d <= n:
+        if n % d == 0:
+            pairs.append((d, n // d))
+        d += 1
+    return pairs
+
+
+def balanced_split(n: int) -> Tuple[int, int]:
+    """Split ``n = m * k`` with ``m >= k`` and both as close to sqrt(n) as possible.
+
+    This is the highest-level decomposition used by
+    :class:`repro.fftlib.two_layer.TwoLayerDecomposition`; the paper relies on
+    both factors being Theta(sqrt(N)) so a single recomputation after a fault
+    costs only O(sqrt(N) log sqrt(N)).
+    """
+
+    n = ensure_positive_int(n, name="n")
+    if n == 1:
+        return 1, 1
+    pairs = factor_pairs(n)
+    k, m = pairs[-1]
+    if m < k:
+        m, k = k, m
+    return m, k
+
+
+def radix_schedule(n: int, *, prefer_large: bool = True) -> Tuple[int, ...]:
+    """Return a radix schedule whose product is ``n``.
+
+    The mixed-radix engine peels radices in this order.  ``prefer_large``
+    groups repeated small primes into composite radices (4, 8, 9, 16, 25, ...)
+    up to 16 so the recursion depth, and hence Python-level overhead, stays
+    low; this mirrors FFTW's preference for larger codelets.
+    """
+
+    n = ensure_positive_int(n, name="n")
+    if n == 1:
+        return (1,)
+    factors = list(prime_factors(n))
+    if not prefer_large:
+        return tuple(factors)
+
+    schedule: List[int] = []
+    i = 0
+    while i < len(factors):
+        p = factors[i]
+        run = 1
+        while i + run < len(factors) and factors[i + run] == p:
+            run += 1
+        remaining = run
+        # Greedily combine identical primes into the largest power <= 16.
+        max_power = 1
+        while p ** (max_power + 1) <= 16:
+            max_power += 1
+        while remaining > 0:
+            take = min(max_power, remaining)
+            schedule.append(p ** take)
+            remaining -= take
+        i += run
+    schedule.sort(reverse=True)
+    return tuple(schedule)

@@ -1,0 +1,146 @@
+"""In-place execution of the two-layer decomposition.
+
+Parallel FFTs favour in-place plans (Section 5 of the paper): the transform
+overwrites its input buffer instead of allocating a second ``N``-sized array.
+The consequence that matters for fault tolerance is that *the original input
+no longer exists once a stage has run*, so a detected error cannot be fixed
+by simply re-running the corrupted sub-FFT from the original data - the
+protected scheme must keep per-sub-FFT backups (Fig. 4 of the paper).
+
+This module only provides the in-place execution mechanics; the protection
+logic (backups, verification points, recovery) lives in
+:mod:`repro.parallel.protected`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.fftlib.plan import PlanDirection
+from repro.fftlib.planner import Planner
+from repro.fftlib.two_layer import TwoLayerPlan
+from repro.utils.validation import ensure_positive_int
+
+__all__ = ["InPlaceTwoLayerPlan"]
+
+
+class InPlaceTwoLayerPlan:
+    """Two-layer plan that overwrites the caller's buffer stage by stage.
+
+    The buffer passed to the stage methods must be a contiguous
+    ``complex128`` array of length ``n``; it is always interpreted as the
+    ``(m, k)`` working matrix via a reshaped *view* so every write lands in
+    the caller's memory.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        m: Optional[int] = None,
+        k: Optional[int] = None,
+        *,
+        direction: PlanDirection = PlanDirection.FORWARD,
+        planner: Optional[Planner] = None,
+    ) -> None:
+        self._oop = TwoLayerPlan(n, m, k, direction=direction, planner=planner)
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        return self._oop.n
+
+    @property
+    def m(self) -> int:
+        return self._oop.m
+
+    @property
+    def k(self) -> int:
+        return self._oop.k
+
+    @property
+    def twiddles(self) -> np.ndarray:
+        return self._oop.twiddles
+
+    @property
+    def out_of_place(self) -> TwoLayerPlan:
+        """The underlying out-of-place plan (shares twiddles and sub-plans)."""
+
+        return self._oop
+
+    # ------------------------------------------------------------------
+    def _as_work(self, buffer: np.ndarray) -> np.ndarray:
+        buffer = np.asarray(buffer)
+        if buffer.dtype != np.complex128 or not buffer.flags.c_contiguous:
+            raise ValueError("in-place plans require a contiguous complex128 buffer")
+        if buffer.size != self.n:
+            raise ValueError(f"buffer has length {buffer.size}, expected {self.n}")
+        return buffer.reshape(self.m, self.k)
+
+    # ------------------------------------------------------------------
+    def stage1_inplace(self, buffer: np.ndarray) -> None:
+        """Overwrite the buffer with the outputs of the ``k`` inner FFTs."""
+
+        work = self._as_work(buffer)
+        work[:, :] = self._oop.stage1(work)
+
+    def stage1_single_inplace(self, buffer: np.ndarray, index: int) -> None:
+        """Recompute only inner sub-FFT ``index`` from the data in ``buffer``.
+
+        Used by recovery paths after the corrupted column has been restored
+        from a backup.
+        """
+
+        work = self._as_work(buffer)
+        work[:, index] = self._oop.stage1_single(work, index)
+
+    def twiddle_inplace(self, buffer: np.ndarray) -> None:
+        """Multiply the buffer by the stage twiddle factors."""
+
+        work = self._as_work(buffer)
+        work *= self._oop.twiddles
+
+    def stage2_inplace(self, buffer: np.ndarray) -> None:
+        """Overwrite the buffer with the outputs of the ``m`` outer FFTs."""
+
+        work = self._as_work(buffer)
+        work[:, :] = self._oop.stage2(work)
+
+    def stage2_single_inplace(self, buffer: np.ndarray, index: int) -> None:
+        work = self._as_work(buffer)
+        work[index, :] = self._oop.stage2_single(work, index)
+
+    def reorder_inplace(self, buffer: np.ndarray) -> None:
+        """Apply the final output permutation (``X[j1*m+j2] = work[j2, j1]``).
+
+        Real in-place FFTs perform this "local data adjustment" with a
+        cache-oblivious transposition; at Python level a temporary of size
+        ``n`` is unavoidable but the caller's buffer still receives the
+        result, which is what the protected schemes rely on.
+        """
+
+        work = self._as_work(buffer)
+        buffer.reshape(-1)[:] = np.ascontiguousarray(work.T).reshape(self.n)
+
+    # ------------------------------------------------------------------
+    def execute(self, buffer: np.ndarray, *, reorder: bool = True) -> np.ndarray:
+        """Run the full transform in place and return the (mutated) buffer.
+
+        With ``reorder=False`` the result is left in the ``(j2, j1)``
+        "transposed" order used internally by parallel FFTs, which defer the
+        permutation to the final communication step.
+        """
+
+        self.stage1_inplace(buffer)
+        self.twiddle_inplace(buffer)
+        self.stage2_inplace(buffer)
+        if reorder:
+            self.reorder_inplace(buffer)
+        return buffer
+
+    def describe(self) -> str:
+        return f"InPlace{self._oop.describe()}"
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return self.describe()

@@ -1,0 +1,113 @@
+"""Batched mixed-radix Cooley-Tukey engine.
+
+This is the workhorse of the FFT substrate: a recursive decimation-in-time
+transform that
+
+* peels one radix per recursion level (preferring the large hand-written
+  codelets of :mod:`repro.fftlib.codelets` so the recursion stays shallow),
+* is fully vectorised over arbitrary leading batch axes, which is what makes
+  a pure NumPy implementation viable at the sizes used in the benchmarks, and
+* falls back to a cached direct DFT for small prime factors and to the
+  Bluestein chirp-z algorithm for large prime factors.
+
+Only the *forward* transform is implemented recursively; the inverse is the
+standard conjugation identity ``ifft(x) = conj(fft(conj(x))) / n``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fftlib import factorization
+from repro.fftlib.codelets import apply_codelet, has_codelet
+from repro.fftlib.twiddle import get_global_cache
+
+__all__ = ["fft", "ifft", "fft_along_axis", "ifft_along_axis"]
+
+# Prime sizes up to this threshold are handled by a cached DFT-matrix product;
+# larger primes go through Bluestein.
+_DIRECT_PRIME_THRESHOLD = 61
+
+# Radix preference order: large codelets first to minimise recursion depth.
+_RADIX_PREFERENCE = (16, 8, 6, 5, 4, 3, 2)
+
+
+def _choose_radix(n: int) -> int:
+    for radix in _RADIX_PREFERENCE:
+        if n % radix == 0:
+            return radix
+    return factorization.smallest_prime_factor(n)
+
+
+def _forward(x: np.ndarray) -> np.ndarray:
+    """Forward transform along the last axis of ``x`` (batched)."""
+
+    n = x.shape[-1]
+    if has_codelet(n):
+        return apply_codelet(x, n)
+    if factorization.is_prime(n):
+        if n <= _DIRECT_PRIME_THRESHOLD:
+            matrix = get_global_cache().dft_matrix(n)
+            return x @ matrix.T
+        from repro.fftlib.bluestein import bluestein_fft
+
+        return bluestein_fft(x)
+
+    radix = _choose_radix(n)
+    m = n // radix
+
+    # Decimation in time: collect the ``radix`` stride-``radix`` subsequences.
+    # x[..., q*radix + s] lives at reshaped[..., q, s]; swapping the last two
+    # axes groups elements of the s-th subsequence contiguously along the
+    # last axis so the recursive call transforms all of them at once.
+    subs = x.reshape(x.shape[:-1] + (m, radix))
+    subs = np.swapaxes(subs, -1, -2)  # shape (..., radix, m)
+    sub_ffts = _forward(np.ascontiguousarray(subs))
+
+    # Twiddle: Y[..., s, u] = sub_ffts[..., s, u] * omega_n^{s u}.
+    tw = get_global_cache().stage(m, radix)  # shape (m, radix): omega_n^{j2*n1}
+    sub_ffts = sub_ffts * tw.T  # broadcast over batch axes; tw.T has shape (radix, m)
+
+    # Combine: X[..., t*m + u] = sum_s omega_radix^{s t} Y[..., s, u], i.e. a
+    # radix-point DFT across the s axis for every output column u.
+    combined = np.swapaxes(sub_ffts, -1, -2)  # (..., m, radix)
+    combined = _forward(np.ascontiguousarray(combined))  # (..., m, radix) -> indexed [u, t]
+    out = np.swapaxes(combined, -1, -2)  # (..., radix, m) indexed [t, u]
+    return np.ascontiguousarray(out).reshape(x.shape)
+
+
+def fft(x: np.ndarray) -> np.ndarray:
+    """Forward DFT along the last axis (negative-exponent convention)."""
+
+    x = np.asarray(x, dtype=np.complex128)
+    if x.ndim == 0:
+        raise ValueError("input must have at least one dimension")
+    if x.shape[-1] == 0:
+        raise ValueError("transform length must be positive")
+    return _forward(x)
+
+
+def ifft(x: np.ndarray) -> np.ndarray:
+    """Inverse DFT along the last axis, normalised by ``1/n``."""
+
+    x = np.asarray(x, dtype=np.complex128)
+    n = x.shape[-1]
+    return np.conj(_forward(np.conj(x))) / n
+
+
+def fft_along_axis(x: np.ndarray, axis: int) -> np.ndarray:
+    """Forward DFT along an arbitrary axis."""
+
+    x = np.asarray(x, dtype=np.complex128)
+    moved = np.moveaxis(x, axis, -1)
+    out = fft(np.ascontiguousarray(moved))
+    return np.moveaxis(out, -1, axis)
+
+
+def ifft_along_axis(x: np.ndarray, axis: int) -> np.ndarray:
+    """Inverse DFT along an arbitrary axis."""
+
+    x = np.asarray(x, dtype=np.complex128)
+    moved = np.moveaxis(x, axis, -1)
+    out = ifft(np.ascontiguousarray(moved))
+    return np.moveaxis(out, -1, axis)

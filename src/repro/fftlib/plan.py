@@ -1,0 +1,133 @@
+"""Plan objects: a prepared transform of one size and direction.
+
+FFTW separates *planning* (choosing a decomposition, precomputing twiddle
+tables) from *execution* (applying the plan to data).  The ABFT wrappers in
+:mod:`repro.core` follow the same split: they are handed a plan and attach
+checksum state to it.  A :class:`Plan` is immutable and reusable across many
+executions, which is also what makes the fault-injection campaigns cheap.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.fftlib import factorization
+from repro.fftlib.codelets import codelet_flop_count, has_codelet
+from repro.fftlib.mixed_radix import fft as _fft, ifft as _ifft
+from repro.fftlib.twiddle import get_global_cache
+from repro.utils.validation import ensure_positive_int
+
+__all__ = ["PlanDirection", "PlanStrategy", "Plan"]
+
+
+class PlanDirection(enum.Enum):
+    """Transform direction (FFTW_FORWARD / FFTW_BACKWARD)."""
+
+    FORWARD = "forward"
+    BACKWARD = "backward"
+
+
+class PlanStrategy(enum.Enum):
+    """How a plan executes its transform."""
+
+    CODELET = "codelet"
+    DIRECT = "direct"
+    MIXED_RADIX = "mixed-radix"
+    BLUESTEIN = "bluestein"
+
+
+def estimate_flops(n: int) -> float:
+    """Rough real-operation count of an ``n``-point transform.
+
+    The paper's overhead analysis (Section 7) uses ``5 N log2 N`` as the
+    baseline operation count of the FFT itself; we use the same figure for
+    composite sizes and the codelet tables for tiny sizes so that planner
+    decisions and the :mod:`repro.perfmodel` package agree.
+    """
+
+    n = ensure_positive_int(n, name="n")
+    if has_codelet(n):
+        return float(codelet_flop_count(n))
+    if factorization.is_prime(n) and n > 61:
+        # Bluestein: three power-of-two FFTs of length ~2n plus O(n) chirps.
+        m = 2 * n
+        return 3 * 5.0 * m * np.log2(m) + 10.0 * n
+    return 5.0 * n * max(np.log2(n), 1.0)
+
+
+@dataclass(frozen=True)
+class Plan:
+    """A prepared 1-D transform of length ``n``.
+
+    Parameters
+    ----------
+    n:
+        Transform length.
+    direction:
+        Forward (negative exponent) or backward (positive exponent,
+        normalised by ``1/n``).
+    strategy:
+        Execution strategy; chosen by :class:`repro.fftlib.planner.Planner`
+        when not given explicitly.
+    """
+
+    n: int
+    direction: PlanDirection = PlanDirection.FORWARD
+    strategy: PlanStrategy = PlanStrategy.MIXED_RADIX
+    flops: float = field(default=0.0, compare=False)
+
+    def __post_init__(self) -> None:
+        ensure_positive_int(self.n, name="n")
+        if self.flops == 0.0:
+            object.__setattr__(self, "flops", estimate_flops(self.n))
+        # Warm the twiddle cache so repeated executions do not pay the
+        # trigonometric setup cost (FFTW does this at planning time).
+        if not factorization.is_prime(self.n) or self.n <= 61:
+            get_global_cache().vector(self.n)
+
+    # ------------------------------------------------------------------
+    @property
+    def is_forward(self) -> bool:
+        return self.direction is PlanDirection.FORWARD
+
+    def execute(self, x: np.ndarray) -> np.ndarray:
+        """Apply the plan to the last axis of ``x`` and return a new array."""
+
+        x = np.asarray(x, dtype=np.complex128)
+        if x.shape[-1] != self.n:
+            raise ValueError(
+                f"plan of size {self.n} applied to array with last axis {x.shape[-1]}"
+            )
+        if self.is_forward:
+            return _fft(x)
+        return _ifft(x)
+
+    def execute_batch(self, x: np.ndarray, axis: int = -1) -> np.ndarray:
+        """Apply the plan along an arbitrary axis."""
+
+        x = np.asarray(x, dtype=np.complex128)
+        moved = np.moveaxis(x, axis, -1)
+        out = self.execute(np.ascontiguousarray(moved))
+        return np.moveaxis(out, -1, axis)
+
+    def inverse_plan(self) -> "Plan":
+        """Return the plan for the opposite direction."""
+
+        direction = (
+            PlanDirection.BACKWARD if self.is_forward else PlanDirection.FORWARD
+        )
+        return Plan(self.n, direction, self.strategy, self.flops)
+
+    def describe(self) -> str:
+        """Human-readable one-line description (mirrors ``fftw_print_plan``)."""
+
+        factors = "x".join(str(f) for f in factorization.radix_schedule(self.n))
+        return (
+            f"Plan(n={self.n}, dir={self.direction.value}, "
+            f"strategy={self.strategy.value}, radices={factors}, "
+            f"~{self.flops:.0f} flops)"
+        )

@@ -1,0 +1,156 @@
+"""The planner: strategy selection and plan caching ("wisdom").
+
+FFTW's planner searches the space of decompositions and remembers the best
+("wisdom").  The reproduction keeps the same interface at a much smaller
+scale: the planner picks one of the execution strategies from
+:class:`repro.fftlib.plan.PlanStrategy` per size, optionally by measuring, and
+caches the resulting :class:`~repro.fftlib.plan.Plan` objects so repeated
+requests (e.g. thousands of sub-FFT plans inside a fault campaign) are free.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.fftlib import factorization
+from repro.fftlib.codelets import has_codelet
+from repro.fftlib.plan import Plan, PlanDirection, PlanStrategy, estimate_flops
+
+__all__ = ["PlannerPolicy", "Planner", "plan_fft", "get_default_planner"]
+
+
+class PlannerPolicy(enum.Enum):
+    """How much effort the planner spends choosing a strategy.
+
+    ``ESTIMATE`` mirrors ``FFTW_ESTIMATE``: choose by a cost heuristic only.
+    ``MEASURE`` mirrors ``FFTW_MEASURE``: time the candidate strategies on a
+    random input of the requested size and keep the fastest.
+    """
+
+    ESTIMATE = "estimate"
+    MEASURE = "measure"
+
+
+def _heuristic_strategy(n: int) -> PlanStrategy:
+    if has_codelet(n):
+        return PlanStrategy.CODELET
+    if factorization.is_prime(n):
+        return PlanStrategy.DIRECT if n <= 61 else PlanStrategy.BLUESTEIN
+    return PlanStrategy.MIXED_RADIX
+
+
+@dataclass
+class Planner:
+    """Creates and caches :class:`Plan` objects.
+
+    Attributes
+    ----------
+    policy:
+        Planning effort (estimate vs. measure).
+    wisdom:
+        Cache of previously created plans keyed by ``(n, direction)``.
+    """
+
+    policy: PlannerPolicy = PlannerPolicy.ESTIMATE
+    wisdom: Dict[Tuple[int, PlanDirection], Plan] = field(default_factory=dict)
+    measurements: Dict[int, Dict[str, float]] = field(default_factory=dict)
+
+    def plan(self, n: int, direction: PlanDirection = PlanDirection.FORWARD) -> Plan:
+        """Return a (cached) plan for an ``n``-point transform."""
+
+        key = (int(n), direction)
+        cached = self.wisdom.get(key)
+        if cached is not None:
+            return cached
+
+        if self.policy is PlannerPolicy.MEASURE and n >= 32:
+            strategy = self._measure_strategy(int(n))
+        else:
+            strategy = _heuristic_strategy(int(n))
+        plan = Plan(int(n), direction, strategy, estimate_flops(int(n)))
+        self.wisdom[key] = plan
+        return plan
+
+    # ------------------------------------------------------------------
+    def _measure_strategy(self, n: int) -> PlanStrategy:
+        """Time the available strategies on a random input; keep the fastest.
+
+        Only strategies that are *correct* for the size are candidates; the
+        heuristic strategy is always among them so measurement can only
+        improve on the estimate.
+        """
+
+        from repro.fftlib.bluestein import bluestein_fft
+        from repro.fftlib.mixed_radix import fft as mixed_fft
+        from repro.fftlib.dft import direct_dft
+
+        rng = np.random.default_rng(1234 + n)
+        x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+
+        candidates = {}
+        candidates[PlanStrategy.MIXED_RADIX] = lambda: mixed_fft(x)
+        if n <= 2048:
+            candidates[PlanStrategy.DIRECT] = lambda: direct_dft(x)
+        candidates[PlanStrategy.BLUESTEIN] = lambda: bluestein_fft(x)
+        if has_codelet(n):
+            candidates[PlanStrategy.CODELET] = lambda: mixed_fft(x)
+
+        timings: Dict[str, float] = {}
+        best_strategy = _heuristic_strategy(n)
+        best_time = float("inf")
+        for strategy, fn in candidates.items():
+            fn()  # warm-up / twiddle-cache fill
+            start = time.perf_counter()
+            fn()
+            elapsed = time.perf_counter() - start
+            timings[strategy.value] = elapsed
+            if elapsed < best_time:
+                best_time = elapsed
+                best_strategy = strategy
+        self.measurements[n] = timings
+        return best_strategy
+
+    # ------------------------------------------------------------------
+    def forget(self) -> None:
+        """Drop all accumulated wisdom."""
+
+        self.wisdom.clear()
+        self.measurements.clear()
+
+    def export_wisdom(self) -> Dict[str, str]:
+        """Serialise wisdom as ``{"n:direction": strategy}`` (human readable)."""
+
+        return {
+            f"{n}:{direction.value}": plan.strategy.value
+            for (n, direction), plan in self.wisdom.items()
+        }
+
+    def import_wisdom(self, data: Dict[str, str]) -> None:
+        """Re-create plans from :meth:`export_wisdom` output."""
+
+        for key, strategy_name in data.items():
+            n_str, dir_name = key.split(":")
+            n = int(n_str)
+            direction = PlanDirection(dir_name)
+            strategy = PlanStrategy(strategy_name)
+            self.wisdom[(n, direction)] = Plan(n, direction, strategy)
+
+
+_DEFAULT_PLANNER = Planner()
+
+
+def get_default_planner() -> Planner:
+    """Return the shared process-wide planner."""
+
+    return _DEFAULT_PLANNER
+
+
+def plan_fft(n: int, direction: PlanDirection = PlanDirection.FORWARD) -> Plan:
+    """Convenience wrapper around the default planner."""
+
+    return _DEFAULT_PLANNER.plan(n, direction)

@@ -1,0 +1,79 @@
+"""Real-input transforms built on the complex engine.
+
+The paper's schemes operate on complex transforms, but FFTW (and any library
+worth adopting) also provides real-to-complex transforms.  For even lengths
+the classic packing trick is used: the ``n`` real samples are viewed as
+``n/2`` complex samples, transformed with a half-length complex FFT and then
+disentangled with a single post-processing pass.  Odd lengths fall back to
+the complex engine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fftlib.mixed_radix import fft as _fft, ifft as _ifft
+from repro.utils.validation import ensure_positive_int
+
+__all__ = ["rfft", "irfft"]
+
+
+def rfft(x: np.ndarray) -> np.ndarray:
+    """Forward transform of a real signal.
+
+    Returns the ``n//2 + 1`` non-redundant frequency bins (same layout as
+    ``numpy.fft.rfft``).
+    """
+
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim != 1:
+        raise ValueError("rfft expects a one-dimensional real array")
+    n = ensure_positive_int(x.size, name="len(x)")
+    if n == 1:
+        return x.astype(np.complex128)
+    if n % 2 != 0:
+        # Odd lengths: no packing trick; use the complex engine directly.
+        full = _fft(x.astype(np.complex128))
+        return full[: n // 2 + 1]
+
+    half = n // 2
+    packed = x[0::2] + 1j * x[1::2]
+    z = _fft(packed)
+
+    # Disentangle: split Z into the transforms of the even and odd samples.
+    k = np.arange(half + 1)
+    z_ext = np.concatenate([z, z[:1]])  # Z[half] = Z[0] by periodicity
+    z_conj = np.conj(z_ext[::-1])  # Z*[half - k]
+    even = 0.5 * (z_ext + z_conj)
+    odd = -0.5j * (z_ext - z_conj)
+    twiddle = np.exp(-2j * np.pi * k / n)
+    return even + twiddle * odd
+
+
+def irfft(spectrum: np.ndarray, n: int | None = None) -> np.ndarray:
+    """Inverse of :func:`rfft`, returning a real signal of length ``n``.
+
+    ``n`` defaults to ``2 * (len(spectrum) - 1)`` (the even-length case).
+    """
+
+    spectrum = np.asarray(spectrum, dtype=np.complex128)
+    if spectrum.ndim != 1:
+        raise ValueError("irfft expects a one-dimensional spectrum")
+    if n is None:
+        n = 2 * (spectrum.size - 1)
+    n = ensure_positive_int(n, name="n")
+    expected_bins = n // 2 + 1
+    if spectrum.size != expected_bins:
+        raise ValueError(
+            f"spectrum has {spectrum.size} bins, expected {expected_bins} for n={n}"
+        )
+
+    # Rebuild the full Hermitian spectrum and run the complex inverse; the
+    # result is real up to rounding, which we strip explicitly.
+    if n % 2 == 0:
+        negative = np.conj(spectrum[-2:0:-1])
+    else:
+        negative = np.conj(spectrum[-1:0:-1])
+    full = np.concatenate([spectrum, negative])
+    time_domain = _ifft(full)
+    return np.real(time_domain)

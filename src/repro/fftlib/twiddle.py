@@ -1,0 +1,118 @@
+"""Twiddle-factor computation and caching.
+
+The paper's convention (Section 2.1) is :math:`\\omega_N = e^{-2\\pi i / N}`,
+i.e. the *forward* transform uses negative exponents.  Twiddle tables are the
+single largest trigonometric cost of a software FFT, so the cache here is
+shared by every plan in the process; FFTW amortizes the same cost through its
+plan/wisdom machinery.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.utils.validation import ensure_positive_int
+
+__all__ = ["omega", "twiddle_factors", "stage_twiddles", "TwiddleCache", "get_global_cache"]
+
+
+def omega(n: int, *, inverse: bool = False) -> complex:
+    """Return the principal ``n``-th root of unity used by the transform."""
+
+    n = ensure_positive_int(n, name="n")
+    sign = 1.0 if inverse else -1.0
+    return complex(np.exp(sign * 2j * np.pi / n))
+
+
+def twiddle_factors(n: int, *, inverse: bool = False) -> np.ndarray:
+    """Return the vector ``[omega_n^0, omega_n^1, ..., omega_n^{n-1}]``."""
+
+    n = ensure_positive_int(n, name="n")
+    sign = 1.0 if inverse else -1.0
+    return np.exp(sign * 2j * np.pi * np.arange(n) / n)
+
+
+def stage_twiddles(m: int, k: int, *, inverse: bool = False) -> np.ndarray:
+    """Return the ``(m, k)`` twiddle matrix ``W[j2, n1] = omega_{m k}^{n1 j2}``.
+
+    This is the factor applied between the two layers of the ``N = m * k``
+    Cooley-Tukey decomposition (Equation 2 of the paper): the output of the
+    inner ``m``-point transforms, indexed by output frequency ``j2`` and inner
+    transform index ``n1``, is multiplied elementwise by ``W`` before the
+    outer ``k``-point transforms.
+    """
+
+    m = ensure_positive_int(m, name="m")
+    k = ensure_positive_int(k, name="k")
+    n = m * k
+    sign = 1.0 if inverse else -1.0
+    j2 = np.arange(m).reshape(m, 1)
+    n1 = np.arange(k).reshape(1, k)
+    return np.exp(sign * 2j * np.pi * (j2 * n1) / n)
+
+
+class TwiddleCache:
+    """Thread-safe cache of twiddle vectors and stage-twiddle matrices.
+
+    Keys are ``(kind, parameters, inverse)`` tuples.  The cache is bounded by
+    entry count rather than bytes; transforms in this repository are laptop
+    scale so the working set stays small, but :meth:`clear` is exposed for
+    long-running fault-injection campaigns.
+    """
+
+    def __init__(self, max_entries: int = 256) -> None:
+        self.max_entries = int(max_entries)
+        self._lock = threading.Lock()
+        self._store: Dict[Tuple, np.ndarray] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def _get(self, key: Tuple, builder) -> np.ndarray:
+        with self._lock:
+            cached = self._store.get(key)
+            if cached is not None:
+                self.hits += 1
+                return cached
+            self.misses += 1
+        value = builder()
+        with self._lock:
+            if len(self._store) >= self.max_entries:
+                # Simple eviction: drop an arbitrary (oldest-inserted) entry.
+                self._store.pop(next(iter(self._store)))
+            self._store[key] = value
+        return value
+
+    def vector(self, n: int, *, inverse: bool = False) -> np.ndarray:
+        key = ("vector", int(n), bool(inverse))
+        return self._get(key, lambda: twiddle_factors(n, inverse=inverse))
+
+    def stage(self, m: int, k: int, *, inverse: bool = False) -> np.ndarray:
+        key = ("stage", int(m), int(k), bool(inverse))
+        return self._get(key, lambda: stage_twiddles(m, k, inverse=inverse))
+
+    def dft_matrix(self, n: int, *, inverse: bool = False) -> np.ndarray:
+        from repro.fftlib.dft import dft_matrix as _dft_matrix
+
+        key = ("matrix", int(n), bool(inverse))
+        return self._get(key, lambda: _dft_matrix(n, inverse=inverse))
+
+    def clear(self) -> None:
+        with self._lock:
+            self._store.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+
+_GLOBAL_CACHE = TwiddleCache()
+
+
+def get_global_cache() -> TwiddleCache:
+    """Return the process-wide twiddle cache shared by all plans."""
+
+    return _GLOBAL_CACHE

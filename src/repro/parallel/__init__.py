@@ -1,0 +1,37 @@
+"""Parallel (simulated-MPI) FFT schemes.
+
+This package mirrors Section 5 and 6 of the paper:
+
+``sixstep``
+    The unprotected six-step parallel 1-D FFT (three block transposes, local
+    FFT1 of many p-point transforms, local FFT2 of one N/p-point transform
+    per rank), optionally with the paper's *parallel optimization* of
+    overlapping the twiddle multiplication with communication ("opt-FFTW").
+``protected``
+    Protection of in-place local transforms: the flowchart of Fig. 4
+    (per-sub-FFT input backups, immediate verification, memory correction +
+    restart) and the three-layer ``r * k^2`` plan with a DMR-protected middle
+    layer (the Fig. 5 problem and its Section 5 solution).
+``ft_sixstep``
+    The parallel online ABFT scheme of Fig. 6: checksummed transposes,
+    protected FFT1/FFT2, and the communication-computation overlap of
+    Algorithm 3 ("opt-FT-FFTW").
+``overlap``
+    The Algorithm 3 pipeline schedule expressed with the non-blocking engine
+    (used by the overlap-aware transposition and by tests).
+"""
+
+from repro.parallel.sixstep import ParallelFFT, ParallelExecution
+from repro.parallel.protected import ProtectedInPlaceFFT, ProtectedThreeLayerFFT
+from repro.parallel.ft_sixstep import ParallelFTFFT
+from repro.parallel.overlap import OverlapSchedule, pipelined_transpose
+
+__all__ = [
+    "ParallelFFT",
+    "ParallelExecution",
+    "ProtectedInPlaceFFT",
+    "ProtectedThreeLayerFFT",
+    "ParallelFTFFT",
+    "OverlapSchedule",
+    "pipelined_transpose",
+]

@@ -1,0 +1,281 @@
+"""Parallel online ABFT FFT (Fig. 6): FT-FFTW and opt-FT-FFTW.
+
+The protected six-step transform adds, on top of
+:class:`repro.parallel.sixstep.ParallelFFT`:
+
+* per-block locating checksums on every transposition (detect and repair
+  in-transit corruption; communication overhead 2p/n, Section 7.5),
+* memory checksum generation/verification around each transposition,
+* Fig. 4 protection of FFT1 (per-column input backups + immediate
+  verification),
+* the sequential online ABFT scheme for each rank's FFT2 - either the
+  two-layer :class:`~repro.core.optimized.OptimizedOnlineABFT` or the
+  three-layer ABFT-DMR-ABFT scheme of Section 5 when the local size is of
+  the ``r * k^2`` form with ``r > 1``, and
+* optionally (``overlap=True``, "opt-FT-FFTW") the Algorithm 3
+  communication-computation overlap, which hides the fault-tolerance work
+  adjacent to transposes 1 and 2 behind the communication itself
+  (Section 7.3.2's 96n -> 56n reduction).
+
+The numerical execution simulates every rank in one process; the virtual
+timeline charges per-rank costs and models the overlap, and is what the
+scaling benchmarks report.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.base import OptimizationFlags
+from repro.core.detection import FTReport
+from repro.core.dmr import dmr_elementwise
+from repro.core.optimized import OptimizedOnlineABFT
+from repro.core.thresholds import ThresholdPolicy
+from repro.faults.injector import NullInjector
+from repro.faults.models import FaultSite
+from repro.fftlib.factorization import balanced_split
+from repro.parallel.protected import ProtectedInPlaceFFT, ProtectedThreeLayerFFT
+from repro.parallel.sixstep import ParallelExecution, ParallelFFT, _COMPLEX_BYTES
+from repro.simmpi.comm import DistributedVector, SimCommunicator
+from repro.simmpi.machine import MachineModel, TIANHE2_LIKE
+from repro.simmpi.timeline import VirtualTimeline
+from repro.parallel.overlap import pipelined_transpose
+
+__all__ = ["ParallelFTFFT"]
+
+
+class ParallelFTFFT(ParallelFFT):
+    """Fault-tolerant parallel six-step FFT (FT-FFTW / opt-FT-FFTW)."""
+
+    def __init__(
+        self,
+        n: int,
+        ranks: int,
+        *,
+        machine: MachineModel = TIANHE2_LIKE,
+        overlap: bool = False,
+        fft2_strategy: str = "auto",
+        thresholds: Optional[ThresholdPolicy] = None,
+        flags: Optional[OptimizationFlags] = None,
+    ) -> None:
+        super().__init__(
+            n,
+            ranks,
+            machine=machine,
+            overlap_twiddle=overlap,
+            protect_messages=True,
+        )
+        self.overlap = bool(overlap)
+        self.thresholds = thresholds or ThresholdPolicy()
+        self.flags = flags or OptimizationFlags()
+        self.name = "parallel-opt-ft-fftw" if overlap else "parallel-ft-fftw"
+
+        # FFT2 protection strategy: two-layer optimized online scheme for
+        # square local sizes, three-layer ABFT-DMR-ABFT (Fig. 5 fix) otherwise.
+        if fft2_strategy not in {"auto", "two-layer", "three-layer"}:
+            raise ValueError("fft2_strategy must be 'auto', 'two-layer' or 'three-layer'")
+        if fft2_strategy == "auto":
+            m2, k2 = balanced_split(self.q)
+            fft2_strategy = "two-layer" if m2 == k2 else "three-layer"
+        self.fft2_strategy = fft2_strategy
+        # The protected plans are created lazily so that model-only
+        # instantiations at paper-scale sizes stay cheap.
+        self._fft1_protected: Optional[ProtectedInPlaceFFT] = None
+        self._fft2_protected = None
+
+    @property
+    def fft1_protected(self) -> ProtectedInPlaceFFT:
+        if self._fft1_protected is None:
+            self._fft1_protected = ProtectedInPlaceFFT(self.ranks, thresholds=self.thresholds)
+        return self._fft1_protected
+
+    @property
+    def fft2_protected(self):
+        if self._fft2_protected is None:
+            if self.fft2_strategy == "two-layer":
+                self._fft2_protected = OptimizedOnlineABFT(
+                    self.q, memory_ft=True, thresholds=self.thresholds, flags=self.flags
+                )
+            else:
+                self._fft2_protected = ProtectedThreeLayerFFT(
+                    self.q, thresholds=self.thresholds, flags=self.flags
+                )
+        return self._fft2_protected
+
+    # ------------------------------------------------------------------
+    def predict_timeline(self) -> VirtualTimeline:
+        """Virtual timeline of the protected transform without executing it."""
+
+        timeline = VirtualTimeline(ranks=self.ranks)
+        timeline.compute("ft-mcg-input", self._ft_cost_pre_tran1())
+        if self.overlap:
+            timeline.overlapped(
+                "transpose-1(+mcv/cmcg)", self._transpose_cost(), self._ft_cost_post_tran1()
+            )
+        else:
+            timeline.communicate("transpose-1", self._transpose_cost())
+            timeline.compute("ft-mcv-cmcg", self._ft_cost_post_tran1())
+        timeline.compute("fft-1(protected)", self._fft1_cost() + self._ft_cost_fft1())
+        if self.overlap:
+            timeline.overlapped(
+                "transpose-2(+mcv/tm/cmcg)",
+                self._transpose_cost(),
+                self._twiddle_cost() + self._ft_cost_pre_tran2(),
+            )
+        else:
+            timeline.compute("twiddle(dmr)", 2.0 * self._twiddle_cost())
+            timeline.compute("ft-mcv-tm-cmcg", self._ft_cost_pre_tran2())
+            timeline.communicate("transpose-2", self._transpose_cost())
+        timeline.compute("fft-2(protected)", self._fft2_cost() + self._ft_cost_fft2())
+        timeline.communicate("transpose-3", self._transpose_cost())
+        timeline.compute("ft-final-mcv", self._ft_cost_post_tran3())
+        timeline.compute("local-reorder", self._reorder_cost())
+        return timeline
+
+    # ------------------------------------------------------------------
+    # fault-tolerance cost helpers (per rank, virtual time)
+    # ------------------------------------------------------------------
+    def _pass_cost(self, elements: int, passes: float = 1.0, flops_per_element: float = 8.0) -> float:
+        """Cost of streaming ``elements`` complex values ``passes`` times."""
+
+        return self.machine.streaming_time(passes * elements * _COMPLEX_BYTES) + self.machine.compute_time(
+            passes * elements * flops_per_element
+        )
+
+    def _ft_cost_pre_tran1(self) -> float:
+        # MCG of the local input block (one pass producing two checksums).
+        return self._pass_cost(self.q, passes=1.0, flops_per_element=12.0)
+
+    def _ft_cost_post_tran1(self) -> float:
+        # MCV of the received data plus CMCG for the p-point FFTs.
+        return self._pass_cost(self.q, passes=2.0, flops_per_element=10.0)
+
+    def _ft_cost_fft1(self) -> float:
+        # Input backup copy + CCG + CCV over the local (p, q/p) matrix.
+        return self._pass_cost(self.q, passes=3.0, flops_per_element=10.0)
+
+    def _ft_cost_pre_tran2(self) -> float:
+        # MCV + twiddle (charged by the base class) + CMCG of the send data.
+        return self._pass_cost(self.q, passes=2.0, flops_per_element=10.0)
+
+    def _ft_cost_fft2(self) -> float:
+        # Sequential optimized online scheme: 46 n operations (Section 7.1.4)
+        # plus the extra passes it makes over the local array.
+        return self.machine.compute_time(46.0 * self.q) + self.machine.streaming_time(
+            4.0 * self.q * _COMPLEX_BYTES
+        )
+
+    def _ft_cost_post_tran3(self) -> float:
+        # Final MCV of the delivered output.
+        return self._pass_cost(self.q, passes=1.0, flops_per_element=8.0)
+
+    # ------------------------------------------------------------------
+    def execute(self, x: np.ndarray, injector=None) -> ParallelExecution:
+        injector = injector or NullInjector()
+        x = np.ascontiguousarray(x, dtype=np.complex128)
+        if x.size != self.n:
+            raise ValueError(f"input has length {x.size}, expected {self.n}")
+
+        p, q, sub = self.ranks, self.q, self.sub
+        report = FTReport(scheme=self.name)
+        timeline = VirtualTimeline(ranks=p)
+        comm = SimCommunicator(p, injector=injector, protect_messages=True)
+
+        dist = DistributedVector.from_global(x, p)
+
+        # ----- MCG of the local inputs, then transpose 1 ----------------------
+        timeline.compute("ft-mcg-input", self._ft_cost_pre_tran1())
+        report.bump("memory-checksum-generations", p)
+
+        dist = self._transpose(comm, dist)
+        if self.overlap:
+            timeline.overlapped(
+                "transpose-1(+mcv/cmcg)", self._transpose_cost(), self._ft_cost_post_tran1()
+            )
+        else:
+            timeline.communicate("transpose-1", self._transpose_cost())
+            timeline.compute("ft-mcv-cmcg", self._ft_cost_post_tran1())
+        report.bump("memory-verifications", p)
+
+        # ----- FFT 1, protected (Fig. 4) ---------------------------------------
+        locals_fft1 = []
+        for rank in range(p):
+            mat = np.ascontiguousarray(dist.local(rank).reshape(p, sub))
+            injector.visit(FaultSite.RANK_LOCAL_MEMORY, mat, rank=rank)
+            self.fft1_protected.execute_inplace(mat, injector=injector, report=report, rank=rank)
+            locals_fft1.append(mat)
+        timeline.compute("fft-1(protected)", self._fft1_cost() + self._ft_cost_fft1())
+
+        # ----- twiddle (DMR) + transpose 2 --------------------------------------
+        for rank in range(p):
+            twiddles = self._local_twiddles(rank)
+            locals_fft1[rank] = dmr_elementwise(
+                lambda rank=rank, twiddles=twiddles: locals_fft1[rank] * twiddles,
+                injector=injector,
+                site=FaultSite.TWIDDLE_COMPUTE,
+                rank=rank,
+                report=report,
+                label="parallel-twiddle-dmr",
+            )
+        dist = DistributedVector([mat.reshape(q) for mat in locals_fft1])
+
+        dist = self._transpose(comm, dist)
+        if self.overlap:
+            timeline.overlapped(
+                "transpose-2(+mcv/tm/cmcg)",
+                self._transpose_cost(),
+                self._twiddle_cost() + self._ft_cost_pre_tran2(),
+            )
+        else:
+            timeline.compute("twiddle(dmr)", 2.0 * self._twiddle_cost())
+            timeline.compute("ft-mcv-tm-cmcg", self._ft_cost_pre_tran2())
+            timeline.communicate("transpose-2", self._transpose_cost())
+
+        # ----- FFT 2, protected by the sequential online scheme -----------------
+        rows = []
+        for rank in range(p):
+            row = dist.local(rank)
+            injector.visit(FaultSite.RANK_LOCAL_MEMORY, row, rank=rank)
+            if self.fft2_strategy == "two-layer":
+                result = self.fft2_protected.execute(row, injector)
+                report.merge(result.report)
+                rows.append(result.output)
+            else:
+                out = self.fft2_protected.execute(row, injector=injector, report=report, rank=rank)
+                rows.append(out)
+        dist = DistributedVector(rows)
+        timeline.compute("fft-2(protected)", self._fft2_cost() + self._ft_cost_fft2())
+
+        # ----- transpose 3, final verification, local reorder --------------------
+        dist = self._transpose(comm, dist)
+        timeline.communicate("transpose-3", self._transpose_cost())
+        timeline.compute("ft-final-mcv", self._ft_cost_post_tran3())
+
+        finals = []
+        for rank in range(p):
+            mat = dist.local(rank).reshape(p, sub)
+            finals.append(np.ascontiguousarray(mat.T).reshape(q))
+        timeline.compute("local-reorder", self._reorder_cost())
+
+        if comm.corrected_blocks:
+            report.record_correction(
+                "memory-correct", "comm-block", None, f"{comm.corrected_blocks} block(s) repaired in transit"
+            )
+        if comm.unrecoverable_blocks:
+            report.record_uncorrectable(
+                f"{comm.unrecoverable_blocks} communicated block(s) could not be repaired"
+            )
+
+        output = DistributedVector(finals).to_global()
+        injector.visit(FaultSite.OUTPUT, output)
+        return ParallelExecution(output=output, timeline=timeline, report=report, communicator=comm)
+
+    # ------------------------------------------------------------------
+    def _transpose(self, comm: SimCommunicator, dist: DistributedVector) -> DistributedVector:
+        """Blocking or pipelined transposition depending on the overlap flag."""
+
+        if self.overlap:
+            return pipelined_transpose(comm, dist)
+        return comm.transpose(dist)

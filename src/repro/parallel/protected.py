@@ -1,0 +1,241 @@
+"""Protection of in-place local transforms (Fig. 4 and Fig. 5).
+
+Parallel FFTs run their local transforms *in place*: the input is gone once
+a stage has executed.  Two consequences drive the designs here (Section 5):
+
+* every sub-FFT must keep a backup of its own (small) input so that a
+  detected error can be repaired by restoring the backup and re-executing
+  just that sub-FFT (Fig. 4);
+* FFTW's in-place plan for a non-square local size ``n = r * k^2`` runs
+  *three* layers (``r*k`` k-point FFTs, ``k^2`` r-point FFTs, ``r*k``
+  k-point FFTs).  The plain two-layer online scheme breaks on such a plan
+  (Fig. 5): by the time a first-layer error is caught in a later layer the
+  original input has been overwritten.  The paper's fix is to protect the
+  small middle layer (and its twiddles) with DMR, so the first layer can be
+  verified before its input is destroyed and the last layer is an ordinary
+  ABFT layer.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.base import OptimizationFlags
+from repro.core.checksums import computational_weights, input_checksum_weights, weighted_sum
+from repro.core.detection import FTReport
+from repro.core.dmr import dmr_elementwise
+from repro.core.thresholds import ThresholdPolicy, residual_exceeds
+from repro.faults.injector import NullInjector
+from repro.faults.models import FaultSite
+from repro.fftlib.plan import PlanDirection
+from repro.fftlib.planner import get_default_planner
+from repro.fftlib.three_layer import ThreeLayerPlan
+
+__all__ = ["ProtectedInPlaceFFT", "ProtectedThreeLayerFFT"]
+
+
+class ProtectedInPlaceFFT:
+    """Fig. 4: a batch of small in-place FFTs with backup-based recovery.
+
+    Used for the parallel scheme's FFT1, where every rank runs ``n/p^2``
+    ``p``-point transforms on the columns of its local ``(p, s)`` matrix.
+    The columns are transformed in place (the matrix is overwritten); each
+    column's input is backed up so a failing verification can restore it and
+    re-execute only that column.
+    """
+
+    def __init__(
+        self,
+        size: int,
+        *,
+        thresholds: Optional[ThresholdPolicy] = None,
+        max_retries: int = 3,
+    ) -> None:
+        self.size = int(size)
+        self.thresholds = thresholds or ThresholdPolicy()
+        self.max_retries = int(max_retries)
+        self.plan = get_default_planner().plan(self.size, PlanDirection.FORWARD)
+        self.r = computational_weights(self.size)
+        self.c = input_checksum_weights(self.size)
+
+    # ------------------------------------------------------------------
+    def execute_inplace(
+        self,
+        matrix: np.ndarray,
+        *,
+        injector=None,
+        report: Optional[FTReport] = None,
+        rank: Optional[int] = None,
+    ) -> np.ndarray:
+        """Transform every column of ``matrix`` (shape ``(size, batch)``) in place."""
+
+        injector = injector or NullInjector()
+        report = report if report is not None else FTReport(scheme="protected-inplace")
+        if matrix.ndim != 2 or matrix.shape[0] != self.size:
+            raise ValueError(f"matrix must have shape ({self.size}, batch), got {matrix.shape}")
+
+        eta = self.thresholds.eta_stage1(self.size, matrix)
+
+        # Input backup + input checksums (one pass; the backup also provides
+        # the memory-correction path: a corrupted input column is restored
+        # from it wholesale).
+        backup = matrix.copy()
+        ccg = weighted_sum(self.c, matrix, axis=0)
+
+        transformed = self.plan.execute_batch(matrix, axis=0)
+        batch = matrix.shape[1]
+        for col in range(batch):
+            injector.visit(FaultSite.RANK_LOCAL_FFT, transformed[:, col], index=col, rank=rank)
+        matrix[:, :] = transformed
+
+        residuals = np.abs(weighted_sum(self.r, matrix, axis=0) - ccg)
+        report.bump("verifications", batch)
+        failing = np.nonzero(residual_exceeds(residuals, eta))[0]
+        for col in failing:
+            col = int(col)
+            report.record_verification("fft1-ccv", col, float(residuals[col]), eta, True)
+            self._recover_column(matrix, backup, col, eta, injector, report, rank)
+        return matrix
+
+    # ------------------------------------------------------------------
+    def _recover_column(self, matrix, backup, col, eta, injector, report, rank) -> None:
+        for _ in range(self.max_retries):
+            # Fig. 4 recovery order: restore the sub-FFT's input from its
+            # backup (this covers the memory-fault case - the in-place
+            # transform has already destroyed the original), then re-execute
+            # and re-verify just this column.
+            restored = backup[:, col].copy()
+            fresh = self.plan.execute(restored)
+            injector.visit(FaultSite.RANK_LOCAL_FFT, fresh, index=col, rank=rank)
+            residual = float(np.abs(np.dot(self.r, fresh) - np.dot(self.c, backup[:, col])))
+            ok = residual <= eta
+            report.record_verification("fft1-ccv-retry", col, residual, eta, not ok)
+            report.record_correction("recompute", "fft1", col, "p-point sub-FFT recomputed from backup")
+            if ok:
+                matrix[:, col] = fresh
+                return
+        report.record_uncorrectable(f"fft1 column {col} could not be corrected")
+
+
+class ProtectedThreeLayerFFT:
+    """Section 5's ABFT-DMR-ABFT protection of an ``n = r * k^2`` in-place plan.
+
+    * Layer 1 (``r*k`` k-point FFTs) is ABFT-protected; its verification is
+      performed *before* the layer-2 results overwrite anything the recovery
+      would need, and each sub-FFT keeps its input column available for
+      recomputation (the layer is executed out-of-place into the working
+      array, with the input retained until verification passes).
+    * Layer 2 (the ``k^2`` r-point FFTs together with both twiddle
+      multiplications) is DMR-protected - ``r`` is small (2 or 8 for
+      power-of-two sizes), so executing it twice costs about as much as one
+      checksum pass.
+    * Layer 3 (``r*k`` k-point FFTs) is ABFT-protected like the second part
+      of the sequential online scheme.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        *,
+        r: Optional[int] = None,
+        k: Optional[int] = None,
+        thresholds: Optional[ThresholdPolicy] = None,
+        flags: Optional[OptimizationFlags] = None,
+    ) -> None:
+        self.plan = ThreeLayerPlan(n, r=r, k=k)
+        self.n = self.plan.n
+        self.r = self.plan.r
+        self.k = self.plan.k
+        self.thresholds = thresholds or ThresholdPolicy()
+        self.flags = flags or OptimizationFlags()
+        self.r_k = computational_weights(self.k)
+        self.c_k = input_checksum_weights(self.k)
+
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        x: np.ndarray,
+        *,
+        injector=None,
+        report: Optional[FTReport] = None,
+        rank: Optional[int] = None,
+    ) -> np.ndarray:
+        injector = injector or NullInjector()
+        report = report if report is not None else FTReport(scheme="protected-three-layer")
+        plan = self.plan
+        retries = max(1, self.flags.max_retries)
+
+        work = np.array(plan.gather_input(x))  # (k, r, k)
+        injector.visit(FaultSite.STAGE1_INPUT, work, rank=rank)
+
+        eta1 = self.thresholds.eta_stage1(self.k, work)
+
+        # ----- layer 1: r*k k-point FFTs, ABFT protected ------------------
+        ccg1 = np.tensordot(self.c_k, work, axes=([0], [0]))  # shape (r, k)
+        layer1 = plan.layer1(work)
+        injector.visit(FaultSite.STAGE1_COMPUTE, layer1, rank=rank)
+        out_ck = np.tensordot(self.r_k, layer1, axes=([0], [0]))
+        residuals = np.abs(out_ck - ccg1)
+        report.bump("verifications", residuals.size)
+        for s, n1 in zip(*np.nonzero(residual_exceeds(residuals, eta1))):
+            s, n1 = int(s), int(n1)
+            index = s * self.k + n1
+            report.record_verification("layer1-ccv", index, float(residuals[s, n1]), eta1, True)
+            corrected = False
+            for _ in range(retries):
+                fresh = plan.k_plan.execute(np.ascontiguousarray(work[:, s, n1]))
+                residual = float(np.abs(np.dot(self.r_k, fresh) - np.dot(self.c_k, work[:, s, n1])))
+                report.record_correction("recompute", "layer1", index, "k-point sub-FFT recomputed")
+                if residual <= eta1:
+                    layer1[:, s, n1] = fresh
+                    corrected = True
+                    break
+            if not corrected:
+                report.record_uncorrectable(f"layer1 sub-FFT {index} could not be corrected")
+
+        # ----- layer 2 + twiddles: DMR protected ---------------------------
+        def middle(layer1=layer1):
+            tw1 = plan.apply_inner_twiddle(layer1)
+            mid = plan.layer2(tw1)
+            return plan.apply_outer_twiddle(mid)
+
+        middle_out = dmr_elementwise(
+            middle,
+            injector=injector,
+            site=FaultSite.TWIDDLE_COMPUTE,
+            rank=rank,
+            report=report,
+            label="middle-layer-dmr",
+        )
+
+        # ----- layer 3: r*k k-point FFTs, ABFT protected -------------------
+        eta3 = self.thresholds.eta_stage2(self.k, self.k * self.r, work)
+        ccg3 = np.tensordot(middle_out, self.c_k, axes=([2], [0]))  # (k, r)
+        layer3 = plan.layer3(middle_out)
+        injector.visit(FaultSite.STAGE2_COMPUTE, layer3, rank=rank)
+        out_ck3 = np.tensordot(layer3, self.r_k, axes=([2], [0]))
+        residuals3 = np.abs(out_ck3 - ccg3)
+        report.bump("verifications", residuals3.size)
+        for j2, j1 in zip(*np.nonzero(residual_exceeds(residuals3, eta3))):
+            j2, j1 = int(j2), int(j1)
+            index = j2 * self.r + j1
+            report.record_verification("layer3-ccv", index, float(residuals3[j2, j1]), eta3, True)
+            corrected = False
+            for _ in range(retries):
+                fresh = plan.k_plan.execute(np.ascontiguousarray(middle_out[j2, j1, :]))
+                residual = float(
+                    np.abs(np.dot(self.r_k, fresh) - np.dot(self.c_k, middle_out[j2, j1, :]))
+                )
+                report.record_correction("recompute", "layer3", index, "k-point sub-FFT recomputed")
+                if residual <= eta3:
+                    layer3[j2, j1, :] = fresh
+                    corrected = True
+                    break
+            if not corrected:
+                report.record_uncorrectable(f"layer3 sub-FFT {index} could not be corrected")
+
+        output = plan.scatter_output(layer3)
+        injector.visit(FaultSite.OUTPUT, output, rank=rank)
+        return output

@@ -1,0 +1,223 @@
+"""The six-step parallel 1-D FFT on the simulated communicator.
+
+With ``N = p * q`` (``q = N/p``) the transform is the two-layer
+decomposition whose *inner* transforms have size ``p`` (the paper:
+"a plan which computes N/p p-point FFTs at first and then p N/p-point
+FFTs").  Distributed over ``p`` ranks with a block layout, the execution is
+the classical six-step algorithm:
+
+1. transpose 1  - bring the stride-``q`` columns of the ``(p, q)`` view onto
+   single ranks,
+2. FFT 1        - every rank runs ``q/p`` ``p``-point transforms,
+3. twiddle      - multiply by :math:`\\omega_N^{n_1 j_2}` (locally),
+4. transpose 2  - bring complete rows onto single ranks,
+5. FFT 2        - every rank runs one ``q``-point transform,
+6. transpose 3 + local reordering - deliver the block-distributed output.
+
+The class computes the true numerical result (all ranks simulated in one
+process) and, in parallel, advances a :class:`~repro.simmpi.timeline.VirtualTimeline`
+using a :class:`~repro.simmpi.machine.MachineModel`, which is what the
+scaling benchmarks (Fig. 8, Tables 2-3) report.
+
+``overlap_twiddle=True`` reproduces "opt-FFTW": the twiddle multiplication
+is hidden behind transpose 2 (the paper notes its overlap optimization also
+benefits the unprotected library).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.detection import FTReport
+from repro.faults.injector import NullInjector
+from repro.faults.models import FaultSite
+from repro.fftlib.mixed_radix import fft_along_axis
+from repro.fftlib.two_layer import TwoLayerPlan
+from repro.simmpi.comm import DistributedVector, SimCommunicator
+from repro.simmpi.machine import MachineModel, TIANHE2_LIKE
+from repro.simmpi.timeline import VirtualTimeline
+from repro.utils.validation import ensure_positive_int
+
+__all__ = ["ParallelExecution", "ParallelFFT"]
+
+_COMPLEX_BYTES = 16
+
+
+@dataclass
+class ParallelExecution:
+    """Result of one (simulated) parallel transform."""
+
+    output: np.ndarray
+    timeline: VirtualTimeline
+    report: FTReport
+    communicator: SimCommunicator
+
+    @property
+    def virtual_time(self) -> float:
+        return self.timeline.elapsed
+
+
+class ParallelFFT:
+    """Unprotected six-step parallel FFT (the parallel "FFTW" baseline)."""
+
+    name = "parallel-fftw"
+
+    def __init__(
+        self,
+        n: int,
+        ranks: int,
+        *,
+        machine: MachineModel = TIANHE2_LIKE,
+        overlap_twiddle: bool = False,
+        protect_messages: bool = False,
+    ) -> None:
+        self.n = ensure_positive_int(n, name="n")
+        self.ranks = ensure_positive_int(ranks, name="ranks")
+        if n % (ranks * ranks) != 0:
+            raise ValueError(
+                f"n={n} must be divisible by ranks^2={ranks * ranks} for the six-step layout"
+            )
+        self.q = n // ranks  # local / FFT2 size
+        self.sub = self.q // ranks  # sub-block size exchanged per peer
+        self.machine = machine
+        self.overlap_twiddle = bool(overlap_twiddle)
+        self.protect_messages = bool(protect_messages)
+        self._fft2_plan: Optional[TwoLayerPlan] = None
+        if overlap_twiddle:
+            self.name = "parallel-opt-fftw"
+
+    @property
+    def fft2_plan(self) -> TwoLayerPlan:
+        """The local FFT2 plan, created lazily.
+
+        Lazy creation matters because the scaling benchmarks instantiate
+        these objects at the paper's problem sizes purely to evaluate
+        :meth:`predict_timeline`; allocating a 2^24-point twiddle table for
+        that would be wasted memory.
+        """
+
+        if self._fft2_plan is None:
+            self._fft2_plan = TwoLayerPlan(self.q)
+        return self._fft2_plan
+
+    # ------------------------------------------------------------------
+    # cost helpers (per rank)
+    # ------------------------------------------------------------------
+    def _transpose_cost(self) -> float:
+        comm = SimCommunicator(self.ranks, protect_messages=self.protect_messages)
+        bytes_per_rank = comm.bytes_per_rank_per_transpose(self.q)
+        return self.machine.alltoall_time(bytes_per_rank * self.ranks / max(self.ranks - 1, 1), self.ranks)
+
+    def _fft1_cost(self) -> float:
+        return self.machine.fft_time(self.ranks, batch=self.sub)
+
+    def _twiddle_cost(self) -> float:
+        local_bytes = self.q * _COMPLEX_BYTES
+        return self.machine.compute_time(6 * self.q) + self.machine.streaming_time(2 * local_bytes)
+
+    def _fft2_cost(self) -> float:
+        return self.machine.fft_time(self.q)
+
+    def _reorder_cost(self) -> float:
+        return self.machine.streaming_time(2 * self.q * _COMPLEX_BYTES)
+
+    # ------------------------------------------------------------------
+    def predict_timeline(self) -> VirtualTimeline:
+        """Build the virtual timeline without executing the transform.
+
+        Used by the scaling benchmarks to evaluate the cost model at the
+        paper's problem sizes (2^31 - 2^34 elements, 128 - 1024 ranks), which
+        are far beyond what the numerical simulation can execute.
+        """
+
+        timeline = VirtualTimeline(ranks=self.ranks)
+        timeline.communicate("transpose-1", self._transpose_cost())
+        timeline.compute("fft-1", self._fft1_cost())
+        if self.overlap_twiddle:
+            timeline.overlapped("transpose-2(+twiddle)", self._transpose_cost(), self._twiddle_cost())
+        else:
+            timeline.compute("twiddle", self._twiddle_cost())
+            timeline.communicate("transpose-2", self._transpose_cost())
+        timeline.compute("fft-2", self._fft2_cost())
+        timeline.communicate("transpose-3", self._transpose_cost())
+        timeline.compute("local-reorder", self._reorder_cost())
+        return timeline
+
+    # ------------------------------------------------------------------
+    def _local_twiddles(self, rank: int) -> np.ndarray:
+        """Twiddle factors for rank ``rank``'s ``(p, sub)`` block of columns."""
+
+        j2 = np.arange(self.ranks).reshape(self.ranks, 1)
+        n1 = rank * self.sub + np.arange(self.sub).reshape(1, self.sub)
+        return np.exp(-2j * np.pi * (j2 * n1) / self.n)
+
+    # ------------------------------------------------------------------
+    def execute(self, x: np.ndarray, injector=None) -> ParallelExecution:
+        """Run the six-step transform and return output + virtual timeline."""
+
+        injector = injector or NullInjector()
+        x = np.ascontiguousarray(x, dtype=np.complex128)
+        if x.size != self.n:
+            raise ValueError(f"input has length {x.size}, expected {self.n}")
+
+        p, q, sub = self.ranks, self.q, self.sub
+        report = FTReport(scheme=self.name)
+        timeline = VirtualTimeline(ranks=p)
+        comm = SimCommunicator(p, injector=injector, protect_messages=self.protect_messages)
+
+        dist = DistributedVector.from_global(x, p)
+
+        # -- step 1: transpose 1 --------------------------------------------
+        dist = comm.transpose(dist)
+        timeline.communicate("transpose-1", self._transpose_cost())
+
+        # -- step 2: FFT 1 (q/p p-point FFTs per rank) -----------------------
+        locals_fft1 = []
+        for rank in range(p):
+            mat = dist.local(rank).reshape(p, sub)
+            injector.visit(FaultSite.RANK_LOCAL_MEMORY, mat, rank=rank)
+            out = fft_along_axis(mat, axis=0)
+            injector.visit(FaultSite.RANK_LOCAL_FFT, out, rank=rank)
+            locals_fft1.append(out)
+        timeline.compute("fft-1", self._fft1_cost())
+
+        # -- step 3: twiddle (optionally overlapped with transpose 2) --------
+        for rank in range(p):
+            locals_fft1[rank] = locals_fft1[rank] * self._local_twiddles(rank)
+        dist = DistributedVector([mat.reshape(q) for mat in locals_fft1])
+
+        # -- step 4: transpose 2 ----------------------------------------------
+        dist = comm.transpose(dist)
+        if self.overlap_twiddle:
+            timeline.overlapped("transpose-2(+twiddle)", self._transpose_cost(), self._twiddle_cost())
+        else:
+            timeline.compute("twiddle", self._twiddle_cost())
+            timeline.communicate("transpose-2", self._transpose_cost())
+
+        # -- step 5: FFT 2 (one q-point FFT per rank) --------------------------
+        rows = []
+        for rank in range(p):
+            row = dist.local(rank)
+            injector.visit(FaultSite.RANK_LOCAL_MEMORY, row, rank=rank)
+            out = self.fft2_plan.execute(row)
+            injector.visit(FaultSite.RANK_LOCAL_FFT, out, rank=rank)
+            rows.append(out)
+        dist = DistributedVector(rows)
+        timeline.compute("fft-2", self._fft2_cost())
+
+        # -- step 6: transpose 3 + local reordering ----------------------------
+        dist = comm.transpose(dist)
+        timeline.communicate("transpose-3", self._transpose_cost())
+
+        finals = []
+        for rank in range(p):
+            mat = dist.local(rank).reshape(p, sub)
+            finals.append(np.ascontiguousarray(mat.T).reshape(q))
+        timeline.compute("local-reorder", self._reorder_cost())
+
+        output = DistributedVector(finals).to_global()
+        injector.visit(FaultSite.OUTPUT, output)
+        return ParallelExecution(output=output, timeline=timeline, report=report, communicator=comm)

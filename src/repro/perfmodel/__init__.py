@@ -1,0 +1,45 @@
+"""Analytic overhead model (Section 7 of the paper).
+
+The paper derives closed-form operation counts for every scheme: what the
+checksum machinery adds on top of the ``5 N log2 N`` operations of the FFT
+itself, how much a correction costs, and how much space/communication the
+parallel scheme needs.  This package reproduces those formulas and converts
+them into predicted overhead percentages and times through a
+:class:`repro.simmpi.machine.MachineModel`.
+
+The benchmarks report these predictions next to the measured values: the
+measured Python numbers validate the *ordering*, the model reproduces the
+paper's *magnitudes* at the paper's problem sizes.
+"""
+
+from repro.perfmodel.opcounts import (
+    COMPLEX_ADD_OPS,
+    COMPLEX_DIV_OPS,
+    COMPLEX_MUL_OPS,
+    OperationCounts,
+    fft_operations,
+    offline_scheme_ops,
+    online_scheme_ops,
+    parallel_scheme_ops,
+    communication_overhead_ratio,
+    sequential_space_overhead,
+    parallel_space_overhead_ratio,
+)
+from repro.perfmodel.predictions import OverheadPrediction, predict_sequential, predict_parallel
+
+__all__ = [
+    "COMPLEX_ADD_OPS",
+    "COMPLEX_DIV_OPS",
+    "COMPLEX_MUL_OPS",
+    "OperationCounts",
+    "fft_operations",
+    "offline_scheme_ops",
+    "online_scheme_ops",
+    "parallel_scheme_ops",
+    "communication_overhead_ratio",
+    "sequential_space_overhead",
+    "parallel_space_overhead_ratio",
+    "OverheadPrediction",
+    "predict_sequential",
+    "predict_parallel",
+]

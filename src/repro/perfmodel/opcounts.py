@@ -1,0 +1,187 @@
+"""Operation counts from Section 7 of the paper.
+
+Conventions (Section 7 preamble): one real addition or multiplication is the
+unit.  A complex multiplication costs 6 units (``c1``), a complex addition 2
+units (``c2``) and a complex division 11 units (``8 r1 + 3 r2``).  The FFT
+itself costs roughly ``5 N log2 N`` units.
+
+All formulas below return *units of real operations*; divide by
+:func:`fft_operations` to obtain the relative overhead the paper's Fig. 7
+plots, or feed them to a machine model to get predicted seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.validation import ensure_positive_int
+
+__all__ = [
+    "COMPLEX_MUL_OPS",
+    "COMPLEX_ADD_OPS",
+    "COMPLEX_DIV_OPS",
+    "fft_operations",
+    "OperationCounts",
+    "offline_scheme_ops",
+    "online_scheme_ops",
+    "parallel_scheme_ops",
+    "sequential_space_overhead",
+    "parallel_space_overhead_ratio",
+    "communication_overhead_ratio",
+]
+
+#: Real operations per complex multiplication (``c1`` in the paper).
+COMPLEX_MUL_OPS = 6
+#: Real operations per complex addition (``c2``).
+COMPLEX_ADD_OPS = 2
+#: Real operations per complex division (``8 r1 + 3 r2``).
+COMPLEX_DIV_OPS = 11
+
+
+def fft_operations(n: int) -> float:
+    """The paper's baseline cost of an ``n``-point FFT: ``5 n log2 n``."""
+
+    n = ensure_positive_int(n, name="n")
+    if n == 1:
+        return 0.0
+    return 5.0 * n * float(np.log2(n))
+
+
+@dataclass(frozen=True)
+class OperationCounts:
+    """Overhead of a scheme in real operations.
+
+    ``fault_free`` is the overhead added to an error-free run; ``with_error``
+    is the *total extra* cost when one error occurs (overhead plus recovery).
+    """
+
+    scheme: str
+    n: int
+    fault_free: float
+    with_error: float
+
+    @property
+    def fault_free_ratio(self) -> float:
+        """Fault-free overhead relative to the FFT itself (Fig. 7's y-axis)."""
+
+        base = fft_operations(self.n)
+        return self.fault_free / base if base else 0.0
+
+    @property
+    def with_error_ratio(self) -> float:
+        base = fft_operations(self.n)
+        return self.with_error / base if base else 0.0
+
+
+# ----------------------------------------------------------------------
+# sequential schemes (Sections 7.1.1 - 7.1.4)
+# ----------------------------------------------------------------------
+
+def offline_scheme_ops(n: int, *, memory_ft: bool = False) -> OperationCounts:
+    """Overhead of the (optimized) offline scheme.
+
+    Computational FT only (Section 7.1.1): encoding ``rA`` costs 27N, CCG 8N
+    and CCV 2N, i.e. 37N in total; a detected error forces a full restart
+    plus re-verification (``5 N log2 N + 39N`` extra).  With memory FT
+    (Section 7.1.3) the extra ``r2' x`` checksum adds 4N, and a restart costs
+    ``5 N log2 N + 43N``.
+    """
+
+    n = ensure_positive_int(n, name="n")
+    encode = 27.0 * n
+    ccg = 8.0 * n
+    ccv = 2.0 * n
+    fault_free = encode + ccg + ccv  # 37 N
+    recovery = fft_operations(n) + fault_free + 2.0 * n  # restart + re-verify
+    if memory_ft:
+        fault_free += 4.0 * n  # r2' x
+        recovery = fft_operations(n) + fault_free + 2.0 * n
+    return OperationCounts(
+        scheme="opt-offline+mem" if memory_ft else "opt-offline",
+        n=n,
+        fault_free=fault_free,
+        with_error=fault_free + recovery,
+    )
+
+
+def online_scheme_ops(n: int, *, memory_ft: bool = False) -> OperationCounts:
+    """Overhead of the optimized online scheme (Sections 7.1.2 and 7.1.4).
+
+    Computational FT: DMR on the twiddle multiplication (12N) plus CCG+CCV
+    for both ABFT layers (2 x (8N + 2N)) = 32N.  With memory FT, the modified
+    second checksum (4N), one extra MCG+MCV pair (6N), one extra CMCV (2N)
+    and the intermediate-copy pass (2N) raise it to 46N.  Recovery recomputes
+    a Theta(sqrt(N))-point sub-FFT, which is negligible, so the with-error
+    cost equals the fault-free cost up to ``O(sqrt(N) log N)``.
+    """
+
+    n = ensure_positive_int(n, name="n")
+    dmr_twiddle = 12.0 * n
+    abft_layers = 2.0 * (8.0 * n + 2.0 * n)
+    fault_free = dmr_twiddle + abft_layers  # 32 N
+    if memory_ft:
+        fault_free += 4.0 * n + 6.0 * n + 2.0 * n + 2.0 * n  # 46 N
+    sqrt_n = max(int(np.sqrt(n)), 2)
+    recovery = fft_operations(sqrt_n)
+    return OperationCounts(
+        scheme="opt-online+mem" if memory_ft else "opt-online",
+        n=n,
+        fault_free=fault_free,
+        with_error=fault_free + recovery,
+    )
+
+
+# ----------------------------------------------------------------------
+# parallel scheme (Sections 7.3 - 7.5)
+# ----------------------------------------------------------------------
+
+def parallel_scheme_ops(local_n: int, *, r: int = 1, overlap: bool = False) -> OperationCounts:
+    """Per-rank overhead of the parallel online scheme (Section 7.3).
+
+    ``local_n`` is the per-rank data size ``N/p``.  Without overlap the
+    scheme costs 96n (``r = 1``) or ``116n + 5 n log2 r`` (``r != 1``); the
+    communication-computation overlap hides ``2 CMCGs + 2 MCVs + 1 TM``
+    (40n), leaving 56n / ``76n + 5 n log2 r``.
+    """
+
+    n = ensure_positive_int(local_n, name="local_n")
+    r = ensure_positive_int(r, name="r")
+    if r == 1:
+        fault_free = 96.0 * n
+    else:
+        fault_free = 116.0 * n + 5.0 * n * float(np.log2(r))
+    if overlap:
+        fault_free -= 40.0 * n  # 2 * (12n + 2n) + 12n hidden behind communication
+    sqrt_n = max(int(np.sqrt(n)), 2)
+    recovery = fft_operations(sqrt_n)
+    name = "parallel-opt-ft-fftw" if overlap else "parallel-ft-fftw"
+    return OperationCounts(scheme=name, n=n, fault_free=fault_free, with_error=fault_free + recovery)
+
+
+def sequential_space_overhead(n: int) -> int:
+    """Extra complex elements needed by the sequential scheme: ``O(sqrt(N))``.
+
+    Checksums for the two sub-FFT families (4m + 4k elements with
+    ``m, k ~ sqrt(N)``) plus the buffered intermediate-output checksums.
+    """
+
+    n = ensure_positive_int(n, name="n")
+    root = int(np.ceil(np.sqrt(n)))
+    return 8 * root
+
+
+def parallel_space_overhead_ratio(ranks: int) -> float:
+    """Relative extra memory of the parallel scheme: ``6/p`` (Section 7.4)."""
+
+    ranks = ensure_positive_int(ranks, name="ranks")
+    return 6.0 / ranks
+
+
+def communication_overhead_ratio(local_n: int, ranks: int) -> float:
+    """Relative growth of communicated bytes: ``2p/n`` per rank (Section 7.5)."""
+
+    local_n = ensure_positive_int(local_n, name="local_n")
+    ranks = ensure_positive_int(ranks, name="ranks")
+    return 2.0 * ranks / local_n

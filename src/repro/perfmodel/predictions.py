@@ -1,0 +1,117 @@
+"""Turn Section 7 operation counts into predicted overheads and times.
+
+Two uses:
+
+* the Fig. 7 benchmarks print the predicted overhead percentage next to the
+  measured one, evaluated both at the benchmark's (scaled-down) sizes and at
+  the paper's 2^25 - 2^28 sizes;
+* the Fig. 8 / Table 1-3 benchmarks print predicted execution times obtained
+  by pushing the operation counts through a machine model, so the virtual
+  times of the simulated parallel runs can be cross-checked against the
+  closed-form analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.perfmodel.opcounts import (
+    OperationCounts,
+    fft_operations,
+    offline_scheme_ops,
+    online_scheme_ops,
+    parallel_scheme_ops,
+)
+from repro.simmpi.machine import MachineModel, TIANHE2_LIKE
+
+__all__ = ["OverheadPrediction", "predict_sequential", "predict_parallel"]
+
+
+@dataclass(frozen=True)
+class OverheadPrediction:
+    """Predicted overhead of one scheme at one problem size."""
+
+    scheme: str
+    n: int
+    overhead_ratio: float
+    overhead_ratio_with_error: float
+    predicted_seconds: Optional[float] = None
+    predicted_seconds_with_error: Optional[float] = None
+
+    @property
+    def overhead_percent(self) -> float:
+        return 100.0 * self.overhead_ratio
+
+    @property
+    def overhead_percent_with_error(self) -> float:
+        return 100.0 * self.overhead_ratio_with_error
+
+
+_SEQUENTIAL_MODELS = {
+    "opt-offline": lambda n: offline_scheme_ops(n, memory_ft=False),
+    "opt-offline+mem": lambda n: offline_scheme_ops(n, memory_ft=True),
+    "opt-online": lambda n: online_scheme_ops(n, memory_ft=False),
+    "opt-online+mem": lambda n: online_scheme_ops(n, memory_ft=True),
+}
+
+
+def predict_sequential(
+    n: int,
+    *,
+    schemes: Optional[Sequence[str]] = None,
+    machine: Optional[MachineModel] = TIANHE2_LIKE,
+) -> List[OverheadPrediction]:
+    """Predicted sequential overheads (Fig. 7 / Table 1 companion numbers)."""
+
+    chosen = list(schemes) if schemes is not None else list(_SEQUENTIAL_MODELS)
+    predictions: List[OverheadPrediction] = []
+    base_ops = fft_operations(n)
+    for name in chosen:
+        if name not in _SEQUENTIAL_MODELS:
+            raise KeyError(f"no Section 7 model for scheme {name!r}")
+        counts: OperationCounts = _SEQUENTIAL_MODELS[name](n)
+        seconds = seconds_err = None
+        if machine is not None:
+            seconds = machine.compute_time(base_ops + counts.fault_free)
+            seconds_err = machine.compute_time(base_ops + counts.with_error)
+        predictions.append(
+            OverheadPrediction(
+                scheme=name,
+                n=n,
+                overhead_ratio=counts.fault_free_ratio,
+                overhead_ratio_with_error=counts.with_error_ratio,
+                predicted_seconds=seconds,
+                predicted_seconds_with_error=seconds_err,
+            )
+        )
+    return predictions
+
+
+def predict_parallel(
+    n: int,
+    ranks: int,
+    *,
+    r: int = 1,
+    machine: MachineModel = TIANHE2_LIKE,
+) -> Dict[str, OverheadPrediction]:
+    """Predicted per-rank parallel overheads (Section 7.3) for both variants."""
+
+    local_n = n // ranks
+    base_ops = fft_operations(n) / ranks
+    out: Dict[str, OverheadPrediction] = {}
+    for overlap in (False, True):
+        counts = parallel_scheme_ops(local_n, r=r, overlap=overlap)
+        seconds = machine.compute_time(base_ops + counts.fault_free)
+        seconds_err = machine.compute_time(base_ops + counts.with_error)
+        out[counts.scheme] = OverheadPrediction(
+            scheme=counts.scheme,
+            n=local_n,
+            overhead_ratio=counts.fault_free / base_ops if base_ops else 0.0,
+            overhead_ratio_with_error=counts.with_error / base_ops if base_ops else 0.0,
+            predicted_seconds=seconds,
+            predicted_seconds_with_error=seconds_err,
+        )
+    return out

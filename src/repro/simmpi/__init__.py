@@ -1,0 +1,41 @@
+"""A simulated message-passing runtime and virtual-time cost model.
+
+The paper's parallel evaluation runs FT-FFTW on TIANHE-2 with MPI.  This
+reproduction has neither MPI nor a cluster, so the parallel schemes execute
+on a *simulated* communicator:
+
+* :mod:`repro.simmpi.comm` holds the per-rank data blocks in memory and
+  implements the block-transpose (all-to-all) exchanges of the six-step FFT,
+  including per-block checksums and in-transit fault injection;
+* :mod:`repro.simmpi.nonblocking` provides Isend/Irecv/Wait handles so the
+  communication-computation overlap schedule of Algorithm 3 can be expressed
+  in the same shape as the paper's pseudo-code;
+* :mod:`repro.simmpi.machine` / :mod:`repro.simmpi.timeline` translate the
+  per-rank operation counts and communicated bytes into *virtual time* using
+  a simple latency/bandwidth/compute-rate machine model.  Virtual time is
+  what the parallel benchmarks report (a single Python process cannot
+  exhibit real scaling), with wall-clock time shown alongside as a sanity
+  check.
+
+The protocol executed by the simulated ranks is identical to the paper's:
+what is verified before/after each transposition, which checksums travel
+with the data, and what can be overlapped.
+"""
+
+from repro.simmpi.machine import MachineModel, TIANHE2_LIKE, LAPTOP_LIKE
+from repro.simmpi.timeline import PhaseRecord, VirtualTimeline
+from repro.simmpi.comm import BlockChecksums, DistributedVector, SimCommunicator
+from repro.simmpi.nonblocking import Request, NonBlockingEngine
+
+__all__ = [
+    "MachineModel",
+    "TIANHE2_LIKE",
+    "LAPTOP_LIKE",
+    "PhaseRecord",
+    "VirtualTimeline",
+    "BlockChecksums",
+    "DistributedVector",
+    "SimCommunicator",
+    "Request",
+    "NonBlockingEngine",
+]

@@ -1,0 +1,217 @@
+"""The simulated communicator and distributed vectors.
+
+Data distribution follows the paper's parallel 1-D FFT: the global vector of
+``N`` complex elements is block-distributed over ``p`` ranks (rank ``r``
+holds ``x[r*N/p : (r+1)*N/p]``), and every transposition exchanges the
+``j``-th sub-block of rank ``i`` with the ``i``-th sub-block of rank ``j``.
+
+The communicator tracks message and byte counts (used by the virtual-time
+model and by the communication-overhead analysis of Section 7.5) and can
+attach the paper's two locating checksums to every communicated block so
+that in-transit corruption is detected and repaired at the receiver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.checksums import memory_weights_classic, repair_single_error
+from repro.faults.models import FaultSite
+from repro.utils.validation import ensure_positive_int
+
+__all__ = ["DistributedVector", "BlockChecksums", "SimCommunicator"]
+
+
+@dataclass
+class DistributedVector:
+    """A global complex vector split into equal per-rank blocks."""
+
+    blocks: List[np.ndarray]
+
+    def __post_init__(self) -> None:
+        if not self.blocks:
+            raise ValueError("a distributed vector needs at least one block")
+        size = self.blocks[0].size
+        for i, block in enumerate(self.blocks):
+            if block.size != size:
+                raise ValueError(f"rank {i} block has size {block.size}, expected {size}")
+        self.blocks = [np.ascontiguousarray(b, dtype=np.complex128) for b in self.blocks]
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_global(cls, x: np.ndarray, ranks: int) -> "DistributedVector":
+        x = np.ascontiguousarray(x, dtype=np.complex128)
+        ranks = ensure_positive_int(ranks, name="ranks")
+        if x.size % ranks != 0:
+            raise ValueError(f"global size {x.size} is not divisible by {ranks} ranks")
+        local = x.size // ranks
+        return cls([x[r * local:(r + 1) * local].copy() for r in range(ranks)])
+
+    def to_global(self) -> np.ndarray:
+        return np.concatenate(self.blocks)
+
+    # ------------------------------------------------------------------
+    @property
+    def ranks(self) -> int:
+        return len(self.blocks)
+
+    @property
+    def local_size(self) -> int:
+        return self.blocks[0].size
+
+    @property
+    def global_size(self) -> int:
+        return self.ranks * self.local_size
+
+    def local(self, rank: int) -> np.ndarray:
+        return self.blocks[rank]
+
+    def copy(self) -> "DistributedVector":
+        return DistributedVector([b.copy() for b in self.blocks])
+
+
+@dataclass(frozen=True)
+class BlockChecksums:
+    """The two locating checksums of one communicated block (Section 5)."""
+
+    s1: complex
+    s2: complex
+
+    @classmethod
+    def of(cls, block: np.ndarray, w1: np.ndarray, w2: np.ndarray) -> "BlockChecksums":
+        return cls(complex(np.dot(w1, block)), complex(np.dot(w2, block)))
+
+
+@dataclass
+class SimCommunicator:
+    """In-memory stand-in for the MPI communicator used by parallel FT-FFTW.
+
+    Parameters
+    ----------
+    ranks:
+        Number of simulated MPI ranks.
+    injector:
+        Optional fault injector; blocks in transit are exposed at the
+        ``COMM_BLOCK`` site (``index`` = destination rank, ``rank`` = source).
+    protect_messages:
+        Attach/verify the two locating checksums on every communicated block
+        (adds ``2 p`` complex values per rank and transpose, the 2p/n
+        communication overhead derived in Section 7.5).
+    """
+
+    ranks: int
+    injector: Optional[object] = None
+    protect_messages: bool = True
+    bytes_sent: int = 0
+    messages_sent: int = 0
+    corrected_blocks: int = 0
+    unrecoverable_blocks: int = 0
+    checksum_tolerance: float = 1e-8
+
+    def __post_init__(self) -> None:
+        ensure_positive_int(self.ranks, name="ranks")
+
+    # ------------------------------------------------------------------
+    def _account(self, data_bytes: int, messages: int) -> None:
+        self.bytes_sent += int(data_bytes)
+        self.messages_sent += int(messages)
+
+    # ------------------------------------------------------------------
+    def exchange_blocks(self, send: Sequence[Sequence[np.ndarray]]) -> List[List[np.ndarray]]:
+        """All-to-all exchange: ``send[i][j]`` goes from rank ``i`` to rank ``j``.
+
+        Returns ``recv`` with ``recv[j][i] = send[i][j]`` (post-corruption,
+        post-repair).  Every block is copied, mirroring a real network
+        transfer, and optionally protected by checksums.
+        """
+
+        p = self.ranks
+        if len(send) != p or any(len(row) != p for row in send):
+            raise ValueError(f"send must be a {p} x {p} grid of blocks")
+
+        recv: List[List[np.ndarray]] = [[None] * p for _ in range(p)]
+        for src in range(p):
+            for dst in range(p):
+                recv[dst][src] = self.exchange_blocks_single(src, dst, send[src][dst])
+        return recv
+
+    def exchange_blocks_single(self, src: int, dst: int, block: np.ndarray) -> np.ndarray:
+        """Transit path of a single block: copy, protect, corrupt, verify, repair.
+
+        Used both by :meth:`exchange_blocks` and by the pipelined
+        (Algorithm 3) transpose, so blocking and overlapped communication
+        share exactly the same protection semantics.
+        """
+
+        block = np.ascontiguousarray(block, dtype=np.complex128)
+        payload = block.copy()
+        checksums: Optional[BlockChecksums] = None
+        weights: Tuple[Optional[np.ndarray], Optional[np.ndarray]] = (None, None)
+        if self.protect_messages and payload.size:
+            weights = memory_weights_classic(payload.size)
+            checksums = BlockChecksums.of(payload, weights[0], weights[1])
+
+        # In-transit corruption.
+        if self.injector is not None:
+            self.injector.visit(FaultSite.COMM_BLOCK, payload, index=dst, rank=src)
+
+        self._account(payload.nbytes + (32 if checksums else 0), 1 if src != dst else 0)
+
+        # Receiver-side verification and repair.
+        if checksums is not None and payload.size:
+            with np.errstate(over="ignore", invalid="ignore"):
+                residual = abs(np.dot(weights[0], payload) - checksums.s1)
+            scale = max(1.0, abs(checksums.s1))
+            # not(<=) so that an overflowed (non-finite) residual counts as a
+            # mismatch instead of silently passing.
+            if not residual <= self.checksum_tolerance * scale:
+                repaired = repair_single_error(
+                    payload, weights[0], weights[1], checksums.s1, checksums.s2
+                )
+                if repaired is None:
+                    self.unrecoverable_blocks += 1
+                else:
+                    self.corrected_blocks += 1
+        return payload
+
+    # ------------------------------------------------------------------
+    def transpose(self, dist: DistributedVector) -> DistributedVector:
+        """The six-step FFT's block transposition.
+
+        Rank ``i``'s local block is split into ``p`` sub-blocks; sub-block
+        ``j`` is sent to rank ``j``.  The received sub-blocks are concatenated
+        in source-rank order.
+        """
+
+        p = self.ranks
+        if dist.ranks != p:
+            raise ValueError("distributed vector has a different rank count")
+        local = dist.local_size
+        if local % p != 0:
+            raise ValueError(f"local size {local} is not divisible by {p} ranks")
+        sub = local // p
+        send = [
+            [dist.local(i)[j * sub:(j + 1) * sub] for j in range(p)]
+            for i in range(p)
+        ]
+        recv = self.exchange_blocks(send)
+        return DistributedVector([np.concatenate(recv[j]) for j in range(p)])
+
+    # ------------------------------------------------------------------
+    def bytes_per_rank_per_transpose(self, local_size: int) -> int:
+        """Bytes one rank injects into the network during one transposition."""
+
+        p = self.ranks
+        sub = local_size // p
+        payload = sub * 16 * (p - 1)  # complex128 = 16 bytes, p-1 remote peers
+        checksum_overhead = 32 * (p - 1) if self.protect_messages else 0
+        return payload + checksum_overhead
+
+    def reset_counters(self) -> None:
+        self.bytes_sent = 0
+        self.messages_sent = 0
+        self.corrected_blocks = 0
+        self.unrecoverable_blocks = 0

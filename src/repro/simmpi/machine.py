@@ -1,0 +1,120 @@
+"""Machine models used to convert work into virtual time.
+
+A :class:`MachineModel` is a handful of rates (sustained flop rate per rank,
+memory bandwidth per rank, network latency and per-rank bisection bandwidth).
+It is intentionally crude - the goal is to reproduce the *shape* of the
+paper's parallel results (who wins, how overlap helps, how overhead scales
+with p and N), not to predict TIANHE-2 runtimes to the second.
+
+Two presets are provided:
+
+``TIANHE2_LIKE``
+    Rates in the ballpark of one TIANHE-2 node slice per MPI rank (the paper
+    runs 24 ranks per node); used by the Fig. 8 / Table 2-3 benchmarks so
+    virtual times land in the same order of magnitude as the paper's
+    seconds.
+``LAPTOP_LIKE``
+    Rates representative of the machine running this reproduction; used by
+    tests and examples where absolute magnitude is irrelevant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MachineModel", "TIANHE2_LIKE", "LAPTOP_LIKE"]
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """Rates describing one rank of the simulated machine.
+
+    Parameters
+    ----------
+    flops_per_second:
+        Sustained floating-point rate of one rank on FFT-like code (well
+        below peak; FFTs are memory-bound).
+    memory_bandwidth:
+        Bytes/second of streaming memory traffic per rank.  Checksum
+        generation and verification passes are charged against this rather
+        than the flop rate because they are pure streaming operations.
+    network_latency:
+        Per-message latency in seconds.
+    network_bandwidth:
+        Bytes/second a rank can inject into the network.
+    """
+
+    name: str
+    flops_per_second: float
+    memory_bandwidth: float
+    network_latency: float
+    network_bandwidth: float
+
+    # ------------------------------------------------------------------
+    def compute_time(self, flops: float) -> float:
+        """Seconds needed for ``flops`` floating-point operations."""
+
+        if flops <= 0:
+            return 0.0
+        return float(flops) / self.flops_per_second
+
+    def streaming_time(self, data_bytes: float) -> float:
+        """Seconds needed to stream ``data_bytes`` through memory once."""
+
+        if data_bytes <= 0:
+            return 0.0
+        return float(data_bytes) / self.memory_bandwidth
+
+    def fft_time(self, n: int, batch: int = 1) -> float:
+        """Seconds for ``batch`` transforms of size ``n`` (5 n log2 n model)."""
+
+        import numpy as np
+
+        if n <= 1:
+            return 0.0
+        flops = 5.0 * n * float(np.log2(n)) * batch
+        return self.compute_time(flops)
+
+    def message_time(self, data_bytes: float, messages: int = 1) -> float:
+        """Seconds for ``messages`` messages totalling ``data_bytes``."""
+
+        return messages * self.network_latency + float(data_bytes) / self.network_bandwidth
+
+    def alltoall_time(self, bytes_per_rank: float, ranks: int) -> float:
+        """Seconds for an all-to-all where each rank exchanges ``bytes_per_rank``.
+
+        Modelled as ``ranks - 1`` point-to-point messages per rank, pipelined
+        so a rank's cost is the sum of its own sends (a common flat model for
+        large transposes).
+        """
+
+        if ranks <= 1:
+            return 0.0
+        per_peer = bytes_per_rank / ranks
+        return (ranks - 1) * self.message_time(per_peer)
+
+
+#: Roughly one MPI rank on a TIANHE-2 compute node (two Xeon E5-2692 + custom
+#: TH-Express interconnect shared by 24 ranks per node).  The flop rate is
+#: calibrated to the paper's *sequential* FFTW measurements (Table 1: a
+#: 2^25-point transform in 3.71 s is an effective ~1.1 GFlop/s per core on
+#: 5 N log2 N operations); the network latency is an effective per-peer
+#: all-to-all cost that folds in synchronisation and NIC contention from 24
+#: ranks per node, which is what makes large-p strong scaling
+#: communication-bound as in the paper's Table 2.
+TIANHE2_LIKE = MachineModel(
+    name="tianhe2-like",
+    flops_per_second=1.1e9,
+    memory_bandwidth=2.0e9,
+    network_latency=5.0e-4,
+    network_bandwidth=0.25e9,
+)
+
+#: A single laptop/container core running NumPy.
+LAPTOP_LIKE = MachineModel(
+    name="laptop-like",
+    flops_per_second=1.0e9,
+    memory_bandwidth=8.0e9,
+    network_latency=1.0e-6,
+    network_bandwidth=4.0e9,
+)

@@ -1,0 +1,38 @@
+"""Shared utilities for the FT-FFT reproduction.
+
+This package deliberately contains only small, dependency-free helpers that
+are used across the substrate packages (:mod:`repro.fftlib`,
+:mod:`repro.core`, :mod:`repro.simmpi`, ...): input validation, seeded random
+number management, wall-clock timing, and plain-text report/table rendering
+used by the benchmark harnesses.
+"""
+
+from repro.utils.validation import (
+    as_complex_vector,
+    as_complex_matrix,
+    ensure_positive_int,
+    ensure_power_of,
+    is_power_of_two,
+    split_size,
+)
+from repro.utils.rng import RandomSource, default_rng, spawn_rngs
+from repro.utils.timing import Stopwatch, Timer, measure
+from repro.utils.reporting import Table, format_float, render_table
+
+__all__ = [
+    "as_complex_vector",
+    "as_complex_matrix",
+    "ensure_positive_int",
+    "ensure_power_of",
+    "is_power_of_two",
+    "split_size",
+    "RandomSource",
+    "default_rng",
+    "spawn_rngs",
+    "Stopwatch",
+    "Timer",
+    "measure",
+    "Table",
+    "format_float",
+    "render_table",
+]

@@ -1,0 +1,108 @@
+"""Plain-text table rendering for benchmark harnesses.
+
+Every benchmark regenerates one of the paper's tables or figures and prints
+its rows in the same layout as the paper (scheme x problem-size grids).  The
+rendering is deliberately dependency-free so the harnesses run in minimal
+environments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+__all__ = ["format_float", "Table", "render_table"]
+
+Cell = Union[str, float, int, None]
+
+
+def format_float(value: float, *, digits: int = 3) -> str:
+    """Format a float compactly (scientific notation for tiny magnitudes)."""
+
+    if value is None:
+        return "-"
+    if value == 0:
+        return "0"
+    if abs(value) >= 0.01 or abs(value) >= 10 ** (-digits):
+        return f"{value:.{digits}f}"
+    return f"{value:.2e}"
+
+
+def _stringify(cell: Cell, digits: int) -> str:
+    if cell is None:
+        return "-"
+    if isinstance(cell, str):
+        return cell
+    if isinstance(cell, bool):
+        return "yes" if cell else "no"
+    if isinstance(cell, int):
+        return str(cell)
+    return format_float(float(cell), digits=digits)
+
+
+@dataclass
+class Table:
+    """A small column-aligned table builder."""
+
+    title: str
+    columns: Sequence[str]
+    digits: int = 3
+    rows: List[List[str]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *cells: Cell, **named: Cell) -> None:
+        if named:
+            if cells:
+                raise ValueError("pass either positional or named cells, not both")
+            cells = tuple(named.get(col) for col in self.columns)
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} cells, got {len(cells)}"
+            )
+        self.rows.append([_stringify(c, self.digits) for c in cells])
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def render(self) -> str:
+        return render_table(self.title, self.columns, self.rows, notes=self.notes)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()
+
+
+def render_table(
+    title: str,
+    columns: Sequence[str],
+    rows: Iterable[Sequence[str]],
+    *,
+    notes: Optional[Sequence[str]] = None,
+) -> str:
+    """Render a list of string rows under ``columns`` as an aligned table."""
+
+    rows = [list(r) for r in rows]
+    widths = [len(str(c)) for c in columns]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(str(cell)))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return "  ".join(str(c).ljust(widths[i]) for i, c in enumerate(cells))
+
+    lines = [title, "=" * max(len(title), 8)]
+    lines.append(fmt_row(columns))
+    lines.append(fmt_row(["-" * w for w in widths]))
+    for row in rows:
+        lines.append(fmt_row(row))
+    for note in notes or []:
+        lines.append(f"  note: {note}")
+    return "\n".join(lines)
+
+
+def dict_rows(columns: Sequence[str], records: Iterable[Dict[str, Cell]], digits: int = 3) -> List[List[str]]:
+    """Convert dict records into string rows following ``columns`` order."""
+
+    out: List[List[str]] = []
+    for record in records:
+        out.append([_stringify(record.get(col), digits) for col in columns])
+    return out

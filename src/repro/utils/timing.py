@@ -1,0 +1,102 @@
+"""Timing helpers used by benchmarks and the virtual-time machinery.
+
+The benchmark harnesses report both wall-clock measurements of the Python
+implementations and the analytic predictions of :mod:`repro.perfmodel`.  The
+tiny classes here keep the measurement code identical across harnesses.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional
+
+__all__ = ["Timer", "Stopwatch", "measure"]
+
+
+@dataclass
+class Timer:
+    """Accumulating timer keyed by label.
+
+    Example
+    -------
+    >>> t = Timer()
+    >>> with t.section("fft"):
+    ...     pass
+    >>> "fft" in t.totals
+    True
+    """
+
+    totals: Dict[str, float] = field(default_factory=dict)
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    @contextmanager
+    def section(self, label: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.totals[label] = self.totals.get(label, 0.0) + elapsed
+            self.counts[label] = self.counts.get(label, 0) + 1
+
+    def total(self, label: Optional[str] = None) -> float:
+        if label is None:
+            return sum(self.totals.values())
+        return self.totals.get(label, 0.0)
+
+    def reset(self) -> None:
+        self.totals.clear()
+        self.counts.clear()
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self.totals)
+
+
+class Stopwatch:
+    """Simple start/stop stopwatch returning elapsed seconds."""
+
+    def __init__(self) -> None:
+        self._start: Optional[float] = None
+        self.elapsed: float = 0.0
+
+    def start(self) -> "Stopwatch":
+        self._start = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        if self._start is None:
+            raise RuntimeError("Stopwatch.stop() called before start()")
+        self.elapsed += time.perf_counter() - self._start
+        self._start = None
+        return self.elapsed
+
+    def __enter__(self) -> "Stopwatch":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+def measure(fn: Callable[[], object], *, repeats: int = 3, warmup: int = 1) -> Dict[str, float]:
+    """Measure ``fn`` and return ``{"best": ..., "mean": ..., "times": ...}``.
+
+    The paper averages 9 (sequential) or 20 (parallel) runs; benchmarks here
+    default to a smaller repeat count but expose the same statistics.
+    """
+
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    for _ in range(max(0, warmup)):
+        fn()
+    times: List[float] = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return {
+        "best": min(times),
+        "mean": sum(times) / len(times),
+        "times": times,
+    }

@@ -1,0 +1,107 @@
+"""Tests for the round-off study (Table 4) and coverage metrics (Tables 5-6)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import (
+    DetectionSearchResult,
+    error_distribution_row,
+    minimal_detectable_magnitude,
+    relative_inf_error,
+)
+from repro.analysis.roundoff import (
+    measure_stage1_residuals,
+    measure_stage2_residuals,
+    throughput_from_residuals,
+)
+
+
+class TestResidualStudies:
+    def test_stage1_residuals_below_estimate(self):
+        study = measure_stage1_residuals(2**10, runs=3, distribution="uniform", seed=1)
+        assert study.residuals.size == 3 * 32  # k = 32 for n = 1024
+        assert study.max_residual < study.estimated_eta
+        assert study.throughput == 1.0
+
+    def test_stage2_residuals_below_estimate(self):
+        study = measure_stage2_residuals(2**10, runs=3, distribution="uniform", seed=1)
+        assert study.residuals.size == 3 * 32
+        assert study.max_residual < study.estimated_eta
+
+    def test_normal_distribution_also_covered(self):
+        study = measure_stage1_residuals(2**10, runs=2, distribution="normal", seed=2)
+        assert study.throughput >= 0.999
+
+    def test_estimate_within_two_orders_of_magnitude(self):
+        """The Section 8 bound should be conservative but not absurdly loose
+        (Table 4 shows estimate within ~6x of the observed max)."""
+
+        study = measure_stage1_residuals(2**12, runs=3, seed=3)
+        assert study.max_residual > 0
+        assert study.estimated_eta / study.max_residual < 1e4
+
+    def test_summary_keys(self):
+        study = measure_stage1_residuals(2**8, runs=1)
+        assert {"label", "sub_size", "samples", "max_residual", "estimated_eta", "throughput"} == set(
+            study.summary()
+        )
+
+    def test_unknown_distribution_rejected(self):
+        with pytest.raises(ValueError):
+            measure_stage1_residuals(256, runs=1, distribution="poisson")
+
+    def test_throughput_from_residuals(self):
+        residuals = np.array([1.0, 2.0, 3.0, 4.0])
+        assert throughput_from_residuals(residuals, 2.5) == pytest.approx(0.5)
+        assert throughput_from_residuals(np.array([]), 1.0) == 1.0
+
+
+class TestMinimalDetectableMagnitude:
+    def test_default_decade_sweep(self):
+        result = minimal_detectable_magnitude(lambda mag: mag >= 1e-5, label="toy")
+        assert result.minimal_detected == pytest.approx(1e-5)
+        assert result.label == "toy"
+
+    def test_custom_magnitudes(self):
+        result = minimal_detectable_magnitude(lambda mag: mag > 0.5, magnitudes=[1.0, 0.6, 0.4])
+        assert result.minimal_detected == pytest.approx(0.6)
+
+    def test_nothing_detected(self):
+        result = minimal_detectable_magnitude(lambda mag: False, magnitudes=[1.0, 0.1])
+        assert result.minimal_detected is None
+
+    def test_result_is_immutable_dataclass(self):
+        result = DetectionSearchResult(label="x", magnitudes=[1.0], detected=[True])
+        with pytest.raises(Exception):
+            result.label = "y"
+
+
+class TestErrorDistributionRow:
+    def test_basic_row(self):
+        row = error_distribution_row(
+            [1e-13, 1e-7, 1e-5, 0.0],
+            uncorrected=[False, False, False, True],
+            bounds=[1e-6, 1e-10],
+        )
+        assert row["uncorrected"] == pytest.approx(0.25)
+        assert row["> 1e-06"] == pytest.approx(0.5)   # 1e-5 and the inf one
+        assert row["> 1e-10"] == pytest.approx(0.75)  # plus 1e-7
+
+    def test_all_clean(self):
+        row = error_distribution_row([0.0, 0.0], uncorrected=[False, False])
+        assert all(v == 0.0 for v in row.values())
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            error_distribution_row([0.1], uncorrected=[False, True])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            error_distribution_row([], uncorrected=[])
+
+
+class TestRelativeInfError:
+    def test_matches_paper_definition(self):
+        ref = np.array([1.0, -2.0, 4.0])
+        cand = np.array([1.0, -2.0, 4.4])
+        assert relative_inf_error(ref, cand) == pytest.approx(0.1)

@@ -1,0 +1,49 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import RandomSource
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic NumPy generator (fresh per test)."""
+
+    return np.random.default_rng(20170712)
+
+
+@pytest.fixture
+def source() -> RandomSource:
+    """A deterministic :class:`RandomSource` (fresh per test)."""
+
+    return RandomSource(seed=20170712)
+
+
+@pytest.fixture
+def random_complex(rng):
+    """Factory producing random complex vectors of a requested size."""
+
+    def make(n: int, scale: float = 1.0) -> np.ndarray:
+        return scale * (rng.standard_normal(n) + 1j * rng.standard_normal(n))
+
+    return make
+
+
+def assert_spectra_close(got, want, *, rtol_scale: float = 1e-9):
+    """Assert two spectra agree to a relative infinity-norm tolerance."""
+
+    got = np.asarray(got)
+    want = np.asarray(want)
+    denom = max(float(np.max(np.abs(want))), 1e-300)
+    err = float(np.max(np.abs(got - want))) / denom
+    assert err < rtol_scale, f"relative error {err:.3e} exceeds {rtol_scale:.1e}"
+
+
+@pytest.fixture
+def spectra_close():
+    """Expose :func:`assert_spectra_close` as a fixture."""
+
+    return assert_spectra_close

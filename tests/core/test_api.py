@@ -1,0 +1,99 @@
+"""Tests for the public API facade and scheme registry."""
+
+import numpy as np
+import pytest
+
+from repro.core.api import FaultTolerantFFT, available_schemes, create_scheme, ft_fft
+from repro.core.base import OptimizationFlags
+from repro.core.thresholds import ThresholdPolicy
+from repro.faults.injector import FaultInjector
+from repro.faults.models import FaultSite
+
+
+class TestRegistry:
+    def test_expected_schemes_present(self):
+        names = set(available_schemes())
+        assert {"fftw", "offline", "opt-offline", "online", "opt-online",
+                "offline+mem", "opt-offline+mem", "online+mem", "opt-online+mem"} <= names
+
+    def test_create_scheme_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown scheme"):
+            create_scheme("nope", 64)
+
+    @pytest.mark.parametrize("name", ["fftw", "opt-online+mem", "opt-offline"])
+    def test_created_schemes_execute(self, name, random_complex, spectra_close):
+        scheme = create_scheme(name, 128)
+        x = random_complex(128)
+        spectra_close(scheme.execute(x).output, np.fft.fft(x))
+
+    def test_kwargs_forwarded(self):
+        scheme = create_scheme("opt-online+mem", 512, m=64, k=8)
+        assert (scheme.m, scheme.k) == (64, 8)
+
+
+class TestFtFft:
+    def test_default_scheme(self, random_complex, spectra_close):
+        x = random_complex(256)
+        result = ft_fft(x)
+        spectra_close(result.output, np.fft.fft(x))
+        assert result.scheme == "opt-online+mem"
+
+    def test_explicit_scheme_and_injector(self, random_complex, spectra_close):
+        x = random_complex(256)
+        injector = FaultInjector().arm_computational(FaultSite.STAGE1_COMPUTE, magnitude=5.0)
+        result = ft_fft(x, scheme="opt-online", injector=injector)
+        spectra_close(result.output, np.fft.fft(x))
+        assert result.detected
+
+
+class TestFaultTolerantFFT:
+    def test_forward(self, random_complex, spectra_close):
+        ft = FaultTolerantFFT(1024)
+        x = random_complex(1024)
+        spectra_close(ft.forward(x).output, np.fft.fft(x))
+
+    def test_inverse(self, random_complex, spectra_close):
+        ft = FaultTolerantFFT(1024)
+        x = random_complex(1024)
+        spectra_close(ft.inverse(np.fft.fft(x)).output, x, rtol_scale=1e-8)
+
+    def test_forward_inverse_round_trip(self, random_complex, spectra_close):
+        ft = FaultTolerantFFT(400)
+        x = random_complex(400)
+        spectra_close(ft.inverse(ft.forward(x).output).output, x, rtol_scale=1e-8)
+
+    def test_callable_shortcut(self, random_complex, spectra_close):
+        ft = FaultTolerantFFT(64, scheme="fftw")
+        x = random_complex(64)
+        spectra_close(ft(x).output, np.fft.fft(x))
+
+    def test_reusable_across_many_inputs(self, random_complex, spectra_close):
+        ft = FaultTolerantFFT(128)
+        for _ in range(4):
+            x = random_complex(128)
+            spectra_close(ft.forward(x).output, np.fft.fft(x))
+
+    def test_protection_applies_during_inverse(self, random_complex, spectra_close):
+        ft = FaultTolerantFFT(512)
+        x = random_complex(512)
+        injector = FaultInjector().arm_computational(FaultSite.STAGE1_COMPUTE, magnitude=6.0)
+        result = ft.inverse(np.fft.fft(x), injector)
+        assert result.report.detected
+        spectra_close(result.output, x, rtol_scale=1e-8)
+
+    def test_custom_thresholds_and_flags(self, random_complex, spectra_close):
+        ft = FaultTolerantFFT(
+            256,
+            scheme="opt-online+mem",
+            thresholds=ThresholdPolicy(),
+            flags=OptimizationFlags(group_size=8),
+        )
+        x = random_complex(256)
+        spectra_close(ft.forward(x).output, np.fft.fft(x))
+
+    def test_explicit_factors(self):
+        ft = FaultTolerantFFT(512, m=64, k=8)
+        assert ft.scheme.m == 64 and ft.scheme.k == 8
+
+    def test_describe(self):
+        assert "opt-online+mem" in FaultTolerantFFT(64).describe()

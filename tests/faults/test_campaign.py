@@ -1,0 +1,128 @@
+"""Tests for fault-injection campaigns."""
+
+import numpy as np
+import pytest
+
+from repro.faults.campaign import CampaignResult, CoverageCampaign, TrialOutcome, relative_inf_error
+from repro.faults.models import FaultKind, FaultSite, FaultSpec
+
+
+class TestRelativeInfError:
+    def test_zero_for_identical(self):
+        x = np.array([1 + 1j, 2.0])
+        assert relative_inf_error(x, x) == 0.0
+
+    def test_scales_by_reference_norm(self):
+        ref = np.array([0.0, 10.0])
+        cand = np.array([1.0, 10.0])
+        assert relative_inf_error(ref, cand) == pytest.approx(0.1)
+
+    def test_zero_reference_falls_back_to_absolute(self):
+        ref = np.zeros(3)
+        cand = np.array([0.0, 0.5, 0.0])
+        assert relative_inf_error(ref, cand) == pytest.approx(0.5)
+
+
+class TestTrialOutcome:
+    def test_silent_corruption_flag(self):
+        silent = TrialOutcome(trial=0, injected=1, detected=False, corrected=False, uncorrected=False, relative_error=1.0)
+        caught = TrialOutcome(trial=1, injected=1, detected=True, corrected=True, uncorrected=False, relative_error=0.0)
+        clean = TrialOutcome(trial=2, injected=0, detected=False, corrected=False, uncorrected=False, relative_error=0.0)
+        assert silent.silent_corruption
+        assert not caught.silent_corruption
+        assert not clean.silent_corruption
+
+
+class TestCampaignResult:
+    def _result(self):
+        result = CampaignResult()
+        result.add(TrialOutcome(0, 1, True, True, False, 1e-15))
+        result.add(TrialOutcome(1, 1, True, False, True, 1e-3))
+        result.add(TrialOutcome(2, 1, False, False, False, 1e-7))
+        result.add(TrialOutcome(3, 0, False, False, False, 0.0))
+        return result
+
+    def test_rates(self):
+        result = self._result()
+        assert result.trials == 4
+        assert result.detection_rate == pytest.approx(2 / 3)
+        assert result.correction_rate == pytest.approx(1 / 3)
+        assert result.uncorrected_fraction == pytest.approx(1 / 4)
+
+    def test_fraction_with_error_above(self):
+        result = self._result()
+        # uncorrected trial counts as infinite error
+        assert result.fraction_with_error_above(1e-6) == pytest.approx(1 / 4)
+        assert result.fraction_with_error_above(1e-12) == pytest.approx(2 / 4)
+
+    def test_coverage_is_complement(self):
+        result = self._result()
+        assert result.coverage_at(1e-6) == pytest.approx(1 - result.fraction_with_error_above(1e-6))
+
+    def test_error_distribution_keys(self):
+        dist = self._result().error_distribution([1e-6, 1e-12])
+        assert set(dist) == {1e-6, 1e-12}
+
+    def test_empty_result_defaults(self):
+        result = CampaignResult()
+        assert result.detection_rate == 1.0
+        assert result.fraction_with_error_above(1.0) == 0.0
+
+    def test_summary_fields(self):
+        summary = self._result().summary()
+        assert set(summary) == {"trials", "detection_rate", "correction_rate", "uncorrected_fraction"}
+
+
+class TestCoverageCampaign:
+    def test_end_to_end_with_toy_scheme(self):
+        """A toy 'scheme' that sums its input; the fault adds 100 to one element."""
+
+        def make_input(trial, rng):
+            return np.ones(8, dtype=complex)
+
+        def reference(x):
+            return x.copy()
+
+        def make_faults(trial, rng):
+            if trial % 2 == 0:
+                return [FaultSpec(site=FaultSite.INPUT, element=0, kind=FaultKind.ADD_CONSTANT, magnitude=100.0)]
+            return []
+
+        def run_trial(x, injector):
+            injector.visit(FaultSite.INPUT, x)
+            detected = bool(np.max(np.abs(x)) > 50)
+            corrected = False
+            if detected:
+                x[np.argmax(np.abs(x))] = 1.0
+                corrected = True
+            return x, detected, corrected, False
+
+        campaign = CoverageCampaign(
+            make_input=make_input, run_trial=run_trial, reference=reference, make_faults=make_faults, seed=1
+        )
+        result = campaign.run(6)
+        assert result.trials == 6
+        assert result.detection_rate == 1.0  # every injected trial detected
+        assert result.correction_rate == 1.0
+        assert all(o.relative_error < 1e-12 for o in result.outcomes)
+
+    def test_injected_count_recorded(self):
+        campaign = CoverageCampaign(
+            make_input=lambda t, rng: np.ones(4, dtype=complex),
+            run_trial=lambda x, inj: (inj.visit(FaultSite.INPUT, x), x)[1:] and (x, False, False, False),
+            reference=lambda x: x.copy(),
+            make_faults=lambda t, rng: [FaultSpec(site=FaultSite.INPUT, element=0)],
+            seed=2,
+        )
+        result = campaign.run(3)
+        assert all(o.injected == 1 for o in result.outcomes)
+
+    def test_rejects_non_positive_trials(self):
+        campaign = CoverageCampaign(
+            make_input=lambda t, rng: np.ones(2, dtype=complex),
+            run_trial=lambda x, inj: (x, False, False, False),
+            reference=lambda x: x,
+            make_faults=lambda t, rng: [],
+        )
+        with pytest.raises(ValueError):
+            campaign.run(0)

@@ -1,0 +1,131 @@
+"""Tests for the fault injector."""
+
+import numpy as np
+import pytest
+
+from repro.faults.injector import FaultInjector, NullInjector
+from repro.faults.models import FaultKind, FaultSite, FaultSpec
+
+
+class TestNullInjector:
+    def test_never_fires(self):
+        array = np.ones(4, dtype=complex)
+        injector = NullInjector()
+        assert injector.visit(FaultSite.INPUT, array) is False
+        assert np.all(array == 1)
+        assert injector.fired_count == 0
+
+
+class TestArmAndVisit:
+    def test_add_constant_fault(self):
+        injector = FaultInjector().arm_computational(FaultSite.STAGE1_COMPUTE, element=2, magnitude=5.0)
+        array = np.zeros(4, dtype=complex)
+        fired = injector.visit(FaultSite.STAGE1_COMPUTE, array)
+        assert fired and array[2] == 5.0
+        assert injector.fired_count == 1
+
+    def test_set_constant_fault(self):
+        injector = FaultInjector().arm_memory(FaultSite.INPUT, element=1, magnitude=7.0)
+        array = np.full(4, 2 + 2j)
+        injector.visit(FaultSite.INPUT, array)
+        assert array[1] == 7.0
+
+    def test_bitflip_fault_changes_value(self):
+        injector = FaultInjector().arm_bitflip(FaultSite.OUTPUT, element=0, bit=62)
+        array = np.ones(4, dtype=complex)
+        injector.visit(FaultSite.OUTPUT, array)
+        assert array[0] != 1.0
+
+    def test_one_shot_semantics(self):
+        injector = FaultInjector().arm_computational(FaultSite.OUTPUT, element=0)
+        array = np.zeros(2, dtype=complex)
+        assert injector.visit(FaultSite.OUTPUT, array)
+        assert not injector.visit(FaultSite.OUTPUT, array)
+        assert injector.fired_count == 1
+
+    def test_persistent_spec_fires_repeatedly(self):
+        spec = FaultSpec(site=FaultSite.OUTPUT, element=0, fire_once=False, magnitude=1.0)
+        injector = FaultInjector(specs=[spec])
+        array = np.zeros(2, dtype=complex)
+        injector.visit(FaultSite.OUTPUT, array)
+        injector.visit(FaultSite.OUTPUT, array)
+        assert array[0] == 2.0
+        assert injector.fired_count == 2
+
+    def test_site_filtering(self):
+        injector = FaultInjector().arm_memory(FaultSite.INTERMEDIATE, element=0)
+        array = np.zeros(2, dtype=complex)
+        assert not injector.visit(FaultSite.INPUT, array)
+        assert injector.visit(FaultSite.INTERMEDIATE, array)
+
+    def test_index_filtering(self):
+        injector = FaultInjector().arm_computational(FaultSite.STAGE1_COMPUTE, index=3, element=0)
+        array = np.zeros(2, dtype=complex)
+        assert not injector.visit(FaultSite.STAGE1_COMPUTE, array, index=2)
+        assert injector.visit(FaultSite.STAGE1_COMPUTE, array, index=3)
+
+    def test_rank_filtering(self):
+        injector = FaultInjector().arm_computational(FaultSite.RANK_LOCAL_FFT, rank=1, element=0)
+        array = np.zeros(2, dtype=complex)
+        assert not injector.visit(FaultSite.RANK_LOCAL_FFT, array, rank=0)
+        assert injector.visit(FaultSite.RANK_LOCAL_FFT, array, rank=1)
+
+    def test_corruption_lands_in_noncontiguous_views(self):
+        base = np.zeros((4, 4), dtype=complex)
+        column = base[:, 2]  # strided view
+        injector = FaultInjector().arm_computational(FaultSite.OUTPUT, element=1, magnitude=3.0)
+        injector.visit(FaultSite.OUTPUT, column)
+        assert base[1, 2] == 3.0
+
+    def test_corruption_in_2d_array(self):
+        base = np.zeros((3, 5), dtype=complex)
+        injector = FaultInjector().arm_memory(FaultSite.INTERMEDIATE, element=7, magnitude=9.0)
+        injector.visit(FaultSite.INTERMEDIATE, base)
+        assert base.reshape(-1)[7] == 9.0
+
+    def test_element_wraps_modulo_size(self):
+        injector = FaultInjector().arm_computational(FaultSite.OUTPUT, element=10, magnitude=1.0)
+        array = np.zeros(4, dtype=complex)
+        injector.visit(FaultSite.OUTPUT, array)
+        assert array[10 % 4] == 1.0
+
+    def test_random_element_uses_rng(self):
+        injector = FaultInjector(rng=np.random.default_rng(0)).arm_computational(FaultSite.OUTPUT, magnitude=1.0)
+        array = np.zeros(100, dtype=complex)
+        injector.visit(FaultSite.OUTPUT, array)
+        assert np.count_nonzero(array) == 1
+
+    def test_multiple_specs_can_fire_on_one_visit(self):
+        injector = (
+            FaultInjector()
+            .arm_computational(FaultSite.OUTPUT, element=0, magnitude=1.0)
+            .arm_computational(FaultSite.OUTPUT, element=1, magnitude=2.0)
+        )
+        array = np.zeros(4, dtype=complex)
+        injector.visit(FaultSite.OUTPUT, array)
+        assert array[0] == 1.0 and array[1] == 2.0
+
+
+class TestEventsAndReset:
+    def test_event_records_original_and_corrupted(self):
+        injector = FaultInjector().arm_memory(FaultSite.INPUT, element=0, magnitude=5.0)
+        array = np.array([1 + 1j, 2 + 2j])
+        injector.visit(FaultSite.INPUT, array)
+        event = injector.events[0]
+        assert event.original_value == 1 + 1j
+        assert event.corrupted_value == 5.0
+        assert event.element == 0
+
+    def test_reset_rearms_specs(self):
+        injector = FaultInjector().arm_memory(FaultSite.INPUT, element=0, magnitude=5.0)
+        array = np.zeros(2, dtype=complex)
+        injector.visit(FaultSite.INPUT, array)
+        injector.reset()
+        assert injector.fired_count == 0
+        assert injector.visit(FaultSite.INPUT, array)
+
+    def test_from_specs_constructor(self):
+        specs = [FaultSpec(site=FaultSite.OUTPUT, element=0)]
+        injector = FaultInjector.from_specs(specs, seed=3)
+        array = np.zeros(2, dtype=complex)
+        assert injector.visit(FaultSite.OUTPUT, array)

@@ -1,0 +1,106 @@
+"""Tests for fault models and IEEE-754 bit flipping."""
+
+import numpy as np
+import pytest
+
+from repro.faults.bitflip import HIGH_BIT_RANGE, flip_bit_in_complex, flip_bit_in_float, random_high_bit
+from repro.faults.models import COMPUTE_SITES, FaultEvent, FaultKind, FaultSite, FaultSpec
+
+
+class TestBitFlip:
+    def test_flip_is_involutive(self):
+        value = 3.14159
+        for bit in [0, 12, 40, 52, 62, 63]:
+            assert flip_bit_in_float(flip_bit_in_float(value, bit), bit) == value
+
+    def test_sign_bit_negates(self):
+        assert flip_bit_in_float(2.5, 63) == -2.5
+
+    def test_low_bit_changes_value_slightly(self):
+        original = 1.0
+        flipped = flip_bit_in_float(original, 0)
+        assert flipped != original
+        assert abs(flipped - original) < 1e-15
+
+    def test_exponent_bit_changes_value_vastly(self):
+        original = 1.0
+        flipped = flip_bit_in_float(original, 62)
+        assert abs(flipped) > 1e100 or abs(flipped) < 1e-100
+
+    def test_out_of_range_bit_rejected(self):
+        with pytest.raises(ValueError):
+            flip_bit_in_float(1.0, 64)
+
+    def test_complex_real_component(self):
+        value = 1.0 + 2.0j
+        flipped = flip_bit_in_complex(value, 63)
+        assert flipped == -1.0 + 2.0j
+
+    def test_complex_imaginary_component(self):
+        value = 1.0 + 2.0j
+        flipped = flip_bit_in_complex(value, 63, imaginary=True)
+        assert flipped == 1.0 - 2.0j
+
+    def test_random_high_bit_in_range(self, rng):
+        for _ in range(50):
+            bit = random_high_bit(rng)
+            assert HIGH_BIT_RANGE[0] <= bit < HIGH_BIT_RANGE[1]
+
+    def test_random_high_bit_custom_range(self, rng):
+        assert random_high_bit(rng, low=60, high=61) == 60
+
+    def test_random_high_bit_invalid_range(self, rng):
+        with pytest.raises(ValueError):
+            random_high_bit(rng, low=10, high=5)
+
+
+class TestFaultSpec:
+    def test_defaults_are_one_shot_additive(self):
+        spec = FaultSpec(site=FaultSite.STAGE1_COMPUTE)
+        assert spec.kind is FaultKind.ADD_CONSTANT
+        assert spec.fire_once
+
+    def test_matches_site_and_index(self):
+        spec = FaultSpec(site=FaultSite.STAGE1_COMPUTE, index=3)
+        assert spec.matches(FaultSite.STAGE1_COMPUTE, 3, None)
+        assert not spec.matches(FaultSite.STAGE1_COMPUTE, 4, None)
+        assert not spec.matches(FaultSite.STAGE2_COMPUTE, 3, None)
+
+    def test_wildcard_index_matches_any(self):
+        spec = FaultSpec(site=FaultSite.OUTPUT)
+        assert spec.matches(FaultSite.OUTPUT, 7, None)
+        assert spec.matches(FaultSite.OUTPUT, None, None)
+
+    def test_rank_filter(self):
+        spec = FaultSpec(site=FaultSite.RANK_LOCAL_FFT, rank=2)
+        assert spec.matches(FaultSite.RANK_LOCAL_FFT, None, 2)
+        assert not spec.matches(FaultSite.RANK_LOCAL_FFT, None, 3)
+
+    def test_fired_spec_stops_matching(self):
+        spec = FaultSpec(site=FaultSite.OUTPUT)
+        spec.fired = 1
+        assert not spec.matches(FaultSite.OUTPUT, None, None)
+
+    def test_persistent_spec_keeps_matching(self):
+        spec = FaultSpec(site=FaultSite.OUTPUT, fire_once=False)
+        spec.fired = 5
+        assert spec.matches(FaultSite.OUTPUT, None, None)
+
+    def test_is_computational_classification(self):
+        assert FaultSpec(site=FaultSite.STAGE1_COMPUTE).is_computational
+        assert not FaultSpec(site=FaultSite.INPUT).is_computational
+        assert FaultSite.TWIDDLE_COMPUTE in COMPUTE_SITES
+
+
+class TestFaultEvent:
+    def test_delta(self):
+        event = FaultEvent(
+            site=FaultSite.OUTPUT,
+            index=None,
+            element=3,
+            kind=FaultKind.ADD_CONSTANT,
+            rank=None,
+            original_value=1 + 1j,
+            corrupted_value=4 + 1j,
+        )
+        assert event.delta == 3 + 0j

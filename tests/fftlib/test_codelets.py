@@ -1,0 +1,72 @@
+"""Tests for the hand-written small-size codelets."""
+
+import numpy as np
+import pytest
+
+from repro.fftlib.codelets import (
+    SUPPORTED_CODELET_SIZES,
+    apply_codelet,
+    codelet_flop_count,
+    has_codelet,
+)
+
+
+class TestRegistry:
+    def test_supported_sizes(self):
+        assert set(SUPPORTED_CODELET_SIZES) == {1, 2, 3, 4, 5, 6, 7, 8, 16}
+
+    def test_has_codelet(self):
+        assert has_codelet(8)
+        assert not has_codelet(9)
+
+    def test_flop_count_known_sizes(self):
+        assert codelet_flop_count(2) == 4
+        assert codelet_flop_count(8) == 52
+
+    def test_flop_count_fallback_positive(self):
+        assert codelet_flop_count(32) > 0
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n", SUPPORTED_CODELET_SIZES)
+    def test_matches_numpy_single(self, n, random_complex):
+        x = random_complex(n)
+        assert np.allclose(apply_codelet(x, n), np.fft.fft(x), atol=1e-12)
+
+    @pytest.mark.parametrize("n", SUPPORTED_CODELET_SIZES)
+    def test_matches_numpy_batched(self, n, random_complex):
+        x = random_complex(n * 7).reshape(7, n)
+        assert np.allclose(apply_codelet(x, n), np.fft.fft(x, axis=-1), atol=1e-12)
+
+    @pytest.mark.parametrize("n", SUPPORTED_CODELET_SIZES)
+    def test_inverse_is_unnormalised_conjugate(self, n, random_complex):
+        x = random_complex(n)
+        inverse = apply_codelet(x, n, inverse=True)
+        assert np.allclose(inverse, np.fft.ifft(x) * n, atol=1e-12)
+
+    @pytest.mark.parametrize("n", [3, 5, 8])
+    def test_multidimensional_batch(self, n, random_complex):
+        x = random_complex(n * 6).reshape(2, 3, n)
+        assert np.allclose(apply_codelet(x, n), np.fft.fft(x, axis=-1), atol=1e-12)
+
+    def test_linearity(self, random_complex):
+        x = random_complex(8)
+        y = random_complex(8)
+        lhs = apply_codelet(2.0 * x + 3.0 * y, 8)
+        rhs = 2.0 * apply_codelet(x, 8) + 3.0 * apply_codelet(y, 8)
+        assert np.allclose(lhs, rhs, atol=1e-12)
+
+    def test_impulse_gives_flat_spectrum(self):
+        x = np.zeros(16, dtype=np.complex128)
+        x[0] = 1.0
+        assert np.allclose(apply_codelet(x, 16), np.ones(16), atol=1e-12)
+
+
+class TestErrors:
+    def test_unknown_size_raises(self):
+        with pytest.raises(KeyError):
+            apply_codelet(np.zeros(9, dtype=complex), 9)
+
+    def test_wrong_axis_length_raises(self):
+        with pytest.raises(ValueError):
+            apply_codelet(np.zeros(7, dtype=complex), 8)

@@ -1,0 +1,103 @@
+"""Tests for the reference DFT and the twiddle-factor cache."""
+
+import numpy as np
+import pytest
+
+from repro.fftlib.dft import dft_matrix, direct_dft, direct_idft, direct_dft_along_axis
+from repro.fftlib.twiddle import TwiddleCache, get_global_cache, omega, stage_twiddles, twiddle_factors
+
+
+class TestDftMatrix:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 8, 16])
+    def test_matches_numpy_fft_on_identity(self, n):
+        matrix = dft_matrix(n)
+        assert np.allclose(matrix, np.fft.fft(np.eye(n), axis=0).T)
+
+    def test_inverse_matrix_inverts(self):
+        n = 12
+        forward = dft_matrix(n)
+        backward = dft_matrix(n, inverse=True)
+        assert np.allclose(backward @ forward, np.eye(n), atol=1e-12)
+
+    def test_forward_is_symmetric(self):
+        matrix = dft_matrix(9)
+        assert np.allclose(matrix, matrix.T)
+
+
+class TestDirectDft:
+    @pytest.mark.parametrize("n", [1, 2, 5, 8, 13, 32])
+    def test_matches_numpy(self, n, random_complex):
+        x = random_complex(n)
+        assert np.allclose(direct_dft(x), np.fft.fft(x), atol=1e-9)
+
+    def test_inverse_round_trip(self, random_complex):
+        x = random_complex(17)
+        assert np.allclose(direct_idft(direct_dft(x)), x, atol=1e-10)
+
+    def test_batched_last_axis(self, random_complex):
+        x = random_complex(6 * 5).reshape(5, 6)
+        assert np.allclose(direct_dft(x), np.fft.fft(x, axis=-1), atol=1e-10)
+
+    def test_along_axis(self, random_complex):
+        x = random_complex(6 * 5).reshape(6, 5)
+        assert np.allclose(direct_dft_along_axis(x, axis=0), np.fft.fft(x, axis=0), atol=1e-10)
+
+
+class TestOmegaAndTwiddles:
+    def test_omega_forward_is_unit_magnitude(self):
+        w = omega(16)
+        assert abs(abs(w) - 1.0) < 1e-15
+        assert np.isclose(w ** 16, 1.0)
+
+    def test_omega_inverse_is_conjugate(self):
+        assert np.isclose(omega(8, inverse=True), np.conj(omega(8)))
+
+    def test_twiddle_factors_are_powers(self):
+        tw = twiddle_factors(8)
+        w = omega(8)
+        assert np.allclose(tw, [w**j for j in range(8)])
+
+    def test_stage_twiddles_match_definition(self):
+        m, k = 4, 3
+        tw = stage_twiddles(m, k)
+        n = m * k
+        expected = np.array([[omega(n) ** (j2 * n1) for n1 in range(k)] for j2 in range(m)])
+        assert np.allclose(tw, expected)
+
+    def test_stage_twiddles_inverse_conjugate(self):
+        assert np.allclose(stage_twiddles(4, 4, inverse=True), np.conj(stage_twiddles(4, 4)))
+
+
+class TestTwiddleCache:
+    def test_hit_returns_same_object(self):
+        cache = TwiddleCache()
+        a = cache.vector(32)
+        b = cache.vector(32)
+        assert a is b
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_distinct_keys_are_separate(self):
+        cache = TwiddleCache()
+        assert cache.vector(8) is not cache.vector(8, inverse=True)
+
+    def test_eviction_respects_capacity(self):
+        cache = TwiddleCache(max_entries=2)
+        cache.vector(2)
+        cache.vector(3)
+        cache.vector(4)
+        assert len(cache) <= 2
+
+    def test_clear_resets(self):
+        cache = TwiddleCache()
+        cache.vector(8)
+        cache.clear()
+        assert len(cache) == 0 and cache.hits == 0
+
+    def test_dft_matrix_caching(self):
+        cache = TwiddleCache()
+        m = cache.dft_matrix(5)
+        assert np.allclose(m, dft_matrix(5))
+        assert cache.dft_matrix(5) is m
+
+    def test_global_cache_is_singleton(self):
+        assert get_global_cache() is get_global_cache()

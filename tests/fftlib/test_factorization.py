@@ -1,0 +1,85 @@
+"""Tests for repro.fftlib.factorization."""
+
+import numpy as np
+import pytest
+
+from repro.fftlib import factorization as fz
+
+
+class TestSmallestPrimeFactor:
+    @pytest.mark.parametrize("n,expected", [(1, 1), (2, 2), (9, 3), (35, 5), (49, 7), (97, 97), (2**20, 2)])
+    def test_values(self, n, expected):
+        assert fz.smallest_prime_factor(n) == expected
+
+
+class TestIsPrime:
+    @pytest.mark.parametrize("n", [2, 3, 5, 7, 11, 13, 97, 101, 8191])
+    def test_primes(self, n):
+        assert fz.is_prime(n)
+
+    @pytest.mark.parametrize("n", [1, 4, 6, 9, 91, 1024])
+    def test_composites(self, n):
+        assert not fz.is_prime(n)
+
+
+class TestPrimeFactors:
+    @pytest.mark.parametrize("n", [2, 12, 360, 1024, 9973, 2 * 3 * 5 * 7 * 11])
+    def test_product_reconstructs(self, n):
+        assert int(np.prod(fz.prime_factors(n))) == n
+
+    def test_factors_are_sorted_and_prime(self):
+        factors = fz.prime_factors(360)
+        assert list(factors) == sorted(factors)
+        assert all(fz.is_prime(f) for f in factors)
+
+    def test_one_has_no_factors(self):
+        assert fz.prime_factors(1) == ()
+
+    def test_largest_prime_factor(self):
+        assert fz.largest_prime_factor(2 * 3 * 97) == 97
+        assert fz.largest_prime_factor(1) == 1
+
+
+class TestFactorPairs:
+    def test_all_pairs_multiply_to_n(self):
+        for a, b in fz.factor_pairs(360):
+            assert a * b == 360
+            assert a <= b
+
+    def test_prime_has_single_pair(self):
+        assert fz.factor_pairs(13) == [(1, 13)]
+
+
+class TestBalancedSplit:
+    @pytest.mark.parametrize("n", [4, 64, 100, 1024, 2**15, 2**16, 720, 1000000])
+    def test_product_and_ordering(self, n):
+        m, k = fz.balanced_split(n)
+        assert m * k == n
+        assert m >= k
+
+    def test_square_splits_evenly(self):
+        assert fz.balanced_split(4096) == (64, 64)
+
+    def test_power_of_two_non_square(self):
+        m, k = fz.balanced_split(2**15)
+        assert (m, k) == (256, 128)
+
+    def test_one(self):
+        assert fz.balanced_split(1) == (1, 1)
+
+
+class TestRadixSchedule:
+    @pytest.mark.parametrize("n", [2, 8, 12, 360, 1024, 2**20, 3**5, 5**4, 97])
+    def test_product_is_n(self, n):
+        assert int(np.prod(fz.radix_schedule(n))) == n
+
+    def test_prefers_large_radices(self):
+        schedule = fz.radix_schedule(2**10)
+        assert max(schedule) == 16
+        assert all(r <= 16 for r in schedule)
+
+    def test_plain_prime_schedule(self):
+        assert fz.radix_schedule(12, prefer_large=False) == (2, 2, 3)
+
+    def test_one(self):
+        assert fz.radix_schedule(1) == (1,)

@@ -1,0 +1,276 @@
+"""Tests for Plan, Planner, and the layered decomposition plans."""
+
+import numpy as np
+import pytest
+
+from repro.fftlib.inplace import InPlaceTwoLayerPlan
+from repro.fftlib.plan import Plan, PlanDirection, PlanStrategy, estimate_flops
+from repro.fftlib.planner import Planner, PlannerPolicy, get_default_planner, plan_fft
+from repro.fftlib.three_layer import ThreeLayerPlan
+from repro.fftlib.two_layer import TwoLayerDecomposition, TwoLayerPlan
+
+
+class TestPlan:
+    def test_forward_execution(self, random_complex, spectra_close):
+        p = Plan(48)
+        x = random_complex(48)
+        spectra_close(p.execute(x), np.fft.fft(x))
+
+    def test_backward_execution(self, random_complex, spectra_close):
+        p = Plan(48, PlanDirection.BACKWARD)
+        x = random_complex(48)
+        spectra_close(p.execute(x), np.fft.ifft(x), rtol_scale=1e-8)
+
+    def test_execute_batch_other_axis(self, random_complex, spectra_close):
+        p = Plan(12)
+        x = random_complex(12 * 5).reshape(12, 5)
+        spectra_close(p.execute_batch(x, axis=0), np.fft.fft(x, axis=0))
+
+    def test_size_mismatch_raises(self, random_complex):
+        with pytest.raises(ValueError):
+            Plan(8).execute(random_complex(9))
+
+    def test_inverse_plan_flips_direction(self):
+        p = Plan(16)
+        assert p.inverse_plan().direction is PlanDirection.BACKWARD
+        assert p.inverse_plan().inverse_plan().direction is PlanDirection.FORWARD
+
+    def test_describe_mentions_size(self):
+        assert "n=24" in Plan(24).describe()
+
+    def test_flops_estimate_positive_and_monotone(self):
+        assert estimate_flops(64) > estimate_flops(16) > 0
+
+    def test_plan_is_hashable_and_frozen(self):
+        p = Plan(8)
+        assert hash(p) == hash(Plan(8))
+        with pytest.raises(Exception):
+            p.n = 9
+
+
+class TestPlanner:
+    def test_wisdom_caches_plans(self):
+        planner = Planner()
+        assert planner.plan(32) is planner.plan(32)
+
+    def test_heuristic_strategies(self):
+        planner = Planner()
+        assert planner.plan(8).strategy is PlanStrategy.CODELET
+        assert planner.plan(13).strategy is PlanStrategy.DIRECT
+        assert planner.plan(1009).strategy is PlanStrategy.BLUESTEIN
+        assert planner.plan(360).strategy is PlanStrategy.MIXED_RADIX
+
+    def test_measure_policy_records_timings(self, random_complex):
+        planner = Planner(policy=PlannerPolicy.MEASURE)
+        plan = planner.plan(64)
+        assert 64 in planner.measurements
+        x = random_complex(64)
+        assert np.allclose(plan.execute(x), np.fft.fft(x), atol=1e-9)
+
+    def test_forget_clears_wisdom(self):
+        planner = Planner()
+        planner.plan(16)
+        planner.forget()
+        assert planner.wisdom == {}
+
+    def test_wisdom_export_import_round_trip(self):
+        planner = Planner()
+        planner.plan(32)
+        planner.plan(13, PlanDirection.BACKWARD)
+        data = planner.export_wisdom()
+        other = Planner()
+        other.import_wisdom(data)
+        assert other.plan(32).strategy is planner.plan(32).strategy
+
+    def test_default_planner_shared(self):
+        assert get_default_planner() is get_default_planner()
+        assert plan_fft(16) is plan_fft(16)
+
+
+class TestTwoLayerDecomposition:
+    def test_balanced_default(self):
+        d = TwoLayerDecomposition.for_size(4096)
+        assert (d.m, d.k) == (64, 64)
+
+    def test_explicit_factors(self):
+        d = TwoLayerDecomposition.for_size(24, m=6, k=4)
+        assert (d.m, d.k) == (6, 4)
+
+    def test_only_m_given(self):
+        d = TwoLayerDecomposition.for_size(24, m=8)
+        assert (d.m, d.k) == (8, 3)
+
+    def test_only_k_given(self):
+        d = TwoLayerDecomposition.for_size(24, k=3)
+        assert (d.m, d.k) == (8, 3)
+
+    def test_invalid_factorisation_rejected(self):
+        with pytest.raises(ValueError):
+            TwoLayerDecomposition.for_size(24, m=7)
+        with pytest.raises(ValueError):
+            TwoLayerDecomposition(n=24, m=5, k=5)
+
+    def test_index_maps(self):
+        d = TwoLayerDecomposition.for_size(12, m=4, k=3)
+        assert d.input_index(sub_fft=1, element=2) == 2 * 3 + 1
+        assert d.output_index(outer_index=2, inner_output=3) == 2 * 4 + 3
+
+
+class TestTwoLayerPlan:
+    @pytest.mark.parametrize("n,m,k", [(12, 4, 3), (64, 8, 8), (100, 10, 10), (720, None, None), (1024, 32, 32)])
+    def test_execute_matches_numpy(self, n, m, k, random_complex, spectra_close):
+        x = random_complex(n)
+        spectra_close(TwoLayerPlan(n, m, k).execute(x), np.fft.fft(x))
+
+    def test_backward_direction(self, random_complex, spectra_close):
+        x = random_complex(144)
+        plan = TwoLayerPlan(144, direction=PlanDirection.BACKWARD)
+        spectra_close(plan.execute(x), np.fft.ifft(x), rtol_scale=1e-8)
+
+    def test_stage_by_stage_equals_execute(self, random_complex):
+        plan = TwoLayerPlan(60, 10, 6)
+        x = random_complex(60)
+        work = plan.gather_input(x)
+        manual = plan.scatter_output(plan.stage2(plan.apply_twiddle(plan.stage1(work))))
+        assert np.allclose(manual, plan.execute(x), atol=1e-12)
+
+    def test_stage1_single_matches_column(self, random_complex):
+        plan = TwoLayerPlan(60, 10, 6)
+        work = plan.gather_input(random_complex(60))
+        full = plan.stage1(work)
+        for i in [0, 3, 5]:
+            assert np.allclose(plan.stage1_single(work, i), full[:, i], atol=1e-12)
+
+    def test_stage2_single_matches_row(self, random_complex):
+        plan = TwoLayerPlan(60, 10, 6)
+        work = plan.apply_twiddle(plan.stage1(plan.gather_input(random_complex(60))))
+        full = plan.stage2(work)
+        for j in [0, 4, 9]:
+            assert np.allclose(plan.stage2_single(work, j), full[j, :], atol=1e-12)
+
+    def test_stage1_columns_matches_slices(self, random_complex):
+        plan = TwoLayerPlan(64, 8, 8)
+        work = plan.gather_input(random_complex(64))
+        full = plan.stage1(work)
+        assert np.allclose(plan.stage1_columns(work, 2, 6), full[:, 2:6], atol=1e-12)
+
+    def test_stage2_rows_matches_slices(self, random_complex):
+        plan = TwoLayerPlan(64, 8, 8)
+        work = plan.apply_twiddle(plan.stage1(plan.gather_input(random_complex(64))))
+        full = plan.stage2(work)
+        assert np.allclose(plan.stage2_rows(work, 1, 4), full[1:4, :], atol=1e-12)
+
+    def test_twiddle_column_matches_matrix(self, random_complex):
+        plan = TwoLayerPlan(24, 6, 4)
+        col = random_complex(6)
+        assert np.allclose(plan.twiddle_column(col, 2), col * plan.twiddles[:, 2])
+
+    def test_gather_rejects_wrong_length(self, random_complex):
+        with pytest.raises(ValueError):
+            TwoLayerPlan(24).gather_input(random_complex(25))
+
+    def test_out_of_range_sub_fft_raises(self, random_complex):
+        plan = TwoLayerPlan(24, 6, 4)
+        work = plan.gather_input(random_complex(24))
+        with pytest.raises(IndexError):
+            plan.stage1_single(work, 4)
+        with pytest.raises(IndexError):
+            plan.stage2_single(work, 6)
+
+    def test_wrong_work_shape_raises(self):
+        plan = TwoLayerPlan(24, 6, 4)
+        with pytest.raises(ValueError):
+            plan.stage1(np.zeros((4, 6), dtype=complex))
+
+
+class TestThreeLayerPlan:
+    @pytest.mark.parametrize("n", [8, 16, 32, 64, 128, 512, 2048])
+    def test_execute_matches_numpy(self, n, random_complex, spectra_close):
+        x = random_complex(n)
+        spectra_close(ThreeLayerPlan(n).execute(x), np.fft.fft(x))
+
+    def test_factorisation_invariant(self):
+        plan = ThreeLayerPlan(128)
+        assert plan.r * plan.k * plan.k == 128
+
+    def test_explicit_factors(self, random_complex, spectra_close):
+        plan = ThreeLayerPlan(72, r=2, k=6)
+        assert (plan.r, plan.k) == (2, 6)
+        x = random_complex(72)
+        spectra_close(plan.execute(x), np.fft.fft(x))
+
+    def test_r_equal_one_square_size(self, random_complex, spectra_close):
+        plan = ThreeLayerPlan(64, r=1, k=8)
+        x = random_complex(64)
+        spectra_close(plan.execute(x), np.fft.fft(x))
+
+    def test_invalid_factors_rejected(self):
+        with pytest.raises(ValueError):
+            ThreeLayerPlan(64, r=3, k=4)
+
+    def test_layerwise_equals_execute(self, random_complex):
+        plan = ThreeLayerPlan(128)
+        x = random_complex(128)
+        work = plan.gather_input(x)
+        manual = plan.scatter_output(
+            plan.layer3(plan.apply_outer_twiddle(plan.layer2(plan.apply_inner_twiddle(plan.layer1(work)))))
+        )
+        assert np.allclose(manual, plan.execute(x), atol=1e-10)
+
+
+class TestInPlacePlan:
+    @pytest.mark.parametrize("n", [16, 64, 100, 1024])
+    def test_execute_overwrites_buffer(self, n, random_complex, spectra_close):
+        x = random_complex(n)
+        buffer = x.copy()
+        result = InPlaceTwoLayerPlan(n).execute(buffer)
+        assert result is buffer
+        spectra_close(buffer, np.fft.fft(x))
+
+    def test_no_reorder_leaves_transposed_layout(self, random_complex):
+        n = 64
+        plan = InPlaceTwoLayerPlan(n)
+        x = random_complex(n)
+        buffer = x.copy()
+        plan.execute(buffer, reorder=False)
+        expected = np.fft.fft(x)
+        transposed = buffer.reshape(plan.m, plan.k)
+        assert np.allclose(np.ascontiguousarray(transposed.T).reshape(n), expected, atol=1e-9)
+
+    def test_stagewise_inplace(self, random_complex, spectra_close):
+        n = 144
+        plan = InPlaceTwoLayerPlan(n)
+        x = random_complex(n)
+        buffer = x.copy()
+        plan.stage1_inplace(buffer)
+        plan.twiddle_inplace(buffer)
+        plan.stage2_inplace(buffer)
+        plan.reorder_inplace(buffer)
+        spectra_close(buffer, np.fft.fft(x))
+
+    def test_single_column_recompute(self, random_complex):
+        n = 64
+        plan = InPlaceTwoLayerPlan(n)
+        x = random_complex(n)
+        buffer = x.copy()
+        reference = x.copy()
+        plan.stage1_inplace(reference)
+        plan.stage1_inplace(buffer)
+        # corrupt one column and recompute it from scratch data
+        buffer.reshape(plan.m, plan.k)[:, 3] = 0
+        buffer.reshape(plan.m, plan.k)[:, 3] = x.reshape(plan.m, plan.k)[:, 3]
+        plan.stage1_single_inplace(buffer, 3)
+        assert np.allclose(buffer, reference, atol=1e-12)
+
+    def test_requires_contiguous_complex_buffer(self):
+        plan = InPlaceTwoLayerPlan(16)
+        with pytest.raises(ValueError):
+            plan.execute(np.zeros(16, dtype=np.float64))
+        with pytest.raises(ValueError):
+            plan.execute(np.zeros(15, dtype=np.complex128))
+
+    def test_exposes_out_of_place_plan(self):
+        plan = InPlaceTwoLayerPlan(36)
+        assert plan.out_of_place.n == 36
+        assert plan.m * plan.k == 36
+        assert plan.twiddles.shape == (plan.m, plan.k)

@@ -1,0 +1,91 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["transform", "--scheme", "bogus"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["transform"])
+        assert args.size == 4096
+        assert args.scheme == "opt-online+mem"
+
+
+class TestSchemesCommand:
+    def test_lists_all_schemes(self, capsys):
+        assert main(["schemes"]) == 0
+        out = capsys.readouterr().out
+        assert "opt-online+mem" in out and "fftw" in out
+
+
+class TestTransformCommand:
+    def test_synthetic_transform(self, capsys):
+        assert main(["transform", "-n", "1024", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "errors detected      : False" in out
+        assert "relative output error" in out
+
+    def test_tones_signal(self, capsys):
+        assert main(["transform", "-n", "512", "--signal", "tones"]) == 0
+
+    def test_file_input_and_output(self, tmp_path, capsys):
+        signal = np.random.default_rng(0).standard_normal(256)
+        infile = tmp_path / "signal.txt"
+        outfile = tmp_path / "spectrum.txt"
+        np.savetxt(infile, signal)
+        assert main(["transform", "--input", str(infile), "-o", str(outfile)]) == 0
+        data = np.loadtxt(outfile)
+        spectrum = data[:, 0] + 1j * data[:, 1]
+        assert np.allclose(spectrum, np.fft.fft(signal), atol=1e-8)
+
+    def test_alternate_scheme(self, capsys):
+        assert main(["transform", "-n", "256", "--scheme", "opt-offline"]) == 0
+
+
+class TestInjectCommand:
+    def test_computational_fault_is_corrected(self, capsys):
+        code = main(["inject", "-n", "1024", "--site", "stage1-compute", "--magnitude", "25", "--seed", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "faults injected      : 1" in out
+        assert "errors detected      : True" in out
+
+    def test_memory_bitflip_is_corrected(self, capsys):
+        code = main(
+            ["inject", "-n", "1024", "--site", "intermediate", "--kind", "bit-flip", "--bit", "60", "--seed", "2"]
+        )
+        assert code == 0
+
+    def test_unprotected_scheme_returns_nonzero(self, capsys):
+        code = main(
+            ["inject", "-n", "1024", "--scheme", "fftw", "--site", "stage1-compute", "--magnitude", "25"]
+        )
+        assert code == 1
+
+    def test_targeted_index_and_element(self, capsys):
+        code = main(
+            ["inject", "-n", "1024", "--site", "stage2-compute", "--index", "3", "--element", "7"]
+        )
+        assert code == 0
+
+
+class TestPredictCommand:
+    def test_sequential_prediction(self, capsys):
+        assert main(["predict", "-n", str(2**20)]) == 0
+        out = capsys.readouterr().out
+        assert "opt-online" in out and "overhead %" in out
+
+    def test_with_parallel_ranks(self, capsys):
+        assert main(["predict", "-n", str(2**24), "-p", "256"]) == 0
+        out = capsys.readouterr().out
+        assert "opt-FT-FFTW" in out

@@ -1,0 +1,84 @@
+"""Smoke tests that execute every example script.
+
+The examples are part of the public deliverable, so the test suite runs each
+of them end to end (with their workload parameters shrunk where necessary to
+keep the suite fast) and checks they complete and print their headline
+output.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+
+def load_example(name: str):
+    """Import an example script as a module without running ``main()``."""
+
+    path = EXAMPLES_DIR / name
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_examples_directory_contents(self):
+        names = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+        assert {
+            "quickstart.py",
+            "spectral_analysis_with_faults.py",
+            "fault_injection_campaign.py",
+            "parallel_simulation.py",
+            "overhead_model_report.py",
+        } <= names
+
+    def test_quickstart_runs(self, capsys):
+        module = load_example("quickstart.py")
+        module.main()
+        out = capsys.readouterr().out
+        assert "fault-free run" in out
+        assert "sub-FFTs redone  : 1" in out
+
+    def test_spectral_analysis_runs_and_recovers_peaks(self, capsys, monkeypatch):
+        module = load_example("spectral_analysis_with_faults.py")
+        monkeypatch.setattr(module, "N", 2**12)
+        monkeypatch.setattr(module, "TONES", [31, 128, 375, 900])
+        module.main()
+        out = capsys.readouterr().out
+        assert "online ABFT (FT-FFTW)" in out
+        # the protected pipelines report the correct peak set
+        assert out.count("correct=True") >= 2
+
+    def test_fault_injection_campaign_runs(self, capsys, monkeypatch):
+        module = load_example("fault_injection_campaign.py")
+        monkeypatch.setattr(module, "TRIALS", 9)
+        monkeypatch.setattr(module, "N", 2**10)
+        module.main()
+        out = capsys.readouterr().out
+        assert "Fault coverage" in out
+        assert "Online ABFT" in out
+
+    def test_parallel_simulation_runs(self, capsys, monkeypatch):
+        module = load_example("parallel_simulation.py")
+        monkeypatch.setattr(module, "N", 2**12)
+        monkeypatch.setattr(module, "RANKS", 8)
+        module.main()
+        out = capsys.readouterr().out
+        assert "opt-FT-FFTW" in out
+        assert "relative output error" in out
+
+    def test_overhead_model_report_runs(self, capsys, monkeypatch):
+        module = load_example("overhead_model_report.py")
+        monkeypatch.setattr(module, "MEASURE_N", 2**12)
+        monkeypatch.setattr(module, "MEASURE_REPEATS", 1)
+        module.main()
+        out = capsys.readouterr().out
+        assert "Section 7 model" in out
+        assert "Measured overhead" in out

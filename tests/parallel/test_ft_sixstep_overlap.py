@@ -1,0 +1,193 @@
+"""Tests for the parallel FT scheme (Fig. 6) and the Algorithm 3 overlap."""
+
+import numpy as np
+import pytest
+
+from repro.faults.injector import FaultInjector
+from repro.faults.models import FaultSite
+from repro.parallel.ft_sixstep import ParallelFTFFT
+from repro.parallel.overlap import OverlapSchedule, PipelineTrace, pipelined_transpose
+from repro.parallel.sixstep import ParallelFFT
+from repro.simmpi.comm import DistributedVector, SimCommunicator
+
+
+class TestOverlapSchedule:
+    def test_each_rank_visits_every_peer_once(self):
+        schedule = OverlapSchedule(8)
+        for rank in range(8):
+            assert sorted(schedule.peers(rank)) == list(range(8))
+
+    def test_ranks_start_with_distinct_peers(self):
+        schedule = OverlapSchedule(8)
+        first_peers = {schedule.peers(rank)[0] for rank in range(8)}
+        assert len(first_peers) == 8
+
+
+class TestPipelinedTranspose:
+    def test_matches_blocking_transpose(self, random_complex):
+        p = 4
+        x = random_complex(64)
+        blocking = SimCommunicator(p, protect_messages=False)
+        pipelined = SimCommunicator(p, protect_messages=False)
+        want = blocking.transpose(DistributedVector.from_global(x, p)).to_global()
+        got = pipelined_transpose(pipelined, DistributedVector.from_global(x, p)).to_global()
+        assert np.allclose(got, want)
+
+    def test_process_hook_applied_to_every_block(self, random_complex):
+        p = 4
+        x = random_complex(64)
+        comm = SimCommunicator(p, protect_messages=False)
+        seen = []
+
+        def process(rank, peer, block):
+            seen.append((rank, peer))
+            return block
+
+        pipelined_transpose(comm, DistributedVector.from_global(x, p), process=process)
+        assert len(seen) == p * p
+
+    def test_generate_hook_can_transform_blocks(self, random_complex):
+        p = 2
+        x = random_complex(16)
+        comm = SimCommunicator(p, protect_messages=False)
+        out = pipelined_transpose(
+            comm, DistributedVector.from_global(x, p), generate=lambda r, peer, b: 2.0 * b
+        )
+        plain = SimCommunicator(p, protect_messages=False).transpose(DistributedVector.from_global(x, p))
+        assert np.allclose(out.to_global(), 2.0 * plain.to_global())
+
+    def test_trace_records_overlapped_work(self, random_complex):
+        p = 4
+        comm = SimCommunicator(p, protect_messages=False)
+        trace = PipelineTrace()
+        pipelined_transpose(
+            comm,
+            DistributedVector.from_global(random_complex(64), p),
+            process=lambda r, peer, b: b,
+            trace=trace,
+        )
+        assert trace.items_for(0)
+        assert any(e.startswith("isend") for e in trace.events)
+
+    def test_in_transit_fault_repaired(self, random_complex):
+        p = 4
+        x = random_complex(64)
+        injector = FaultInjector().arm_memory(FaultSite.COMM_BLOCK, magnitude=40.0)
+        comm = SimCommunicator(p, injector=injector, protect_messages=True)
+        got = pipelined_transpose(comm, DistributedVector.from_global(x, p)).to_global()
+        want = SimCommunicator(p, protect_messages=False).transpose(
+            DistributedVector.from_global(x, p)
+        ).to_global()
+        assert np.allclose(got, want, atol=1e-8)
+
+
+class TestParallelFTCorrectness:
+    @pytest.mark.parametrize("n,p", [(64, 4), (256, 4), (1024, 8), (4096, 8), (2**14, 16)])
+    def test_fault_free_matches_numpy(self, n, p, random_complex, spectra_close):
+        x = random_complex(n)
+        execution = ParallelFTFFT(n, p).execute(x)
+        spectra_close(execution.output, np.fft.fft(x))
+        assert not execution.report.detected
+
+    @pytest.mark.parametrize("overlap", [False, True])
+    def test_overlap_variant_matches(self, overlap, random_complex, spectra_close):
+        x = random_complex(4096)
+        execution = ParallelFTFFT(4096, 8, overlap=overlap).execute(x)
+        spectra_close(execution.output, np.fft.fft(x))
+
+    @pytest.mark.parametrize("strategy", ["two-layer", "three-layer"])
+    def test_fft2_strategies(self, strategy, random_complex, spectra_close):
+        x = random_complex(1024)
+        execution = ParallelFTFFT(1024, 4, fft2_strategy=strategy).execute(x)
+        spectra_close(execution.output, np.fft.fft(x))
+
+    def test_auto_strategy_selects_three_layer_for_non_square(self):
+        assert ParallelFTFFT(1024, 8).fft2_strategy == "three-layer"  # q = 128
+        assert ParallelFTFFT(1024, 4).fft2_strategy == "two-layer"    # q = 256
+
+    def test_invalid_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelFTFFT(64, 4, fft2_strategy="magic")
+
+
+class TestParallelFTFaults:
+    def test_fft1_computational_fault_corrected(self, random_complex, spectra_close):
+        x = random_complex(4096)
+        injector = FaultInjector().arm_computational(FaultSite.RANK_LOCAL_FFT, rank=3, magnitude=15.0)
+        execution = ParallelFTFFT(4096, 8).execute(x, injector)
+        assert injector.fired_count == 1
+        assert execution.report.detected
+        spectra_close(execution.output, np.fft.fft(x))
+
+    def test_fft2_computational_fault_corrected(self, random_complex, spectra_close):
+        x = random_complex(4096)
+        injector = FaultInjector().arm_computational(FaultSite.STAGE2_COMPUTE, magnitude=8.0)
+        execution = ParallelFTFFT(4096, 8).execute(x, injector)
+        spectra_close(execution.output, np.fft.fft(x))
+
+    def test_comm_block_fault_corrected(self, random_complex, spectra_close):
+        x = random_complex(4096)
+        injector = FaultInjector().arm_memory(FaultSite.COMM_BLOCK, rank=1, magnitude=25.0)
+        execution = ParallelFTFFT(4096, 8).execute(x, injector)
+        assert execution.communicator.corrected_blocks >= 1
+        spectra_close(execution.output, np.fft.fft(x))
+
+    def test_two_memory_two_computational(self, random_complex, spectra_close):
+        """The Table 2/3 scenario: 2 memory + 2 computational faults."""
+
+        x = random_complex(2**14)
+        injector = (
+            FaultInjector()
+            .arm_memory(FaultSite.COMM_BLOCK, rank=0, magnitude=30.0)
+            .arm_memory(FaultSite.COMM_BLOCK, rank=5, magnitude=12.0)
+            .arm_computational(FaultSite.RANK_LOCAL_FFT, rank=2, magnitude=9.0)
+            .arm_computational(FaultSite.STAGE2_COMPUTE, magnitude=4.0)
+        )
+        execution = ParallelFTFFT(2**14, 16).execute(x, injector)
+        assert injector.fired_count == 4
+        spectra_close(execution.output, np.fft.fft(x))
+
+    def test_faults_with_overlap_enabled(self, random_complex, spectra_close):
+        x = random_complex(4096)
+        injector = (
+            FaultInjector()
+            .arm_computational(FaultSite.RANK_LOCAL_FFT, rank=1, magnitude=5.0)
+            .arm_memory(FaultSite.COMM_BLOCK, rank=2, magnitude=7.0)
+        )
+        execution = ParallelFTFFT(4096, 8, overlap=True).execute(x, injector)
+        spectra_close(execution.output, np.fft.fft(x))
+
+
+class TestParallelFTTimeline:
+    def test_ft_costs_exceed_unprotected(self):
+        base = ParallelFFT(2**18, 16).predict_timeline().elapsed
+        ft = ParallelFTFFT(2**18, 16).predict_timeline().elapsed
+        assert ft > base
+
+    def test_overlap_reduces_virtual_time(self):
+        ft = ParallelFTFFT(2**18, 16).predict_timeline().elapsed
+        opt = ParallelFTFFT(2**18, 16, overlap=True).predict_timeline().elapsed
+        assert opt < ft
+
+    def test_overlapped_ft_close_to_opt_fftw(self):
+        """The paper's headline parallel claim: opt-FT-FFTW is comparable to
+        the (optimized) unprotected library."""
+
+        opt_fftw = ParallelFFT(2**20, 16, overlap_twiddle=True).predict_timeline().elapsed
+        opt_ft = ParallelFTFFT(2**20, 16, overlap=True).predict_timeline().elapsed
+        assert opt_ft < 1.5 * opt_fftw
+
+    def test_execute_and_predict_agree(self, random_complex):
+        scheme = ParallelFTFFT(1024, 4)
+        predicted = scheme.predict_timeline().elapsed
+        executed = scheme.execute(random_complex(1024)).virtual_time
+        assert predicted == pytest.approx(executed, rel=1e-9)
+
+    def test_fault_injection_does_not_change_virtual_time(self, random_complex):
+        """Tables 2 and 3: recovery is too cheap to see in the totals."""
+
+        x = random_complex(4096)
+        clean = ParallelFTFFT(4096, 8).execute(x).virtual_time
+        injector = FaultInjector().arm_computational(FaultSite.RANK_LOCAL_FFT, rank=0, magnitude=5.0)
+        faulty = ParallelFTFFT(4096, 8).execute(x, injector).virtual_time
+        assert faulty == pytest.approx(clean, rel=1e-6)

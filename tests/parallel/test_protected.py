@@ -1,0 +1,109 @@
+"""Tests for the protected in-place FFT (Fig. 4) and the three-layer scheme."""
+
+import numpy as np
+import pytest
+
+from repro.core.detection import FTReport
+from repro.faults.injector import FaultInjector
+from repro.faults.models import FaultSite
+from repro.parallel.protected import ProtectedInPlaceFFT, ProtectedThreeLayerFFT
+
+
+class TestProtectedInPlaceFFT:
+    def test_fault_free_transform_matches_numpy(self, random_complex):
+        size, batch = 8, 12
+        matrix = random_complex(size * batch).reshape(size, batch)
+        expected = np.fft.fft(matrix, axis=0)
+        plan = ProtectedInPlaceFFT(size)
+        plan.execute_inplace(matrix)
+        assert np.allclose(matrix, expected, atol=1e-9)
+
+    def test_result_written_in_place(self, random_complex):
+        matrix = random_complex(32).reshape(8, 4)
+        plan = ProtectedInPlaceFFT(8)
+        returned = plan.execute_inplace(matrix)
+        assert returned is matrix
+
+    def test_fault_free_report_is_clean(self, random_complex):
+        matrix = random_complex(64).reshape(8, 8)
+        report = FTReport()
+        ProtectedInPlaceFFT(8).execute_inplace(matrix, report=report)
+        assert not report.detected
+
+    def test_computational_fault_corrected_from_backup(self, random_complex):
+        size, batch = 8, 16
+        matrix = random_complex(size * batch).reshape(size, batch)
+        expected = np.fft.fft(matrix, axis=0)
+        injector = FaultInjector().arm_computational(FaultSite.RANK_LOCAL_FFT, index=5, magnitude=20.0)
+        report = FTReport()
+        ProtectedInPlaceFFT(size).execute_inplace(matrix, injector=injector, report=report)
+        assert injector.fired_count == 1
+        assert report.detected
+        assert report.recompute_count >= 1
+        assert np.allclose(matrix, expected, atol=1e-9)
+
+    def test_multiple_column_faults_corrected(self, random_complex):
+        size, batch = 8, 16
+        matrix = random_complex(size * batch).reshape(size, batch)
+        expected = np.fft.fft(matrix, axis=0)
+        injector = (
+            FaultInjector()
+            .arm_computational(FaultSite.RANK_LOCAL_FFT, index=2, magnitude=5.0)
+            .arm_computational(FaultSite.RANK_LOCAL_FFT, index=9, magnitude=3.0)
+        )
+        ProtectedInPlaceFFT(size).execute_inplace(matrix, injector=injector)
+        assert np.allclose(matrix, expected, atol=1e-9)
+
+    def test_wrong_shape_rejected(self, random_complex):
+        with pytest.raises(ValueError):
+            ProtectedInPlaceFFT(8).execute_inplace(random_complex(12).reshape(4, 3))
+
+
+class TestProtectedThreeLayerFFT:
+    @pytest.mark.parametrize("n", [8, 32, 128, 512, 2048])
+    def test_fault_free_matches_numpy(self, n, random_complex, spectra_close):
+        x = random_complex(n)
+        out = ProtectedThreeLayerFFT(n).execute(x)
+        spectra_close(out, np.fft.fft(x))
+
+    def test_decomposition_has_small_r(self):
+        scheme = ProtectedThreeLayerFFT(2048)
+        assert scheme.r * scheme.k * scheme.k == 2048
+        assert scheme.r in (1, 2, 8)
+
+    def test_fault_free_report_clean(self, random_complex):
+        report = FTReport()
+        ProtectedThreeLayerFFT(128).execute(random_complex(128), report=report)
+        assert not report.detected
+
+    def test_layer1_fault_detected_and_corrected(self, random_complex, spectra_close):
+        n = 512
+        x = random_complex(n)
+        injector = FaultInjector().arm_computational(FaultSite.STAGE1_COMPUTE, magnitude=10.0)
+        report = FTReport()
+        out = ProtectedThreeLayerFFT(n).execute(x, injector=injector, report=report)
+        assert report.detected
+        spectra_close(out, np.fft.fft(x))
+
+    def test_layer3_fault_detected_and_corrected(self, random_complex, spectra_close):
+        n = 512
+        x = random_complex(n)
+        injector = FaultInjector().arm_computational(FaultSite.STAGE2_COMPUTE, magnitude=10.0)
+        report = FTReport()
+        out = ProtectedThreeLayerFFT(n).execute(x, injector=injector, report=report)
+        assert report.detected
+        spectra_close(out, np.fft.fft(x))
+
+    def test_middle_layer_fault_corrected_by_dmr(self, random_complex, spectra_close):
+        n = 512
+        x = random_complex(n)
+        injector = FaultInjector().arm_computational(FaultSite.TWIDDLE_COMPUTE, magnitude=10.0)
+        report = FTReport()
+        out = ProtectedThreeLayerFFT(n).execute(x, injector=injector, report=report)
+        assert report.dmr_correction_count >= 1
+        spectra_close(out, np.fft.fft(x))
+
+    def test_explicit_factors(self, random_complex, spectra_close):
+        x = random_complex(72)
+        out = ProtectedThreeLayerFFT(72, r=2, k=6).execute(x)
+        spectra_close(out, np.fft.fft(x))

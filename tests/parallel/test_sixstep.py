@@ -1,0 +1,77 @@
+"""Tests for the unprotected six-step parallel FFT."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.sixstep import ParallelFFT
+from repro.simmpi.machine import LAPTOP_LIKE
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n,p", [(16, 2), (64, 4), (256, 4), (512, 8), (1024, 8), (4096, 8), (2**14, 16)])
+    def test_matches_numpy(self, n, p, random_complex, spectra_close):
+        x = random_complex(n)
+        execution = ParallelFFT(n, p).execute(x)
+        spectra_close(execution.output, np.fft.fft(x))
+
+    def test_single_rank_degenerates_to_sequential(self, random_complex, spectra_close):
+        x = random_complex(64)
+        execution = ParallelFFT(64, 1).execute(x)
+        spectra_close(execution.output, np.fft.fft(x))
+
+    def test_overlap_variant_same_result(self, random_complex):
+        x = random_complex(1024)
+        a = ParallelFFT(1024, 8).execute(x).output
+        b = ParallelFFT(1024, 8, overlap_twiddle=True).execute(x).output
+        assert np.allclose(a, b, atol=1e-10)
+
+    def test_size_must_divide_by_ranks_squared(self):
+        with pytest.raises(ValueError):
+            ParallelFFT(100, 8)
+
+    def test_wrong_input_length_rejected(self, random_complex):
+        with pytest.raises(ValueError):
+            ParallelFFT(64, 4).execute(random_complex(32))
+
+
+class TestTimelineAndCosts:
+    def test_execution_produces_timeline_phases(self, random_complex):
+        execution = ParallelFFT(256, 4).execute(random_complex(256))
+        names = {p.name for p in execution.timeline.phases}
+        assert {"transpose-1", "fft-1", "fft-2", "transpose-3", "local-reorder"} <= names
+        assert execution.virtual_time > 0
+
+    def test_overlap_reduces_or_equals_virtual_time(self, random_complex):
+        x = random_complex(4096)
+        plain = ParallelFFT(4096, 8).execute(x).virtual_time
+        overlapped = ParallelFFT(4096, 8, overlap_twiddle=True).execute(x).virtual_time
+        assert overlapped <= plain + 1e-12
+
+    def test_predict_timeline_matches_executed_costs(self, random_complex):
+        pfft = ParallelFFT(1024, 8)
+        predicted = pfft.predict_timeline().elapsed
+        executed = pfft.execute(random_complex(1024)).virtual_time
+        assert predicted == pytest.approx(executed, rel=1e-9)
+
+    def test_predict_timeline_scales_with_problem_size(self):
+        small = ParallelFFT(2**16, 16).predict_timeline().elapsed
+        large = ParallelFFT(2**20, 16).predict_timeline().elapsed
+        assert large > small
+
+    def test_machine_model_changes_prediction(self):
+        default = ParallelFFT(2**16, 16).predict_timeline().elapsed
+        laptop = ParallelFFT(2**16, 16, machine=LAPTOP_LIKE).predict_timeline().elapsed
+        assert default != laptop
+
+    def test_weak_scaling_prediction_grows_roughly_linearly(self):
+        # Large enough that bandwidth/compute (not per-message latency)
+        # dominate, as in the paper's weak-scaling regime.
+        p = 16
+        t1 = ParallelFFT(2**24, p).predict_timeline().elapsed
+        t2 = ParallelFFT(2**25, p).predict_timeline().elapsed
+        assert 1.5 < t2 / t1 < 2.6
+
+    def test_communicator_counts_bytes(self, random_complex):
+        execution = ParallelFFT(1024, 8).execute(random_complex(1024))
+        # three transposes move every element once each
+        assert execution.communicator.bytes_sent == 3 * 1024 * 16

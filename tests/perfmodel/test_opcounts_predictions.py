@@ -1,0 +1,129 @@
+"""Tests for the Section 7 operation-count model and predictions."""
+
+import numpy as np
+import pytest
+
+from repro.perfmodel.opcounts import (
+    COMPLEX_ADD_OPS,
+    COMPLEX_DIV_OPS,
+    COMPLEX_MUL_OPS,
+    communication_overhead_ratio,
+    fft_operations,
+    offline_scheme_ops,
+    online_scheme_ops,
+    parallel_scheme_ops,
+    parallel_space_overhead_ratio,
+    sequential_space_overhead,
+)
+from repro.perfmodel.predictions import predict_parallel, predict_sequential
+from repro.simmpi.machine import TIANHE2_LIKE
+
+
+class TestConstantsAndBaseline:
+    def test_paper_unit_costs(self):
+        assert COMPLEX_MUL_OPS == 6
+        assert COMPLEX_ADD_OPS == 2
+        assert COMPLEX_DIV_OPS == 11
+
+    def test_fft_operations_formula(self):
+        assert fft_operations(2**20) == pytest.approx(5 * 2**20 * 20)
+        assert fft_operations(1) == 0.0
+
+
+class TestSequentialCounts:
+    def test_offline_fault_free_is_37n(self):
+        n = 2**20
+        assert offline_scheme_ops(n).fault_free == pytest.approx(37 * n)
+
+    def test_offline_with_memory_is_41n(self):
+        n = 2**20
+        assert offline_scheme_ops(n, memory_ft=True).fault_free == pytest.approx(41 * n)
+
+    def test_online_fault_free_is_32n(self):
+        n = 2**20
+        assert online_scheme_ops(n).fault_free == pytest.approx(32 * n)
+
+    def test_online_with_memory_is_46n(self):
+        n = 2**20
+        assert online_scheme_ops(n, memory_ft=True).fault_free == pytest.approx(46 * n)
+
+    def test_offline_error_cost_includes_full_restart(self):
+        n = 2**20
+        counts = offline_scheme_ops(n)
+        assert counts.with_error > counts.fault_free + fft_operations(n)
+
+    def test_online_error_cost_is_nearly_unchanged(self):
+        n = 2**20
+        counts = online_scheme_ops(n, memory_ft=True)
+        assert counts.with_error < counts.fault_free * 1.01
+
+    def test_online_cheaper_than_offline_without_memory(self):
+        n = 2**25
+        assert online_scheme_ops(n).fault_free < offline_scheme_ops(n).fault_free
+
+    def test_ratio_decreases_with_size(self):
+        small = online_scheme_ops(2**16)
+        large = online_scheme_ops(2**26)
+        assert large.fault_free_ratio < small.fault_free_ratio
+
+    def test_paper_scale_overhead_percentages(self):
+        """At 2^25 the model should land near the paper's Fig. 7 bars."""
+
+        n = 2**25
+        assert 20 < 100 * online_scheme_ops(n).fault_free_ratio < 35
+        assert 25 < 100 * offline_scheme_ops(n).fault_free_ratio < 40
+        assert 30 < 100 * online_scheme_ops(n, memory_ft=True).fault_free_ratio < 45
+
+
+class TestParallelCounts:
+    def test_r1_before_and_after_overlap(self):
+        n = 2**20
+        assert parallel_scheme_ops(n).fault_free == pytest.approx(96 * n)
+        assert parallel_scheme_ops(n, overlap=True).fault_free == pytest.approx(56 * n)
+
+    def test_r_not_one_formula(self):
+        n = 2**20
+        expected = 116 * n + 5 * n * np.log2(8)
+        assert parallel_scheme_ops(n, r=8).fault_free == pytest.approx(expected)
+        assert parallel_scheme_ops(n, r=8, overlap=True).fault_free == pytest.approx(expected - 40 * n)
+
+    def test_space_and_communication_overheads(self):
+        assert sequential_space_overhead(2**20) == 8 * 1024
+        assert parallel_space_overhead_ratio(256) == pytest.approx(6 / 256)
+        assert communication_overhead_ratio(2**23, 256) == pytest.approx(2 * 256 / 2**23)
+
+
+class TestPredictions:
+    def test_sequential_prediction_ordering(self):
+        preds = {p.scheme: p for p in predict_sequential(2**25)}
+        assert preds["opt-online"].overhead_percent < preds["opt-offline"].overhead_percent
+        assert preds["opt-online+mem"].overhead_percent > preds["opt-online"].overhead_percent
+
+    def test_sequential_prediction_error_costs(self):
+        preds = {p.scheme: p for p in predict_sequential(2**25)}
+        # offline pays ~2x when an error occurs, online does not (Table 1 shape)
+        assert preds["opt-offline"].overhead_percent_with_error > 100
+        assert preds["opt-online"].overhead_percent_with_error < 50
+
+    def test_predicted_seconds_track_machine_rate(self):
+        preds = predict_sequential(2**25, schemes=["opt-online"], machine=TIANHE2_LIKE)
+        assert preds[0].predicted_seconds == pytest.approx(
+            TIANHE2_LIKE.compute_time(fft_operations(2**25) + 32 * 2**25)
+        )
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(KeyError):
+            predict_sequential(1024, schemes=["bogus"])
+
+    def test_parallel_prediction_overlap_is_cheaper(self):
+        preds = predict_parallel(2**26, 256)
+        assert (
+            preds["parallel-opt-ft-fftw"].predicted_seconds
+            < preds["parallel-ft-fftw"].predicted_seconds
+        )
+
+    def test_parallel_prediction_ratios(self):
+        preds = predict_parallel(2**30, 256)
+        local = 2**30 // 256
+        base = fft_operations(2**30) / 256
+        assert preds["parallel-ft-fftw"].overhead_ratio == pytest.approx(96 * local / base)

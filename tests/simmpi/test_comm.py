@@ -1,0 +1,143 @@
+"""Tests for the simulated communicator and distributed vectors."""
+
+import numpy as np
+import pytest
+
+from repro.faults.injector import FaultInjector
+from repro.faults.models import FaultSite
+from repro.simmpi.comm import BlockChecksums, DistributedVector, SimCommunicator
+from repro.core.checksums import memory_weights_classic
+
+
+class TestDistributedVector:
+    def test_round_trip_global_local(self, random_complex):
+        x = random_complex(32)
+        dist = DistributedVector.from_global(x, 4)
+        assert dist.ranks == 4
+        assert dist.local_size == 8
+        assert np.allclose(dist.to_global(), x)
+
+    def test_local_blocks_are_independent_copies(self, random_complex):
+        x = random_complex(16)
+        dist = DistributedVector.from_global(x, 4)
+        dist.local(0)[0] = 999
+        assert x[0] != 999
+
+    def test_indivisible_size_rejected(self, random_complex):
+        with pytest.raises(ValueError):
+            DistributedVector.from_global(random_complex(10), 4)
+
+    def test_mismatched_block_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            DistributedVector([np.zeros(4, dtype=complex), np.zeros(5, dtype=complex)])
+
+    def test_copy_is_deep(self, random_complex):
+        dist = DistributedVector.from_global(random_complex(8), 2)
+        clone = dist.copy()
+        clone.local(0)[0] = 7
+        assert dist.local(0)[0] != 7
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            DistributedVector([])
+
+
+class TestBlockChecksums:
+    def test_of_computes_weighted_sums(self, random_complex):
+        block = random_complex(8)
+        w1, w2 = memory_weights_classic(8)
+        cs = BlockChecksums.of(block, w1, w2)
+        assert np.isclose(cs.s1, np.sum(block))
+        assert np.isclose(cs.s2, np.dot(np.arange(1, 9), block))
+
+
+class TestTranspose:
+    def test_transpose_is_block_matrix_transpose(self, random_complex):
+        p, sub = 4, 3
+        x = random_complex(p * p * sub)
+        comm = SimCommunicator(p, protect_messages=False)
+        dist = DistributedVector.from_global(x, p)
+        out = comm.transpose(dist)
+        # expected: out[r] = concat_j x_block[j][r]
+        local = p * sub
+        for r in range(p):
+            expected = np.concatenate(
+                [x[j * local + r * sub:j * local + (r + 1) * sub] for j in range(p)]
+            )
+            assert np.allclose(out.local(r), expected)
+
+    def test_double_transpose_is_identity(self, random_complex):
+        x = random_complex(64)
+        comm = SimCommunicator(4)
+        dist = DistributedVector.from_global(x, 4)
+        assert np.allclose(comm.transpose(comm.transpose(dist)).to_global(), x)
+
+    def test_byte_accounting(self, random_complex):
+        p = 4
+        x = random_complex(64)
+        comm = SimCommunicator(p, protect_messages=False)
+        comm.transpose(DistributedVector.from_global(x, p))
+        assert comm.bytes_sent == 64 * 16  # every element moves once
+        assert comm.messages_sent == p * (p - 1)
+
+    def test_checksum_overhead_counted(self, random_complex):
+        p = 4
+        x = random_complex(64)
+        plain = SimCommunicator(p, protect_messages=False)
+        protected = SimCommunicator(p, protect_messages=True)
+        plain.transpose(DistributedVector.from_global(x, p))
+        protected.transpose(DistributedVector.from_global(x, p))
+        assert protected.bytes_sent == plain.bytes_sent + 32 * p * p
+
+    def test_rank_mismatch_rejected(self, random_complex):
+        comm = SimCommunicator(4)
+        with pytest.raises(ValueError):
+            comm.transpose(DistributedVector.from_global(random_complex(16), 2))
+
+    def test_local_size_not_divisible_rejected(self, random_complex):
+        comm = SimCommunicator(4)
+        dist = DistributedVector.from_global(random_complex(12), 4)  # local 3, not divisible by 4
+        with pytest.raises(ValueError):
+            comm.transpose(dist)
+
+
+class TestInTransitFaults:
+    def test_corruption_is_repaired_when_protected(self, random_complex):
+        p = 4
+        x = random_complex(64)
+        injector = FaultInjector().arm_memory(FaultSite.COMM_BLOCK, magnitude=50.0)
+        comm = SimCommunicator(p, injector=injector, protect_messages=True)
+        plain = SimCommunicator(p, protect_messages=False)
+        got = comm.transpose(DistributedVector.from_global(x, p)).to_global()
+        want = plain.transpose(DistributedVector.from_global(x, p)).to_global()
+        assert injector.fired_count == 1
+        assert comm.corrected_blocks == 1
+        assert np.allclose(got, want, atol=1e-8)
+
+    def test_corruption_persists_when_unprotected(self, random_complex):
+        p = 4
+        x = random_complex(64)
+        injector = FaultInjector().arm_memory(FaultSite.COMM_BLOCK, magnitude=50.0)
+        comm = SimCommunicator(p, injector=injector, protect_messages=False)
+        plain = SimCommunicator(p, protect_messages=False)
+        got = comm.transpose(DistributedVector.from_global(x, p)).to_global()
+        want = plain.transpose(DistributedVector.from_global(x, p)).to_global()
+        assert not np.allclose(got, want, atol=1e-8)
+
+    def test_rank_targeted_fault(self, random_complex):
+        p = 4
+        injector = FaultInjector().arm_memory(FaultSite.COMM_BLOCK, rank=2, magnitude=10.0)
+        comm = SimCommunicator(p, injector=injector, protect_messages=True)
+        comm.transpose(DistributedVector.from_global(random_complex(64), p))
+        assert injector.events[0].rank == 2
+
+    def test_reset_counters(self, random_complex):
+        comm = SimCommunicator(2)
+        comm.transpose(DistributedVector.from_global(random_complex(16), 2))
+        comm.reset_counters()
+        assert comm.bytes_sent == 0 and comm.messages_sent == 0
+
+    def test_bytes_per_rank_estimate(self):
+        comm = SimCommunicator(4, protect_messages=True)
+        estimate = comm.bytes_per_rank_per_transpose(64)
+        assert estimate == (64 // 4) * 16 * 3 + 32 * 3

@@ -1,0 +1,108 @@
+"""Tests for the machine model and the virtual timeline."""
+
+import numpy as np
+import pytest
+
+from repro.simmpi.machine import LAPTOP_LIKE, TIANHE2_LIKE, MachineModel
+from repro.simmpi.timeline import VirtualTimeline
+
+
+class TestMachineModel:
+    def test_compute_time_linear_in_flops(self):
+        m = TIANHE2_LIKE
+        assert m.compute_time(2e9) == pytest.approx(2 * m.compute_time(1e9))
+        assert m.compute_time(0) == 0.0
+
+    def test_streaming_time(self):
+        m = MachineModel("t", 1e9, 2e9, 1e-6, 1e9)
+        assert m.streaming_time(2e9) == pytest.approx(1.0)
+
+    def test_fft_time_follows_n_log_n(self):
+        m = TIANHE2_LIKE
+        t1 = m.fft_time(2**20)
+        t2 = m.fft_time(2**21)
+        assert 2.0 < t2 / t1 < 2.2
+        assert m.fft_time(1) == 0.0
+
+    def test_fft_time_batch(self):
+        m = TIANHE2_LIKE
+        assert m.fft_time(1024, batch=4) == pytest.approx(4 * m.fft_time(1024))
+
+    def test_message_time_has_latency_floor(self):
+        m = MachineModel("t", 1e9, 1e9, 1e-3, 1e9)
+        assert m.message_time(0) == pytest.approx(1e-3)
+        assert m.message_time(1e9, messages=2) == pytest.approx(2e-3 + 1.0)
+
+    def test_alltoall_time_zero_for_single_rank(self):
+        assert TIANHE2_LIKE.alltoall_time(1e6, 1) == 0.0
+
+    def test_alltoall_grows_with_ranks_for_fixed_bytes_per_rank(self):
+        m = TIANHE2_LIKE
+        assert m.alltoall_time(1e6, 64) < m.alltoall_time(1e6, 1024)
+
+    def test_presets_exist(self):
+        assert TIANHE2_LIKE.flops_per_second > 0
+        assert LAPTOP_LIKE.network_bandwidth > 0
+
+
+class TestVirtualTimeline:
+    def test_compute_phase_uses_max_over_ranks(self):
+        t = VirtualTimeline(ranks=4)
+        duration = t.compute("work", [1.0, 2.0, 0.5, 1.5])
+        assert duration == 2.0
+        assert t.elapsed == 2.0
+        assert np.all(t.clocks == 2.0)  # barrier semantics
+
+    def test_scalar_compute_broadcasts(self):
+        t = VirtualTimeline(ranks=3)
+        t.compute("work", 1.5)
+        assert t.elapsed == 1.5
+
+    def test_communicate_adds_to_all(self):
+        t = VirtualTimeline(ranks=2)
+        t.communicate("tran", 0.25)
+        t.communicate("tran", 0.25)
+        assert t.elapsed == 0.5
+
+    def test_overlap_hides_smaller_of_comm_and_compute(self):
+        t = VirtualTimeline(ranks=2)
+        duration = t.overlapped("tran+ft", comm_seconds=1.0, hideable_per_rank=0.4)
+        assert duration == pytest.approx(1.0)
+        t2 = VirtualTimeline(ranks=2)
+        assert t2.overlapped("tran+ft", comm_seconds=0.3, hideable_per_rank=0.4) == pytest.approx(0.4)
+
+    def test_overlap_extra_is_not_hidden(self):
+        t = VirtualTimeline(ranks=2)
+        duration = t.overlapped("tran", comm_seconds=1.0, hideable_per_rank=0.2, extra_per_rank=0.5)
+        assert duration == pytest.approx(1.5)
+
+    def test_overlap_records_hidden_time(self):
+        t = VirtualTimeline(ranks=2)
+        t.overlapped("tran", comm_seconds=1.0, hideable_per_rank=0.4)
+        phase = t.phases[-1]
+        assert phase.kind == "overlap"
+        assert phase.hidden_time == pytest.approx(0.4)
+
+    def test_phase_breakdown_accumulates_by_name(self):
+        t = VirtualTimeline(ranks=2)
+        t.compute("fft", 1.0)
+        t.compute("fft", 0.5)
+        t.communicate("tran", 0.2)
+        breakdown = t.phase_breakdown()
+        assert breakdown["fft"] == pytest.approx(1.5)
+        assert t.total_of_kind("comm") == pytest.approx(0.2)
+
+    def test_wrong_length_per_rank_vector_rejected(self):
+        t = VirtualTimeline(ranks=3)
+        with pytest.raises(ValueError):
+            t.compute("x", [1.0, 2.0])
+
+    def test_non_positive_ranks_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualTimeline(ranks=0)
+
+    def test_report_lists_phases(self):
+        t = VirtualTimeline(ranks=2)
+        t.compute("fft", 1.0)
+        text = t.report()
+        assert "fft" in text and "virtual time" in text

@@ -1,0 +1,66 @@
+"""Tests for the non-blocking engine used by the Algorithm 3 schedule."""
+
+import numpy as np
+import pytest
+
+from repro.simmpi.nonblocking import NonBlockingEngine, Request
+
+
+class TestNonBlockingEngine:
+    def test_send_then_receive_delivers_payload(self):
+        engine = NonBlockingEngine()
+        payload = np.arange(4, dtype=complex)
+        engine.isend(payload, source=0, dest=1, tag=7)
+        request = engine.irecv(source=0, dest=1, tag=7)
+        assert np.allclose(engine.wait(request), payload)
+
+    def test_receive_posted_before_send_still_delivers(self):
+        engine = NonBlockingEngine()
+        request = engine.irecv(source=0, dest=1, tag=3)
+        engine.isend(np.ones(2, dtype=complex), source=0, dest=1, tag=3)
+        assert np.allclose(engine.wait(request), 1.0)
+
+    def test_payload_is_copied_at_send_time(self):
+        engine = NonBlockingEngine()
+        data = np.zeros(3, dtype=complex)
+        engine.isend(data, source=0, dest=1)
+        data[:] = 9
+        request = engine.irecv(source=0, dest=1)
+        assert np.allclose(engine.wait(request), 0.0)
+
+    def test_outstanding_count(self):
+        engine = NonBlockingEngine()
+        r1 = engine.isend(np.ones(1, dtype=complex), source=0, dest=1, tag=0)
+        r2 = engine.irecv(source=0, dest=1, tag=0)
+        assert engine.outstanding == 2
+        engine.wait(r1)
+        engine.wait(r2)
+        assert engine.outstanding == 0
+
+    def test_log_work_attributes_to_outstanding_requests(self):
+        engine = NonBlockingEngine()
+        request = engine.isend(np.ones(1, dtype=complex), source=0, dest=1)
+        engine.log_work("verify-block")
+        engine.wait(request)
+        assert "verify-block" in request.overlapped_work
+        assert "verify-block" in engine.overlapped_work_items()
+
+    def test_work_after_wait_not_attributed(self):
+        engine = NonBlockingEngine()
+        request = engine.isend(np.ones(1, dtype=complex), source=0, dest=1)
+        engine.wait(request)
+        engine.log_work("late")
+        assert "late" not in request.overlapped_work
+
+    def test_event_order_recorded(self):
+        engine = NonBlockingEngine()
+        engine.isend(np.ones(1, dtype=complex), source=0, dest=2, tag=1)
+        request = engine.irecv(source=0, dest=2, tag=1)
+        engine.wait(request)
+        kinds = [e.split(":")[0] for e in engine.issued_events]
+        assert kinds == ["isend", "irecv", "wait"]
+
+    def test_request_wait_marks_completed(self):
+        r = Request(tag=0, source=0, dest=1, payload=np.zeros(1, dtype=complex))
+        r.wait()
+        assert r.completed

@@ -1,0 +1,82 @@
+"""Tests for repro.utils.reporting."""
+
+import pytest
+
+from repro.utils.reporting import Table, dict_rows, format_float, render_table
+
+
+class TestFormatFloat:
+    def test_plain_value(self):
+        assert format_float(1.2345) == "1.234"
+
+    def test_zero(self):
+        assert format_float(0.0) == "0"
+
+    def test_tiny_value_uses_scientific(self):
+        assert "e" in format_float(3.2e-9)
+
+    def test_none_becomes_dash(self):
+        assert format_float(None) == "-"
+
+    def test_digits_control(self):
+        assert format_float(1.23456, digits=5) == "1.23456"
+
+
+class TestTable:
+    def test_positional_rows_render(self):
+        t = Table("demo", ["a", "b"])
+        t.add_row(1, 2.5)
+        text = t.render()
+        assert "demo" in text and "2.500" in text
+
+    def test_named_rows_follow_column_order(self):
+        t = Table("demo", ["a", "b"])
+        t.add_row(b=2, a=1)
+        assert t.rows[0] == ["1", "2"]
+
+    def test_mixing_positional_and_named_raises(self):
+        t = Table("demo", ["a"])
+        with pytest.raises(ValueError):
+            t.add_row(1, a=1)
+
+    def test_wrong_cell_count_raises(self):
+        t = Table("demo", ["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row(1)
+
+    def test_notes_appear_in_render(self):
+        t = Table("demo", ["a"])
+        t.add_row(1)
+        t.add_note("sizes scaled down")
+        assert "sizes scaled down" in t.render()
+
+    def test_bool_and_none_cells(self):
+        t = Table("demo", ["a", "b", "c"])
+        t.add_row(True, None, "x")
+        assert t.rows[0] == ["yes", "-", "x"]
+
+    def test_str_dunder(self):
+        t = Table("demo", ["a"])
+        t.add_row(3)
+        assert "demo" in str(t)
+
+
+class TestRenderTable:
+    def test_alignment_pads_columns(self):
+        text = render_table("t", ["col", "x"], [["1", "22"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(set(len(line) for line in lines[2:5])) <= 2  # header + rows aligned
+
+    def test_notes_are_appended(self):
+        text = render_table("t", ["a"], [["1"]], notes=["hello"])
+        assert "note: hello" in text
+
+
+class TestDictRows:
+    def test_orders_by_columns(self):
+        rows = dict_rows(["b", "a"], [{"a": 1, "b": 2}])
+        assert rows == [["2", "1"]]
+
+    def test_missing_keys_become_dash(self):
+        rows = dict_rows(["a", "z"], [{"a": 1}])
+        assert rows == [["1", "-"]]

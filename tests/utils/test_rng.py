@@ -1,0 +1,83 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import RandomSource, default_rng, spawn_rngs
+
+
+class TestDefaultRng:
+    def test_default_seed_is_deterministic(self):
+        a = default_rng().standard_normal(8)
+        b = default_rng().standard_normal(8)
+        assert np.array_equal(a, b)
+
+    def test_explicit_seed_changes_stream(self):
+        a = default_rng(1).standard_normal(8)
+        b = default_rng(2).standard_normal(8)
+        assert not np.array_equal(a, b)
+
+
+class TestSpawnRngs:
+    def test_streams_are_independent(self):
+        streams = spawn_rngs(3, seed=7)
+        draws = [g.standard_normal(16) for g in streams]
+        assert not np.array_equal(draws[0], draws[1])
+        assert not np.array_equal(draws[1], draws[2])
+
+    def test_spawn_is_reproducible(self):
+        a = spawn_rngs(2, seed=7)[0].standard_normal(4)
+        b = spawn_rngs(2, seed=7)[0].standard_normal(4)
+        assert np.array_equal(a, b)
+
+    def test_rejects_non_positive_count(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0)
+
+
+class TestRandomSource:
+    def test_uniform_complex_range(self):
+        src = RandomSource(seed=3)
+        x = src.uniform_complex(1000)
+        assert x.dtype == np.complex128
+        assert np.all(np.abs(x.real) <= 1.0)
+        assert np.all(np.abs(x.imag) <= 1.0)
+
+    def test_normal_complex_statistics(self):
+        src = RandomSource(seed=3)
+        x = src.normal_complex(20000)
+        assert abs(np.mean(x.real)) < 0.05
+        assert abs(np.std(x.real) - 1.0) < 0.05
+
+    def test_signal_with_tones_has_peaks(self):
+        src = RandomSource(seed=3)
+        x = src.signal_with_tones(256, tones=[5, 20])
+        spectrum = np.abs(np.fft.fft(x))
+        peaks = set(np.argsort(spectrum)[-2:])
+        assert peaks == {5, 20}
+
+    def test_signal_with_noise_is_complex(self):
+        src = RandomSource(seed=3)
+        x = src.signal_with_tones(64, tones=[3], noise=0.1)
+        assert x.shape == (64,)
+
+    def test_spawn_children_are_deterministic(self):
+        a = RandomSource(seed=11).spawn(3)[1].uniform_complex(4)
+        b = RandomSource(seed=11).spawn(3)[1].uniform_complex(4)
+        assert np.array_equal(a, b)
+
+    def test_spawn_children_differ_from_each_other(self):
+        children = RandomSource(seed=11).spawn(2)
+        assert not np.array_equal(children[0].uniform_complex(8), children[1].uniform_complex(8))
+
+    def test_integers_and_choice_helpers(self):
+        src = RandomSource(seed=5)
+        vals = src.integers(0, 10, size=100)
+        assert np.all((0 <= vals) & (vals < 10))
+        pick = src.choice([1, 2, 3])
+        assert pick in (1, 2, 3)
+
+    def test_uniform_helper(self):
+        src = RandomSource(seed=5)
+        vals = src.uniform(-2.0, 2.0, size=50)
+        assert np.all((-2.0 <= vals) & (vals <= 2.0))

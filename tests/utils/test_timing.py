@@ -1,0 +1,86 @@
+"""Tests for repro.utils.timing."""
+
+import time
+
+import pytest
+
+from repro.utils.timing import Stopwatch, Timer, measure
+
+
+class TestTimer:
+    def test_section_accumulates(self):
+        t = Timer()
+        with t.section("a"):
+            pass
+        with t.section("a"):
+            pass
+        assert t.counts["a"] == 2
+        assert t.totals["a"] >= 0.0
+
+    def test_total_sums_all_labels(self):
+        t = Timer()
+        with t.section("a"):
+            pass
+        with t.section("b"):
+            pass
+        assert t.total() == pytest.approx(t.total("a") + t.total("b"))
+
+    def test_unknown_label_is_zero(self):
+        assert Timer().total("missing") == 0.0
+
+    def test_reset_clears_state(self):
+        t = Timer()
+        with t.section("a"):
+            pass
+        t.reset()
+        assert t.totals == {} and t.counts == {}
+
+    def test_as_dict_returns_copy(self):
+        t = Timer()
+        with t.section("a"):
+            pass
+        d = t.as_dict()
+        d["a"] = -1
+        assert t.totals["a"] >= 0.0
+
+
+class TestStopwatch:
+    def test_measures_elapsed_time(self):
+        sw = Stopwatch()
+        sw.start()
+        time.sleep(0.01)
+        elapsed = sw.stop()
+        assert elapsed >= 0.009
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch().stop()
+
+    def test_context_manager(self):
+        with Stopwatch() as sw:
+            time.sleep(0.005)
+        assert sw.elapsed >= 0.004
+
+    def test_accumulates_over_multiple_intervals(self):
+        sw = Stopwatch()
+        sw.start(); sw.stop()
+        first = sw.elapsed
+        sw.start(); sw.stop()
+        assert sw.elapsed >= first
+
+
+class TestMeasure:
+    def test_returns_statistics(self):
+        stats = measure(lambda: sum(range(100)), repeats=3, warmup=1)
+        assert set(stats) == {"best", "mean", "times"}
+        assert len(stats["times"]) == 3
+        assert stats["best"] <= stats["mean"] + 1e-12
+
+    def test_counts_calls(self):
+        calls = []
+        measure(lambda: calls.append(1), repeats=2, warmup=1)
+        assert len(calls) == 3  # warmup + repeats
+
+    def test_rejects_zero_repeats(self):
+        with pytest.raises(ValueError):
+            measure(lambda: None, repeats=0)

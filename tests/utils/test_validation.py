@@ -1,0 +1,115 @@
+"""Tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.utils import validation
+
+
+class TestAsComplexVector:
+    def test_promotes_real_input(self):
+        out = validation.as_complex_vector([1.0, 2.0, 3.0])
+        assert out.dtype == np.complex128
+        assert np.allclose(out, [1, 2, 3])
+
+    def test_preserves_complex_values(self):
+        x = np.array([1 + 2j, 3 - 4j])
+        out = validation.as_complex_vector(x)
+        assert np.array_equal(out, x)
+
+    def test_copy_flag_creates_independent_array(self):
+        x = np.array([1 + 0j, 2 + 0j])
+        out = validation.as_complex_vector(x, copy=True)
+        out[0] = 99
+        assert x[0] == 1 + 0j
+
+    def test_no_copy_may_alias(self):
+        x = np.array([1 + 0j, 2 + 0j])
+        out = validation.as_complex_vector(x)
+        assert out.dtype == np.complex128
+
+    def test_rejects_2d_input(self):
+        with pytest.raises(ValueError, match="one-dimensional"):
+            validation.as_complex_vector(np.zeros((2, 2)))
+
+    def test_rejects_empty_input(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            validation.as_complex_vector(np.zeros(0))
+
+    def test_error_message_uses_name(self):
+        with pytest.raises(ValueError, match="signal"):
+            validation.as_complex_vector(np.zeros((2, 2)), name="signal")
+
+
+class TestAsComplexMatrix:
+    def test_accepts_2d(self):
+        out = validation.as_complex_matrix([[1, 2], [3, 4]])
+        assert out.shape == (2, 2)
+        assert out.dtype == np.complex128
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError, match="two-dimensional"):
+            validation.as_complex_matrix([1, 2, 3])
+
+
+class TestEnsurePositiveInt:
+    @pytest.mark.parametrize("value", [1, 7, 2**30, np.int64(5)])
+    def test_accepts_positive_integers(self, value):
+        assert validation.ensure_positive_int(value) == int(value)
+
+    @pytest.mark.parametrize("value", [0, -1, 2.5, -7])
+    def test_rejects_non_positive_or_fractional(self, value):
+        with pytest.raises(ValueError):
+            validation.ensure_positive_int(value)
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(TypeError):
+            validation.ensure_positive_int("four")
+
+
+class TestPowers:
+    @pytest.mark.parametrize("n,expected", [(1, True), (2, True), (1024, True), (3, False), (0, False), (6, False)])
+    def test_is_power_of_two(self, n, expected):
+        assert validation.is_power_of_two(n) is expected
+
+    def test_ensure_power_of_accepts(self):
+        assert validation.ensure_power_of(27, 3) == 27
+
+    def test_ensure_power_of_rejects(self):
+        with pytest.raises(ValueError):
+            validation.ensure_power_of(24, 3)
+
+    def test_ensure_power_of_rejects_base_one(self):
+        with pytest.raises(ValueError):
+            validation.ensure_power_of(8, 1)
+
+
+class TestSplitSize:
+    @pytest.mark.parametrize("n", [1, 2, 4, 12, 36, 64, 100, 1024, 2**15, 720])
+    def test_product_is_preserved(self, n):
+        m, k = validation.split_size(n)
+        assert m * k == n
+
+    @pytest.mark.parametrize("n", [4, 12, 36, 64, 100, 1024, 2**15])
+    def test_factors_are_balanced(self, n):
+        m, k = validation.split_size(n)
+        assert m >= k
+        # both factors within a factor ~2 of sqrt(n) for highly composite n
+        assert m <= 2 * np.sqrt(n) + 1
+
+    def test_prime_size_degenerates(self):
+        m, k = validation.split_size(13)
+        assert (m, k) == (13, 1)
+
+
+class TestIterChunks:
+    def test_covers_range_exactly(self):
+        chunks = list(validation.iter_chunks(10, 3))
+        assert chunks == [(0, 3), (3, 6), (6, 9), (9, 10)]
+
+    def test_single_chunk(self):
+        assert list(validation.iter_chunks(4, 10)) == [(0, 4)]
+
+    def test_rejects_zero_chunk(self):
+        with pytest.raises(ValueError):
+            list(validation.iter_chunks(4, 0))
