@@ -18,10 +18,12 @@ from __future__ import annotations
 import os
 import time
 from pathlib import Path
-from typing import Callable, Dict, Iterable, List, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
+from repro.core.config import FTConfig
+from repro.core.ftplan import FTPlan, plan
 from repro.utils.reporting import Table
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
@@ -64,6 +66,30 @@ def campaign_trials() -> int:
     """Trial count for statistical campaigns (override with ``REPRO_BENCH_TRIALS``)."""
 
     return env_int("REPRO_BENCH_TRIALS", DEFAULT_TRIALS)
+
+
+def bench_backend() -> Optional[str]:
+    """Sub-FFT backend for the benchmarks (override with ``REPRO_BENCH_BACKEND``).
+
+    ``None`` (the default) keeps the process-wide default backend; setting
+    ``REPRO_BENCH_BACKEND=numpy`` reruns every harness on pocketfft, which
+    isolates checksum overhead from the pure-Python FFT substrate.
+    """
+
+    value = os.environ.get("REPRO_BENCH_BACKEND")
+    return value or None
+
+
+def plan_for(name: str, n: int, backend: Optional[str] = None) -> FTPlan:
+    """A cached :class:`FTPlan` for a legacy scheme name.
+
+    All harnesses create their schemes through this helper so they exercise
+    the public plan API (and its wisdom cache) exactly as users do, and so
+    one environment variable switches every benchmark's backend.
+    """
+
+    config = FTConfig.from_name(name, backend=backend or bench_backend())
+    return plan(n, config)
 
 
 def make_input(n: int, seed: int = 20170712) -> np.ndarray:

@@ -18,8 +18,7 @@ from __future__ import annotations
 
 import pytest
 
-from _harness import interleaved_overhead, make_input, save_table, seq_sizes
-from repro.core import create_scheme
+from _harness import interleaved_overhead, make_input, plan_for, save_table, seq_sizes
 from repro.perfmodel import predict_sequential
 from repro.utils.reporting import Table
 
@@ -33,7 +32,7 @@ def test_fig7a_scheme_timing(benchmark, scheme, n):
     """Raw per-scheme timings (one bar of Fig. 7(a) per parameter point)."""
 
     x = make_input(n)
-    instance = create_scheme(scheme, n)
+    instance = plan_for(scheme, n)
     instance.execute(x)  # warm plan/twiddle caches outside the measurement
     result = benchmark(instance.execute, x)
     assert result.output.shape == (n,)
@@ -52,7 +51,7 @@ def test_fig7a_overhead_table(benchmark):
         )
         for n in seq_sizes():
             x = make_input(n)
-            schemes = {name: create_scheme(name, n) for name in SCHEMES}
+            schemes = {name: plan_for(name, n) for name in SCHEMES}
             overhead = interleaved_overhead(
                 "fftw",
                 {name: (lambda s=s, x=x: s.execute(x)) for name, s in schemes.items()},

@@ -9,8 +9,7 @@ from __future__ import annotations
 
 import pytest
 
-from _harness import interleaved_overhead, make_input, save_table, seq_sizes
-from repro.core import create_scheme
+from _harness import interleaved_overhead, make_input, plan_for, save_table, seq_sizes
 from repro.perfmodel import predict_sequential
 from repro.utils.reporting import Table
 
@@ -23,7 +22,7 @@ SCHEMES = ["fftw", "offline+mem", "opt-offline+mem", "online+mem", "opt-online+m
 @pytest.mark.parametrize("scheme", SCHEMES)
 def test_fig7b_scheme_timing(benchmark, scheme, n):
     x = make_input(n)
-    instance = create_scheme(scheme, n)
+    instance = plan_for(scheme, n)
     instance.execute(x)
     result = benchmark(instance.execute, x)
     assert result.output.shape == (n,)
@@ -40,7 +39,7 @@ def test_fig7b_overhead_table(benchmark):
         )
         for n in seq_sizes():
             x = make_input(n)
-            schemes = {name: create_scheme(name, n) for name in SCHEMES}
+            schemes = {name: plan_for(name, n) for name in SCHEMES}
             overhead = interleaved_overhead(
                 "fftw",
                 {name: (lambda s=s, x=x: s.execute(x)) for name, s in schemes.items()},

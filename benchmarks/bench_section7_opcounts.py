@@ -14,8 +14,8 @@ from __future__ import annotations
 
 import pytest
 
-from _harness import interleaved_best, interleaved_overhead, make_input, save_table, seq_sizes
-from repro.core import OptimizationFlags, create_scheme
+from _harness import bench_backend, interleaved_best, interleaved_overhead, make_input, plan_for, save_table, seq_sizes
+from repro.core import OptimizationFlags
 from repro.core.optimized import OptimizedOnlineABFT
 from repro.perfmodel import offline_scheme_ops, online_scheme_ops
 from repro.utils.reporting import Table
@@ -36,7 +36,7 @@ def test_ablation_timing(benchmark, label):
 
     n = seq_sizes()[0]
     x = make_input(n)
-    scheme = OptimizedOnlineABFT(n, memory_ft=True, flags=ABLATIONS[label])
+    scheme = OptimizedOnlineABFT(n, memory_ft=True, flags=ABLATIONS[label], backend=bench_backend())
     scheme.execute(x)
     result = benchmark(scheme.execute, x)
     assert not result.report.detected
@@ -47,10 +47,10 @@ def test_ablation_table(benchmark):
     def run() -> Table:
         n = seq_sizes()[-1]
         x = make_input(n)
-        baseline = create_scheme("fftw", n)
+        baseline = plan_for("fftw", n)
         schemes = {"fftw": baseline}
         for label, flags in ABLATIONS.items():
-            schemes[label] = OptimizedOnlineABFT(n, memory_ft=True, flags=flags)
+            schemes[label] = OptimizedOnlineABFT(n, memory_ft=True, flags=flags, backend=bench_backend())
         overhead = interleaved_overhead(
             "fftw", {name: (lambda s=s: s.execute(x)) for name, s in schemes.items()}, repeats=9
         )
@@ -78,8 +78,8 @@ def test_model_vs_measured_table(benchmark):
         n = seq_sizes()[-1]
         x = make_input(n)
         names = ["opt-offline", "opt-online", "opt-offline+mem", "opt-online+mem"]
-        schemes = {"fftw": create_scheme("fftw", n)}
-        schemes.update({name: create_scheme(name, n) for name in names})
+        schemes = {"fftw": plan_for("fftw", n)}
+        schemes.update({name: plan_for(name, n) for name in names})
         overhead = interleaved_overhead(
             "fftw", {name: (lambda s=s: s.execute(x)) for name, s in schemes.items()}, repeats=9
         )

@@ -21,8 +21,7 @@ from typing import Callable, Dict, List
 import numpy as np
 import pytest
 
-from _harness import interleaved_best, make_input, relative_error, save_table, seq_sizes
-from repro.core import create_scheme
+from _harness import interleaved_best, make_input, plan_for, relative_error, save_table, seq_sizes
 from repro.faults.injector import FaultInjector
 from repro.faults.models import FaultSite
 from repro.utils.reporting import Table
@@ -68,7 +67,7 @@ def test_table1_row_timing(benchmark, label, scheme, scenario):
     n = seq_sizes()[0]
     x = make_input(n)
     reference = np.fft.fft(x)
-    instance = create_scheme(scheme, n)
+    instance = plan_for(scheme, n)
     factory = _injector_factories()[scenario]
     instance.execute(x)  # warm-up without faults
 
@@ -96,7 +95,7 @@ def test_table1_execution_time_table(benchmark):
         for n in seq_sizes():
             x = make_input(n)
             reference = np.fft.fft(x)
-            schemes = {name: create_scheme(name, n) for name in {r[1] for r in ROWS}}
+            schemes = {name: plan_for(name, n) for name in {r[1] for r in ROWS}}
 
             def make_runner(scheme_name: str, scenario: str):
                 instance = schemes[scheme_name]

@@ -18,9 +18,8 @@ from typing import Dict
 
 import pytest
 
-from _harness import env_int, make_input, save_table
+from _harness import env_int, make_input, plan_for, save_table
 from repro.analysis.metrics import minimal_detectable_magnitude
-from repro.core import create_scheme
 from repro.faults.injector import FaultInjector
 from repro.faults.models import FaultKind, FaultSite, FaultSpec
 from repro.utils.reporting import Table
@@ -53,7 +52,7 @@ def test_table5_detection_sweep(benchmark, scheme_label, position):
 
     n = _size()
     x = make_input(n)
-    scheme = create_scheme(SCHEMES[scheme_label], n)
+    scheme = plan_for(SCHEMES[scheme_label], n)
 
     def sweep():
         return minimal_detectable_magnitude(
@@ -80,7 +79,7 @@ def test_table5_detection_table(benchmark):
         )
         limits: Dict[str, Dict[str, float]] = {}
         for scheme_label, scheme_name in SCHEMES.items():
-            scheme = create_scheme(scheme_name, n)
+            scheme = plan_for(scheme_name, n)
             limits[scheme_label] = {}
             for position, site in POSITIONS.items():
                 sweep = minimal_detectable_magnitude(

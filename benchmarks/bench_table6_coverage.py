@@ -14,9 +14,8 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from _harness import campaign_trials, env_int, save_table
+from _harness import campaign_trials, env_int, plan_for, save_table
 from repro.analysis.metrics import error_distribution_row
-from repro.core import create_scheme
 from repro.faults.campaign import CoverageCampaign
 from repro.faults.models import FaultKind, FaultSite, FaultSpec
 from repro.utils.reporting import Table
@@ -32,7 +31,7 @@ def _size() -> int:
 
 def _run_campaign(scheme_name: str, trials: int):
     n = _size()
-    scheme = create_scheme(scheme_name, n)
+    scheme = plan_for(scheme_name, n)
 
     def make_input(trial, rng):
         return rng.uniform(-1, 1, n) + 1j * rng.uniform(-1, 1, n)

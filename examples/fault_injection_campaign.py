@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import create_scheme
+import repro
 from repro.analysis.metrics import error_distribution_row
 from repro.faults.campaign import CoverageCampaign
 from repro.faults.models import FaultKind, FaultSite, FaultSpec
@@ -25,7 +25,7 @@ SITES = [FaultSite.STAGE1_INPUT, FaultSite.INTERMEDIATE, FaultSite.OUTPUT]
 
 
 def run_campaign(scheme_name: str) -> dict:
-    scheme = create_scheme(scheme_name, N)
+    scheme = repro.plan(N, scheme_name)
 
     def make_input(trial, rng):
         return rng.uniform(-1, 1, N) + 1j * rng.uniform(-1, 1, N)

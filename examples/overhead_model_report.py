@@ -16,7 +16,7 @@ import time
 
 import numpy as np
 
-from repro import create_scheme
+import repro
 from repro.perfmodel import (
     communication_overhead_ratio,
     parallel_scheme_ops,
@@ -56,7 +56,7 @@ def model_report() -> None:
 def measured_report() -> None:
     rng = np.random.default_rng(0)
     x = rng.uniform(-1, 1, MEASURE_N) + 1j * rng.uniform(-1, 1, MEASURE_N)
-    schemes = {name: create_scheme(name, MEASURE_N) for name in MEASURED_SCHEMES}
+    schemes = {name: repro.plan(MEASURE_N, name) for name in MEASURED_SCHEMES}
     for scheme in schemes.values():          # warm up plans and caches
         scheme.execute(x)
 

@@ -21,7 +21,8 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import FaultInjector, FaultSite, create_scheme
+import repro
+from repro import FaultInjector, FaultSite
 from repro.utils.rng import RandomSource
 
 
@@ -69,13 +70,13 @@ def main() -> None:
 
     print("spectra computed under a single high-bit memory flip:")
 
-    unprotected = create_scheme("fftw", N).execute(signal, fresh_injector())
+    unprotected = repro.plan(N, "fftw").execute(signal, fresh_injector())
     peak_report("unprotected FFTW", unprotected.output, reference)
 
-    offline = create_scheme("opt-offline+mem", N).execute(signal, fresh_injector())
+    offline = repro.plan(N, "opt-offline+mem").execute(signal, fresh_injector())
     peak_report("offline ABFT", offline.output, reference, offline.report)
 
-    online = create_scheme("opt-online+mem", N).execute(signal, fresh_injector())
+    online = repro.plan(N, "opt-online+mem").execute(signal, fresh_injector())
     peak_report("online ABFT (FT-FFTW)", online.output, reference, online.report)
 
     print("\nthe unprotected spectrum is silently wrong (energy leaks across bins);")

@@ -8,15 +8,36 @@ communication-computation overlap, and the paper's analytic overhead model.
 
 Quick start
 -----------
+The public API is plan-centric (FFTW-style *plan once, execute many*):
+
 >>> import numpy as np
->>> from repro import FaultTolerantFFT
->>> ft = FaultTolerantFFT(4096)                     # opt-online+mem scheme
+>>> import repro
+>>> p = repro.plan(4096)                            # opt-online+mem scheme
 >>> x = np.random.default_rng(0).standard_normal(4096) + 0j
->>> result = ft.forward(x)
+>>> result = p.execute(x)
 >>> bool(np.allclose(result.output, np.fft.fft(x)))
 True
->>> result.report.detected                           # nothing went wrong
+>>> result.report.detected                          # nothing went wrong
 False
+>>> repro.plan(4096) is p                           # plans are cached
+True
+
+Plans are configured declaratively and cached by ``(n, config)``:
+
+>>> p = repro.plan(4096, backend="numpy")           # pocketfft kernel
+>>> p = repro.plan(4096, "opt-offline")             # legacy registry name
+>>> p = repro.plan(4096, repro.FTConfig(kind="online", optimized=True,
+...                                     memory_ft=False))
+
+and support protected inverses and vectorized batched execution:
+
+>>> X = np.random.default_rng(1).standard_normal((64, 4096)) + 0j
+>>> batch = repro.plan(4096).execute_many(X)        # vectorized protection
+>>> bool(np.allclose(batch.output, np.fft.fft(X, axis=-1)))
+True
+
+The pre-1.1 entry points (``FaultTolerantFFT``, ``create_scheme``,
+``ft_fft``) remain available as deprecation shims over the plan API.
 
 See ``examples/`` for fault-injection demos and ``benchmarks/`` for the
 harnesses that regenerate every table and figure of the paper.
@@ -24,13 +45,43 @@ harnesses that regenerate every table and figure of the paper.
 
 from repro.core.api import FaultTolerantFFT, available_schemes, create_scheme, ft_fft
 from repro.core.base import OptimizationFlags, SchemeResult
+from repro.core.config import FTConfig
+from repro.core.ftplan import (
+    BatchResult,
+    FTPlan,
+    PlanCacheInfo,
+    clear_plan_cache,
+    plan,
+    plan_cache_info,
+    set_plan_cache_limit,
+)
 from repro.core.thresholds import RoundoffModel, ThresholdPolicy
 from repro.faults.injector import FaultInjector
 from repro.faults.models import FaultKind, FaultSite, FaultSpec
+from repro.fftlib.backends import (
+    FFTBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+    set_default_backend,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "plan",
+    "FTPlan",
+    "FTConfig",
+    "BatchResult",
+    "PlanCacheInfo",
+    "plan_cache_info",
+    "clear_plan_cache",
+    "set_plan_cache_limit",
+    "FFTBackend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "set_default_backend",
     "FaultTolerantFFT",
     "available_schemes",
     "create_scheme",

@@ -28,9 +28,17 @@ Layout
     The fully optimized online scheme of Fig. 3 (modified checksums,
     verification postponing, incremental checksum generation, contiguous
     buffering), with individual optimizations toggleable for ablations.
+``config``
+    :class:`FTConfig`: the frozen, validated, hashable description of a
+    protected transform (scheme kind, factors, thresholds, flags, dtype,
+    backend) with legacy registry-name conversion.
+``ftplan``
+    The plan-centric public API: ``repro.plan`` (thread-safe LRU "wisdom"
+    cache), :class:`FTPlan` with ``execute`` / ``inverse`` / batched
+    ``execute_many``.
 ``api``
-    ``FaultTolerantFFT`` facade and the scheme registry used by examples and
-    benchmarks.
+    Legacy ``FaultTolerantFFT`` facade and string registry, kept as
+    deprecation shims over the plan API.
 """
 
 from repro.core.base import FTScheme, OptimizationFlags, SchemeResult
@@ -53,9 +61,29 @@ from repro.core.plain import PlainFFT
 from repro.core.offline import OfflineABFT
 from repro.core.online import OnlineABFT
 from repro.core.optimized import OptimizedOnlineABFT
+from repro.core.config import FTConfig, SCHEME_KINDS, legacy_scheme_names
+from repro.core.ftplan import (
+    BatchResult,
+    FTPlan,
+    PlanCacheInfo,
+    clear_plan_cache,
+    plan,
+    plan_cache_info,
+    set_plan_cache_limit,
+)
 from repro.core.api import FaultTolerantFFT, available_schemes, create_scheme, ft_fft
 
 __all__ = [
+    "FTConfig",
+    "SCHEME_KINDS",
+    "legacy_scheme_names",
+    "BatchResult",
+    "FTPlan",
+    "PlanCacheInfo",
+    "clear_plan_cache",
+    "plan",
+    "plan_cache_info",
+    "set_plan_cache_limit",
     "FTScheme",
     "OptimizationFlags",
     "SchemeResult",

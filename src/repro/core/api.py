@@ -1,73 +1,78 @@
-"""Public convenience API: scheme registry and the ``FaultTolerantFFT`` facade.
+"""Legacy convenience API, now thin shims over the plan-centric API.
 
-Most downstream users want one of two things:
+The modern entry points live in :mod:`repro.core.ftplan` /
+:mod:`repro.core.config`:
 
-* a one-shot protected transform: :func:`ft_fft`, or
-* a reusable protected plan: :class:`FaultTolerantFFT` (create once, execute
-  many times - the analogue of creating an FFTW plan and calling
-  ``fftw_execute``).
+>>> import repro
+>>> p = repro.plan(4096)                      # cached FTPlan
+>>> p = repro.plan(4096, backend="numpy")     # pocketfft kernel
+>>> p = repro.plan(4096, repro.FTConfig(kind="offline", optimized=True,
+...                                      memory_ft=False))
 
-The string-keyed registry (:func:`create_scheme`, :func:`available_schemes`)
-is what the benchmark harnesses and examples use to iterate over the schemes
-the paper compares.
+The helpers here predate that API and are kept for backward compatibility:
+
+* :func:`ft_fft` - one-shot protected transform (now cache-backed),
+* :func:`create_scheme` / :func:`available_schemes` - the string-keyed
+  registry,
+* :class:`FaultTolerantFFT` - the old facade, now a wrapper around
+  :class:`repro.core.ftplan.FTPlan`.
+
+All of them emit :class:`DeprecationWarning`; new code should use
+``repro.plan`` and :class:`repro.FTConfig` directly.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional, Sequence
+import warnings
+from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.core.base import FTScheme, OptimizationFlags, SchemeResult
-from repro.core.offline import OfflineABFT
-from repro.core.online import OnlineABFT
-from repro.core.optimized import OptimizedOnlineABFT
-from repro.core.plain import PlainFFT
+from repro.core.config import FTConfig, legacy_scheme_names
+from repro.core.ftplan import FTPlan, plan
 from repro.core.thresholds import ThresholdPolicy
 from repro.faults.injector import FaultInjector
 
 __all__ = ["available_schemes", "create_scheme", "ft_fft", "FaultTolerantFFT"]
 
+#: FTConfig fields that legacy ``**kwargs`` may set directly.
+_CONFIG_KWARGS = ("m", "k", "thresholds", "flags", "dtype", "backend")
 
-_SchemeFactory = Callable[..., FTScheme]
+
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"{old} is deprecated; use {new} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
-def _registry() -> Dict[str, _SchemeFactory]:
-    return {
-        # baseline
-        "fftw": lambda n, **kw: PlainFFT(n, **kw),
-        # offline ABFT, computational FT only
-        "offline": lambda n, **kw: OfflineABFT(n, optimized=False, memory_ft=False, **kw),
-        "opt-offline": lambda n, **kw: OfflineABFT(n, optimized=True, memory_ft=False, **kw),
-        # offline ABFT with memory FT
-        "offline+mem": lambda n, **kw: OfflineABFT(n, optimized=False, memory_ft=True, **kw),
-        "opt-offline+mem": lambda n, **kw: OfflineABFT(n, optimized=True, memory_ft=True, **kw),
-        # online ABFT, computational FT only
-        "online": lambda n, **kw: OnlineABFT(n, memory_ft=False, **kw),
-        "opt-online": lambda n, **kw: OptimizedOnlineABFT(n, memory_ft=False, **kw),
-        # online ABFT with memory FT
-        "online+mem": lambda n, **kw: OnlineABFT(n, memory_ft=True, **kw),
-        "opt-online+mem": lambda n, **kw: OptimizedOnlineABFT(n, memory_ft=True, **kw),
-    }
+def _split_config_kwargs(kwargs):
+    """Partition legacy kwargs into FTConfig fields and constructor extras."""
+
+    config_kwargs = {key: kwargs.pop(key) for key in _CONFIG_KWARGS if key in kwargs}
+    return config_kwargs, kwargs
 
 
 def available_schemes() -> Sequence[str]:
     """Names accepted by :func:`create_scheme` (and the ``--scheme`` options)."""
 
-    return tuple(_registry().keys())
+    return legacy_scheme_names()
 
 
 def create_scheme(name: str, n: int, **kwargs) -> FTScheme:
-    """Instantiate a scheme by registry name.
+    """Instantiate a scheme by registry name (deprecated).
 
     ``kwargs`` are forwarded to the scheme constructor (``m``, ``k``,
-    ``thresholds``, ``flags`` where applicable).
+    ``thresholds``, ``flags``, ``backend`` where applicable).  New code
+    should build an :class:`repro.FTConfig` and call ``repro.plan``.
     """
 
-    registry = _registry()
-    if name not in registry:
-        raise KeyError(f"unknown scheme {name!r}; available: {', '.join(registry)}")
-    return registry[name](n, **kwargs)
+    _deprecated("create_scheme()", "repro.plan(n, config)")
+    config_kwargs, extra = _split_config_kwargs(dict(kwargs))
+    config = FTConfig.from_name(name, **config_kwargs)
+    return config.build(n, **extra)
 
 
 def ft_fft(
@@ -77,29 +82,29 @@ def ft_fft(
     injector: Optional[FaultInjector] = None,
     **kwargs,
 ) -> SchemeResult:
-    """One-shot fault-tolerant FFT of ``x`` under the named scheme."""
+    """One-shot fault-tolerant FFT of ``x`` under the named scheme (deprecated).
 
+    Now backed by the plan cache, so repeated one-shot calls of the same
+    size/configuration reuse the prepared plan.
+    """
+
+    _deprecated("ft_fft()", "repro.plan(n).execute(x)")
     x = np.asarray(x)
-    instance = create_scheme(scheme, x.shape[-1], **kwargs)
-    return instance.execute(x, injector)
+    config_kwargs, extra = _split_config_kwargs(dict(kwargs))
+    config = FTConfig.from_name(scheme, **config_kwargs)
+    if extra:
+        # Non-config constructor arguments cannot be part of a cache key;
+        # build an uncached scheme exactly like the old registry did.
+        return config.build(x.shape[-1], **extra).execute(x, injector)
+    return plan(x.shape[-1], config).execute(x, injector)
 
 
 class FaultTolerantFFT:
-    """A reusable protected transform of a fixed size.
+    """A reusable protected transform of a fixed size (deprecated facade).
 
-    Parameters
-    ----------
-    n:
-        Transform length.
-    scheme:
-        Registry name (default: the paper's fully optimized online scheme
-        with memory fault tolerance).
-    m, k:
-        Optional explicit two-layer factors.
-    thresholds:
-        Detection-threshold policy.
-    flags:
-        Optimization flags (online schemes only).
+    Thin wrapper over :class:`repro.core.ftplan.FTPlan`; prefer
+    ``repro.plan(n, config)``, which additionally caches plans across call
+    sites and offers batched execution (``execute_many``).
 
     Example
     -------
@@ -120,38 +125,43 @@ class FaultTolerantFFT:
         k: Optional[int] = None,
         thresholds: Optional[ThresholdPolicy] = None,
         flags: Optional[OptimizationFlags] = None,
+        backend: Optional[str] = None,
     ) -> None:
-        kwargs: Dict[str, object] = {}
-        if m is not None:
-            kwargs["m"] = m
-        if k is not None:
-            kwargs["k"] = k
-        if thresholds is not None:
-            kwargs["thresholds"] = thresholds
-        if flags is not None and scheme in {"online", "online+mem", "opt-online", "opt-online+mem"}:
-            kwargs["flags"] = flags
+        _deprecated("FaultTolerantFFT", "repro.plan(n, config)")
+        # The old facade only honoured flags for the online schemes.
+        if flags is not None and FTConfig.from_name(scheme).kind != "online":
+            flags = None
+        config = FTConfig.from_name(
+            scheme, m=m, k=k, thresholds=thresholds, flags=flags, backend=backend
+        )
+        # Build an *uncached* plan: the legacy facade always owned a private
+        # scheme instance, and callers that mutate its public attributes
+        # must not contaminate plans shared through the repro.plan cache.
+        self._plan: FTPlan = FTPlan(n, config)
         self.scheme_name = scheme
-        self.scheme = create_scheme(scheme, n, **kwargs)
+        self.scheme = self._plan.scheme
         self.n = n
 
     # ------------------------------------------------------------------
+    @property
+    def plan(self) -> FTPlan:
+        """The facade's private (uncached) :class:`FTPlan`.
+
+        Deliberately not shared with the ``repro.plan`` cache - see the
+        constructor.
+        """
+
+        return self._plan
+
     def forward(self, x: np.ndarray, injector: Optional[FaultInjector] = None) -> SchemeResult:
         """Protected forward transform."""
 
-        return self.scheme.execute(x, injector)
+        return self._plan.execute(x, injector)
 
     def inverse(self, spectrum: np.ndarray, injector: Optional[FaultInjector] = None) -> SchemeResult:
-        """Protected inverse transform.
+        """Protected inverse transform (conjugation identity; same coverage)."""
 
-        Implemented with the conjugation identity
-        ``ifft(X) = conj(fft(conj(X))) / n`` so the exact same protected
-        forward machinery (and therefore the same coverage) applies.
-        """
-
-        spectrum = np.asarray(spectrum, dtype=np.complex128)
-        result = self.scheme.execute(np.conj(spectrum), injector)
-        output = np.conj(result.output) / self.n
-        return SchemeResult(output=output, report=result.report, scheme=result.scheme)
+        return self._plan.inverse(spectrum, injector)
 
     def __call__(self, x: np.ndarray, injector: Optional[FaultInjector] = None) -> SchemeResult:
         return self.forward(x, injector)

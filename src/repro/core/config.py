@@ -1,0 +1,228 @@
+"""Declarative scheme configuration: :class:`FTConfig`.
+
+The legacy entry points (``create_scheme("opt-online+mem", n, **kwargs)``)
+identified a protection scheme by a registry string and forwarded loose
+keyword arguments to whichever constructor the string mapped to.  ``FTConfig``
+replaces that with a single frozen, validated, *hashable* description of a
+protected transform:
+
+* ``kind`` / ``optimized`` / ``memory_ft`` select the algorithm (the nine
+  legacy registry names are exactly the reachable combinations),
+* ``m`` / ``k`` pin the two-layer factors,
+* ``thresholds`` / ``flags`` carry the detection policy and the Section 4
+  optimization toggles,
+* ``dtype`` selects the output precision,
+* ``backend`` selects the raw sub-FFT kernel
+  (:mod:`repro.fftlib.backends`).
+
+Because the dataclass is frozen and every field is hashable, ``(n, config)``
+is directly usable as a plan-cache key - which is what
+:func:`repro.core.ftplan.plan` does.  :meth:`FTConfig.from_name` /
+:meth:`FTConfig.to_name` convert to and from the legacy registry strings so
+existing call sites (and saved benchmark configurations) keep working.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace as _dc_replace
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.base import FTScheme, OptimizationFlags
+from repro.core.offline import OfflineABFT
+from repro.core.online import OnlineABFT
+from repro.core.optimized import OptimizedOnlineABFT
+from repro.core.plain import PlainFFT
+from repro.core.thresholds import ThresholdPolicy
+
+__all__ = ["SCHEME_KINDS", "FTConfig", "legacy_scheme_names"]
+
+#: The algorithm families a config can select.
+SCHEME_KINDS = ("plain", "offline", "online")
+
+#: Output dtypes the plan API supports (execution is always complex128
+#: internally; complex64 halves the memory of stored batched results).
+_SUPPORTED_DTYPES = ("complex64", "complex128")
+
+#: Legacy registry name -> (kind, optimized, memory_ft), in the order the
+#: registry historically listed them (``available_schemes`` preserves it).
+_NAME_TO_TRIPLE: Dict[str, Tuple[str, bool, bool]] = {
+    "fftw": ("plain", False, False),
+    "offline": ("offline", False, False),
+    "opt-offline": ("offline", True, False),
+    "offline+mem": ("offline", False, True),
+    "opt-offline+mem": ("offline", True, True),
+    "online": ("online", False, False),
+    "opt-online": ("online", True, False),
+    "online+mem": ("online", False, True),
+    "opt-online+mem": ("online", True, True),
+}
+
+_TRIPLE_TO_NAME = {triple: name for name, triple in _NAME_TO_TRIPLE.items()}
+
+
+def legacy_scheme_names() -> Sequence[str]:
+    """The registry names accepted by :meth:`FTConfig.from_name`."""
+
+    return tuple(_NAME_TO_TRIPLE.keys())
+
+
+@dataclass(frozen=True)
+class FTConfig:
+    """Frozen, validated description of one protected-transform setup.
+
+    The default configuration is the paper's shipping scheme: the fully
+    optimized online ABFT with memory fault tolerance
+    (``opt-online+mem``).
+
+    Attributes
+    ----------
+    kind:
+        ``"plain"`` (unprotected baseline), ``"offline"`` (Algorithm 1), or
+        ``"online"`` (Algorithm 2 / Fig. 3).
+    optimized:
+        Apply the Section 4 optimizations (offline: optimized encoding;
+        online: the :class:`OptimizedOnlineABFT` scheme).  Must be ``False``
+        for ``kind="plain"``.
+    memory_ft:
+        Enable the memory fault-tolerance hierarchy.  Must be ``False`` for
+        ``kind="plain"``.
+    m, k:
+        Optional explicit two-layer factors (``n = m * k``; checked against
+        ``n`` at plan time).
+    thresholds:
+        Detection-threshold policy (``None`` = scheme default).
+    flags:
+        Optimization/ablation toggles.  For offline schemes the
+        ``group_size`` / ``max_retries`` members are honoured; the rest only
+        apply to online schemes.
+    dtype:
+        Output dtype, ``"complex128"`` (default) or ``"complex64"``.
+        Execution is always double precision internally.
+    backend:
+        Sub-FFT kernel registry name (``None`` = process default; see
+        :mod:`repro.fftlib.backends`).
+    """
+
+    kind: str = "online"
+    optimized: bool = True
+    memory_ft: bool = True
+    m: Optional[int] = None
+    k: Optional[int] = None
+    thresholds: Optional[ThresholdPolicy] = None
+    flags: Optional[OptimizationFlags] = None
+    dtype: str = "complex128"
+    backend: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    def __post_init__(self) -> None:
+        if self.kind not in SCHEME_KINDS:
+            raise ValueError(
+                f"unknown scheme kind {self.kind!r}; expected one of {', '.join(SCHEME_KINDS)}"
+            )
+        if self.kind == "plain" and (self.optimized or self.memory_ft):
+            raise ValueError(
+                "kind='plain' is the unprotected baseline; it has no "
+                "optimized or memory_ft variants"
+            )
+        for label, value in (("m", self.m), ("k", self.k)):
+            if value is not None:
+                if int(value) != value or value <= 0:
+                    raise ValueError(f"{label} must be a positive integer, got {value!r}")
+                object.__setattr__(self, label, int(value))
+        normalized = np.dtype(self.dtype).name
+        if normalized not in _SUPPORTED_DTYPES:
+            raise ValueError(
+                f"unsupported dtype {self.dtype!r}; expected one of {', '.join(_SUPPORTED_DTYPES)}"
+            )
+        object.__setattr__(self, "dtype", normalized)
+        if self.thresholds is not None and not isinstance(self.thresholds, ThresholdPolicy):
+            raise TypeError("thresholds must be a ThresholdPolicy (or None)")
+        if self.flags is not None and not isinstance(self.flags, OptimizationFlags):
+            raise TypeError("flags must be OptimizationFlags (or None)")
+
+    # ------------------------------------------------------------------
+    # legacy-name conversions
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_name(cls, name: str, **overrides) -> "FTConfig":
+        """Build a config from a legacy registry name.
+
+        ``overrides`` set any other field (``m``, ``k``, ``thresholds``,
+        ``flags``, ``dtype``, ``backend``).
+        """
+
+        triple = _NAME_TO_TRIPLE.get(name)
+        if triple is None:
+            raise KeyError(
+                f"unknown scheme {name!r}; available: {', '.join(_NAME_TO_TRIPLE)}"
+            )
+        kind, optimized, memory_ft = triple
+        return cls(kind=kind, optimized=optimized, memory_ft=memory_ft, **overrides)
+
+    def to_name(self) -> str:
+        """The legacy registry name selecting this algorithm combination."""
+
+        return _TRIPLE_TO_NAME[(self.kind, self.optimized, self.memory_ft)]
+
+    def replace(self, **changes) -> "FTConfig":
+        """A copy of this config with ``changes`` applied (re-validated)."""
+
+        return _dc_replace(self, **changes)
+
+    # ------------------------------------------------------------------
+    # scheme construction
+    # ------------------------------------------------------------------
+    def build(self, n: int, **extra) -> FTScheme:
+        """Instantiate the scheme this config describes for size ``n``.
+
+        ``extra`` keyword arguments are forwarded to the scheme constructor
+        verbatim (after the config-derived ones), preserving the legacy
+        ``create_scheme(name, n, **kwargs)`` behaviour.
+        """
+
+        kwargs = {
+            "m": self.m,
+            "k": self.k,
+            "thresholds": self.thresholds,
+            "backend": self.backend,
+        }
+        if self.kind == "plain":
+            if self.flags is not None:
+                kwargs["group_size"] = self.flags.group_size
+            kwargs.update(extra)
+            m = kwargs.pop("m")
+            k = kwargs.pop("k")
+            return PlainFFT(n, m, k, **kwargs)
+        if self.kind == "offline":
+            kwargs["optimized"] = self.optimized
+            kwargs["memory_ft"] = self.memory_ft
+            if self.flags is not None:
+                kwargs["group_size"] = self.flags.group_size
+                kwargs["max_retries"] = self.flags.max_retries
+            kwargs.update(extra)
+            m = kwargs.pop("m")
+            k = kwargs.pop("k")
+            return OfflineABFT(n, m, k, **kwargs)
+        cls = OptimizedOnlineABFT if self.optimized else OnlineABFT
+        kwargs["memory_ft"] = self.memory_ft
+        kwargs["flags"] = self.flags
+        kwargs.update(extra)
+        m = kwargs.pop("m")
+        k = kwargs.pop("k")
+        return cls(n, m, k, **kwargs)
+
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        parts = [f"kind={self.kind}"]
+        if self.kind != "plain":
+            parts.append(f"optimized={self.optimized}")
+            parts.append(f"memory_ft={self.memory_ft}")
+        if self.m is not None or self.k is not None:
+            parts.append(f"m={self.m}, k={self.k}")
+        if self.dtype != "complex128":
+            parts.append(f"dtype={self.dtype}")
+        if self.backend is not None:
+            parts.append(f"backend={self.backend}")
+        return f"FTConfig({', '.join(parts)})"

@@ -1,0 +1,474 @@
+"""The plan-centric public API: :func:`plan`, :class:`FTPlan`, the wisdom cache.
+
+The paper's premise is FFTW's *plan once, execute many*: all checksum weight
+vectors, twiddle tables, and sub-plans of a protected transform are
+size-dependent but data-independent, so they should be paid for once.  This
+module is that split for the ABFT schemes:
+
+>>> import numpy as np, repro
+>>> p = repro.plan(4096)                       # cached FTPlan (opt-online+mem)
+>>> x = np.random.default_rng(0).standard_normal(4096) + 0j
+>>> bool(np.allclose(p.execute(x).output, np.fft.fft(x)))
+True
+>>> repro.plan(4096) is p                      # wisdom: same object back
+True
+
+``plan()`` consults a thread-safe, size-bounded LRU cache keyed by
+``(n, FTConfig)`` - the analogue of FFTW wisdom.  The returned
+:class:`FTPlan` owns the scheme instance plus the batched-protection weight
+vectors and exposes three execution entry points:
+
+``execute(x)``
+    The protected forward transform of one vector (the scheme's native
+    fault-tolerance machinery: per-sub-FFT online verification etc.).
+``inverse(X)``
+    The protected inverse via the conjugation identity, so the same coverage
+    applies in both directions.
+``execute_many(X, axis=-1)``
+    Batched execution.  The whole batch moves through the two-layer pipeline
+    as one 3-D array (no per-row Python loop) and protection is *vectorized*:
+    per-row end-to-end checksums are generated with one matrix-vector
+    product, verified with one residual comparison, and only rows whose
+    verification fails drop into the scalar recovery path (memory repair via
+    the locating checksum pair, then re-execution under the fully protected
+    scheme).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import List, NamedTuple, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.base import SchemeResult
+from repro.core.checksums import (
+    computational_weights,
+    input_checksum_weights,
+    input_checksum_weights_naive,
+    memory_weights_classic,
+    memory_weights_modified,
+    repair_single_error,
+    weighted_sum,
+)
+from repro.core.config import FTConfig
+from repro.core.detection import FTReport
+from repro.core.thresholds import residual_exceeds
+from repro.faults.injector import FaultInjector, NullInjector
+from repro.faults.models import FaultSite
+from repro.fftlib.backends import resolve_backend_name
+from repro.utils.validation import ensure_positive_int
+
+__all__ = [
+    "BatchResult",
+    "FTPlan",
+    "PlanCacheInfo",
+    "plan",
+    "plan_cache_info",
+    "clear_plan_cache",
+    "set_plan_cache_limit",
+]
+
+
+# ----------------------------------------------------------------------
+# results
+# ----------------------------------------------------------------------
+
+@dataclass
+class BatchResult:
+    """Output of one batched protected execution (see ``execute_many``)."""
+
+    output: np.ndarray
+    report: FTReport
+    #: flat indices (into the flattened batch) of rows that failed the
+    #: vectorized verification and went through scalar recovery
+    fallback_rows: Tuple[int, ...] = ()
+
+    @property
+    def detected(self) -> bool:
+        return self.report.detected
+
+    @property
+    def corrected(self) -> bool:
+        return self.report.corrected
+
+    @property
+    def uncorrectable(self) -> bool:
+        return self.report.has_uncorrectable
+
+
+# ----------------------------------------------------------------------
+# the plan
+# ----------------------------------------------------------------------
+
+class FTPlan:
+    """A reusable, cached, fault-tolerant transform of one size and config.
+
+    Create via :func:`plan` (which caches) or directly (which does not).
+    Plans hold no per-execution state, so one plan may be shared freely
+    across threads and executed concurrently.
+    """
+
+    def __init__(self, n: int, config: Union[FTConfig, str, None] = None) -> None:
+        if config is None:
+            config = FTConfig()
+        elif isinstance(config, str):
+            config = FTConfig.from_name(config)
+        self.n = ensure_positive_int(n, name="n")
+        self.config = config
+        self.scheme = config.build(self.n)
+        self.dtype = np.dtype(config.dtype)
+        self._protected = config.kind != "plain"
+        n_ = self.n
+        if self._protected:
+            # Batched-protection state: end-to-end computational checksum
+            # vector (c = rA) and, with memory FT, the locating pair.
+            c = (
+                input_checksum_weights(n_)
+                if config.optimized
+                else input_checksum_weights_naive(n_)
+            )
+            self._c = c
+            self._r = computational_weights(n_)
+            if config.memory_ft:
+                if config.optimized:
+                    # Section 4.1: rA doubles as the first locating vector
+                    # (with the degenerate-weights guard for 3 | n, where
+                    # the closed form falls back to the classic pair).
+                    self._w1, self._w2 = memory_weights_modified(n_, base=c)
+                else:
+                    self._w1, self._w2 = memory_weights_classic(n_)
+            else:
+                self._w1 = self._w2 = None
+        # Recovery retry budget: explicit flags win; otherwise inherit the
+        # built scheme's own effective default so execute() and
+        # execute_many() agree on what "uncorrectable" means.
+        flags = config.flags
+        if flags is not None:
+            self._max_retries = int(flags.max_retries)
+        elif hasattr(self.scheme, "flags"):
+            self._max_retries = int(self.scheme.flags.max_retries)
+        else:
+            self._max_retries = int(getattr(self.scheme, "max_retries", 2))
+
+    # ------------------------------------------------------------------
+    @property
+    def m(self) -> int:
+        return self.scheme.plan.m
+
+    @property
+    def k(self) -> int:
+        return self.scheme.plan.k
+
+    @property
+    def backend(self) -> str:
+        return self.scheme.plan.backend
+
+    @property
+    def scheme_name(self) -> str:
+        return self.scheme.name
+
+    @property
+    def thresholds(self):
+        return self.scheme.thresholds
+
+    # ------------------------------------------------------------------
+    def execute(self, x: np.ndarray, injector: Optional[FaultInjector] = None) -> SchemeResult:
+        """Protected forward transform of one length-``n`` vector."""
+
+        result = self.scheme.execute(x, injector)
+        return self._cast_result(result)
+
+    def __call__(self, x: np.ndarray, injector: Optional[FaultInjector] = None) -> SchemeResult:
+        return self.execute(x, injector)
+
+    def inverse(self, spectrum: np.ndarray, injector: Optional[FaultInjector] = None) -> SchemeResult:
+        """Protected inverse transform.
+
+        Implemented with the conjugation identity
+        ``ifft(X) = conj(fft(conj(X))) / n`` so the exact same protected
+        forward machinery (and therefore the same coverage) applies.
+        """
+
+        spectrum = np.asarray(spectrum, dtype=np.complex128)
+        result = self.scheme.execute(np.conj(spectrum), injector)
+        output = np.conj(result.output) / self.n
+        return self._cast_result(
+            SchemeResult(output=output, report=result.report, scheme=result.scheme)
+        )
+
+    # ------------------------------------------------------------------
+    def execute_many(
+        self,
+        X: np.ndarray,
+        axis: int = -1,
+        injector: Optional[FaultInjector] = None,
+    ) -> BatchResult:
+        """Protected transform of every length-``n`` slice of ``X`` along ``axis``.
+
+        The batch is transformed as one array (vectorized two-layer pipeline)
+        and protected by vectorized per-row end-to-end checksums; see the
+        module docstring.  With an injector, faults may strike the batched
+        input and output arrays (:attr:`FaultSite.INPUT` /
+        :attr:`FaultSite.OUTPUT`); stage-interior sites never fire in a
+        batched run (recovery re-executions are deliberately injector-free
+        so a persistent spec cannot re-corrupt its own repair) - use
+        :meth:`execute` to exercise interior fault sites.
+        """
+
+        X = np.asarray(X)
+        if X.ndim == 0:
+            raise ValueError("execute_many expects at least a 1-D array")
+        moved = np.moveaxis(np.asarray(X, dtype=np.complex128), axis, -1)
+        if moved.shape[-1] != self.n:
+            raise ValueError(
+                f"axis {axis} has length {moved.shape[-1]}, expected {self.n}"
+            )
+        batch_shape = moved.shape[:-1]
+        # The working array must be private: the schemes never mutate caller
+        # data, and the batch path must not either (the injector corrupts -
+        # and recovery repairs - this array in place).  Reshaping a
+        # non-contiguous moveaxis view already copies, so only copy when the
+        # reshape still aliases the caller's buffer.
+        rows = moved.reshape(-1, self.n)
+        if np.may_share_memory(rows, X):
+            rows = rows.copy()
+        batch = rows.shape[0]
+        injector = injector or NullInjector()
+        report = FTReport(scheme=f"{self.scheme.name}[batch]")
+        fallback: List[int] = []
+
+        if not self._protected:
+            injector.visit(FaultSite.INPUT, rows)
+            out = self._transform_rows(rows)
+            injector.visit(FaultSite.OUTPUT, out)
+        else:
+            # --- vectorized encoding (one matmul per checksum vector) ----
+            cx = rows @ self._c
+            etas = self.thresholds.eta_offline_batch(self.n, rows)
+            if self.config.memory_ft:
+                s1 = rows @ self._w1
+                s2 = rows @ self._w2
+                eta_mem = self.thresholds.eta_memory_batch(self._w1, rows)
+            else:
+                s1 = s2 = None
+            report.bump("checksum-generations", batch)
+
+            # Faults may strike only once the protection exists (the paper's
+            # fault model excludes corruption during checksum generation).
+            injector.visit(FaultSite.INPUT, rows)
+
+            # --- vectorized transform + vectorized verification ----------
+            out = self._transform_rows(rows)
+            injector.visit(FaultSite.OUTPUT, out)
+            residuals = np.abs(out @ self._r - cx)
+            report.bump("verifications", batch)
+            comp_violations = residual_exceeds(residuals, etas)
+            violations = comp_violations
+            if self.config.memory_ft:
+                # Also verify the input rows against their stored locating
+                # checksums (one matmul): this catches input corruption even
+                # at the 3 | n sizes where the end-to-end vector rA is
+                # nearly degenerate and the computational residual is blind.
+                mem_residuals = np.abs(rows @ self._w1 - s1)
+                report.bump("memory-verifications", batch)
+                violations = violations | residual_exceeds(mem_residuals, eta_mem)
+            bad = np.nonzero(violations)[0]
+
+            # --- scalar recovery for the (rare) flagged rows --------------
+            for idx in bad:
+                idx = int(idx)
+                # Rows flagged only by the memory check get their
+                # "batch-mcv" record inside _recover_row; don't fabricate a
+                # computational violation for them here.
+                if comp_violations[idx]:
+                    report.record_verification(
+                        "batch-ccv", idx, float(residuals[idx]), float(etas[idx]), True
+                    )
+                fallback.append(idx)
+                ok = self._recover_row(rows, out, idx, cx, etas, s1, s2, report)
+                if not ok:
+                    report.record_uncorrectable(
+                        f"batch row {idx} still failing after {self._max_retries} retries"
+                    )
+
+        output = out.reshape(batch_shape + (self.n,))
+        output = np.moveaxis(output, -1, axis)
+        if self.dtype != np.complex128:
+            output = output.astype(self.dtype)
+        return BatchResult(output=output, report=report, fallback_rows=tuple(fallback))
+
+    # ------------------------------------------------------------------
+    def _transform_rows(self, rows: np.ndarray) -> np.ndarray:
+        """Unprotected vectorized two-layer transform of a ``(batch, n)`` array."""
+
+        tl = self.scheme.plan
+        batch = rows.shape[0]
+        work = rows.reshape(batch, tl.m, tl.k)
+        inner = tl.inner_plan.execute_batch(work, axis=1)
+        twiddled = inner * tl.twiddles[None, :, :]
+        outer = tl.outer_plan.execute_batch(twiddled, axis=2)
+        # scatter_output, batched: result[j2, j1] holds frequency j1*m + j2.
+        return np.ascontiguousarray(outer.transpose(0, 2, 1)).reshape(batch, self.n)
+
+    def _recover_row(self, rows, out, idx, cx, etas, s1, s2, report) -> bool:
+        """Recover flagged row ``idx``; mirrors the offline restart loop."""
+
+        row = rows[idx]
+        for _ in range(max(1, self._max_retries)):
+            if self.config.memory_ft:
+                eta_mem = self.thresholds.eta_memory(self._w1, row)
+                residual = float(np.abs(weighted_sum(self._w1, row) - s1[idx]))
+                if residual_exceeds(residual, eta_mem):
+                    report.record_verification("batch-mcv", idx, residual, eta_mem, True)
+                    repaired = repair_single_error(row, self._w1, self._w2, s1[idx], s2[idx])
+                    if repaired is None:
+                        report.record_uncorrectable(
+                            f"batch row {idx}: input corruption could not be located"
+                        )
+                        return False
+                    report.record_correction(
+                        "memory-correct", "batch-input", idx, f"element {repaired[0]} repaired"
+                    )
+            # Re-execute through the fully protected scalar scheme so the
+            # recovery inherits the scheme's own sub-FFT-level machinery.
+            result = self.scheme.execute(row)
+            report.merge(result.report)
+            report.record_correction("recompute", "batch", idx, "row re-executed under full protection")
+            residual = float(np.abs(weighted_sum(self._r, result.output) - cx[idx]))
+            ok = not bool(residual_exceeds(residual, float(etas[idx])))
+            report.record_verification("batch-ccv-retry", idx, residual, float(etas[idx]), not ok)
+            if ok:
+                out[idx] = result.output
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    def _cast_result(self, result: SchemeResult) -> SchemeResult:
+        if self.dtype != np.complex128:
+            result.output = result.output.astype(self.dtype)
+        return result
+
+    def describe(self) -> str:
+        return (
+            f"FTPlan(n={self.n} = {self.m} x {self.k}, scheme={self.scheme.name}, "
+            f"backend={self.backend}, dtype={self.dtype.name})"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return self.describe()
+
+
+# ----------------------------------------------------------------------
+# the plan cache ("wisdom")
+# ----------------------------------------------------------------------
+
+class PlanCacheInfo(NamedTuple):
+    hits: int
+    misses: int
+    size: int
+    limit: int
+
+
+_DEFAULT_CACHE_LIMIT = 32
+
+_cache_lock = threading.RLock()
+_cache: "OrderedDict[Tuple[int, FTConfig], FTPlan]" = OrderedDict()
+_cache_limit = _DEFAULT_CACHE_LIMIT
+_hits = 0
+_misses = 0
+
+
+def plan(n: int, config: Union[FTConfig, str, None] = None, **overrides) -> FTPlan:
+    """A cached :class:`FTPlan` for an ``n``-point protected transform.
+
+    Parameters
+    ----------
+    n:
+        Transform length.
+    config:
+        An :class:`FTConfig`, a legacy registry name (``"opt-online+mem"``),
+        or ``None`` for the default configuration.
+    **overrides:
+        Individual :class:`FTConfig` fields to override, e.g.
+        ``plan(4096, backend="numpy")`` or
+        ``plan(4096, "offline", memory_ft=True)``.
+
+    Repeated calls with an equal ``(n, config)`` return the *same* plan
+    object from a thread-safe, size-bounded LRU cache, so planning cost
+    (checksum weight vectors, twiddle tables, sub-plans) is paid once per
+    configuration - FFTW wisdom for the protected transform.
+    """
+
+    if config is None:
+        config = FTConfig(**overrides)
+    elif isinstance(config, str):
+        config = FTConfig.from_name(config, **overrides)
+    elif isinstance(config, FTConfig):
+        if overrides:
+            config = config.replace(**overrides)
+    else:
+        raise TypeError(f"config must be FTConfig, str, or None, got {type(config).__name__}")
+
+    # Resolve backend=None to the *current* process default before keying:
+    # otherwise a later set_default_backend() would keep returning plans
+    # built under the old default, and backend=None / backend="fftlib"
+    # would cache duplicate plans for the same kernel.
+    resolved = resolve_backend_name(config.backend)
+    if config.backend != resolved:
+        config = config.replace(backend=resolved)
+
+    key = (int(n), config)
+    global _hits, _misses
+    with _cache_lock:
+        cached = _cache.get(key)
+        if cached is not None:
+            _hits += 1
+            _cache.move_to_end(key)
+            return cached
+    # Build outside the lock: planning is the expensive part (checksum
+    # weight vectors, twiddle warm-up) and must not serialize unrelated
+    # threads.  On a race the first inserted plan wins and the duplicate
+    # construction is discarded.
+    created = FTPlan(n, config)
+    with _cache_lock:
+        existing = _cache.get(key)
+        if existing is not None:
+            _hits += 1
+            _cache.move_to_end(key)
+            return existing
+        _misses += 1
+        _cache[key] = created
+        while len(_cache) > _cache_limit:
+            _cache.popitem(last=False)
+        return created
+
+
+def plan_cache_info() -> PlanCacheInfo:
+    """Hit/miss/size statistics of the plan cache."""
+
+    with _cache_lock:
+        return PlanCacheInfo(hits=_hits, misses=_misses, size=len(_cache), limit=_cache_limit)
+
+
+def clear_plan_cache() -> None:
+    """Drop all cached plans and reset the statistics."""
+
+    global _hits, _misses
+    with _cache_lock:
+        _cache.clear()
+        _hits = 0
+        _misses = 0
+
+
+def set_plan_cache_limit(limit: int) -> None:
+    """Bound the cache to ``limit`` plans (evicting least-recently-used)."""
+
+    global _cache_limit
+    limit = ensure_positive_int(limit, name="limit")
+    with _cache_lock:
+        _cache_limit = limit
+        while len(_cache) > _cache_limit:
+            _cache.popitem(last=False)

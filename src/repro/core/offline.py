@@ -54,9 +54,10 @@ class OfflineABFT(FTScheme):
         thresholds: Optional[ThresholdPolicy] = None,
         max_retries: int = 2,
         group_size: int = 32,
+        backend: Optional[str] = None,
     ) -> None:
         super().__init__(n, thresholds=thresholds)
-        self.plan = TwoLayerPlan(n, m, k)
+        self.plan = TwoLayerPlan(n, m, k, backend=backend)
         self.optimized = bool(optimized)
         self.memory_ft = bool(memory_ft)
         self.max_retries = int(max_retries)

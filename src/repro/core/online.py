@@ -59,9 +59,10 @@ class OnlineABFT(FTScheme):
         memory_ft: bool = False,
         thresholds: Optional[ThresholdPolicy] = None,
         flags: Optional[OptimizationFlags] = None,
+        backend: Optional[str] = None,
     ) -> None:
         super().__init__(n, thresholds=thresholds)
-        self.plan = TwoLayerPlan(n, m, k)
+        self.plan = TwoLayerPlan(n, m, k, backend=backend)
         self.memory_ft = bool(memory_ft)
         self.flags = flags or OptimizationFlags.all_off()
         self.name = "online+mem" if memory_ft else "online"

@@ -44,9 +44,10 @@ class PlainFFT(FTScheme):
         *,
         thresholds: Optional[ThresholdPolicy] = None,
         group_size: int = 32,
+        backend: Optional[str] = None,
     ) -> None:
         super().__init__(n, thresholds=thresholds)
-        self.plan = TwoLayerPlan(n, m, k)
+        self.plan = TwoLayerPlan(n, m, k, backend=backend)
         self.group_size = max(1, int(group_size))
 
     @property

@@ -147,13 +147,16 @@ class ThresholdMode(enum.Enum):
     RELATIVE = "relative"
 
 
-@dataclass
+@dataclass(frozen=True)
 class ThresholdPolicy:
     """Produces the detection thresholds used by the ABFT schemes.
 
     A single policy instance is shared by a scheme; all thresholds scale
     linearly with the magnitude of the protected data, so the policy is
     applicable to inputs of any scale.
+
+    The dataclass is frozen (and therefore hashable) so that a policy can be
+    part of an :class:`repro.core.config.FTConfig` plan-cache key.
     """
 
     mode: ThresholdMode = ThresholdMode.PAPER
@@ -245,6 +248,50 @@ class ThresholdPolicy:
 
         return self.eta_stage1(n, data)
 
+    def eta_offline_batch(self, n: int, rows: np.ndarray) -> np.ndarray:
+        """Per-row offline thresholds for a ``(batch, n)`` array, vectorized.
+
+        Semantically one :meth:`eta_offline` per row, but computed without a
+        Python loop so batched execution (``FTPlan.execute_many``) keeps its
+        protection fully vectorized.  Both threshold modes are linear in the
+        per-row ``sigma_0``, so the data-independent factor is evaluated once
+        and scaled by the vector of per-row sigmas.
+        """
+
+        rows = np.asarray(rows)
+        if rows.ndim != 2:
+            raise ValueError(f"rows must be 2-D, got shape {rows.shape}")
+        sigma0 = self._component_sigma_rows(rows)
+        if self.mode is ThresholdMode.RELATIVE:
+            unit = self.relative_factor * float(np.sqrt(n)) * n
+            etas = unit * np.maximum(sigma0, 1e-30)
+        else:
+            # checksum_roundoff_sigma(n, s) = s * checksum_roundoff_sigma(n, 1)
+            unit = self.safety_factor * float(np.sqrt(n)) * self.model.checksum_roundoff_sigma(n, 1.0)
+            etas = unit * sigma0
+        return np.maximum(etas, self.floor)
+
+    def _component_sigma_rows(self, rows: np.ndarray) -> np.ndarray:
+        """Vectorized per-row :meth:`component_sigma` (robust, sampled)."""
+
+        step = max(1, rows.shape[1] // self.sample_size)
+        sample = np.abs(rows[:, ::step])
+        finite = np.isfinite(sample)
+        with np.errstate(invalid="ignore"):
+            median = np.nanmedian(np.where(finite, sample, np.nan), axis=1)
+        median = np.nan_to_num(median, nan=0.0)
+        # Same outlier rule as _magnitude_rms: drop non-finite values and
+        # values more than 1e6 x the per-row median (rows whose median is 0
+        # keep everything finite, mirroring the scalar path).
+        keep = finite & (
+            (median[:, None] <= 0.0) | (sample <= 1e6 * median[:, None])
+        )
+        counts = keep.sum(axis=1)
+        sums = np.square(np.where(keep, sample, 0.0)).sum(axis=1)
+        rms = np.sqrt(sums / np.maximum(counts, 1))
+        rms = np.where(counts > 0, rms, median)
+        return rms / np.sqrt(2.0)
+
     def eta_memory(self, weights: np.ndarray, data: np.ndarray) -> float:
         """Threshold for a memory-checksum verification.
 
@@ -268,3 +315,25 @@ class ThresholdPolicy:
             return max(self.relative_factor * n * value_rms, self.floor)
         sigma = self.model.summation_sigma(n, value_rms)
         return max(self.safety_factor * self.memory_margin * sigma, self.floor)
+
+    def eta_memory_batch(self, weights: np.ndarray, rows: np.ndarray) -> np.ndarray:
+        """Per-row memory-checksum thresholds for a ``(batch, n)`` array.
+
+        Semantically one :meth:`eta_memory` per row, vectorized: both modes
+        are linear in the per-row data RMS, so the weight/data-independent
+        factor is computed once and scaled by the vector of row RMS values.
+        """
+
+        rows = np.asarray(rows)
+        if rows.ndim != 2:
+            raise ValueError(f"rows must be 2-D, got shape {rows.shape}")
+        weights = np.asarray(weights)
+        n = weights.shape[0]
+        weight_rms = float(np.sqrt(np.mean(np.abs(weights) ** 2))) if n else 0.0
+        # _component_sigma_rows returns rms/sqrt(2); undo to get magnitude RMS.
+        value_rms = weight_rms * self._component_sigma_rows(rows) * float(np.sqrt(2.0))
+        if self.mode is ThresholdMode.RELATIVE:
+            etas = self.relative_factor * n * value_rms
+        else:
+            etas = self.safety_factor * self.memory_margin * self.model.summation_sigma(n, 1.0) * value_rms
+        return np.maximum(etas, self.floor)

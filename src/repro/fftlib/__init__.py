@@ -7,6 +7,10 @@ tree of plans: the highest level splits an ``N``-point problem into ``k``
 boundaries of exactly those stages.  This package provides the same
 structure:
 
+``backends``
+    The sub-FFT kernel registry: the internal engine below vs.
+    ``numpy.fft`` (pocketfft) vs. anything registered by the user, selected
+    uniformly by schemes, benchmarks, and the CLI.
 ``dft``
     Reference O(N^2) discrete Fourier transforms used for validation and as
     the base-case "codelet" for small prime sizes.
@@ -32,6 +36,17 @@ structure:
     Real-input forward/backward transforms built on the complex engine.
 """
 
+from repro.fftlib.backends import (
+    FFTBackend,
+    FFTLibBackend,
+    NumpyFFTBackend,
+    available_backends,
+    default_backend_name,
+    get_backend,
+    register_backend,
+    resolve_backend_name,
+    set_default_backend,
+)
 from repro.fftlib.dft import direct_dft, direct_idft, dft_matrix
 from repro.fftlib.twiddle import TwiddleCache, twiddle_factors, omega
 from repro.fftlib.codelets import SUPPORTED_CODELET_SIZES, apply_codelet, has_codelet
@@ -45,6 +60,15 @@ from repro.fftlib.inplace import InPlaceTwoLayerPlan
 from repro.fftlib.real import rfft, irfft
 
 __all__ = [
+    "FFTBackend",
+    "FFTLibBackend",
+    "NumpyFFTBackend",
+    "available_backends",
+    "default_backend_name",
+    "get_backend",
+    "register_backend",
+    "resolve_backend_name",
+    "set_default_backend",
     "direct_dft",
     "direct_idft",
     "dft_matrix",

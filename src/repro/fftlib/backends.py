@@ -1,0 +1,158 @@
+"""The sub-FFT backend registry.
+
+Every plan in this library ultimately applies a raw (unprotected) FFT kernel
+to the last axis of an array.  Historically that kernel was hard-wired to the
+internal :mod:`repro.fftlib.mixed_radix` engine; this module abstracts it
+behind a tiny interface so that schemes, benchmarks, and the CLI can select
+the kernel uniformly:
+
+* ``"fftlib"`` - the repository's own plan-based engine (codelets,
+  mixed-radix, Bluestein).  This is the faithful FFTW stand-in whose stage
+  structure the ABFT schemes instrument, and the default.
+* ``"numpy"`` - NumPy's pocketfft.  Much faster in wall-clock terms (it is
+  compiled), which makes it the backend of choice for large fault campaigns
+  and for measuring checksum overhead unclouded by pure-Python FFT cost.
+
+Third parties can plug in additional kernels (``pyfftw``, ``scipy.fft``,
+accelerator wrappers) with :func:`register_backend`; nothing above this
+module needs to change.  Checksum protection is backend-agnostic: the ABFT
+schemes only require that the kernel computes the DFT, so a registered
+backend is automatically covered by the same verification machinery.
+"""
+
+from __future__ import annotations
+
+import abc
+import threading
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "FFTBackend",
+    "FFTLibBackend",
+    "NumpyFFTBackend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "default_backend_name",
+    "set_default_backend",
+    "resolve_backend_name",
+]
+
+
+class FFTBackend(abc.ABC):
+    """A raw sub-FFT kernel: forward/backward DFTs along one axis.
+
+    Backends are stateless; twiddle/working storage belongs to the plans
+    that call them.  ``ifft`` must be fully normalised (``1/n``), matching
+    the convention of :func:`numpy.fft.ifft` and the internal engine.
+    """
+
+    #: registry key (also what ``--backend`` and ``FTConfig.backend`` accept)
+    name: str = "base"
+    #: one-line human description for listings
+    description: str = ""
+
+    @abc.abstractmethod
+    def fft(self, x: np.ndarray, axis: int = -1) -> np.ndarray:
+        """Forward DFT along ``axis`` (batched over all other axes)."""
+
+    @abc.abstractmethod
+    def ifft(self, x: np.ndarray, axis: int = -1) -> np.ndarray:
+        """Normalised inverse DFT along ``axis``."""
+
+    def describe(self) -> str:
+        return f"{self.name}: {self.description}"
+
+
+class FFTLibBackend(FFTBackend):
+    """The internal plan-based engine (codelets / mixed-radix / Bluestein)."""
+
+    name = "fftlib"
+    description = "internal plan-based engine (codelets, mixed-radix, Bluestein)"
+
+    def fft(self, x: np.ndarray, axis: int = -1) -> np.ndarray:
+        from repro.fftlib.mixed_radix import fft_along_axis
+
+        return fft_along_axis(np.asarray(x, dtype=np.complex128), axis)
+
+    def ifft(self, x: np.ndarray, axis: int = -1) -> np.ndarray:
+        from repro.fftlib.mixed_radix import ifft_along_axis
+
+        return ifft_along_axis(np.asarray(x, dtype=np.complex128), axis)
+
+
+class NumpyFFTBackend(FFTBackend):
+    """NumPy's pocketfft (compiled; the fast path for large workloads)."""
+
+    name = "numpy"
+    description = "numpy.fft (pocketfft); compiled, fastest for large sizes"
+
+    def fft(self, x: np.ndarray, axis: int = -1) -> np.ndarray:
+        return np.fft.fft(np.asarray(x, dtype=np.complex128), axis=axis)
+
+    def ifft(self, x: np.ndarray, axis: int = -1) -> np.ndarray:
+        return np.fft.ifft(np.asarray(x, dtype=np.complex128), axis=axis)
+
+
+_LOCK = threading.RLock()
+_REGISTRY: Dict[str, FFTBackend] = {}
+_DEFAULT_NAME = "fftlib"
+
+
+def register_backend(backend: FFTBackend, *, overwrite: bool = False) -> FFTBackend:
+    """Register ``backend`` under ``backend.name``; returns it for chaining."""
+
+    name = getattr(backend, "name", "")
+    if not name or name == "base":
+        raise ValueError("backend must define a non-default 'name'")
+    with _LOCK:
+        if name in _REGISTRY and not overwrite:
+            raise ValueError(f"backend {name!r} already registered (pass overwrite=True)")
+        _REGISTRY[name] = backend
+    return backend
+
+
+def available_backends() -> Sequence[str]:
+    """Names accepted by :func:`get_backend` (and ``--backend`` options)."""
+
+    with _LOCK:
+        return tuple(_REGISTRY.keys())
+
+
+def get_backend(name: Optional[str] = None) -> FFTBackend:
+    """Look up a backend by name (``None`` = the process-wide default)."""
+
+    with _LOCK:
+        key = name or _DEFAULT_NAME
+        backend = _REGISTRY.get(key)
+    if backend is None:
+        raise KeyError(
+            f"unknown FFT backend {key!r}; available: {', '.join(available_backends())}"
+        )
+    return backend
+
+
+def resolve_backend_name(name: Optional[str] = None) -> str:
+    """Canonical registry name for ``name`` (validates; ``None`` = default)."""
+
+    return get_backend(name).name
+
+
+def default_backend_name() -> str:
+    with _LOCK:
+        return _DEFAULT_NAME
+
+
+def set_default_backend(name: str) -> None:
+    """Change the process-wide default backend (must already be registered)."""
+
+    global _DEFAULT_NAME
+    resolved = resolve_backend_name(name)
+    with _LOCK:
+        _DEFAULT_NAME = resolved
+
+
+register_backend(FFTLibBackend())
+register_backend(NumpyFFTBackend())

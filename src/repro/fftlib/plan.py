@@ -16,8 +16,8 @@ from typing import Optional
 import numpy as np
 
 from repro.fftlib import factorization
+from repro.fftlib.backends import get_backend
 from repro.fftlib.codelets import codelet_flop_count, has_codelet
-from repro.fftlib.mixed_radix import fft as _fft, ifft as _ifft
 from repro.fftlib.twiddle import get_global_cache
 from repro.utils.validation import ensure_positive_int
 
@@ -72,21 +72,30 @@ class Plan:
         normalised by ``1/n``).
     strategy:
         Execution strategy; chosen by :class:`repro.fftlib.planner.Planner`
-        when not given explicitly.
+        when not given explicitly.  Only meaningful for the ``fftlib``
+        backend; other backends apply their own kernel wholesale.
+    backend:
+        Registry name of the sub-FFT kernel (see
+        :mod:`repro.fftlib.backends`).  ``None`` resolves to the process-wide
+        default at execution time.
     """
 
     n: int
     direction: PlanDirection = PlanDirection.FORWARD
     strategy: PlanStrategy = PlanStrategy.MIXED_RADIX
     flops: float = field(default=0.0, compare=False)
+    backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         ensure_positive_int(self.n, name="n")
         if self.flops == 0.0:
             object.__setattr__(self, "flops", estimate_flops(self.n))
         # Warm the twiddle cache so repeated executions do not pay the
-        # trigonometric setup cost (FFTW does this at planning time).
-        if not factorization.is_prime(self.n) or self.n <= 61:
+        # trigonometric setup cost (FFTW does this at planning time).  Other
+        # backends own their tables, so only the internal engine needs this.
+        if (self.backend is None or self.backend == "fftlib") and (
+            not factorization.is_prime(self.n) or self.n <= 61
+        ):
             get_global_cache().vector(self.n)
 
     # ------------------------------------------------------------------
@@ -102,9 +111,10 @@ class Plan:
             raise ValueError(
                 f"plan of size {self.n} applied to array with last axis {x.shape[-1]}"
             )
+        kernel = get_backend(self.backend)
         if self.is_forward:
-            return _fft(x)
-        return _ifft(x)
+            return kernel.fft(x, axis=-1)
+        return kernel.ifft(x, axis=-1)
 
     def execute_batch(self, x: np.ndarray, axis: int = -1) -> np.ndarray:
         """Apply the plan along an arbitrary axis."""
@@ -120,14 +130,15 @@ class Plan:
         direction = (
             PlanDirection.BACKWARD if self.is_forward else PlanDirection.FORWARD
         )
-        return Plan(self.n, direction, self.strategy, self.flops)
+        return Plan(self.n, direction, self.strategy, self.flops, self.backend)
 
     def describe(self) -> str:
         """Human-readable one-line description (mirrors ``fftw_print_plan``)."""
 
         factors = "x".join(str(f) for f in factorization.radix_schedule(self.n))
+        backend = self.backend or "fftlib"
         return (
             f"Plan(n={self.n}, dir={self.direction.value}, "
-            f"strategy={self.strategy.value}, radices={factors}, "
-            f"~{self.flops:.0f} flops)"
+            f"strategy={self.strategy.value}, backend={backend}, "
+            f"radices={factors}, ~{self.flops:.0f} flops)"
         )

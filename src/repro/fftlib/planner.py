@@ -18,6 +18,7 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from repro.fftlib import factorization
+from repro.fftlib.backends import resolve_backend_name
 from repro.fftlib.codelets import has_codelet
 from repro.fftlib.plan import Plan, PlanDirection, PlanStrategy, estimate_flops
 
@@ -53,26 +54,38 @@ class Planner:
     policy:
         Planning effort (estimate vs. measure).
     wisdom:
-        Cache of previously created plans keyed by ``(n, direction)``.
+        Cache of previously created plans keyed by
+        ``(n, direction, backend)``.
     """
 
     policy: PlannerPolicy = PlannerPolicy.ESTIMATE
-    wisdom: Dict[Tuple[int, PlanDirection], Plan] = field(default_factory=dict)
+    wisdom: Dict[Tuple[int, PlanDirection, str], Plan] = field(default_factory=dict)
     measurements: Dict[int, Dict[str, float]] = field(default_factory=dict)
 
-    def plan(self, n: int, direction: PlanDirection = PlanDirection.FORWARD) -> Plan:
-        """Return a (cached) plan for an ``n``-point transform."""
+    def plan(
+        self,
+        n: int,
+        direction: PlanDirection = PlanDirection.FORWARD,
+        backend: Optional[str] = None,
+    ) -> Plan:
+        """Return a (cached) plan for an ``n``-point transform.
 
-        key = (int(n), direction)
+        ``backend`` selects the sub-FFT kernel (see
+        :mod:`repro.fftlib.backends`); plans are cached per backend so a
+        process can mix kernels freely.
+        """
+
+        backend_name = resolve_backend_name(backend)
+        key = (int(n), direction, backend_name)
         cached = self.wisdom.get(key)
         if cached is not None:
             return cached
 
-        if self.policy is PlannerPolicy.MEASURE and n >= 32:
+        if self.policy is PlannerPolicy.MEASURE and n >= 32 and backend_name == "fftlib":
             strategy = self._measure_strategy(int(n))
         else:
             strategy = _heuristic_strategy(int(n))
-        plan = Plan(int(n), direction, strategy, estimate_flops(int(n)))
+        plan = Plan(int(n), direction, strategy, estimate_flops(int(n)), backend_name)
         self.wisdom[key] = plan
         return plan
 
@@ -123,22 +136,29 @@ class Planner:
         self.measurements.clear()
 
     def export_wisdom(self) -> Dict[str, str]:
-        """Serialise wisdom as ``{"n:direction": strategy}`` (human readable)."""
+        """Serialise wisdom as ``{"n:direction:backend": strategy}``."""
 
         return {
-            f"{n}:{direction.value}": plan.strategy.value
-            for (n, direction), plan in self.wisdom.items()
+            f"{n}:{direction.value}:{backend}": plan.strategy.value
+            for (n, direction, backend), plan in self.wisdom.items()
         }
 
     def import_wisdom(self, data: Dict[str, str]) -> None:
-        """Re-create plans from :meth:`export_wisdom` output."""
+        """Re-create plans from :meth:`export_wisdom` output.
+
+        The pre-backend two-field format (``"n:direction"``) is still
+        accepted and mapped to the default backend.
+        """
 
         for key, strategy_name in data.items():
-            n_str, dir_name = key.split(":")
-            n = int(n_str)
-            direction = PlanDirection(dir_name)
+            parts = key.split(":")
+            n = int(parts[0])
+            direction = PlanDirection(parts[1])
+            backend = resolve_backend_name(parts[2] if len(parts) > 2 else None)
             strategy = PlanStrategy(strategy_name)
-            self.wisdom[(n, direction)] = Plan(n, direction, strategy)
+            self.wisdom[(n, direction, backend)] = Plan(
+                n, direction, strategy, backend=backend
+            )
 
 
 _DEFAULT_PLANNER = Planner()
@@ -150,7 +170,11 @@ def get_default_planner() -> Planner:
     return _DEFAULT_PLANNER
 
 
-def plan_fft(n: int, direction: PlanDirection = PlanDirection.FORWARD) -> Plan:
+def plan_fft(
+    n: int,
+    direction: PlanDirection = PlanDirection.FORWARD,
+    backend: Optional[str] = None,
+) -> Plan:
     """Convenience wrapper around the default planner."""
 
-    return _DEFAULT_PLANNER.plan(n, direction)
+    return _DEFAULT_PLANNER.plan(n, direction, backend)

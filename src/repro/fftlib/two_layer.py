@@ -26,6 +26,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.fftlib.backends import resolve_backend_name
 from repro.fftlib.factorization import balanced_split
 from repro.fftlib.plan import Plan, PlanDirection
 from repro.fftlib.planner import Planner, get_default_planner
@@ -105,6 +106,9 @@ class TwoLayerPlan:
         normalised inverse (``1/m * 1/k = 1/n``).
     planner:
         Planner used to create the inner/outer sub-plans.
+    backend:
+        Sub-FFT kernel registry name (see :mod:`repro.fftlib.backends`);
+        ``None`` uses the process-wide default.
     """
 
     def __init__(
@@ -115,12 +119,14 @@ class TwoLayerPlan:
         *,
         direction: PlanDirection = PlanDirection.FORWARD,
         planner: Optional[Planner] = None,
+        backend: Optional[str] = None,
     ) -> None:
         self.decomposition = TwoLayerDecomposition.for_size(n, m, k)
         self.direction = direction
+        self.backend = resolve_backend_name(backend)
         planner = planner or get_default_planner()
-        self.inner_plan: Plan = planner.plan(self.m, direction)
-        self.outer_plan: Plan = planner.plan(self.k, direction)
+        self.inner_plan: Plan = planner.plan(self.m, direction, self.backend)
+        self.outer_plan: Plan = planner.plan(self.k, direction, self.backend)
         self._twiddles = get_global_cache().stage(
             self.m, self.k, inverse=(direction is PlanDirection.BACKWARD)
         )
@@ -250,7 +256,7 @@ class TwoLayerPlan:
     def describe(self) -> str:
         return (
             f"TwoLayerPlan(n={self.n} = {self.m} x {self.k}, "
-            f"direction={self.direction.value})"
+            f"direction={self.direction.value}, backend={self.backend})"
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -1,4 +1,15 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite.
+
+Package hygiene note
+--------------------
+The test tree deliberately contains duplicate module basenames
+(``tests/core/test_properties.py`` and ``tests/fftlib/test_properties.py``),
+so every test directory carries an ``__init__.py`` to give the modules
+distinct package-qualified names.  Without those, pytest's rootdir-relative
+imports collide ("import file mismatch") - and a stale ``__pycache__`` from
+a pre-``__init__.py`` checkout can reproduce the same error; ``find tests
+-name __pycache__ -exec rm -rf {} +`` clears it.
+"""
 
 from __future__ import annotations
 

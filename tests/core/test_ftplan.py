@@ -1,0 +1,302 @@
+"""Tests for the plan-centric API: FTConfig, repro.plan, FTPlan, batching."""
+
+import threading
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.config import FTConfig, legacy_scheme_names
+from repro.core.ftplan import (
+    FTPlan,
+    clear_plan_cache,
+    plan,
+    plan_cache_info,
+    set_plan_cache_limit,
+)
+from repro.core.base import OptimizationFlags
+from repro.core.thresholds import ThresholdPolicy
+from repro.faults.injector import FaultInjector
+from repro.faults.models import FaultSite
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    """Isolate every test from plan-cache state (and restore the limit)."""
+
+    clear_plan_cache()
+    set_plan_cache_limit(32)
+    yield
+    clear_plan_cache()
+    set_plan_cache_limit(32)
+
+
+class TestFTConfig:
+    def test_default_is_the_papers_scheme(self):
+        config = FTConfig()
+        assert config.to_name() == "opt-online+mem"
+
+    @pytest.mark.parametrize("name", list(legacy_scheme_names()))
+    def test_from_name_round_trips_every_legacy_name(self, name):
+        assert FTConfig.from_name(name).to_name() == name
+
+    def test_from_name_unknown(self):
+        with pytest.raises(KeyError, match="unknown scheme"):
+            FTConfig.from_name("nope")
+
+    def test_invalid_kind(self):
+        with pytest.raises(ValueError, match="unknown scheme kind"):
+            FTConfig(kind="quantum")
+
+    def test_plain_has_no_variants(self):
+        with pytest.raises(ValueError, match="plain"):
+            FTConfig(kind="plain", optimized=True, memory_ft=False)
+        with pytest.raises(ValueError, match="plain"):
+            FTConfig(kind="plain", optimized=False, memory_ft=True)
+
+    def test_invalid_dtype(self):
+        with pytest.raises(ValueError, match="dtype"):
+            FTConfig(dtype="float64")
+
+    def test_dtype_normalised(self):
+        assert FTConfig(dtype=np.complex64).dtype == "complex64"
+
+    def test_invalid_factor(self):
+        with pytest.raises(ValueError, match="positive integer"):
+            FTConfig(m=-4)
+
+    def test_hashable_with_policy_and_flags(self):
+        config = FTConfig(thresholds=ThresholdPolicy(), flags=OptimizationFlags(group_size=8))
+        assert hash(config) == hash(config.replace())
+
+    def test_build_respects_factors_and_backend(self):
+        scheme = FTConfig.from_name("opt-online+mem", m=64, k=8, backend="numpy").build(512)
+        assert (scheme.m, scheme.k) == (64, 8)
+        assert scheme.plan.backend == "numpy"
+
+    def test_build_every_kind_executes(self, random_complex, spectra_close):
+        x = random_complex(128)
+        for name in legacy_scheme_names():
+            scheme = FTConfig.from_name(name).build(128)
+            spectra_close(scheme.execute(x).output, np.fft.fft(x))
+
+
+class TestPlanCache:
+    def test_repeated_calls_return_same_object(self):
+        p = plan(256)
+        assert plan(256) is p
+        assert plan(256, FTConfig()) is p
+
+    def test_distinct_configs_get_distinct_plans(self):
+        assert plan(256) is not plan(256, "opt-offline")
+        assert plan(256) is not plan(256, backend="numpy")
+        assert plan(256) is not plan(512)
+
+    def test_hit_miss_accounting(self):
+        plan(128)
+        plan(128)
+        plan(64)
+        info = plan_cache_info()
+        assert info.hits == 1 and info.misses == 2 and info.size == 2
+
+    def test_lru_eviction(self):
+        set_plan_cache_limit(2)
+        first = plan(64)
+        plan(128)
+        plan(64)          # refresh 64 -> 128 is now least recently used
+        plan(256)          # evicts 128
+        assert plan(64) is first
+        info = plan_cache_info()
+        assert info.size == 2
+        old_misses = plan_cache_info().misses
+        plan(128)          # was evicted: must be rebuilt
+        assert plan_cache_info().misses == old_misses + 1
+
+    def test_clear(self):
+        p = plan(64)
+        clear_plan_cache()
+        assert plan(64) is not p
+
+    def test_string_and_override_configs(self):
+        a = plan(128, "opt-online", backend="numpy")
+        b = plan(128, FTConfig.from_name("opt-online", backend="numpy"))
+        assert a is b
+
+    def test_default_backend_resolved_into_cache_key(self):
+        assert plan(128) is plan(128, backend="fftlib")
+        repro.set_default_backend("numpy")
+        try:
+            p = plan(128)
+            assert p.backend == "numpy"
+            assert p is plan(128, backend="numpy")
+            assert p is not plan(128, backend="fftlib")
+        finally:
+            repro.set_default_backend("fftlib")
+
+    def test_bad_config_type(self):
+        with pytest.raises(TypeError, match="config"):
+            plan(64, 3.14)
+
+    def test_thread_safety_returns_one_instance(self):
+        results = []
+
+        def worker():
+            results.append(plan(1024))
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len({id(p) for p in results}) == 1
+
+
+class TestFTPlanExecution:
+    def test_execute_matches_numpy(self, random_complex, spectra_close):
+        p = plan(400)
+        x = random_complex(400)
+        spectra_close(p.execute(x).output, np.fft.fft(x))
+
+    def test_inverse_round_trip(self, random_complex, spectra_close):
+        p = plan(1024)
+        x = random_complex(1024)
+        spectra_close(p.inverse(p.execute(x).output).output, x, rtol_scale=1e-8)
+
+    def test_inverse_round_trip_under_fault_injection(self, random_complex, spectra_close):
+        p = plan(512)
+        x = random_complex(512)
+        injector = FaultInjector().arm_computational(FaultSite.STAGE1_COMPUTE, magnitude=9.0)
+        result = p.inverse(np.fft.fft(x), injector)
+        assert result.report.detected
+        assert not result.report.has_uncorrectable
+        spectra_close(result.output, x, rtol_scale=1e-8)
+
+    def test_dtype_cast(self, random_complex):
+        p = plan(128, dtype="complex64")
+        x = random_complex(128)
+        assert p.execute(x).output.dtype == np.complex64
+        assert p.execute_many(np.stack([x, x])).output.dtype == np.complex64
+
+    def test_uncached_direct_construction(self, random_complex, spectra_close):
+        p = FTPlan(128, "opt-offline")
+        x = random_complex(128)
+        spectra_close(p.execute(x).output, np.fft.fft(x))
+        assert plan_cache_info().size == 0
+
+
+class TestExecuteMany:
+    def test_batch_matches_per_row_fft(self, rng, spectra_close):
+        p = plan(4096)
+        X = rng.standard_normal((64, 4096)) + 1j * rng.standard_normal((64, 4096))
+        batch = p.execute_many(X)
+        spectra_close(batch.output, np.fft.fft(X, axis=-1))
+        # clean input: everything verified in the vectorized path, no fallback
+        assert batch.fallback_rows == ()
+        assert not batch.detected
+        assert batch.report.counters["verifications"] == 64
+
+    def test_batch_matches_looped_execute(self, rng, spectra_close):
+        p = plan(256)
+        X = rng.standard_normal((8, 256)) + 1j * rng.standard_normal((8, 256))
+        batch = p.execute_many(X)
+        looped = np.stack([p.execute(row).output for row in X])
+        spectra_close(batch.output, looped)
+
+    def test_axis_argument(self, rng, spectra_close):
+        p = plan(128)
+        X = rng.standard_normal((128, 5)) + 1j * rng.standard_normal((128, 5))
+        batch = p.execute_many(X, axis=0)
+        assert batch.output.shape == (128, 5)
+        spectra_close(batch.output, np.fft.fft(X, axis=0))
+
+    def test_single_vector_input(self, rng, spectra_close):
+        p = plan(64)
+        x = rng.standard_normal(64) + 0j
+        batch = p.execute_many(x)
+        spectra_close(batch.output, np.fft.fft(x))
+
+    def test_wrong_length_rejected(self, rng):
+        p = plan(64)
+        with pytest.raises(ValueError, match="expected 64"):
+            p.execute_many(rng.standard_normal((4, 65)) + 0j)
+
+    def test_does_not_mutate_caller_array(self, rng):
+        p = plan(128)
+        X = rng.standard_normal((4, 128)) + 0j
+        before = X.copy()
+        injector = FaultInjector().arm_bitflip(FaultSite.INPUT, bit=60)
+        p.execute_many(X, injector=injector)
+        np.testing.assert_array_equal(X, before)
+
+    def test_retry_budget_matches_wrapped_scheme(self):
+        p = plan(64)
+        assert p._max_retries == p.scheme.flags.max_retries
+        offline = plan(64, "opt-offline+mem")
+        assert offline._max_retries == offline.scheme.max_retries
+
+    def test_input_fault_repaired_when_n_divisible_by_3(self, rng, spectra_close):
+        # 3 | n makes the closed-form rA vector nearly degenerate, so the
+        # end-to-end computational residual alone is blind to input faults;
+        # the vectorized memory verification (classic locating pair via the
+        # memory_weights_modified guard) must catch and repair them.
+        p = plan(384)
+        X = rng.standard_normal((8, 384)) + 1j * rng.standard_normal((8, 384))
+        reference = np.fft.fft(X, axis=-1)
+        injector = FaultInjector().arm_bitflip(FaultSite.INPUT, bit=60)
+        batch = p.execute_many(X, injector=injector)
+        assert injector.fired_count == 1
+        assert batch.detected and batch.corrected
+        assert not batch.uncorrectable
+        spectra_close(batch.output, reference, rtol_scale=1e-8)
+
+    def test_input_memory_fault_detected_and_repaired(self, rng, spectra_close):
+        p = plan(1024)
+        X = rng.standard_normal((16, 1024)) + 1j * rng.standard_normal((16, 1024))
+        reference = np.fft.fft(X, axis=-1)
+        injector = FaultInjector().arm_bitflip(FaultSite.INPUT, bit=61)
+        batch = p.execute_many(X, injector=injector)
+        assert injector.fired_count == 1
+        assert batch.detected and batch.corrected
+        assert len(batch.fallback_rows) == 1
+        assert not batch.uncorrectable
+        spectra_close(batch.output, reference, rtol_scale=1e-8)
+
+    def test_unprotected_plain_batch(self, rng, spectra_close):
+        p = plan(256, "fftw")
+        X = rng.standard_normal((6, 256)) + 0j
+        batch = p.execute_many(X)
+        spectra_close(batch.output, np.fft.fft(X, axis=-1))
+        assert "verifications" not in batch.report.counters
+
+    def test_numpy_backend_batch(self, rng, spectra_close):
+        p = plan(512, backend="numpy")
+        X = rng.standard_normal((8, 512)) + 0j
+        spectra_close(p.execute_many(X).output, np.fft.fft(X, axis=-1))
+
+
+class TestDeprecatedShims:
+    def test_create_scheme_warns_but_works(self, random_complex, spectra_close):
+        with pytest.deprecated_call():
+            scheme = repro.create_scheme("opt-online+mem", 128)
+        x = random_complex(128)
+        spectra_close(scheme.execute(x).output, np.fft.fft(x))
+
+    def test_ft_fft_warns_and_uses_cache(self, random_complex):
+        x = random_complex(256)
+        with pytest.deprecated_call():
+            repro.ft_fft(x)
+        misses = plan_cache_info().misses
+        with pytest.deprecated_call():
+            repro.ft_fft(x)
+        assert plan_cache_info().misses == misses  # second call hit the cache
+
+    def test_fault_tolerant_fft_warns_and_wraps_plan(self, random_complex, spectra_close):
+        with pytest.deprecated_call():
+            ft = repro.FaultTolerantFFT(256)
+        # the facade wraps an FTPlan but owns a private (uncached) one, so
+        # legacy attribute mutation cannot contaminate the shared cache
+        assert isinstance(ft.plan, FTPlan)
+        assert ft.plan is not plan(256)
+        assert ft.scheme is not plan(256).scheme
+        x = random_complex(256)
+        spectra_close(ft.forward(x).output, np.fft.fft(x))
