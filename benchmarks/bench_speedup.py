@@ -1,0 +1,129 @@
+"""FFT engine speedup benchmark: compiled stage programs vs the seed paths.
+
+Times, per size, on the same machine and interleaved (so machine-noise
+drifts cannot bias the ratios):
+
+* ``recursive`` - the seed-style recursive mixed-radix engine
+  (:func:`repro.fftlib.mixed_radix.fft`), i.e. the pre-compiled-path hot
+  loop;
+* ``compiled``  - ``plan(n, backend="fftlib").execute``: the compiled
+  iterative stage program of :mod:`repro.fftlib.executor`;
+* ``numpy``     - the pocketfft backend through the same plan interface
+  (the compiled-C reference point);
+* ``protected`` - the full ``opt-online+mem`` ABFT transform through
+  ``repro.plan(n, backend="fftlib")`` (what the paper's overhead figures
+  are measured on top of).
+
+Machine-readable results are written to ``BENCH_fft_speed.json`` at the
+repository root so the perf trajectory of the compiled path is tracked in
+version control; a human-readable table lands in ``benchmarks/results/``.
+
+Environment knobs: ``REPRO_BENCH_SIZES`` (default ``4096 16384 65536``),
+``REPRO_BENCH_REPEATS`` (default 7).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+from pathlib import Path
+
+import numpy as np
+
+from _harness import env_int, env_int_list, interleaved_best, make_input, save_table
+
+import repro
+from repro.fftlib.mixed_radix import fft as recursive_fft
+from repro.fftlib.planner import plan_fft
+from repro.utils.reporting import Table
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+JSON_PATH = REPO_ROOT / "BENCH_fft_speed.json"
+
+DEFAULT_SIZES = (4096, 16384, 65536)
+
+
+def run() -> dict:
+    sizes = env_int_list("REPRO_BENCH_SIZES", DEFAULT_SIZES)
+    repeats = env_int("REPRO_BENCH_REPEATS", 7)
+
+    table = Table(
+        "FFT engine speedup (best-of interleaved timings)",
+        [
+            "n",
+            "recursive [ms]",
+            "compiled [ms]",
+            "numpy [ms]",
+            "protected [ms]",
+            "compiled speedup",
+            "protected vs compiled",
+        ],
+    )
+    results = []
+    for n in sizes:
+        x = make_input(int(n))
+        compiled_plan = plan_fft(int(n), backend="fftlib")
+        numpy_plan = plan_fft(int(n), backend="numpy")
+        protected_plan = repro.plan(int(n), backend="fftlib")
+        candidates = {
+            "recursive": lambda x=x: recursive_fft(x),
+            "compiled": lambda x=x, p=compiled_plan: p.execute(x),
+            "numpy": lambda x=x, p=numpy_plan: p.execute(x),
+            "protected": lambda x=x, p=protected_plan: p.execute(x),
+        }
+        best = interleaved_best(candidates, repeats=repeats, warmup=1)
+        speedup = best["recursive"] / best["compiled"]
+        protected_ratio = best["protected"] / best["compiled"]
+        results.append(
+            {
+                "n": int(n),
+                "seconds": {name: float(t) for name, t in best.items()},
+                "speedup_compiled_vs_recursive": float(speedup),
+                "speedup_numpy_vs_recursive": float(best["recursive"] / best["numpy"]),
+                "speedup_protected_vs_recursive": float(best["recursive"] / best["protected"]),
+                "protected_over_compiled_ratio": float(protected_ratio),
+            }
+        )
+        table.add_row(
+            str(n),
+            f"{best['recursive'] * 1e3:.3f}",
+            f"{best['compiled'] * 1e3:.3f}",
+            f"{best['numpy'] * 1e3:.3f}",
+            f"{best['protected'] * 1e3:.3f}",
+            f"{speedup:.2f}x",
+            f"{protected_ratio:.2f}x",
+        )
+
+    payload = {
+        "benchmark": "bench_speedup",
+        "description": (
+            "plan(n, backend='fftlib').execute (compiled stage programs) vs the "
+            "seed-style recursive mixed-radix engine, the numpy backend, and the "
+            "fully protected opt-online+mem plan"
+        ),
+        "machine": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+        },
+        "repeats": repeats,
+        "results": results,
+    }
+    JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    save_table(table, "fft_speedup.txt")
+    print(f"\nwrote {JSON_PATH}")
+    return payload
+
+
+def test_bench_speedup():
+    """Pytest entry point: the compiled path must beat the recursive engine."""
+
+    payload = run()
+    for row in payload["results"]:
+        assert row["speedup_compiled_vs_recursive"] > 1.0, row
+
+
+if __name__ == "__main__":
+    payload = run()
+    worst = min(r["speedup_compiled_vs_recursive"] for r in payload["results"])
+    print(f"worst compiled-vs-recursive speedup: {worst:.2f}x")

@@ -28,6 +28,10 @@ Layout
     The fully optimized online scheme of Fig. 3 (modified checksums,
     verification postponing, incremental checksum generation, contiguous
     buffering), with individual optimizations toggleable for ablations.
+``constants``
+    :class:`SchemeConstants`: the frozen plan-time bundle of every
+    data-independent weight vector and threshold input, built once per plan
+    and threaded into all four schemes.
 ``config``
     :class:`FTConfig`: the frozen, validated, hashable description of a
     protected transform (scheme kind, factors, thresholds, flags, dtype,
@@ -54,6 +58,7 @@ from repro.core.checksums import (
     omega3,
     weighted_sum,
 )
+from repro.core.constants import SchemeConstants
 from repro.core.thresholds import RoundoffModel, ThresholdPolicy
 from repro.core.detection import CorrectionRecord, FTReport, VerificationRecord
 from repro.core.dmr import dmr_elementwise, dmr_scalar
@@ -97,6 +102,7 @@ __all__ = [
     "memory_weights_modified",
     "omega3",
     "weighted_sum",
+    "SchemeConstants",
     "RoundoffModel",
     "ThresholdPolicy",
     "CorrectionRecord",

@@ -1,0 +1,246 @@
+"""Plan-time ABFT constants: the :class:`SchemeConstants` bundle.
+
+Every checksum weight vector the schemes use is a pure function of the
+transform size and the configuration - the computational vector ``r``
+(powers of ``omega_3``), the closed-form/naive input checksum encodings
+``rA``, the classic and modified memory-locating pairs, and the RMS
+magnitudes the threshold policy derives from the weight vectors.  The seed
+rebuilt all of them on *every* ``run()``; this module computes them exactly
+once per plan (``FTPlan.__init__`` builds one bundle and threads it into the
+scheme it constructs; schemes built directly create their own).
+
+Fault-injection semantics are preserved: when a *live* injector is present,
+the online schemes still regenerate their ``rA`` vectors under DMR so the
+``CHECKSUM_COMPUTE`` fault site behaves exactly as in the paper (and as in
+the seed).  The bundle is only the fault-free fast path - and because every
+vector is produced by the same deterministic expressions the schemes used
+per-run, the fault-free results are bit-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+import numpy as np
+
+from repro.core.checksums import (
+    MemoryChecksumVectors,
+    computational_weights,
+    input_checksum_weights,
+    input_checksum_weights_naive,
+    memory_weights_classic,
+    memory_weights_modified,
+)
+from repro.fftlib.two_layer import TwoLayerDecomposition
+
+__all__ = ["SchemeConstants", "weight_rms"]
+
+
+def weight_rms(weights: Optional[np.ndarray]) -> float:
+    """RMS magnitude of a weight vector (the threshold policy's input).
+
+    Matches the expression inside
+    :meth:`repro.core.thresholds.ThresholdPolicy.eta_memory` exactly so that
+    precomputed values are bit-identical to per-call ones.
+    """
+
+    if weights is None:
+        return 0.0
+    weights = np.asarray(weights)
+    n = weights.shape[0]
+    return float(np.sqrt(np.mean(np.abs(weights) ** 2))) if n else 0.0
+
+
+@dataclass(frozen=True, eq=False)
+class SchemeConstants:
+    """Frozen, data-independent state of one protected transform.
+
+    Built once at plan time by :meth:`for_config` (or the scheme-specific
+    constructors below); fields that a configuration does not need are
+    ``None``.  Arrays must be treated as immutable - they are shared between
+    the plan, the scheme, and (for the modified pairs) each other.
+    """
+
+    n: int
+    m: int
+    k: int
+
+    # --- per-stage computational checksum vectors (online schemes) -------
+    r_m: Optional[np.ndarray] = None
+    c_m: Optional[np.ndarray] = None
+    r_k: Optional[np.ndarray] = None
+    c_k: Optional[np.ndarray] = None
+
+    # --- end-to-end vectors (offline scheme, batched protection) ---------
+    r_n: Optional[np.ndarray] = None
+    c_n: Optional[np.ndarray] = None
+
+    # --- memory-locating pairs -------------------------------------------
+    #: input columns (length m)
+    w1_m: Optional[np.ndarray] = None
+    w2_m: Optional[np.ndarray] = None
+    #: output rows (length k)
+    w1_k: Optional[np.ndarray] = None
+    w2_k: Optional[np.ndarray] = None
+    #: classic pair for the incrementally built row checksums (length k)
+    u1_k: Optional[np.ndarray] = None
+    u2_k: Optional[np.ndarray] = None
+    #: end-to-end pair (length n)
+    w1_n: Optional[np.ndarray] = None
+    w2_n: Optional[np.ndarray] = None
+    #: naive-scheme helper objects (classic weights + locate/correct)
+    mem_m: Optional[MemoryChecksumVectors] = None
+    mem_k: Optional[MemoryChecksumVectors] = None
+
+    # --- precomputed threshold inputs (weight-vector RMS magnitudes) -----
+    w1_m_rms: float = 0.0
+    w1_k_rms: float = 0.0
+    u1_k_rms: float = 0.0
+    w1_n_rms: float = 0.0
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_plain(cls, n: int, m: Optional[int] = None, k: Optional[int] = None) -> "SchemeConstants":
+        """The (empty) bundle of the unprotected baseline."""
+
+        decomp = TwoLayerDecomposition.for_size(n, m, k)
+        return cls(n=decomp.n, m=decomp.m, k=decomp.k)
+
+    @classmethod
+    def for_offline(
+        cls,
+        n: int,
+        m: Optional[int] = None,
+        k: Optional[int] = None,
+        *,
+        optimized: bool,
+        memory_ft: bool,
+    ) -> "SchemeConstants":
+        """End-to-end vectors of Algorithm 1 (naive or optimized encoding)."""
+
+        decomp = TwoLayerDecomposition.for_size(n, m, k)
+        c_n = input_checksum_weights(n) if optimized else input_checksum_weights_naive(n)
+        r_n = computational_weights(n)
+        w1_n = w2_n = None
+        if memory_ft:
+            if optimized:
+                # Section 4.1: rA doubles as the first locating vector (the
+                # shared helper keeps the degenerate-weights guard for 3 | n).
+                w1_n, w2_n = memory_weights_modified(n, base=c_n)
+            else:
+                w1_n, w2_n = memory_weights_classic(n)
+        return cls(
+            n=decomp.n,
+            m=decomp.m,
+            k=decomp.k,
+            r_n=r_n,
+            c_n=c_n,
+            w1_n=w1_n,
+            w2_n=w2_n,
+            w1_n_rms=weight_rms(w1_n),
+        )
+
+    @classmethod
+    def for_online(
+        cls,
+        n: int,
+        m: Optional[int] = None,
+        k: Optional[int] = None,
+        *,
+        optimized: bool,
+        memory_ft: bool,
+        modified_checksums: bool,
+    ) -> "SchemeConstants":
+        """Per-stage vectors of Algorithm 2 / the Section 4 optimized scheme."""
+
+        decomp = TwoLayerDecomposition.for_size(n, m, k)
+        m_, k_ = decomp.m, decomp.k
+        encode = input_checksum_weights if optimized else input_checksum_weights_naive
+        c_m = encode(m_)
+        c_k = encode(k_)
+        kwargs = dict(
+            n=decomp.n,
+            m=m_,
+            k=k_,
+            r_m=computational_weights(m_),
+            c_m=c_m,
+            r_k=computational_weights(k_),
+            c_k=c_k,
+        )
+        if memory_ft:
+            if optimized:
+                if modified_checksums:
+                    w1_m = c_m
+                    w2_m = c_m * np.arange(1, m_ + 1, dtype=np.float64)
+                    w1_k = c_k
+                    w2_k = c_k * np.arange(1, k_ + 1, dtype=np.float64)
+                else:
+                    w1_m, w2_m = memory_weights_classic(m_)
+                    w1_k, w2_k = memory_weights_classic(k_)
+                u1_k, u2_k = memory_weights_classic(k_)
+                kwargs.update(
+                    w1_m=w1_m,
+                    w2_m=w2_m,
+                    w1_k=w1_k,
+                    w2_k=w2_k,
+                    u1_k=u1_k,
+                    u2_k=u2_k,
+                    w1_m_rms=weight_rms(w1_m),
+                    w1_k_rms=weight_rms(w1_k),
+                    u1_k_rms=weight_rms(u1_k),
+                )
+            else:
+                mem_m = MemoryChecksumVectors(m_, modified=False)
+                mem_k = MemoryChecksumVectors(k_, modified=False)
+                kwargs.update(
+                    mem_m=mem_m,
+                    mem_k=mem_k,
+                    w1_m_rms=weight_rms(mem_m.w1),
+                    w1_k_rms=weight_rms(mem_k.w1),
+                )
+        return cls(**kwargs)
+
+    @classmethod
+    def for_config(cls, n: int, config) -> "SchemeConstants":
+        """Build the bundle an :class:`~repro.core.config.FTConfig` needs.
+
+        This is what ``FTPlan.__init__`` calls once per plan; the resulting
+        bundle is threaded into the scheme constructor and reused for the
+        plan's own batched end-to-end protection vectors.
+        """
+
+        if config.kind == "plain":
+            return cls.for_plain(n, config.m, config.k)
+        if config.kind == "offline":
+            return cls.for_offline(
+                n, config.m, config.k,
+                optimized=config.optimized,
+                memory_ft=config.memory_ft,
+            )
+        flags = config.flags
+        modified = True if flags is None else bool(flags.modified_checksums)
+        if not config.optimized:
+            modified = False
+        bundle = cls.for_online(
+            n, config.m, config.k,
+            optimized=config.optimized,
+            memory_ft=config.memory_ft,
+            modified_checksums=modified,
+        )
+        # The plan's batched end-to-end protection (execute_many) needs the
+        # full-length vectors as well; build them with the same rules the
+        # offline scheme uses so the two share one bundle.
+        end_to_end = cls.for_offline(
+            n, config.m, config.k,
+            optimized=config.optimized,
+            memory_ft=config.memory_ft,
+        )
+        return replace(
+            bundle,
+            r_n=end_to_end.r_n,
+            c_n=end_to_end.c_n,
+            w1_n=end_to_end.w1_n,
+            w2_n=end_to_end.w2_n,
+            w1_n_rms=end_to_end.w1_n_rms,
+        )

@@ -45,15 +45,11 @@ import numpy as np
 
 from repro.core.base import SchemeResult
 from repro.core.checksums import (
-    computational_weights,
-    input_checksum_weights,
-    input_checksum_weights_naive,
-    memory_weights_classic,
-    memory_weights_modified,
     repair_single_error,
     weighted_sum,
 )
 from repro.core.config import FTConfig
+from repro.core.constants import SchemeConstants
 from repro.core.detection import FTReport
 from repro.core.thresholds import residual_exceeds
 from repro.faults.injector import FaultInjector, NullInjector
@@ -118,30 +114,23 @@ class FTPlan:
             config = FTConfig.from_name(config)
         self.n = ensure_positive_int(n, name="n")
         self.config = config
-        self.scheme = config.build(self.n)
+        # All data-independent ABFT state - checksum weight vectors,
+        # closed-form rA encodings, locating pairs, threshold weight-RMS
+        # inputs - is computed exactly once here and threaded into the
+        # scheme; execute() never rebuilds it.
+        self.constants = SchemeConstants.for_config(self.n, config)
+        self.scheme = config.build(self.n, constants=self.constants)
         self.dtype = np.dtype(config.dtype)
         self._protected = config.kind != "plain"
-        n_ = self.n
         if self._protected:
             # Batched-protection state: end-to-end computational checksum
-            # vector (c = rA) and, with memory FT, the locating pair.
-            c = (
-                input_checksum_weights(n_)
-                if config.optimized
-                else input_checksum_weights_naive(n_)
-            )
-            self._c = c
-            self._r = computational_weights(n_)
-            if config.memory_ft:
-                if config.optimized:
-                    # Section 4.1: rA doubles as the first locating vector
-                    # (with the degenerate-weights guard for 3 | n, where
-                    # the closed form falls back to the classic pair).
-                    self._w1, self._w2 = memory_weights_modified(n_, base=c)
-                else:
-                    self._w1, self._w2 = memory_weights_classic(n_)
-            else:
-                self._w1 = self._w2 = None
+            # vector (c = rA) and, with memory FT, the locating pair
+            # (Section 4.1 reuse with the 3 | n degenerate-weights guard,
+            # all from the shared plan-time bundle).
+            self._c = self.constants.c_n
+            self._r = self.constants.r_n
+            self._w1 = self.constants.w1_n
+            self._w2 = self.constants.w2_n
         # Recovery retry budget: explicit flags win; otherwise inherit the
         # built scheme's own effective default so execute() and
         # execute_many() agree on what "uncorrectable" means.
@@ -251,7 +240,9 @@ class FTPlan:
             if self.config.memory_ft:
                 s1 = rows @ self._w1
                 s2 = rows @ self._w2
-                eta_mem = self.thresholds.eta_memory_batch(self._w1, rows)
+                eta_mem = self.thresholds.eta_memory_batch(
+                    self._w1, rows, weight_rms=self.constants.w1_n_rms
+                )
             else:
                 s1 = s2 = None
             report.bump("checksum-generations", batch)
@@ -319,7 +310,9 @@ class FTPlan:
         row = rows[idx]
         for _ in range(max(1, self._max_retries)):
             if self.config.memory_ft:
-                eta_mem = self.thresholds.eta_memory(self._w1, row)
+                eta_mem = self.thresholds.eta_memory(
+                    self._w1, row, weight_rms=self.constants.w1_n_rms
+                )
                 residual = float(np.abs(weighted_sum(self._w1, row) - s1[idx]))
                 if residual_exceeds(residual, eta_mem):
                     report.record_verification("batch-mcv", idx, residual, eta_mem, True)

@@ -25,13 +25,10 @@ import numpy as np
 
 from repro.core.base import FTScheme
 from repro.core.checksums import (
-    computational_weights,
-    input_checksum_weights,
-    input_checksum_weights_naive,
     repair_single_error,
-    memory_weights_classic,
     weighted_sum,
 )
+from repro.core.constants import SchemeConstants
 from repro.core.detection import FTReport
 from repro.core.thresholds import ThresholdPolicy, residual_exceeds
 from repro.faults.models import FaultSite
@@ -55,6 +52,7 @@ class OfflineABFT(FTScheme):
         max_retries: int = 2,
         group_size: int = 32,
         backend: Optional[str] = None,
+        constants: Optional[SchemeConstants] = None,
     ) -> None:
         super().__init__(n, thresholds=thresholds)
         self.plan = TwoLayerPlan(n, m, k, backend=backend)
@@ -63,6 +61,16 @@ class OfflineABFT(FTScheme):
         self.max_retries = int(max_retries)
         self.group_size = max(1, int(group_size))
         self.name = ("opt-offline" if optimized else "offline") + ("+mem" if memory_ft else "")
+        # Plan-time constants: the end-to-end encoding vector (naive or
+        # closed-form) and the locating pair are size-only functions, built
+        # once here instead of on every run.
+        if constants is None or constants.n != self.n or constants.c_n is None:
+            constants = SchemeConstants.for_offline(
+                self.n, self.plan.m, self.plan.k,
+                optimized=self.optimized,
+                memory_ft=self.memory_ft,
+            )
+        self.constants = constants
 
     # ------------------------------------------------------------------
     def _execute_plan(self, x: np.ndarray, injector) -> np.ndarray:
@@ -76,7 +84,17 @@ class OfflineABFT(FTScheme):
         plan = self.plan
         m, k = plan.m, plan.k
         group = self.group_size
+        live = getattr(injector, "is_live", True)
 
+        if not live:
+            # Fault-free fast path: same traversal, whole-stage batched.
+            work = plan.gather_input(x)
+            intermediate = plan.stage1(work)
+            twiddled = plan.apply_twiddle(intermediate)
+            result = plan.stage2(twiddled)
+            return plan.scatter_output(result)
+
+        # Live-injector path: group-wise traversal exposing every fault site.
         work = np.array(plan.gather_input(x))
         injector.visit(FaultSite.STAGE1_INPUT, work)
 
@@ -108,39 +126,48 @@ class OfflineABFT(FTScheme):
     # ------------------------------------------------------------------
     def _run(self, x: np.ndarray, injector, report: FTReport) -> np.ndarray:
         n = self.n
+        consts = self.constants
+        live = getattr(injector, "is_live", True)
 
-        # ----- encoding: input checksum vector and memory checksums -------
-        if self.optimized:
-            c = input_checksum_weights(n)
-        else:
-            c = input_checksum_weights_naive(n)
-        r = computational_weights(n)
+        # ----- encoding: plan-time vectors, per-run data checksums --------
+        # (Algorithm 1 never DMR-protects its encoding vector, so the
+        # constants are used on every path; only the x-dependent weighted
+        # sums are computed here.)
+        c = consts.c_n
+        r = consts.r_n
+
+        # One robust sample of the input feeds every x-derived threshold.
+        x_rms = self.thresholds.magnitude_rms(x)
+        sigma0 = float(x_rms / np.sqrt(2.0))
 
         if self.memory_ft:
-            if self.optimized:
-                # Section 4.1: reuse rA as the first locating weight vector.
-                w1 = c
-                w2 = c * np.arange(1, n + 1, dtype=np.float64)
-                s1 = weighted_sum(w1, x)
-                s2 = weighted_sum(w2, x)
+            w1, w2 = consts.w1_n, consts.w2_n
+            s1 = weighted_sum(w1, x)
+            s2 = weighted_sum(w2, x)
+            if self.optimized and w1 is c:
+                # Section 4.1: rA doubles as the first locating vector, so
+                # one weighted sum serves both purposes.  (When 3 | n the
+                # plan-time constants fall back to the classic pair because
+                # rA is nearly degenerate there; then the computational
+                # checksum needs its own pass.)
                 cx = s1
             else:
-                w1, w2 = memory_weights_classic(n)
-                s1 = weighted_sum(w1, x)
-                s2 = weighted_sum(w2, x)
                 cx = weighted_sum(c, x)
-            eta_mem = self.thresholds.eta_memory(w1, x)
+            eta_mem = self.thresholds.eta_memory(
+                w1, x, weight_rms=consts.w1_n_rms, data_rms=x_rms
+            )
         else:
             w1 = w2 = None
             s1 = s2 = None
             eta_mem = 0.0
             cx = weighted_sum(c, x)
 
-        eta = self.thresholds.eta_offline(n, x)
+        eta = self.thresholds.eta_offline(n, x, sigma0=sigma0)
 
         # Faults may strike the input only after the checksums exist (the
         # paper's fault model excludes faults during checksum generation).
-        injector.visit(FaultSite.INPUT, x)
+        if live:
+            injector.visit(FaultSite.INPUT, x)
 
         # ----- compute, verify at the end, restart on error ---------------
         output = None

@@ -13,6 +13,7 @@ from typing import Optional
 import numpy as np
 
 from repro.core.base import FTScheme, SchemeResult
+from repro.core.constants import SchemeConstants
 from repro.core.detection import FTReport
 from repro.core.thresholds import ThresholdPolicy
 from repro.faults.models import FaultSite
@@ -45,10 +46,16 @@ class PlainFFT(FTScheme):
         thresholds: Optional[ThresholdPolicy] = None,
         group_size: int = 32,
         backend: Optional[str] = None,
+        constants: Optional[SchemeConstants] = None,
     ) -> None:
         super().__init__(n, thresholds=thresholds)
         self.plan = TwoLayerPlan(n, m, k, backend=backend)
         self.group_size = max(1, int(group_size))
+        # The baseline carries no checksum state; the (empty) bundle keeps
+        # the scheme interface uniform for the plan layer.
+        if constants is None or constants.n != self.n:
+            constants = SchemeConstants.for_plain(self.n, self.plan.m, self.plan.k)
+        self.constants = constants
 
     @property
     def m(self) -> int:
@@ -63,7 +70,19 @@ class PlainFFT(FTScheme):
         plan = self.plan
         m, k = plan.m, plan.k
         group = self.group_size
+        live = getattr(injector, "is_live", True)
 
+        if not live:
+            # Fault-free fast path: the whole two-layer pipeline as four
+            # batched calls (the group loop exists only to interleave with a
+            # live injector's fault sites).
+            work = plan.gather_input(x)
+            intermediate = plan.stage1(work)
+            twiddled = plan.apply_twiddle(intermediate)
+            result = plan.stage2(twiddled)
+            return plan.scatter_output(result)
+
+        # Live-injector path: group-wise traversal exposing every fault site.
         injector.visit(FaultSite.INPUT, x)
         work = np.array(plan.gather_input(x))
         injector.visit(FaultSite.STAGE1_INPUT, work)

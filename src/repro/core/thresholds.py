@@ -212,6 +212,17 @@ class ThresholdPolicy:
             return median
         return float(np.sqrt(np.mean(sample ** 2)))
 
+    def magnitude_rms(self, data: np.ndarray) -> float:
+        """Public robust RMS of ``|data|`` (see :meth:`_magnitude_rms`).
+
+        Exposed so a scheme can sample its input *once* per run and feed the
+        value into every threshold that depends on the same data
+        (``sigma0 = magnitude_rms / sqrt(2)`` exactly as
+        :meth:`component_sigma` computes it).
+        """
+
+        return self._magnitude_rms(data)
+
     def component_sigma(self, data: np.ndarray) -> float:
         """Estimate sigma_0 (per real/imaginary component) from data."""
 
@@ -219,34 +230,42 @@ class ThresholdPolicy:
         return float(rms / np.sqrt(2.0))
 
     # ------------------------------------------------------------------
-    def eta_stage1(self, m: int, data: np.ndarray) -> float:
-        """Threshold for verifying one first-part ``m``-point FFT."""
+    def eta_stage1(self, m: int, data: np.ndarray, *, sigma0: Optional[float] = None) -> float:
+        """Threshold for verifying one first-part ``m``-point FFT.
 
-        sigma0 = self.component_sigma(data)
+        ``sigma0`` may carry a precomputed :meth:`component_sigma` of
+        ``data`` (bit-identical, avoids re-sampling the same array).
+        """
+
+        if sigma0 is None:
+            sigma0 = self.component_sigma(data)
         if self.mode is ThresholdMode.RELATIVE:
             scale = float(np.sqrt(m)) * m * max(sigma0, 1e-30)
             return max(self.relative_factor * scale, self.floor)
         sigma_roe = self.model.checksum_roundoff_sigma(m, sigma0)
         return max(self.safety_factor * float(np.sqrt(m)) * sigma_roe, self.floor)
 
-    def eta_stage2(self, k: int, m: int, data: np.ndarray) -> float:
+    def eta_stage2(
+        self, k: int, m: int, data: np.ndarray, *, sigma0: Optional[float] = None
+    ) -> float:
         """Threshold for verifying one second-part ``k``-point FFT.
 
         ``data`` is the *original* input (its sigma_0 is amplified by
         ``sqrt(m)`` through the first part, as in the paper's derivation).
         """
 
-        sigma0 = self.component_sigma(data)
+        if sigma0 is None:
+            sigma0 = self.component_sigma(data)
         if self.mode is ThresholdMode.RELATIVE:
             scale = float(np.sqrt(k)) * k * max(np.sqrt(m) * sigma0, 1e-30)
             return max(self.relative_factor * scale, self.floor)
         sigma_roe2 = self.model.second_stage_checksum_sigma(k, m, sigma0)
         return max(self.safety_factor * float(np.sqrt(k)) * sigma_roe2, self.floor)
 
-    def eta_offline(self, n: int, data: np.ndarray) -> float:
+    def eta_offline(self, n: int, data: np.ndarray, *, sigma0: Optional[float] = None) -> float:
         """Threshold for the single offline verification of an ``n``-point FFT."""
 
-        return self.eta_stage1(n, data)
+        return self.eta_stage1(n, data, sigma0=sigma0)
 
     def eta_offline_batch(self, n: int, rows: np.ndarray) -> np.ndarray:
         """Per-row offline thresholds for a ``(batch, n)`` array, vectorized.
@@ -292,13 +311,23 @@ class ThresholdPolicy:
         rms = np.where(counts > 0, rms, median)
         return rms / np.sqrt(2.0)
 
-    def eta_memory(self, weights: np.ndarray, data: np.ndarray) -> float:
+    def eta_memory(
+        self,
+        weights: np.ndarray,
+        data: np.ndarray,
+        *,
+        weight_rms: Optional[float] = None,
+        data_rms: Optional[float] = None,
+    ) -> float:
         """Threshold for a memory-checksum verification.
 
         The residual of a fault-free weighted sum is bounded by the round-off
         of summing ``len(weights)`` terms of magnitude ``|w_j x_j|``; the RMS
         of those terms is measured from the data so the bound adapts to the
-        modified (non-uniform) weights as well.
+        modified (non-uniform) weights as well.  ``weight_rms`` may carry the
+        weight-vector RMS precomputed at plan time
+        (:func:`repro.core.constants.weight_rms` uses the identical
+        expression, so the threshold is bit-identical either way).
         """
 
         weights = np.asarray(weights)
@@ -309,19 +338,26 @@ class ThresholdPolicy:
         # scale is outlier-filtered (see _magnitude_rms) so that a threshold
         # derived from already-corrupted data is not inflated - or overflowed
         # - by the corruption it is supposed to expose.
-        weight_rms = float(np.sqrt(np.mean(np.abs(weights) ** 2))) if n else 0.0
-        value_rms = weight_rms * self._magnitude_rms(data)
+        if weight_rms is None:
+            weight_rms = float(np.sqrt(np.mean(np.abs(weights) ** 2))) if n else 0.0
+        value_rms = weight_rms * (
+            data_rms if data_rms is not None else self._magnitude_rms(data)
+        )
         if self.mode is ThresholdMode.RELATIVE:
             return max(self.relative_factor * n * value_rms, self.floor)
         sigma = self.model.summation_sigma(n, value_rms)
         return max(self.safety_factor * self.memory_margin * sigma, self.floor)
 
-    def eta_memory_batch(self, weights: np.ndarray, rows: np.ndarray) -> np.ndarray:
+    def eta_memory_batch(
+        self, weights: np.ndarray, rows: np.ndarray, *, weight_rms: Optional[float] = None
+    ) -> np.ndarray:
         """Per-row memory-checksum thresholds for a ``(batch, n)`` array.
 
         Semantically one :meth:`eta_memory` per row, vectorized: both modes
         are linear in the per-row data RMS, so the weight/data-independent
         factor is computed once and scaled by the vector of row RMS values.
+        ``weight_rms`` optionally carries the plan-time precomputed
+        weight-vector RMS (see :meth:`eta_memory`).
         """
 
         rows = np.asarray(rows)
@@ -329,7 +365,8 @@ class ThresholdPolicy:
             raise ValueError(f"rows must be 2-D, got shape {rows.shape}")
         weights = np.asarray(weights)
         n = weights.shape[0]
-        weight_rms = float(np.sqrt(np.mean(np.abs(weights) ** 2))) if n else 0.0
+        if weight_rms is None:
+            weight_rms = float(np.sqrt(np.mean(np.abs(weights) ** 2))) if n else 0.0
         # _component_sigma_rows returns rms/sqrt(2); undo to get magnitude RMS.
         value_rms = weight_rms * self._component_sigma_rows(rows) * float(np.sqrt(2.0))
         if self.mode is ThresholdMode.RELATIVE:

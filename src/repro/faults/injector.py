@@ -32,7 +32,12 @@ class NullInjector:
 
     Schemes accept ``injector=None`` and substitute this object so the hot
     path does not need ``if injector is not None`` checks everywhere.
+    ``is_live`` is ``False``: schemes may skip per-site visit loops and use
+    their plan-time constants directly, because no fault can strike.
     """
+
+    #: no faults can ever fire through this injector
+    is_live = False
 
     events: List[FaultEvent] = []
 
@@ -50,6 +55,10 @@ class NullInjector:
 @dataclass
 class FaultInjector:
     """Armed with a list of fault specs; corrupts visited arrays in place."""
+
+    #: a live injector: schemes must expose every fault site (visit loops,
+    #: DMR-recomputed checksum vectors) exactly as the paper's algorithms do
+    is_live = True
 
     specs: List[FaultSpec] = field(default_factory=list)
     rng: Optional[np.random.Generator] = None

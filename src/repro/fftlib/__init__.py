@@ -19,7 +19,12 @@ structure:
     axes, mirroring FFTW codelets.
 ``mixed_radix``
     A recursive decimation-in-time Cooley-Tukey engine for arbitrary sizes,
-    vectorised over a batch axis.
+    vectorised over a batch axis (kept as the reference/seed-style path).
+``executor``
+    The compiled execution path: sizes are lowered once into iterative
+    stage programs (precomputed twiddle tables, base kernels, rank-``r``
+    combines) executed over ping-pong work buffers - this is what plans and
+    the ``fftlib`` backend actually run.
 ``bluestein``
     Chirp-z transform for large prime sizes.
 ``plan`` / ``planner``
@@ -51,6 +56,13 @@ from repro.fftlib.dft import direct_dft, direct_idft, dft_matrix
 from repro.fftlib.twiddle import TwiddleCache, twiddle_factors, omega
 from repro.fftlib.codelets import SUPPORTED_CODELET_SIZES, apply_codelet, has_codelet
 from repro.fftlib.mixed_radix import fft as mixed_radix_fft, ifft as mixed_radix_ifft, fft_along_axis
+from repro.fftlib.executor import (
+    StageProgram,
+    compile_program,
+    get_program,
+    program_cache_info,
+    clear_program_cache,
+)
 from repro.fftlib.bluestein import bluestein_fft
 from repro.fftlib.plan import Plan, PlanDirection
 from repro.fftlib.planner import Planner, PlannerPolicy, plan_fft, get_default_planner
@@ -81,6 +93,11 @@ __all__ = [
     "mixed_radix_fft",
     "mixed_radix_ifft",
     "fft_along_axis",
+    "StageProgram",
+    "compile_program",
+    "get_program",
+    "program_cache_info",
+    "clear_program_cache",
     "bluestein_fft",
     "Plan",
     "PlanDirection",

@@ -67,20 +67,26 @@ class FFTBackend(abc.ABC):
 
 
 class FFTLibBackend(FFTBackend):
-    """The internal plan-based engine (codelets / mixed-radix / Bluestein)."""
+    """The internal plan-based engine (compiled stage programs).
+
+    Executes through :mod:`repro.fftlib.executor`: a cached, iterative stage
+    program per size (codelets / DFT-matrix base kernels, BLAS rank-``r``
+    combines, Bluestein for large primes) rather than the seed's per-call
+    recursion - see the executor module for the lowering.
+    """
 
     name = "fftlib"
-    description = "internal plan-based engine (codelets, mixed-radix, Bluestein)"
+    description = "internal compiled stage-program engine (codelets, mixed-radix, Bluestein)"
 
     def fft(self, x: np.ndarray, axis: int = -1) -> np.ndarray:
-        from repro.fftlib.mixed_radix import fft_along_axis
+        from repro.fftlib.executor import fft_along_axis
 
-        return fft_along_axis(np.asarray(x, dtype=np.complex128), axis)
+        return fft_along_axis(x, axis)
 
     def ifft(self, x: np.ndarray, axis: int = -1) -> np.ndarray:
-        from repro.fftlib.mixed_radix import ifft_along_axis
+        from repro.fftlib.executor import ifft_along_axis
 
-        return ifft_along_axis(np.asarray(x, dtype=np.complex128), axis)
+        return ifft_along_axis(x, axis)
 
 
 class NumpyFFTBackend(FFTBackend):

@@ -41,7 +41,10 @@ def _chirp(n: int) -> np.ndarray:
 def bluestein_fft(x: np.ndarray) -> np.ndarray:
     """Forward DFT of the last axis of ``x`` via the chirp-z transform."""
 
-    from repro.fftlib.mixed_radix import fft as _fft, ifft as _ifft
+    # The padded power-of-two convolutions go through the compiled
+    # stage-program executor (imported lazily: the executor's prime base
+    # kernel is this function).
+    from repro.fftlib.executor import fft as _fft, ifft as _ifft
 
     x = np.asarray(x, dtype=np.complex128)
     n = x.shape[-1]

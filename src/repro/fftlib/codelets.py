@@ -28,36 +28,57 @@ _C5_1 = np.cos(2 * np.pi / 5)
 _S5_1 = np.sin(2 * np.pi / 5)
 _C5_2 = np.cos(4 * np.pi / 5)
 _S5_2 = np.sin(4 * np.pi / 5)
+# Twiddles of the composed codelets, hoisted out of the butterflies.
+_W6 = np.exp(-2j * np.pi * np.arange(3) / 6)
+_W8 = np.exp(-2j * np.pi * np.arange(4) / 8)
+_W16 = np.exp(-2j * np.pi * np.arange(8) / 16)
 
 
-def _codelet_1(x: np.ndarray) -> np.ndarray:
-    return x.copy()
+def _alloc_like(x: np.ndarray) -> np.ndarray:
+    """A fresh C-contiguous output array of the shape/dtype of ``x``.
+
+    ``np.empty_like`` would mirror the memory order of a strided *view*
+    (order='K'), which breaks callers that reshape the result; codelets are
+    fed transposed views by the stage-program executor, so allocation is
+    always C-order.
+    """
+
+    return np.empty(x.shape, dtype=x.dtype)
 
 
-def _codelet_2(x: np.ndarray) -> np.ndarray:
-    a = x[..., 0]
-    b = x[..., 1]
-    out = np.empty_like(x)
-    out[..., 0] = a + b
-    out[..., 1] = a - b
+def _codelet_1(x: np.ndarray, out: np.ndarray = None) -> np.ndarray:
+    if out is None:
+        return x.copy()
+    out[...] = x
     return out
 
 
-def _codelet_3(x: np.ndarray) -> np.ndarray:
+def _codelet_2(x: np.ndarray, out: np.ndarray = None) -> np.ndarray:
+    a = x[..., 0]
+    b = x[..., 1]
+    if out is None:
+        out = _alloc_like(x)
+    np.add(a, b, out=out[..., 0])
+    np.subtract(a, b, out=out[..., 1])
+    return out
+
+
+def _codelet_3(x: np.ndarray, out: np.ndarray = None) -> np.ndarray:
     a = x[..., 0]
     b = x[..., 1]
     c = x[..., 2]
     t1 = b + c
     t2 = a - 0.5 * t1
     t3 = -1j * _SQRT3_2 * (b - c)
-    out = np.empty_like(x)
-    out[..., 0] = a + t1
-    out[..., 1] = t2 + t3
-    out[..., 2] = t2 - t3
+    if out is None:
+        out = _alloc_like(x)
+    np.add(a, t1, out=out[..., 0])
+    np.add(t2, t3, out=out[..., 1])
+    np.subtract(t2, t3, out=out[..., 2])
     return out
 
 
-def _codelet_4(x: np.ndarray) -> np.ndarray:
+def _codelet_4(x: np.ndarray, out: np.ndarray = None) -> np.ndarray:
     a = x[..., 0]
     b = x[..., 1]
     c = x[..., 2]
@@ -66,15 +87,16 @@ def _codelet_4(x: np.ndarray) -> np.ndarray:
     t1 = a - c
     t2 = b + d
     t3 = -1j * (b - d)
-    out = np.empty_like(x)
-    out[..., 0] = t0 + t2
-    out[..., 1] = t1 + t3
-    out[..., 2] = t0 - t2
-    out[..., 3] = t1 - t3
+    if out is None:
+        out = _alloc_like(x)
+    np.add(t0, t2, out=out[..., 0])
+    np.add(t1, t3, out=out[..., 1])
+    np.subtract(t0, t2, out=out[..., 2])
+    np.subtract(t1, t3, out=out[..., 3])
     return out
 
 
-def _codelet_5(x: np.ndarray) -> np.ndarray:
+def _codelet_5(x: np.ndarray, out: np.ndarray = None) -> np.ndarray:
     a = x[..., 0]
     b = x[..., 1]
     c = x[..., 2]
@@ -84,62 +106,67 @@ def _codelet_5(x: np.ndarray) -> np.ndarray:
     t2 = b - e
     t3 = c + d
     t4 = c - d
-    out = np.empty_like(x)
+    if out is None:
+        out = _alloc_like(x)
     out[..., 0] = a + t1 + t3
     m1 = a + _C5_1 * t1 + _C5_2 * t3
     m2 = a + _C5_2 * t1 + _C5_1 * t3
     s1 = -1j * (_S5_1 * t2 + _S5_2 * t4)
     s2 = -1j * (_S5_2 * t2 - _S5_1 * t4)
-    out[..., 1] = m1 + s1
-    out[..., 4] = m1 - s1
-    out[..., 2] = m2 + s2
-    out[..., 3] = m2 - s2
+    np.add(m1, s1, out=out[..., 1])
+    np.subtract(m1, s1, out=out[..., 4])
+    np.add(m2, s2, out=out[..., 2])
+    np.subtract(m2, s2, out=out[..., 3])
     return out
 
 
-def _codelet_6(x: np.ndarray) -> np.ndarray:
+def _codelet_6(x: np.ndarray, out: np.ndarray = None) -> np.ndarray:
     # 6 = 2 * 3 by the prime-factor (Good-Thomas style DIT) split: even/odd
     # interleave into two radix-3 transforms combined by a radix-2 stage with
     # twiddles.
     even = _codelet_3(x[..., 0::2])
     odd = _codelet_3(x[..., 1::2])
-    w = np.exp(-2j * np.pi * np.arange(3) / 6)
-    odd = odd * w
-    out = np.empty_like(x)
-    out[..., 0:3] = even + odd
-    out[..., 3:6] = even - odd
+    odd *= _W6
+    if out is None:
+        out = _alloc_like(x)
+    np.add(even, odd, out=out[..., 0:3])
+    np.subtract(even, odd, out=out[..., 3:6])
     return out
 
 
-def _codelet_8(x: np.ndarray) -> np.ndarray:
+def _codelet_8(x: np.ndarray, out: np.ndarray = None) -> np.ndarray:
     even = _codelet_4(x[..., 0::2])
     odd = _codelet_4(x[..., 1::2])
-    w = np.exp(-2j * np.pi * np.arange(4) / 8)
-    odd = odd * w
-    out = np.empty_like(x)
-    out[..., 0:4] = even + odd
-    out[..., 4:8] = even - odd
+    odd *= _W8
+    if out is None:
+        out = _alloc_like(x)
+    np.add(even, odd, out=out[..., 0:4])
+    np.subtract(even, odd, out=out[..., 4:8])
     return out
 
 
-def _codelet_16(x: np.ndarray) -> np.ndarray:
+def _codelet_16(x: np.ndarray, out: np.ndarray = None) -> np.ndarray:
     even = _codelet_8(x[..., 0::2])
     odd = _codelet_8(x[..., 1::2])
-    w = np.exp(-2j * np.pi * np.arange(8) / 16)
-    odd = odd * w
-    out = np.empty_like(x)
-    out[..., 0:8] = even + odd
-    out[..., 8:16] = even - odd
+    odd *= _W16
+    if out is None:
+        out = _alloc_like(x)
+    np.add(even, odd, out=out[..., 0:8])
+    np.subtract(even, odd, out=out[..., 8:16])
     return out
 
 
-def _codelet_7(x: np.ndarray) -> np.ndarray:
+def _codelet_7(x: np.ndarray, out: np.ndarray = None) -> np.ndarray:
     # Size 7 has no cheap butterfly structure; a 7x7 matrix product over the
     # batch is still far cheaper than Bluestein at this size.
-    return direct_dft(x)
+    result = direct_dft(x)
+    if out is None:
+        return result
+    out[...] = result
+    return out
 
 
-_CODELETS: Dict[int, Callable[[np.ndarray], np.ndarray]] = {
+_CODELETS: Dict[int, Callable[..., np.ndarray]] = {
     1: _codelet_1,
     2: _codelet_2,
     3: _codelet_3,
@@ -181,12 +208,16 @@ def codelet_flop_count(n: int) -> int:
     return _FLOPS.get(int(n), 5 * int(n) * max(int(np.log2(max(n, 2))), 1))
 
 
-def apply_codelet(x: np.ndarray, n: int, *, inverse: bool = False) -> np.ndarray:
+def apply_codelet(
+    x: np.ndarray, n: int, *, inverse: bool = False, out: np.ndarray = None
+) -> np.ndarray:
     """Apply the ``n``-point codelet along the last axis of ``x``.
 
     The inverse transform is computed via conjugation and is *unnormalised*
     (consistent with the rest of the engine; normalisation happens once at
-    the top level).
+    the top level).  ``out``, when given, receives the result in place (it
+    may be a strided view, e.g. into a stage-program work buffer); it must
+    not alias ``x``.
     """
 
     if not has_codelet(n):
@@ -196,5 +227,6 @@ def apply_codelet(x: np.ndarray, n: int, *, inverse: bool = False) -> np.ndarray
         raise ValueError(f"last axis has length {x.shape[-1]}, expected {n}")
     fn = _CODELETS[int(n)]
     if inverse:
-        return np.conj(fn(np.conj(x)))
-    return fn(x)
+        result = np.conj(fn(np.conj(x)), out=out)
+        return result
+    return fn(x, out)

@@ -1,0 +1,400 @@
+"""Compiled iterative stage programs: the engine's fast execution path.
+
+The recursive engine in :mod:`repro.fftlib.mixed_radix` re-derives the radix
+schedule, re-looks-up twiddle tables, and pays two contiguity copies per
+recursion level on *every* call.  This module moves all of that work to plan
+time, FFTW-style:
+
+* :func:`compile_program` lowers a size ``n`` once into a
+  :class:`StageProgram` - an explicit, immutable list of iterative
+  (Stockham-flavoured) combine :class:`Stage` descriptors sitting on top of a
+  base kernel (codelet, direct DFT matrix, or Bluestein), with every
+  per-stage twiddle table and butterfly matrix fetched from the shared
+  :class:`~repro.fftlib.twiddle.TwiddleCache` exactly once;
+* :meth:`StageProgram.execute` runs the program as a tight loop over two
+  ping-pong work buffers - no recursion, no repeated factorization, no
+  per-level ``ascontiguousarray`` copies - fully batched over arbitrary
+  leading axes.
+
+Algorithm
+---------
+The program maintains the decimation-in-time invariant as a ``(batch, q, p)``
+array ``X`` with ``q * p == n``: row ``b`` holds the length-``p`` DFT of the
+stride-``q`` input subsequence starting at offset ``b``.  The base kernel
+establishes the invariant for ``p = base``; each combine stage of radix ``r``
+then merges groups of ``r`` rows,
+
+.. math::
+
+    X'[b', t p + u] = \\sum_{s=0}^{r-1} \\omega_r^{t s}\\,
+        \\omega_{r p}^{u s}\\, X[s q' + b', u],
+
+which is one elementwise twiddle multiplication (the precomputed ``(r, p)``
+table) followed by one rank-``r`` DFT contraction.  The contraction is
+dispatched per stage: hand-written codelets exist for the small radices, but
+a single BLAS ``matmul`` against the ``r x r`` DFT matrix - writing straight
+into a strided view of the other ping-pong buffer so the ``t``-major output
+order needs no transpose pass - measures faster for every radix the planner
+emits, so that is the default kernel.  After the last stage ``q == 1`` and
+the buffer holds the full transform in natural order.
+
+Programs are cached per size in a thread-safe, size-bounded LRU (the same
+shape as the plan cache), so ``Plan`` construction and the
+``fftlib`` backend share one compiled program per size.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import NamedTuple, Optional, Tuple
+
+import numpy as np
+
+from repro.fftlib import factorization
+from repro.fftlib.codelets import apply_codelet, has_codelet
+from repro.fftlib.twiddle import get_global_cache
+
+__all__ = [
+    "Stage",
+    "StageProgram",
+    "compile_program",
+    "get_program",
+    "program_cache_info",
+    "clear_program_cache",
+    "fft",
+    "ifft",
+    "fft_along_axis",
+    "ifft_along_axis",
+]
+
+# Prime base sizes up to this threshold use a cached DFT-matrix product;
+# larger primes go through Bluestein (mirrors the recursive engine).
+_DIRECT_PRIME_THRESHOLD = 61
+
+# Radix preference: large radices first so programs stay short (the BLAS
+# combine amortizes its call overhead over r butterfly points).
+_RADIX_PREFERENCE = (16, 8, 6, 5, 4, 3, 2)
+
+
+def _choose_radix(n: int) -> int:
+    for radix in _RADIX_PREFERENCE:
+        if n % radix == 0:
+            return radix
+    return factorization.smallest_prime_factor(n)
+
+
+def lower(n: int) -> Tuple[int, Tuple[int, ...]]:
+    """Split ``n`` into ``(base, radices)`` with ``base * prod(radices) == n``.
+
+    ``base`` is the bottom-level transform length (a codelet size or a
+    prime); ``radices`` lists the combine radices in the order the recursive
+    engine would peel them (outermost first).  This is the schedule the
+    planner lowers into a :class:`StageProgram`.
+    """
+
+    radices = []
+    m = int(n)
+    while not has_codelet(m) and not factorization.is_prime(m):
+        r = _choose_radix(m)
+        radices.append(r)
+        m //= r
+    return m, tuple(radices)
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One iterative combine stage of a compiled program.
+
+    Attributes
+    ----------
+    radix:
+        Number of length-``span`` transforms merged per output transform.
+    span:
+        Length ``p`` of the transforms already completed when this stage
+        runs; the stage produces transforms of length ``radix * span``.
+    count:
+        Number of output transforms ``q' = n / (radix * span)`` remaining
+        after this stage (1 for the final stage).
+    twiddle:
+        The ``(radix, span)`` table ``omega_{radix*span}^{s u}`` applied
+        before the combine (one :class:`TwiddleCache` hit at compile time).
+    matrix:
+        The ``radix x radix`` DFT matrix of the combine butterfly (symmetric,
+        so it is used untransposed in the matmul).
+    """
+
+    radix: int
+    span: int
+    count: int
+    twiddle: np.ndarray
+    matrix: np.ndarray
+
+
+class StageProgram:
+    """A fully lowered, reusable execution recipe for one transform size.
+
+    Immutable after construction and safe to share across threads: the only
+    mutable state used during execution is a pair of thread-local ping-pong
+    buffers.
+    """
+
+    __slots__ = ("n", "base", "base_kind", "base_matrix", "stages")
+
+    def __init__(self, n: int) -> None:
+        self.n = int(n)
+        if self.n <= 0:
+            raise ValueError("transform length must be positive")
+        base, radices = lower(self.n)
+        self.base = base
+        if base == self.n and has_codelet(base):
+            self.base_kind = "codelet"
+            self.base_matrix = None
+        elif factorization.is_prime(base) and base > _DIRECT_PRIME_THRESHOLD:
+            self.base_kind = "bluestein"
+            self.base_matrix = None
+        else:
+            # Codelet-sized or small-prime base below combine stages: a
+            # single batched product with the cached DFT matrix beats the
+            # codelet call chains (BLAS) and handles both cases uniformly.
+            self.base_kind = "direct"
+            self.base_matrix = get_global_cache().dft_matrix(base)
+        stages = []
+        span = base
+        for radix in reversed(radices):  # combine bottom-up
+            stages.append(
+                Stage(
+                    radix=radix,
+                    span=span,
+                    count=self.n // (radix * span),
+                    twiddle=get_global_cache().stage(radix, span),
+                    matrix=get_global_cache().dft_matrix(radix),
+                )
+            )
+            span *= radix
+        self.stages: Tuple[Stage, ...] = tuple(stages)
+
+    # ------------------------------------------------------------------
+    def execute(self, x: np.ndarray) -> np.ndarray:
+        """Forward DFT along the last axis of ``x`` (batched, out-of-place)."""
+
+        x = np.asarray(x, dtype=np.complex128)
+        if x.ndim == 0:
+            raise ValueError("input must have at least one dimension")
+        n = self.n
+        if x.shape[-1] != n:
+            raise ValueError(
+                f"program of size {n} applied to array with last axis {x.shape[-1]}"
+            )
+        shape = x.shape
+        batch = x.size // n
+        xs = x.reshape(batch, n)
+        if not xs.flags.c_contiguous:
+            xs = np.ascontiguousarray(xs)
+
+        if not self.stages:
+            # Whole transform handled by the base kernel.
+            if self.base_kind == "codelet":
+                return apply_codelet(xs, n).reshape(shape)
+            if self.base_kind == "bluestein":
+                from repro.fftlib.bluestein import bluestein_fft
+
+                return bluestein_fft(xs).reshape(shape)
+            return np.matmul(xs, self.base_matrix).reshape(shape)
+
+        work_a, work_b = _work_buffers(batch * n)
+
+        # --- base kernel: length-`base` DFTs of all stride-q subsequences --
+        base = self.base
+        q = n // base
+        gathered = xs.reshape(batch, base, q).transpose(0, 2, 1)  # view
+        if self.base_kind == "bluestein":
+            from repro.fftlib.bluestein import bluestein_fft
+
+            current = np.ascontiguousarray(bluestein_fft(gathered))
+        else:
+            current = np.matmul(
+                gathered, self.base_matrix, out=work_a[: batch * n].reshape(batch, q, base)
+            )
+
+        # --- combine stages: tight twiddle-multiply + rank-r DFT loop ------
+        last = len(self.stages) - 1
+        for index, stage in enumerate(self.stages):
+            r, p, count = stage.radix, stage.span, stage.count
+            grouped = work_b[: batch * n].reshape(batch, r, count, p)
+            np.multiply(
+                current.reshape(batch, r, count, p),
+                stage.twiddle[:, None, :],
+                out=grouped,
+            )
+            if index == last:
+                target = np.empty((batch, count, r * p), dtype=np.complex128)
+            else:
+                target = work_a[: batch * n].reshape(batch, count, r * p)
+            # t-major output without a transpose pass: matmul writes into a
+            # strided view whose last axis is the butterfly output index.
+            np.matmul(
+                grouped.transpose(0, 2, 3, 1),
+                stage.matrix,
+                out=target.reshape(batch, count, r, p).transpose(0, 1, 3, 2),
+            )
+            current = target
+        return current.reshape(shape)
+
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        """One-line program listing (base kernel plus combine radices)."""
+
+        combines = "*".join(str(s.radix) for s in self.stages) or "-"
+        return (
+            f"StageProgram(n={self.n}, base={self.base}[{self.base_kind}], "
+            f"combine={combines})"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return self.describe()
+
+
+def compile_program(n: int) -> StageProgram:
+    """Lower size ``n`` into a fresh (uncached) :class:`StageProgram`.
+
+    Most callers want :func:`get_program`, which memoizes compilation in a
+    thread-safe LRU; this entry point exists for tests and planner
+    experiments that need an independent program object.
+    """
+
+    return StageProgram(n)
+
+
+# ----------------------------------------------------------------------
+# thread-local ping-pong work buffers
+# ----------------------------------------------------------------------
+
+_tls = threading.local()
+
+
+def _work_buffers(count: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Two reusable complex work buffers of at least ``count`` elements.
+
+    Thread-local so concurrently executing plans never share scratch space;
+    grown (never shrunk) as larger transforms appear.
+    """
+
+    pair = getattr(_tls, "buffers", None)
+    if pair is None or pair[0].size < count:
+        pair = (
+            np.empty(count, dtype=np.complex128),
+            np.empty(count, dtype=np.complex128),
+        )
+        _tls.buffers = pair
+    return pair
+
+
+# ----------------------------------------------------------------------
+# the program cache (shape mirrors the FTPlan "wisdom" cache)
+# ----------------------------------------------------------------------
+
+class ProgramCacheInfo(NamedTuple):
+    hits: int
+    misses: int
+    size: int
+    limit: int
+
+
+_DEFAULT_PROGRAM_CACHE_LIMIT = 128
+
+_cache_lock = threading.RLock()
+_programs: "OrderedDict[int, StageProgram]" = OrderedDict()
+_cache_limit = _DEFAULT_PROGRAM_CACHE_LIMIT
+_hits = 0
+_misses = 0
+
+
+def get_program(n: int) -> StageProgram:
+    """The (cached) compiled stage program for an ``n``-point transform."""
+
+    global _hits, _misses
+    key = int(n)
+    with _cache_lock:
+        cached = _programs.get(key)
+        if cached is not None:
+            _hits += 1
+            _programs.move_to_end(key)
+            return cached
+    created = StageProgram(key)  # compile outside the lock
+    with _cache_lock:
+        existing = _programs.get(key)
+        if existing is not None:
+            _hits += 1
+            _programs.move_to_end(key)
+            return existing
+        _misses += 1
+        _programs[key] = created
+        while len(_programs) > _cache_limit:
+            _programs.popitem(last=False)
+        return created
+
+
+def program_cache_info() -> ProgramCacheInfo:
+    """Hit/miss/size statistics of the program cache."""
+
+    with _cache_lock:
+        return ProgramCacheInfo(_hits, _misses, len(_programs), _cache_limit)
+
+
+def clear_program_cache() -> None:
+    """Drop all compiled programs and reset the statistics."""
+
+    global _hits, _misses
+    with _cache_lock:
+        _programs.clear()
+        _hits = 0
+        _misses = 0
+
+
+# ----------------------------------------------------------------------
+# module-level transforms (the compiled counterparts of mixed_radix.*)
+# ----------------------------------------------------------------------
+
+def fft(x: np.ndarray) -> np.ndarray:
+    """Forward DFT along the last axis via the compiled stage program."""
+
+    x = np.asarray(x, dtype=np.complex128)
+    if x.ndim == 0:
+        raise ValueError("input must have at least one dimension")
+    if x.shape[-1] == 0:
+        raise ValueError("transform length must be positive")
+    return get_program(x.shape[-1]).execute(x)
+
+
+def ifft(x: np.ndarray) -> np.ndarray:
+    """Inverse DFT along the last axis (normalised by ``1/n``).
+
+    Uses the conjugation identity ``ifft(x) = conj(fft(conj(x))) / n`` so the
+    forward program serves both directions (matching the recursive engine).
+    """
+
+    x = np.asarray(x, dtype=np.complex128)
+    n = x.shape[-1]
+    return np.conj(fft(np.conj(x))) / n
+
+
+def fft_along_axis(x: np.ndarray, axis: int) -> np.ndarray:
+    """Forward DFT along an arbitrary axis."""
+
+    x = np.asarray(x, dtype=np.complex128)
+    if axis == -1 or axis == x.ndim - 1:
+        return fft(x)
+    moved = np.moveaxis(x, axis, -1)
+    return np.moveaxis(fft(moved), -1, axis)
+
+
+def ifft_along_axis(x: np.ndarray, axis: int) -> np.ndarray:
+    """Inverse DFT along an arbitrary axis."""
+
+    x = np.asarray(x, dtype=np.complex128)
+    if axis == -1 or axis == x.ndim - 1:
+        return ifft(x)
+    moved = np.moveaxis(x, axis, -1)
+    return np.moveaxis(ifft(moved), -1, axis)

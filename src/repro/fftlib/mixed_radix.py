@@ -19,10 +19,24 @@ from __future__ import annotations
 import numpy as np
 
 from repro.fftlib import factorization
+from repro.fftlib.bluestein import bluestein_fft
 from repro.fftlib.codelets import apply_codelet, has_codelet
 from repro.fftlib.twiddle import get_global_cache
 
 __all__ = ["fft", "ifft", "fft_along_axis", "ifft_along_axis"]
+
+
+def _contig(x: np.ndarray) -> np.ndarray:
+    """``x`` itself when already C-contiguous, else a contiguous copy.
+
+    The recursion below reshapes between levels, which requires contiguous
+    storage; guarding here keeps already-contiguous views (codelet leaves,
+    radix == n edge cases, callers that pass contiguous batches) copy-free.
+    """
+
+    if x.flags.c_contiguous:
+        return x
+    return np.ascontiguousarray(x)
 
 # Prime sizes up to this threshold are handled by a cached DFT-matrix product;
 # larger primes go through Bluestein.
@@ -49,8 +63,6 @@ def _forward(x: np.ndarray) -> np.ndarray:
         if n <= _DIRECT_PRIME_THRESHOLD:
             matrix = get_global_cache().dft_matrix(n)
             return x @ matrix.T
-        from repro.fftlib.bluestein import bluestein_fft
-
         return bluestein_fft(x)
 
     radix = _choose_radix(n)
@@ -62,7 +74,7 @@ def _forward(x: np.ndarray) -> np.ndarray:
     # last axis so the recursive call transforms all of them at once.
     subs = x.reshape(x.shape[:-1] + (m, radix))
     subs = np.swapaxes(subs, -1, -2)  # shape (..., radix, m)
-    sub_ffts = _forward(np.ascontiguousarray(subs))
+    sub_ffts = _forward(_contig(subs))
 
     # Twiddle: Y[..., s, u] = sub_ffts[..., s, u] * omega_n^{s u}.
     tw = get_global_cache().stage(m, radix)  # shape (m, radix): omega_n^{j2*n1}
@@ -71,9 +83,9 @@ def _forward(x: np.ndarray) -> np.ndarray:
     # Combine: X[..., t*m + u] = sum_s omega_radix^{s t} Y[..., s, u], i.e. a
     # radix-point DFT across the s axis for every output column u.
     combined = np.swapaxes(sub_ffts, -1, -2)  # (..., m, radix)
-    combined = _forward(np.ascontiguousarray(combined))  # (..., m, radix) -> indexed [u, t]
+    combined = _forward(_contig(combined))  # (..., m, radix) -> indexed [u, t]
     out = np.swapaxes(combined, -1, -2)  # (..., radix, m) indexed [t, u]
-    return np.ascontiguousarray(out).reshape(x.shape)
+    return _contig(out).reshape(x.shape)
 
 
 def fft(x: np.ndarray) -> np.ndarray:
@@ -100,7 +112,7 @@ def fft_along_axis(x: np.ndarray, axis: int) -> np.ndarray:
 
     x = np.asarray(x, dtype=np.complex128)
     moved = np.moveaxis(x, axis, -1)
-    out = fft(np.ascontiguousarray(moved))
+    out = fft(_contig(moved))
     return np.moveaxis(out, -1, axis)
 
 
@@ -109,5 +121,5 @@ def ifft_along_axis(x: np.ndarray, axis: int) -> np.ndarray:
 
     x = np.asarray(x, dtype=np.complex128)
     moved = np.moveaxis(x, axis, -1)
-    out = ifft(np.ascontiguousarray(moved))
+    out = ifft(_contig(moved))
     return np.moveaxis(out, -1, axis)

@@ -16,9 +16,8 @@ from typing import Optional
 import numpy as np
 
 from repro.fftlib import factorization
-from repro.fftlib.backends import get_backend
+from repro.fftlib.backends import get_backend, resolve_backend_name
 from repro.fftlib.codelets import codelet_flop_count, has_codelet
-from repro.fftlib.twiddle import get_global_cache
 from repro.utils.validation import ensure_positive_int
 
 __all__ = ["PlanDirection", "PlanStrategy", "Plan"]
@@ -85,18 +84,22 @@ class Plan:
     strategy: PlanStrategy = PlanStrategy.MIXED_RADIX
     flops: float = field(default=0.0, compare=False)
     backend: Optional[str] = None
+    #: compiled stage program (``fftlib`` backend only); built at plan time
+    #: so ``execute`` pays no factorization/twiddle setup.
+    program: Optional[object] = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         ensure_positive_int(self.n, name="n")
         if self.flops == 0.0:
             object.__setattr__(self, "flops", estimate_flops(self.n))
-        # Warm the twiddle cache so repeated executions do not pay the
-        # trigonometric setup cost (FFTW does this at planning time).  Other
-        # backends own their tables, so only the internal engine needs this.
-        if (self.backend is None or self.backend == "fftlib") and (
-            not factorization.is_prime(self.n) or self.n <= 61
-        ):
-            get_global_cache().vector(self.n)
+        # Compile (or fetch the cached) stage program at plan time - the
+        # FFTW split: all factorization, twiddle-table, and butterfly-matrix
+        # work happens here, never inside execute().  Other backends own
+        # their tables, so only the internal engine lowers a program.
+        if self.program is None and resolve_backend_name(self.backend) == "fftlib":
+            from repro.fftlib.executor import get_program
+
+            object.__setattr__(self, "program", get_program(self.n))
 
     # ------------------------------------------------------------------
     @property
@@ -111,18 +114,31 @@ class Plan:
             raise ValueError(
                 f"plan of size {self.n} applied to array with last axis {x.shape[-1]}"
             )
+        # Explicit fftlib plans run their compiled program directly (the
+        # tight loop in repro.fftlib.executor); plans with backend=None
+        # resolve the process default at call time via the registry, which
+        # routes to the same executor when that default is "fftlib".
+        program = self.program
+        if program is not None and self.backend is not None:
+            if self.is_forward:
+                return program.execute(x)
+            return np.conj(program.execute(np.conj(x))) / self.n
         kernel = get_backend(self.backend)
         if self.is_forward:
             return kernel.fft(x, axis=-1)
         return kernel.ifft(x, axis=-1)
 
     def execute_batch(self, x: np.ndarray, axis: int = -1) -> np.ndarray:
-        """Apply the plan along an arbitrary axis."""
+        """Apply the plan along an arbitrary axis (batched over the rest).
+
+        All sub-transforms run as one strided batched call; the executor (or
+        backend kernel) copies to contiguous storage only when the moved
+        view actually requires it.
+        """
 
         x = np.asarray(x, dtype=np.complex128)
         moved = np.moveaxis(x, axis, -1)
-        out = self.execute(np.ascontiguousarray(moved))
-        return np.moveaxis(out, -1, axis)
+        return np.moveaxis(self.execute(moved), -1, axis)
 
     def inverse_plan(self) -> "Plan":
         """Return the plan for the opposite direction."""

@@ -6,6 +6,13 @@ scale: the planner picks one of the execution strategies from
 :class:`repro.fftlib.plan.PlanStrategy` per size, optionally by measuring, and
 caches the resulting :class:`~repro.fftlib.plan.Plan` objects so repeated
 requests (e.g. thousands of sub-FFT plans inside a fault campaign) are free.
+
+Planning for the internal engine also *lowers* the size into a compiled
+iterative stage program (see :mod:`repro.fftlib.executor`): the radix
+schedule, per-stage twiddle tables, butterfly matrices, and base kernel are
+all resolved when the plan is created, so ``execute`` is a tight loop with no
+recursion and no repeated factorization.  :meth:`Planner.lower` exposes the
+lowering directly.
 """
 
 from __future__ import annotations
@@ -127,6 +134,19 @@ class Planner:
                 best_strategy = strategy
         self.measurements[n] = timings
         return best_strategy
+
+    # ------------------------------------------------------------------
+    def lower(self, n: int):
+        """The compiled :class:`~repro.fftlib.executor.StageProgram` for ``n``.
+
+        Lowering is memoized process-wide (programs are immutable and
+        backend-independent), so this is cheap after the first call per
+        size; plans created by :meth:`plan` reference the same object.
+        """
+
+        from repro.fftlib.executor import get_program
+
+        return get_program(int(n))
 
     # ------------------------------------------------------------------
     def forget(self) -> None:

@@ -10,13 +10,30 @@ plan/wisdom machinery.
 from __future__ import annotations
 
 import threading
-from typing import Dict, Tuple
+from collections import OrderedDict
+from typing import NamedTuple, Tuple
 
 import numpy as np
 
 from repro.utils.validation import ensure_positive_int
 
-__all__ = ["omega", "twiddle_factors", "stage_twiddles", "TwiddleCache", "get_global_cache"]
+__all__ = [
+    "omega",
+    "twiddle_factors",
+    "stage_twiddles",
+    "TwiddleCache",
+    "TwiddleCacheInfo",
+    "get_global_cache",
+]
+
+
+class TwiddleCacheInfo(NamedTuple):
+    """Hit/miss/size statistics of a :class:`TwiddleCache`."""
+
+    hits: int
+    misses: int
+    size: int
+    limit: int
 
 
 def omega(n: int, *, inverse: bool = False) -> complex:
@@ -55,18 +72,19 @@ def stage_twiddles(m: int, k: int, *, inverse: bool = False) -> np.ndarray:
 
 
 class TwiddleCache:
-    """Thread-safe cache of twiddle vectors and stage-twiddle matrices.
+    """Thread-safe, size-bounded LRU cache of twiddle tables.
 
     Keys are ``(kind, parameters, inverse)`` tuples.  The cache is bounded by
-    entry count rather than bytes; transforms in this repository are laptop
-    scale so the working set stays small, but :meth:`clear` is exposed for
-    long-running fault-injection campaigns.
+    entry count rather than bytes and evicts least-recently-used entries
+    (the same policy as the plan cache, so a long-running campaign that
+    cycles through many sizes keeps its hot tables); hit/miss counters are
+    exposed through :meth:`cache_info` for tests and diagnostics.
     """
 
     def __init__(self, max_entries: int = 256) -> None:
         self.max_entries = int(max_entries)
         self._lock = threading.Lock()
-        self._store: Dict[Tuple, np.ndarray] = {}
+        self._store: "OrderedDict[Tuple, np.ndarray]" = OrderedDict()
         self.hits = 0
         self.misses = 0
 
@@ -75,15 +93,30 @@ class TwiddleCache:
             cached = self._store.get(key)
             if cached is not None:
                 self.hits += 1
+                self._store.move_to_end(key)
                 return cached
             self.misses += 1
-        value = builder()
+        value = builder()  # build outside the lock; first insert wins a race
         with self._lock:
-            if len(self._store) >= self.max_entries:
-                # Simple eviction: drop an arbitrary (oldest-inserted) entry.
-                self._store.pop(next(iter(self._store)))
+            existing = self._store.get(key)
+            if existing is not None:
+                self._store.move_to_end(key)
+                return existing
             self._store[key] = value
+            while len(self._store) > self.max_entries:
+                self._store.popitem(last=False)
         return value
+
+    def cache_info(self) -> TwiddleCacheInfo:
+        """Hit/miss/size statistics (thread-safe snapshot)."""
+
+        with self._lock:
+            return TwiddleCacheInfo(
+                hits=self.hits,
+                misses=self.misses,
+                size=len(self._store),
+                limit=self.max_entries,
+            )
 
     def vector(self, n: int, *, inverse: bool = False) -> np.ndarray:
         key = ("vector", int(n), bool(inverse))

@@ -34,7 +34,7 @@ import numpy as np
 from repro.core.detection import FTReport
 from repro.faults.injector import NullInjector
 from repro.faults.models import FaultSite
-from repro.fftlib.mixed_radix import fft_along_axis
+from repro.fftlib.executor import fft_along_axis
 from repro.fftlib.two_layer import TwoLayerPlan
 from repro.simmpi.comm import DistributedVector, SimCommunicator
 from repro.simmpi.machine import MachineModel, TIANHE2_LIKE

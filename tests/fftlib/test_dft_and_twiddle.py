@@ -101,3 +101,49 @@ class TestTwiddleCache:
 
     def test_global_cache_is_singleton(self):
         assert get_global_cache() is get_global_cache()
+
+
+class TestTwiddleCacheLRU:
+    """LRU eviction + cache_info counters (mirrors the plan-cache policy)."""
+
+    def test_cache_info_counts_hits_and_misses(self):
+        cache = TwiddleCache()
+        cache.vector(8)
+        cache.vector(8)
+        cache.vector(9)
+        info = cache.cache_info()
+        assert (info.hits, info.misses) == (1, 2)
+        assert info.size == 2
+        assert info.limit == cache.max_entries
+
+    def test_recently_used_entry_survives_eviction(self):
+        cache = TwiddleCache(max_entries=2)
+        first = cache.vector(8)
+        cache.vector(9)
+        assert cache.vector(8) is first  # touch 8 -> 9 becomes LRU
+        cache.vector(10)                 # evicts 9, not 8
+        assert cache.vector(8) is first
+        info = cache.cache_info()
+        assert info.size == 2
+
+    def test_thread_safe_concurrent_fill(self):
+        import threading
+
+        cache = TwiddleCache(max_entries=64)
+        errors = []
+
+        def worker(seed):
+            try:
+                for n in range(2, 34):
+                    v = cache.vector(n)
+                    assert v.shape == (n,)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert cache.cache_info().size == 32
