@@ -99,24 +99,40 @@ def make_input(n: int, seed: int = 20170712) -> np.ndarray:
     return rng.uniform(-1.0, 1.0, n) + 1j * rng.uniform(-1.0, 1.0, n)
 
 
-def interleaved_best(callables: Dict[str, Callable[[], object]], *, repeats: int = 3, warmup: int = 1) -> Dict[str, float]:
+def interleaved_best(
+    callables: Dict[str, Callable[[], object]],
+    *,
+    repeats: int = 3,
+    warmup: int = 1,
+    inner: int = 1,
+) -> Dict[str, float]:
     """Best-of-``repeats`` wall time per labelled callable, measured round-robin.
 
     Interleaving the candidates keeps slow drifts of the host machine (other
     tenants, thermal throttling) from systematically favouring whichever
     scheme happened to run last, which matters because the overhead
     percentages of Fig. 7 are differences of nearly equal quantities.
+
+    With ``inner > 1`` each sample makes one *untimed* call that re-warms
+    the caches the previous candidate evicted, then records the mean of the
+    remaining ``inner - 1`` calls: steady-state throughput, which is what
+    bandwidth-bound candidates (e.g. the packed real path) are actually
+    compared on.
     """
 
     for _ in range(warmup):
         for fn in callables.values():
             fn()
     times: Dict[str, List[float]] = {name: [] for name in callables}
+    timed_calls = inner - 1 if inner > 1 else 1
     for _ in range(repeats):
         for name, fn in callables.items():
+            if inner > 1:
+                fn()  # cache re-warm, excluded from the sample
             start = time.perf_counter()
-            fn()
-            times[name].append(time.perf_counter() - start)
+            for _ in range(timed_calls):
+                fn()
+            times[name].append((time.perf_counter() - start) / timed_calls)
     return {name: min(values) for name, values in times.items()}
 
 

@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Real-input transforms: protected rfft on a sensor-style signal.
+
+Real workloads (audio, sensors, scientific time series) are the single
+biggest scenario family FFTW serves; this demo shows the reproduction's
+packed real-input path end to end:
+
+1. spectral analysis of a real sum-of-cosines signal through
+   ``repro.plan(n, real=True)`` - the compiled half-complex program, with
+   detection/correction on the ``n//2 + 1`` packed layout;
+2. a protected round trip (``execute`` then ``inverse``) back to the time
+   domain;
+3. a miniature fault-injection campaign flipping high bits of the real
+   input and of the packed spectrum, Table-6 style.
+
+Equivalent CLI runs::
+
+    repro transform --real -n 4096 --signal tones
+    repro inject --real -n 4096 --site output --kind bit-flip --bit 55
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro.faults.campaign import CoverageCampaign
+from repro.faults.models import FaultKind, FaultSite, FaultSpec
+from repro.utils.reporting import Table
+from repro.utils.rng import RandomSource
+
+N = 2**12
+TRIALS = 40
+TONES = (N // 16, N // 5)
+
+
+def spectral_analysis() -> None:
+    source = RandomSource(seed=7)
+    x = source.real_signal_with_tones(N, tones=TONES, noise=0.02)
+    plan = repro.plan(N, real=True)  # opt-online+mem on the packed layout
+    print(plan.describe())
+
+    result = plan.execute(x)
+    spectrum = result.output
+    assert spectrum.shape == (N // 2 + 1,)
+    peaks = np.argsort(np.abs(spectrum))[-2:]
+    print(f"dominant bins        : {sorted(int(p) for p in peaks)} (expected {sorted(TONES)})")
+    err = np.max(np.abs(spectrum - np.fft.rfft(x)))
+    print(f"|rfft - numpy.rfft|  : {err:.3e}")
+
+    round_trip = plan.inverse(spectrum)
+    print(f"round-trip error     : {np.max(np.abs(round_trip.output - x)):.3e}")
+    print(f"errors detected      : {result.report.detected}")
+
+
+def bitflip_campaign() -> None:
+    plan = repro.plan(N, real=True)
+    sites = [FaultSite.INPUT, FaultSite.OUTPUT]
+
+    def make_input(trial, rng):
+        return rng.uniform(-1.0, 1.0, N)  # real float64 rows
+
+    def make_faults(trial, rng):
+        site = sites[trial % len(sites)]
+        width = N if site is FaultSite.INPUT else N // 2 + 1
+        return [
+            FaultSpec(
+                site=site,
+                kind=FaultKind.BIT_FLIP,
+                bit=int(rng.integers(52, 63)),
+                element=int(rng.integers(0, width)),
+            )
+        ]
+
+    def run_trial(x, injector):
+        result = plan.execute(x, injector)
+        return (
+            result.output,
+            result.report.detected,
+            result.report.corrected,
+            result.report.has_uncorrectable,
+        )
+
+    campaign = CoverageCampaign(
+        make_input=make_input,
+        run_trial=run_trial,
+        reference=lambda x: np.fft.rfft(x),
+        make_faults=make_faults,
+        seed=2017,
+    )
+    result = campaign.run(TRIALS)
+    table = Table(
+        f"real-input bit-flip campaign (n={N}, {TRIALS} trials, packed layout)",
+        ["metric", "value"],
+    )
+    table.add_row("trials", str(result.trials))
+    table.add_row("detection rate", f"{result.detection_rate:.2f}")
+    table.add_row("correction rate", f"{result.correction_rate:.2f}")
+    table.add_row("coverage @ 1e-8", f"{result.coverage_at(1e-8):.2f}")
+    print(table.render())
+
+
+if __name__ == "__main__":
+    spectral_analysis()
+    print()
+    bitflip_campaign()

@@ -9,7 +9,8 @@ repro.cli <command>``:
     Run a protected transform on a synthetic signal (or a file of samples)
     and print the fault-tolerance report.  ``--batch N`` runs a batch of
     ``N`` signals through the vectorized ``execute_many`` path;
-    ``--backend`` selects the sub-FFT kernel.
+    ``--backend`` selects the sub-FFT kernel; ``--real`` feeds a real
+    float64 signal through the compiled half-complex (rfft) path.
 ``inject``
     Run a protected transform with a soft error injected at a chosen site
     and show detection/correction behaviour and the residual output error.
@@ -47,17 +48,26 @@ __all__ = ["build_parser", "main"]
 # ----------------------------------------------------------------------
 
 def _load_signal(args: argparse.Namespace) -> np.ndarray:
-    """Build the input vector: from ``--input`` (one value per line) or synthetic."""
+    """Build the input vector: from ``--input`` (one value per line) or synthetic.
 
+    With ``--real`` the synthetic signals are real-valued (and an input file
+    is read as float64 samples) to feed the packed rfft path.
+    """
+
+    real = getattr(args, "real", False)
     if args.input:
-        values = np.loadtxt(args.input, dtype=np.complex128, ndmin=1)
-        return np.asarray(values, dtype=np.complex128)
+        dtype = np.float64 if real else np.complex128
+        values = np.loadtxt(args.input, dtype=dtype, ndmin=1)
+        return np.asarray(values, dtype=dtype)
     source = RandomSource(seed=args.seed)
     if args.signal == "uniform":
-        return source.uniform_complex(args.size)
+        return source.uniform_real(args.size) if real else source.uniform_complex(args.size)
     if args.signal == "normal":
-        return source.normal_complex(args.size)
-    return source.signal_with_tones(args.size, tones=[args.size // 8, args.size // 3], noise=0.05)
+        return source.normal_real(args.size) if real else source.normal_complex(args.size)
+    tones = [args.size // 8, args.size // 3]
+    if real:
+        return source.real_signal_with_tones(args.size, tones=tones, noise=0.05)
+    return source.signal_with_tones(args.size, tones=tones, noise=0.05)
 
 
 def _load_batch(args: argparse.Namespace, x: np.ndarray) -> np.ndarray:
@@ -85,10 +95,20 @@ def _load_batch(args: argparse.Namespace, x: np.ndarray) -> np.ndarray:
 
 
 def _make_plan(args: argparse.Namespace, n: int) -> FTPlan:
-    """The (cached) FTPlan selected by ``--scheme`` / ``--backend``."""
+    """The (cached) FTPlan selected by ``--scheme`` / ``--backend`` / ``--real``."""
 
-    config = FTConfig.from_name(args.scheme, backend=args.backend)
+    config = FTConfig.from_name(
+        args.scheme, backend=args.backend, real=getattr(args, "real", False)
+    )
     return plan(n, config)
+
+
+def _reference_spectrum(args: argparse.Namespace, x: np.ndarray) -> np.ndarray:
+    """NumPy reference for the report's relative-error line."""
+
+    if getattr(args, "real", False):
+        return np.fft.rfft(x, axis=-1)
+    return np.fft.fft(x, axis=-1)
 
 
 def _add_signal_options(parser: argparse.ArgumentParser) -> None:
@@ -110,6 +130,12 @@ def _add_signal_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--batch", type=int, default=1, metavar="N",
         help="run N signals through the vectorized batched path (default 1)",
+    )
+    parser.add_argument(
+        "--real", action="store_true",
+        help="real-input transform: real float64 signal in, packed n//2+1 "
+             "spectrum (numpy.fft.rfft layout) out, via the compiled "
+             "half-complex path",
     )
 
 
@@ -175,7 +201,7 @@ def _cmd_transform(args: argparse.Namespace) -> int:
     if args.batch > 1:
         X = _load_batch(args, x)
         batch = ft_plan.execute_many(X)
-        _print_batch_report(batch, np.fft.fft(X, axis=-1))
+        _print_batch_report(batch, _reference_spectrum(args, X))
         if args.output:
             # Same (re, im) two-column layout as the single-signal path,
             # with the rows' spectra concatenated in batch order.
@@ -184,7 +210,7 @@ def _cmd_transform(args: argparse.Namespace) -> int:
             print(f"spectra written to    {args.output} ({X.shape[0]} spectra concatenated)")
         return 0 if not batch.uncorrectable else 1
     result = ft_plan.execute(x)
-    reference = np.fft.fft(x)
+    reference = _reference_spectrum(args, x)
     _print_report(result, reference)
     if args.output:
         np.savetxt(args.output, np.column_stack([result.output.real, result.output.imag]))
@@ -213,12 +239,12 @@ def _cmd_inject(args: argparse.Namespace) -> int:
                 f"site {site.value!r} will not fire in the vectorized path"
             )
         X = _load_batch(args, x)
-        reference = np.fft.fft(X, axis=-1)
+        reference = _reference_spectrum(args, X)
         batch = ft_plan.execute_many(X, injector=injector)
         print(f"faults injected      : {injector.fired_count}")
         err = _print_batch_report(batch, reference)
         return 0 if err < args.tolerance else 1
-    reference = np.fft.fft(x)
+    reference = _reference_spectrum(args, x)
     result = ft_plan.execute(x, injector)
     print(f"faults injected      : {injector.fired_count}")
     if injector.events:

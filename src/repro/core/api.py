@@ -37,7 +37,7 @@ from repro.faults.injector import FaultInjector
 __all__ = ["available_schemes", "create_scheme", "ft_fft", "FaultTolerantFFT"]
 
 #: FTConfig fields that legacy ``**kwargs`` may set directly.
-_CONFIG_KWARGS = ("m", "k", "thresholds", "flags", "dtype", "backend")
+_CONFIG_KWARGS = ("m", "k", "thresholds", "flags", "dtype", "backend", "real")
 
 
 def _deprecated(old: str, new: str) -> None:

@@ -20,9 +20,11 @@ from typing import Optional
 
 import numpy as np
 
+from repro.core.checksums import repair_single_error, weighted_sum
 from repro.core.detection import FTReport
-from repro.core.thresholds import ThresholdPolicy
+from repro.core.thresholds import ThresholdPolicy, residual_exceeds
 from repro.faults.injector import FaultInjector, NullInjector
+from repro.faults.models import FaultSite
 from repro.utils.validation import as_complex_vector, ensure_positive_int
 
 __all__ = ["OptimizationFlags", "SchemeResult", "FTScheme"]
@@ -98,14 +100,32 @@ class SchemeResult:
 
 
 class FTScheme(abc.ABC):
-    """Base class of all sequential (single-process) schemes."""
+    """Base class of all sequential (single-process) schemes.
+
+    ``real=True`` puts a scheme into real-input mode: ``execute`` accepts
+    ``n`` real samples, the full interior machinery (per-sub-FFT checksums,
+    DMR, memory hierarchies) runs on the complexified input exactly as in
+    complex mode, and the returned spectrum is the packed conjugate-even
+    ``n//2 + 1`` layout of ``numpy.fft.rfft`` - the OUTPUT fault site and
+    the final packed-layout locating checksums target that array, so output
+    faults strike (and are repaired on) what the caller actually receives.
+    """
 
     #: short identifier used by the scheme registry and benchmark tables
     name: str = "base"
 
-    def __init__(self, n: int, *, thresholds: Optional[ThresholdPolicy] = None) -> None:
+    def __init__(
+        self,
+        n: int,
+        *,
+        thresholds: Optional[ThresholdPolicy] = None,
+        real: bool = False,
+    ) -> None:
         self.n = ensure_positive_int(n, name="n")
         self.thresholds = thresholds or ThresholdPolicy()
+        self.real = bool(real)
+        #: packed half-complex bins the real mode returns (n//2 + 1)
+        self.bins = self.n // 2 + 1
 
     # ------------------------------------------------------------------
     def execute(self, x: np.ndarray, injector: Optional[FaultInjector] = None) -> SchemeResult:
@@ -114,12 +134,56 @@ class FTScheme(abc.ABC):
         x = as_complex_vector(x, copy=True, name="x")
         if x.size != self.n:
             raise ValueError(f"input has length {x.size}, expected {self.n}")
+        if self.real and np.any(x.imag != 0.0):
+            raise ValueError("real-mode scheme expects real-valued input")
         report = FTReport(scheme=self.name)
         output = self._run(x, injector or NullInjector(), report)
         return SchemeResult(output=output, report=report, scheme=self.name)
 
     def __call__(self, x: np.ndarray, injector: Optional[FaultInjector] = None) -> SchemeResult:
         return self.execute(x, injector)
+
+    # ------------------------------------------------------------------
+    def _finalize_output(self, output: np.ndarray, injector, report: FTReport) -> np.ndarray:
+        """Visit the OUTPUT fault site; in real mode, pack and protect first.
+
+        Complex mode is unchanged: the site strikes the full spectrum.  Real
+        mode keeps the non-redundant ``n//2 + 1`` bins, generates a locating
+        checksum pair over that packed array (memory-FT schemes), exposes the
+        packed array to the injector, and verifies/repairs afterwards - the
+        packed layout gets the same single-fault correction guarantee as the
+        full layout's final MCV.
+        """
+
+        if not self.real:
+            injector.visit(FaultSite.OUTPUT, output)
+            return output
+        packed = np.ascontiguousarray(output[: self.bins])
+        constants = getattr(self, "constants", None)
+        p1 = getattr(constants, "p1_h", None)
+        protect = bool(getattr(self, "memory_ft", False)) and p1 is not None
+        if protect:
+            p2 = constants.p2_h
+            s1 = weighted_sum(p1, packed)
+            s2 = weighted_sum(p2, packed)
+            eta = self.thresholds.eta_memory(p1, packed, weight_rms=constants.p1_h_rms)
+            report.bump("output-mcg")
+        injector.visit(FaultSite.OUTPUT, packed)
+        if protect:
+            residual = float(np.abs(weighted_sum(p1, packed) - s1))
+            report.bump("memory-verifications")
+            if residual_exceeds(residual, eta):
+                report.record_verification("real-output-mcv", None, residual, eta, True)
+                repaired = repair_single_error(packed, p1, p2, s1, s2)
+                if repaired is None:
+                    report.record_uncorrectable(
+                        "real output: packed-spectrum corruption could not be located"
+                    )
+                else:
+                    report.record_correction(
+                        "memory-correct", "real-output", None, f"bin {repaired[0]} repaired"
+                    )
+        return packed
 
     # ------------------------------------------------------------------
     @abc.abstractmethod

@@ -43,6 +43,8 @@ __all__ = [
     "input_checksum_weights_naive",
     "memory_weights_classic",
     "memory_weights_modified",
+    "halfcomplex_weights",
+    "halfcomplex_sum",
     "weighted_sum",
     "locate_single_error",
     "repair_single_error",
@@ -168,6 +170,48 @@ def memory_weights_modified(n: int, *, base: Optional[np.ndarray] = None) -> Tup
         return memory_weights_classic(n)
     multiplier = np.arange(1, n + 1, dtype=np.float64)
     return w1, w1 * multiplier
+
+
+def halfcomplex_weights(weights: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Fold a length-``n`` output weight vector onto the packed rfft layout.
+
+    A real input has a conjugate-even spectrum, ``X[n-j] = conj(X[j])``, so
+    only the ``bins = n//2 + 1`` leading bins ``P`` are stored.  Any weighted
+    sum over the full spectrum folds exactly onto that layout:
+
+    .. math::
+
+        r \\cdot X \\;=\\; a \\cdot P + b \\cdot \\overline{P},
+        \\qquad a_h = r_h, \\quad b_h = r_{n-h},
+
+    with ``b_0 = 0`` (and ``b_{n/2} = 0`` for even ``n``, where the Nyquist
+    bin is its own reflection).  In particular the computational checksum
+    identity ``r . X = (rA) . x`` keeps its closed-form ``rA`` encoding: only
+    the output-side reduction changes, to :func:`halfcomplex_sum`.
+    """
+
+    weights = np.asarray(weights, dtype=np.complex128)
+    n = weights.shape[0]
+    bins = n // 2 + 1
+    a = np.ascontiguousarray(weights[:bins])
+    b = np.zeros(bins, dtype=np.complex128)
+    redundant = n - bins  # number of bins recovered by conjugation
+    if redundant:
+        b[1 : redundant + 1] = weights[n - 1 : bins - 1 : -1]
+    return a, b
+
+
+def halfcomplex_sum(a: np.ndarray, b: np.ndarray, packed: np.ndarray, axis: int = 0) -> np.ndarray:
+    """Evaluate ``a . P + b . conj(P)`` over packed spectra (vectorised).
+
+    The widelinear counterpart of :func:`weighted_sum` for the ``n//2 + 1``
+    rfft layout; ``(a, b)`` come from :func:`halfcomplex_weights`.
+    """
+
+    with np.errstate(over="ignore", invalid="ignore"):
+        return weighted_sum(a, packed, axis=axis) + weighted_sum(
+            b, np.conj(packed), axis=axis
+        )
 
 
 def weighted_sum(weights: np.ndarray, data: np.ndarray, axis: int = 0) -> np.ndarray:
@@ -300,6 +344,10 @@ def repair_single_error(
     mask[index] = False
     others = np.dot(w1[mask], np.asarray(vector)[mask])
     repaired = (s1 - others) / weight
+    if np.isrealobj(vector):
+        # Real-valued data (rfft inputs): the reconstruction's imaginary
+        # part is pure round-off, so the repaired element is its real part.
+        repaired = repaired.real
     vector[index] = repaired
     return index, repaired
 

@@ -103,6 +103,13 @@ class FTConfig:
     backend:
         Sub-FFT kernel registry name (``None`` = process default; see
         :mod:`repro.fftlib.backends`).
+    real:
+        Real-input mode: the plan consumes ``n`` float64 samples and
+        produces the packed ``n//2 + 1`` half-complex spectrum
+        (``numpy.fft.rfft`` layout), protected with conjugate-even checksum
+        weights so detection/correction work directly on the packed layout.
+        Legacy registry names carry the flag as a ``+real`` suffix
+        (``"opt-online+mem+real"``).
     """
 
     kind: str = "online"
@@ -114,6 +121,7 @@ class FTConfig:
     flags: Optional[OptimizationFlags] = None
     dtype: str = "complex128"
     backend: Optional[str] = None
+    real: bool = False
 
     # ------------------------------------------------------------------
     def __post_init__(self) -> None:
@@ -141,6 +149,7 @@ class FTConfig:
             raise TypeError("thresholds must be a ThresholdPolicy (or None)")
         if self.flags is not None and not isinstance(self.flags, OptimizationFlags):
             raise TypeError("flags must be OptimizationFlags (or None)")
+        object.__setattr__(self, "real", bool(self.real))
 
     # ------------------------------------------------------------------
     # legacy-name conversions
@@ -149,11 +158,17 @@ class FTConfig:
     def from_name(cls, name: str, **overrides) -> "FTConfig":
         """Build a config from a legacy registry name.
 
-        ``overrides`` set any other field (``m``, ``k``, ``thresholds``,
-        ``flags``, ``dtype``, ``backend``).
+        A ``+real`` suffix selects the packed real-input transform
+        (``"opt-online+mem+real"``); ``overrides`` set any other field
+        (``m``, ``k``, ``thresholds``, ``flags``, ``dtype``, ``backend``,
+        ``real``).
         """
 
-        triple = _NAME_TO_TRIPLE.get(name)
+        base = name
+        if base.endswith("+real"):
+            base = base[: -len("+real")]
+            overrides.setdefault("real", True)
+        triple = _NAME_TO_TRIPLE.get(base)
         if triple is None:
             raise KeyError(
                 f"unknown scheme {name!r}; available: {', '.join(_NAME_TO_TRIPLE)}"
@@ -164,7 +179,8 @@ class FTConfig:
     def to_name(self) -> str:
         """The legacy registry name selecting this algorithm combination."""
 
-        return _TRIPLE_TO_NAME[(self.kind, self.optimized, self.memory_ft)]
+        name = _TRIPLE_TO_NAME[(self.kind, self.optimized, self.memory_ft)]
+        return name + "+real" if self.real else name
 
     def replace(self, **changes) -> "FTConfig":
         """A copy of this config with ``changes`` applied (re-validated)."""
@@ -187,6 +203,7 @@ class FTConfig:
             "k": self.k,
             "thresholds": self.thresholds,
             "backend": self.backend,
+            "real": self.real,
         }
         if self.kind == "plain":
             if self.flags is not None:
@@ -221,6 +238,8 @@ class FTConfig:
             parts.append(f"memory_ft={self.memory_ft}")
         if self.m is not None or self.k is not None:
             parts.append(f"m={self.m}, k={self.k}")
+        if self.real:
+            parts.append("real=True")
         if self.dtype != "complex128":
             parts.append(f"dtype={self.dtype}")
         if self.backend is not None:

@@ -27,6 +27,7 @@ import numpy as np
 from repro.core.checksums import (
     MemoryChecksumVectors,
     computational_weights,
+    halfcomplex_weights,
     input_checksum_weights,
     input_checksum_weights_naive,
     memory_weights_classic,
@@ -99,13 +100,60 @@ class SchemeConstants:
     u1_k_rms: float = 0.0
     w1_n_rms: float = 0.0
 
+    # --- real-input (packed half-complex) transform state ----------------
+    #: the transform consumes n real samples and returns bins = n//2 + 1
+    real: bool = False
+    bins: int = 0
+    #: conjugate-even fold of ``r_n`` onto the packed layout:
+    #: ``r . X_full == hc_a . P + hc_b . conj(P)`` (so the closed-form rA
+    #: input encodings keep working unchanged on real data)
+    hc_a: Optional[np.ndarray] = None
+    hc_b: Optional[np.ndarray] = None
+    #: locating pair over the packed spectrum itself (output memory FT)
+    p1_h: Optional[np.ndarray] = None
+    p2_h: Optional[np.ndarray] = None
+    p1_h_rms: float = 0.0
+
+    # ------------------------------------------------------------------
+    def with_real(self, memory_ft: bool) -> "SchemeConstants":
+        """This bundle extended with the packed-layout (rfft) vectors.
+
+        Folds the end-to-end computational vector onto the ``n//2 + 1``
+        layout and, with memory fault tolerance, adds a classic locating
+        pair defined directly on the packed spectrum (the weights must be a
+        function of the *stored* layout for single-bin location to work).
+        """
+
+        bins = self.n // 2 + 1
+        r_n = self.r_n if self.r_n is not None else computational_weights(self.n)
+        hc_a, hc_b = halfcomplex_weights(r_n)
+        p1_h = p2_h = None
+        p1_h_rms = 0.0
+        if memory_ft:
+            p1_h, p2_h = memory_weights_classic(bins)
+            p1_h_rms = weight_rms(p1_h)
+        return replace(
+            self,
+            real=True,
+            bins=bins,
+            r_n=r_n,
+            hc_a=hc_a,
+            hc_b=hc_b,
+            p1_h=p1_h,
+            p2_h=p2_h,
+            p1_h_rms=p1_h_rms,
+        )
+
     # ------------------------------------------------------------------
     @classmethod
-    def for_plain(cls, n: int, m: Optional[int] = None, k: Optional[int] = None) -> "SchemeConstants":
+    def for_plain(
+        cls, n: int, m: Optional[int] = None, k: Optional[int] = None, *, real: bool = False
+    ) -> "SchemeConstants":
         """The (empty) bundle of the unprotected baseline."""
 
         decomp = TwoLayerDecomposition.for_size(n, m, k)
-        return cls(n=decomp.n, m=decomp.m, k=decomp.k)
+        bundle = cls(n=decomp.n, m=decomp.m, k=decomp.k)
+        return replace(bundle, real=True, bins=decomp.n // 2 + 1) if real else bundle
 
     @classmethod
     def for_offline(
@@ -116,6 +164,7 @@ class SchemeConstants:
         *,
         optimized: bool,
         memory_ft: bool,
+        real: bool = False,
     ) -> "SchemeConstants":
         """End-to-end vectors of Algorithm 1 (naive or optimized encoding)."""
 
@@ -130,7 +179,7 @@ class SchemeConstants:
                 w1_n, w2_n = memory_weights_modified(n, base=c_n)
             else:
                 w1_n, w2_n = memory_weights_classic(n)
-        return cls(
+        bundle = cls(
             n=decomp.n,
             m=decomp.m,
             k=decomp.k,
@@ -140,6 +189,7 @@ class SchemeConstants:
             w2_n=w2_n,
             w1_n_rms=weight_rms(w1_n),
         )
+        return bundle.with_real(memory_ft) if real else bundle
 
     @classmethod
     def for_online(
@@ -151,6 +201,7 @@ class SchemeConstants:
         optimized: bool,
         memory_ft: bool,
         modified_checksums: bool,
+        real: bool = False,
     ) -> "SchemeConstants":
         """Per-stage vectors of Algorithm 2 / the Section 4 optimized scheme."""
 
@@ -199,7 +250,8 @@ class SchemeConstants:
                     w1_m_rms=weight_rms(mem_m.w1),
                     w1_k_rms=weight_rms(mem_k.w1),
                 )
-        return cls(**kwargs)
+        bundle = cls(**kwargs)
+        return bundle.with_real(memory_ft) if real else bundle
 
     @classmethod
     def for_config(cls, n: int, config) -> "SchemeConstants":
@@ -210,13 +262,15 @@ class SchemeConstants:
         plan's own batched end-to-end protection vectors.
         """
 
+        real = bool(getattr(config, "real", False))
         if config.kind == "plain":
-            return cls.for_plain(n, config.m, config.k)
+            return cls.for_plain(n, config.m, config.k, real=real)
         if config.kind == "offline":
             return cls.for_offline(
                 n, config.m, config.k,
                 optimized=config.optimized,
                 memory_ft=config.memory_ft,
+                real=real,
             )
         flags = config.flags
         modified = True if flags is None else bool(flags.modified_checksums)
@@ -227,6 +281,7 @@ class SchemeConstants:
             optimized=config.optimized,
             memory_ft=config.memory_ft,
             modified_checksums=modified,
+            real=real,
         )
         # The plan's batched end-to-end protection (execute_many) needs the
         # full-length vectors as well; build them with the same rules the

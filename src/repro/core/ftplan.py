@@ -45,6 +45,7 @@ import numpy as np
 
 from repro.core.base import SchemeResult
 from repro.core.checksums import (
+    halfcomplex_sum,
     repair_single_error,
     weighted_sum,
 )
@@ -54,7 +55,7 @@ from repro.core.detection import FTReport
 from repro.core.thresholds import residual_exceeds
 from repro.faults.injector import FaultInjector, NullInjector
 from repro.faults.models import FaultSite
-from repro.fftlib.backends import resolve_backend_name
+from repro.fftlib.backends import get_backend, resolve_backend_name
 from repro.utils.validation import ensure_positive_int
 
 __all__ = [
@@ -122,15 +123,29 @@ class FTPlan:
         self.scheme = config.build(self.n, constants=self.constants)
         self.dtype = np.dtype(config.dtype)
         self._protected = config.kind != "plain"
+        #: real-input mode: float64 input, packed n//2 + 1 output layout
+        self._real = bool(config.real)
+        self.bins = self.n // 2 + 1
         if self._protected:
             # Batched-protection state: end-to-end computational checksum
             # vector (c = rA) and, with memory FT, the locating pair
             # (Section 4.1 reuse with the 3 | n degenerate-weights guard,
-            # all from the shared plan-time bundle).
+            # all from the shared plan-time bundle).  Real plans additionally
+            # carry the conjugate-even fold of r onto the packed layout and
+            # a locating pair over the packed spectrum itself.
             self._c = self.constants.c_n
             self._r = self.constants.r_n
             self._w1 = self.constants.w1_n
             self._w2 = self.constants.w2_n
+            self._hc_a = self.constants.hc_a
+            self._hc_b = self.constants.hc_b
+        # Compiled real program (fftlib backend): fetched from the shared
+        # program LRU at plan time, so real execution pays no lowering cost.
+        self._real_program = None
+        if self._real and self.backend == "fftlib":
+            from repro.fftlib.executor import get_real_program
+
+            self._real_program = get_real_program(self.n)
         # Recovery retry budget: explicit flags win; otherwise inherit the
         # built scheme's own effective default so execute() and
         # execute_many() agree on what "uncorrectable" means.
@@ -165,8 +180,18 @@ class FTPlan:
 
     # ------------------------------------------------------------------
     def execute(self, x: np.ndarray, injector: Optional[FaultInjector] = None) -> SchemeResult:
-        """Protected forward transform of one length-``n`` vector."""
+        """Protected forward transform of one length-``n`` vector.
 
+        Real plans accept ``n`` float64 samples and return the packed
+        ``n//2 + 1`` spectrum (``numpy.fft.rfft`` layout) with the same
+        detection/correction guarantees: a live injector routes through the
+        scheme's full interior machinery (packed-layout OUTPUT site and
+        locating checksums included), fault-free runs take the compiled
+        half-complex program with end-to-end conjugate-even verification.
+        """
+
+        if self._real:
+            return self._execute_real(x, injector)
         result = self.scheme.execute(x, injector)
         return self._cast_result(result)
 
@@ -178,14 +203,195 @@ class FTPlan:
 
         Implemented with the conjugation identity
         ``ifft(X) = conj(fft(conj(X))) / n`` so the exact same protected
-        forward machinery (and therefore the same coverage) applies.
+        forward machinery (and therefore the same coverage) applies.  Real
+        plans map the packed spectrum back to ``n`` real samples, protected
+        end-to-end through the same checksum identity (``c . x = r . X``
+        with the packed-layout fold on the spectrum side).
         """
 
+        if self._real:
+            return self._inverse_real(spectrum, injector)
         spectrum = np.asarray(spectrum, dtype=np.complex128)
         result = self.scheme.execute(np.conj(spectrum), injector)
         output = np.conj(result.output) / self.n
         return self._cast_result(
             SchemeResult(output=output, report=result.report, scheme=result.scheme)
+        )
+
+    # ------------------------------------------------------------------
+    # real-input execution
+    # ------------------------------------------------------------------
+    def _as_real(self, data: np.ndarray, name: str = "x") -> np.ndarray:
+        """A private float64 copy of ``data`` (complex inputs must be real)."""
+
+        data = np.asarray(data)
+        if np.iscomplexobj(data):
+            if np.any(data.imag != 0.0):
+                raise ValueError(f"real plan expects real-valued {name}")
+            data = data.real
+        return np.array(data, dtype=np.float64)
+
+    def _transform_real(self, rows: np.ndarray) -> np.ndarray:
+        """Unprotected packed transform (compiled program or backend rfft)."""
+
+        if self._real_program is not None:
+            return self._real_program.execute(rows)
+        return get_backend(self.backend).rfft(rows, axis=-1)
+
+    def _inverse_transform_real(self, spectrum: np.ndarray) -> np.ndarray:
+        if self._real_program is not None:
+            return self._real_program.execute_inverse(spectrum)
+        return get_backend(self.backend).irfft(spectrum, n=self.n, axis=-1)
+
+    def _output_checksum(self, packed: np.ndarray):
+        """End-to-end output reduction; the conjugate-even fold in real mode.
+
+        Works on one spectrum (last axis = bins/n) or a batch of them.
+        """
+
+        if self._real:
+            return halfcomplex_sum(
+                self._hc_a, self._hc_b, packed, axis=1 if packed.ndim == 2 else 0
+            )
+        return packed @ self._r
+
+    def _execute_real(self, x: np.ndarray, injector: Optional[FaultInjector]) -> SchemeResult:
+        injector = injector or NullInjector()
+        xr = self._as_real(x)
+        if xr.shape != (self.n,):
+            raise ValueError(f"input has length {xr.size}, expected {self.n}")
+        if injector.is_live:
+            # Paper-exact path: full interior machinery on the complexified
+            # input, packed OUTPUT site + packed locating MCV in the scheme.
+            return self._cast_result(self.scheme.execute(xr, injector))
+        report = FTReport(scheme=self.scheme.name)
+        if not self._protected:
+            output = self._transform_real(xr)
+        else:
+            output = self._protected_rfft(xr, report)
+        return self._cast_result(
+            SchemeResult(output=output, report=report, scheme=self.scheme.name)
+        )
+
+    def _protected_rfft(self, xr: np.ndarray, report: FTReport) -> np.ndarray:
+        """End-to-end protected compiled rfft (fault-free fast path).
+
+        Offline-style protection around the half-complex program: the input
+        checksum ``c . x`` uses the unchanged closed-form ``rA`` encoding
+        (real samples), the output side folds onto the packed layout, and a
+        violation repairs the input via the locating pair before
+        recomputing.
+        """
+
+        consts = self.constants
+        cx = weighted_sum(self._c, xr)
+        x_rms = self.thresholds.magnitude_rms(xr)
+        sigma0 = float(x_rms / np.sqrt(2.0))
+        eta = self.thresholds.eta_offline(self.n, xr, sigma0=sigma0)
+        if self.config.memory_ft:
+            s1 = weighted_sum(self._w1, xr)
+            s2 = weighted_sum(self._w2, xr)
+            eta_mem = self.thresholds.eta_memory(
+                self._w1, xr, weight_rms=consts.w1_n_rms, data_rms=x_rms
+            )
+        output = None
+        attempts = 0
+        while True:
+            attempts += 1
+            output = self._transform_real(xr)
+            residual = float(np.abs(self._output_checksum(output) - cx))
+            detected = bool(residual_exceeds(residual, eta))
+            report.record_verification("real-ccv", None, residual, eta, detected)
+            if not detected:
+                break
+            if self.config.memory_ft:
+                mem_residual = float(np.abs(weighted_sum(self._w1, xr) - s1))
+                if residual_exceeds(mem_residual, eta_mem):
+                    report.record_verification("real-mcv", None, mem_residual, eta_mem, True)
+                    repaired = repair_single_error(xr, self._w1, self._w2, s1, s2)
+                    if repaired is None:
+                        report.record_uncorrectable(
+                            "real: input corruption could not be located"
+                        )
+                        break
+                    report.record_correction(
+                        "memory-correct", "real-input", None, f"element {repaired[0]} repaired"
+                    )
+            if attempts > self._max_retries:
+                report.record_uncorrectable(
+                    f"real: verification still failing after {self._max_retries} restarts"
+                )
+                break
+            report.record_correction("restart", "real", None, "packed transform recomputed")
+        return output
+
+    def _inverse_real(self, spectrum: np.ndarray, injector: Optional[FaultInjector]) -> SchemeResult:
+        """Packed spectrum -> real signal, protected end-to-end.
+
+        Uses the same identity as the forward direction with the roles
+        swapped: ``c . x_out`` must match the conjugate-even fold of ``r``
+        over the (stored, pre-transform) packed spectrum.  Interior fault
+        sites do not fire here (the compiled half-complex inverse has no
+        instrumented sub-FFT stages); INPUT strikes the packed spectrum,
+        OUTPUT the real signal.
+        """
+
+        injector = injector or NullInjector()
+        packed = np.array(np.asarray(spectrum), dtype=np.complex128)
+        if packed.shape != (self.bins,):
+            raise ValueError(
+                f"real plan expects {self.bins} packed bins, got shape {packed.shape}"
+            )
+        report = FTReport(scheme=self.scheme.name)
+        if not self._protected:
+            injector.visit(FaultSite.INPUT, packed)
+            output = self._inverse_transform_real(packed)
+            injector.visit(FaultSite.OUTPUT, output)
+            return self._cast_result(
+                SchemeResult(output=output, report=report, scheme=self.scheme.name)
+            )
+        consts = self.constants
+        target = complex(self._output_checksum(packed))  # r . X, stored before faults
+        if self.config.memory_ft:
+            p1, p2 = consts.p1_h, consts.p2_h
+            s1 = weighted_sum(p1, packed)
+            s2 = weighted_sum(p2, packed)
+            eta_mem = self.thresholds.eta_memory(p1, packed, weight_rms=consts.p1_h_rms)
+        injector.visit(FaultSite.INPUT, packed)
+        output = None
+        attempts = 0
+        while True:
+            attempts += 1
+            output = self._inverse_transform_real(packed)
+            injector.visit(FaultSite.OUTPUT, output)
+            eta = self.thresholds.eta_offline(self.n, output)
+            residual = float(np.abs(weighted_sum(self._c, output) - target))
+            detected = bool(residual_exceeds(residual, eta))
+            report.record_verification("real-inverse-ccv", None, residual, eta, detected)
+            if not detected:
+                break
+            if self.config.memory_ft:
+                mem_residual = float(np.abs(weighted_sum(p1, packed) - s1))
+                if residual_exceeds(mem_residual, eta_mem):
+                    report.record_verification("real-inverse-mcv", None, mem_residual, eta_mem, True)
+                    repaired = repair_single_error(packed, p1, p2, s1, s2)
+                    if repaired is None:
+                        report.record_uncorrectable(
+                            "real inverse: spectrum corruption could not be located"
+                        )
+                        break
+                    report.record_correction(
+                        "memory-correct", "real-inverse-input", None,
+                        f"bin {repaired[0]} repaired",
+                    )
+            if attempts > self._max_retries:
+                report.record_uncorrectable(
+                    f"real inverse: verification still failing after {self._max_retries} restarts"
+                )
+                break
+            report.record_correction("restart", "real-inverse", None, "real inverse recomputed")
+        return self._cast_result(
+            SchemeResult(output=output, report=report, scheme=self.scheme.name)
         )
 
     # ------------------------------------------------------------------
@@ -210,7 +416,10 @@ class FTPlan:
         X = np.asarray(X)
         if X.ndim == 0:
             raise ValueError("execute_many expects at least a 1-D array")
-        moved = np.moveaxis(np.asarray(X, dtype=np.complex128), axis, -1)
+        if self._real:
+            moved = np.moveaxis(X, axis, -1)
+        else:
+            moved = np.moveaxis(np.asarray(X, dtype=np.complex128), axis, -1)
         if moved.shape[-1] != self.n:
             raise ValueError(
                 f"axis {axis} has length {moved.shape[-1]}, expected {self.n}"
@@ -220,10 +429,14 @@ class FTPlan:
         # data, and the batch path must not either (the injector corrupts -
         # and recovery repairs - this array in place).  Reshaping a
         # non-contiguous moveaxis view already copies, so only copy when the
-        # reshape still aliases the caller's buffer.
-        rows = moved.reshape(-1, self.n)
-        if np.may_share_memory(rows, X):
-            rows = rows.copy()
+        # reshape still aliases the caller's buffer.  (_as_real always
+        # copies.)
+        if self._real:
+            rows = self._as_real(moved, name="X").reshape(-1, self.n)
+        else:
+            rows = moved.reshape(-1, self.n)
+            if np.may_share_memory(rows, X):
+                rows = rows.copy()
         batch = rows.shape[0]
         injector = injector or NullInjector()
         report = FTReport(scheme=f"{self.scheme.name}[batch]")
@@ -252,9 +465,10 @@ class FTPlan:
             injector.visit(FaultSite.INPUT, rows)
 
             # --- vectorized transform + vectorized verification ----------
+            # (real plans: packed output, conjugate-even reduction)
             out = self._transform_rows(rows)
             injector.visit(FaultSite.OUTPUT, out)
-            residuals = np.abs(out @ self._r - cx)
+            residuals = np.abs(self._output_checksum(out) - cx)
             report.bump("verifications", batch)
             comp_violations = residual_exceeds(residuals, etas)
             violations = comp_violations
@@ -285,7 +499,8 @@ class FTPlan:
                         f"batch row {idx} still failing after {self._max_retries} retries"
                     )
 
-        output = out.reshape(batch_shape + (self.n,))
+        width = self.bins if self._real else self.n
+        output = out.reshape(batch_shape + (width,))
         output = np.moveaxis(output, -1, axis)
         if self.dtype != np.complex128:
             output = output.astype(self.dtype)
@@ -293,8 +508,14 @@ class FTPlan:
 
     # ------------------------------------------------------------------
     def _transform_rows(self, rows: np.ndarray) -> np.ndarray:
-        """Unprotected vectorized two-layer transform of a ``(batch, n)`` array."""
+        """Unprotected vectorized transform of a ``(batch, n)`` array.
 
+        Complex plans run the batched two-layer pipeline; real plans run the
+        compiled half-complex program (packed ``(batch, bins)`` output).
+        """
+
+        if self._real:
+            return self._transform_real(rows)
         tl = self.scheme.plan
         batch = rows.shape[0]
         work = rows.reshape(batch, tl.m, tl.k)
@@ -326,11 +547,13 @@ class FTPlan:
                         "memory-correct", "batch-input", idx, f"element {repaired[0]} repaired"
                     )
             # Re-execute through the fully protected scalar scheme so the
-            # recovery inherits the scheme's own sub-FFT-level machinery.
+            # recovery inherits the scheme's own sub-FFT-level machinery
+            # (real plans: the scheme runs in real mode and returns the
+            # packed spectrum, verified below on the packed layout).
             result = self.scheme.execute(row)
             report.merge(result.report)
             report.record_correction("recompute", "batch", idx, "row re-executed under full protection")
-            residual = float(np.abs(weighted_sum(self._r, result.output) - cx[idx]))
+            residual = float(np.abs(self._output_checksum(result.output) - cx[idx]))
             ok = not bool(residual_exceeds(residual, float(etas[idx])))
             report.record_verification("batch-ccv-retry", idx, residual, float(etas[idx]), not ok)
             if ok:
@@ -341,12 +564,19 @@ class FTPlan:
     # ------------------------------------------------------------------
     def _cast_result(self, result: SchemeResult) -> SchemeResult:
         if self.dtype != np.complex128:
-            result.output = result.output.astype(self.dtype)
+            output = result.output
+            if np.isrealobj(output):
+                # Real time-domain output (real-plan inverse): halve the
+                # precision instead of complexifying.
+                result.output = output.astype(np.float32)
+            else:
+                result.output = output.astype(self.dtype)
         return result
 
     def describe(self) -> str:
+        real = f", real -> {self.bins} bins" if self._real else ""
         return (
-            f"FTPlan(n={self.n} = {self.m} x {self.k}, scheme={self.scheme.name}, "
+            f"FTPlan(n={self.n} = {self.m} x {self.k}{real}, scheme={self.scheme.name}, "
             f"backend={self.backend}, dtype={self.dtype.name})"
         )
 

@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.core.base import FTScheme
 from repro.core.checksums import (
+    halfcomplex_sum,
     repair_single_error,
     weighted_sum,
 )
@@ -52,9 +53,10 @@ class OfflineABFT(FTScheme):
         max_retries: int = 2,
         group_size: int = 32,
         backend: Optional[str] = None,
+        real: bool = False,
         constants: Optional[SchemeConstants] = None,
     ) -> None:
-        super().__init__(n, thresholds=thresholds)
+        super().__init__(n, thresholds=thresholds, real=real)
         self.plan = TwoLayerPlan(n, m, k, backend=backend)
         self.optimized = bool(optimized)
         self.memory_ft = bool(memory_ft)
@@ -64,11 +66,18 @@ class OfflineABFT(FTScheme):
         # Plan-time constants: the end-to-end encoding vector (naive or
         # closed-form) and the locating pair are size-only functions, built
         # once here instead of on every run.
-        if constants is None or constants.n != self.n or constants.c_n is None:
+        if (
+            constants is None
+            or constants.n != self.n
+            or constants.c_n is None
+            or constants.real != self.real
+            or (self.real and constants.hc_a is None)
+        ):
             constants = SchemeConstants.for_offline(
                 self.n, self.plan.m, self.plan.k,
                 optimized=self.optimized,
                 memory_ft=self.memory_ft,
+                real=self.real,
             )
         self.constants = constants
 
@@ -92,7 +101,7 @@ class OfflineABFT(FTScheme):
             intermediate = plan.stage1(work)
             twiddled = plan.apply_twiddle(intermediate)
             result = plan.stage2(twiddled)
-            return plan.scatter_output(result)
+            return self._pack(plan.scatter_output(result))
 
         # Live-injector path: group-wise traversal exposing every fault site.
         work = np.array(plan.gather_input(x))
@@ -119,9 +128,28 @@ class OfflineABFT(FTScheme):
                 injector.visit(FaultSite.STAGE2_COMPUTE, sub[j - start, :], index=j)
             result[rows, :] = sub
 
-        output = plan.scatter_output(result)
+        # In real mode the OUTPUT site strikes the packed spectrum (the array
+        # the caller receives); the end-to-end verification in _run checks
+        # exactly that layout, so a hit here is detected and restarted.
+        output = self._pack(plan.scatter_output(result))
         injector.visit(FaultSite.OUTPUT, output)
         return output
+
+    # ------------------------------------------------------------------
+    def _pack(self, output: np.ndarray) -> np.ndarray:
+        """Keep the non-redundant ``n//2 + 1`` bins in real mode."""
+
+        if not self.real:
+            return output
+        return np.ascontiguousarray(output[: self.bins])
+
+    def _output_checksum(self, output: np.ndarray) -> complex:
+        """``r . X`` - on the packed layout via the conjugate-even fold."""
+
+        consts = self.constants
+        if self.real:
+            return halfcomplex_sum(consts.hc_a, consts.hc_b, output)
+        return weighted_sum(consts.r_n, output)
 
     # ------------------------------------------------------------------
     def _run(self, x: np.ndarray, injector, report: FTReport) -> np.ndarray:
@@ -132,9 +160,11 @@ class OfflineABFT(FTScheme):
         # ----- encoding: plan-time vectors, per-run data checksums --------
         # (Algorithm 1 never DMR-protects its encoding vector, so the
         # constants are used on every path; only the x-dependent weighted
-        # sums are computed here.)
+        # sums are computed here.  In real mode the input encoding is
+        # unchanged - rA applies to the real samples as-is - while the
+        # output reduction folds onto the packed layout, see
+        # _output_checksum.)
         c = consts.c_n
-        r = consts.r_n
 
         # One robust sample of the input feeds every x-derived threshold.
         x_rms = self.thresholds.magnitude_rms(x)
@@ -175,7 +205,7 @@ class OfflineABFT(FTScheme):
         while True:
             attempts += 1
             output = self._execute_plan(x, injector)
-            residual = float(np.abs(weighted_sum(r, output) - cx))
+            residual = float(np.abs(self._output_checksum(output) - cx))
             detected = bool(residual_exceeds(residual, eta))
             report.record_verification("offline-ccv", None, residual, eta, detected)
             if not detected:
@@ -204,7 +234,9 @@ class OfflineABFT(FTScheme):
 
         # ----- output protection (memory FT only) --------------------------
         if self.memory_ft and output is not None:
-            out_pair_w1 = w1
+            # Real mode protects the packed spectrum with its own locating
+            # pair (the stored layout is what a memory fault would corrupt).
+            out_pair_w1 = consts.p1_h if self.real else w1
             out_s1 = weighted_sum(out_pair_w1, output)
             report.bump("output-mcg")
             # Verify immediately (the offline scheme has nothing to overlap

@@ -59,9 +59,10 @@ class OnlineABFT(FTScheme):
         thresholds: Optional[ThresholdPolicy] = None,
         flags: Optional[OptimizationFlags] = None,
         backend: Optional[str] = None,
+        real: bool = False,
         constants: Optional[SchemeConstants] = None,
     ) -> None:
-        super().__init__(n, thresholds=thresholds)
+        super().__init__(n, thresholds=thresholds, real=real)
         self.plan = TwoLayerPlan(n, m, k, backend=backend)
         self.memory_ft = bool(memory_ft)
         self.flags = flags or OptimizationFlags.all_off()
@@ -74,12 +75,14 @@ class OnlineABFT(FTScheme):
             or constants.m != self.plan.m
             or constants.c_m is None
             or (self.memory_ft and (constants.mem_m is None or constants.mem_k is None))
+            or constants.real != self.real
         ):
             constants = SchemeConstants.for_online(
                 self.n, self.plan.m, self.plan.k,
                 optimized=False,
                 memory_ft=self.memory_ft,
                 modified_checksums=False,
+                real=self.real,
             )
         self.constants = constants
 
@@ -289,6 +292,11 @@ class OnlineABFT(FTScheme):
 
         # ----- final output and last MCV --------------------------------------
         output = plan.scatter_output(result)
+        if self.real:
+            # Packed-spectrum OUTPUT site + locating MCV (base helper); the
+            # full-layout per-column checksums refer to bins about to be
+            # discarded, so the packed pair takes over output protection.
+            return self._finalize_output(output, injector, report)
         injector.visit(FaultSite.OUTPUT, output)
 
         if self.memory_ft:
@@ -384,12 +392,12 @@ class OnlineABFT(FTScheme):
             if not corrected:
                 report.record_uncorrectable(f"stage2 sub-FFT {j} could not be corrected")
 
+        output = plan.scatter_output(result)
+        if self.real:
+            return self._finalize_output(output, injector, report)
         if self.memory_ft:
             out_s1 = weighted_sum(mem_k.w1, result, axis=1)
             out_s2 = weighted_sum(mem_k.w2, result, axis=1)
-
-        output = plan.scatter_output(result)
-        if self.memory_ft:
             self._final_output_check(output, mem_k, out_s1, out_s2, report)
         return output
 

@@ -59,9 +59,10 @@ class OptimizedOnlineABFT(FTScheme):
         thresholds: Optional[ThresholdPolicy] = None,
         flags: Optional[OptimizationFlags] = None,
         backend: Optional[str] = None,
+        real: bool = False,
         constants: Optional[SchemeConstants] = None,
     ) -> None:
-        super().__init__(n, thresholds=thresholds)
+        super().__init__(n, thresholds=thresholds, real=real)
         self.plan = TwoLayerPlan(n, m, k, backend=backend)
         self.memory_ft = bool(memory_ft)
         self.flags = flags or OptimizationFlags()
@@ -82,12 +83,14 @@ class OptimizedOnlineABFT(FTScheme):
                 self.memory_ft
                 and bool(self.flags.modified_checksums) != (constants.w1_m is constants.c_m)
             )
+            or constants.real != self.real
         ):
             constants = SchemeConstants.for_online(
                 self.n, self.plan.m, self.plan.k,
                 optimized=True,
                 memory_ft=self.memory_ft,
                 modified_checksums=bool(self.flags.modified_checksums),
+                real=self.real,
             )
         self.constants = constants
 
@@ -317,6 +320,11 @@ class OptimizedOnlineABFT(FTScheme):
 
         # ----- final output and CMCV -------------------------------------------
         output = plan.scatter_output(result)
+        if self.real:
+            # Packed-spectrum OUTPUT site + locating MCV (base helper); the
+            # full-layout per-column checksums refer to bins about to be
+            # discarded, so the packed pair takes over output protection.
+            return self._finalize_output(output, injector, report)
         injector.visit(FaultSite.OUTPUT, output)
 
         if self.memory_ft:
@@ -398,12 +406,12 @@ class OptimizedOnlineABFT(FTScheme):
             if not ok:
                 report.record_uncorrectable(f"stage2 sub-FFT {j} could not be corrected")
 
+        output = plan.scatter_output(result)
+        if self.real:
+            return self._finalize_output(output, injector, report)
         if self.memory_ft:
             out_s1 = weighted_sum(w1_k_out, result, axis=1)
             out_s2 = weighted_sum(w2_k_out, result, axis=1)
-
-        output = plan.scatter_output(result)
-        if self.memory_ft:
             self._final_output_check(
                 output, w1_k_out, w2_k_out, out_s1, out_s2, report,
                 weight_rms=consts.w1_k_rms,

@@ -46,15 +46,18 @@ class PlainFFT(FTScheme):
         thresholds: Optional[ThresholdPolicy] = None,
         group_size: int = 32,
         backend: Optional[str] = None,
+        real: bool = False,
         constants: Optional[SchemeConstants] = None,
     ) -> None:
-        super().__init__(n, thresholds=thresholds)
+        super().__init__(n, thresholds=thresholds, real=real)
         self.plan = TwoLayerPlan(n, m, k, backend=backend)
         self.group_size = max(1, int(group_size))
         # The baseline carries no checksum state; the (empty) bundle keeps
         # the scheme interface uniform for the plan layer.
-        if constants is None or constants.n != self.n:
-            constants = SchemeConstants.for_plain(self.n, self.plan.m, self.plan.k)
+        if constants is None or constants.n != self.n or constants.real != self.real:
+            constants = SchemeConstants.for_plain(
+                self.n, self.plan.m, self.plan.k, real=self.real
+            )
         self.constants = constants
 
     @property
@@ -80,7 +83,7 @@ class PlainFFT(FTScheme):
             intermediate = plan.stage1(work)
             twiddled = plan.apply_twiddle(intermediate)
             result = plan.stage2(twiddled)
-            return plan.scatter_output(result)
+            return self._finalize_output(plan.scatter_output(result), injector, report)
 
         # Live-injector path: group-wise traversal exposing every fault site.
         injector.visit(FaultSite.INPUT, x)
@@ -108,6 +111,4 @@ class PlainFFT(FTScheme):
                 injector.visit(FaultSite.STAGE2_COMPUTE, sub[j - start, :], index=j)
             result[rows, :] = sub
 
-        output = plan.scatter_output(result)
-        injector.visit(FaultSite.OUTPUT, output)
-        return output
+        return self._finalize_output(plan.scatter_output(result), injector, report)

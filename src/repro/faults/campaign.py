@@ -167,7 +167,10 @@ class CoverageCampaign:
         rng = default_rng(self.seed)
         result = CampaignResult()
         for trial in range(trials):
-            x = np.asarray(self.make_input(trial, rng), dtype=np.complex128)
+            # Preserve real-valued inputs (rfft campaigns); complexify the
+            # rest so legacy trial callables keep their exact dtype.
+            x = np.asarray(self.make_input(trial, rng))
+            x = x.astype(np.float64 if not np.iscomplexobj(x) else np.complex128)
             specs = self.make_faults(trial, rng)
             injector = FaultInjector(specs=list(specs), rng=rng)
             expected = self.reference(x.copy())

@@ -193,17 +193,22 @@ class FaultInjector:
         location = np.unravel_index(element, array.shape)
         original = complex(array[location])
 
+        # Real-valued layouts (rfft inputs / irfft outputs) store a single
+        # component per element; bit flips target that component and the
+        # corrupted value is stored without an imaginary part.
+        is_real_array = np.isrealobj(array)
         if spec.kind is FaultKind.ADD_CONSTANT:
             corrupted = original + complex(spec.magnitude)
         elif spec.kind is FaultKind.SET_CONSTANT:
             corrupted = complex(spec.magnitude)
         elif spec.kind is FaultKind.BIT_FLIP:
             bit = spec.bit if spec.bit is not None else random_high_bit(self.rng)
-            corrupted = flip_bit_in_complex(original, bit, imaginary=spec.imaginary)
+            imaginary = spec.imaginary and not is_real_array
+            corrupted = flip_bit_in_complex(original, bit, imaginary=imaginary)
         else:  # pragma: no cover - exhaustive enum
             raise ValueError(f"unknown fault kind {spec.kind}")
 
-        array[location] = corrupted
+        array[location] = corrupted.real if is_real_array else corrupted
         spec.fired += 1
         self.events.append(
             FaultEvent(

@@ -62,6 +62,36 @@ class FFTBackend(abc.ABC):
     def ifft(self, x: np.ndarray, axis: int = -1) -> np.ndarray:
         """Normalised inverse DFT along ``axis``."""
 
+    # -- real-input transforms -----------------------------------------
+    # The base implementations derive the packed ``n//2 + 1`` layout from
+    # the complex kernel, so every registered backend supports real plans
+    # out of the box; backends with a native half-complex kernel override
+    # them (both built-ins do).
+
+    def rfft(self, x: np.ndarray, axis: int = -1) -> np.ndarray:
+        """Packed real-to-complex DFT along ``axis`` (``n//2 + 1`` bins)."""
+
+        x = np.asarray(x, dtype=np.float64)
+        n = x.shape[axis]
+        spectrum = self.fft(x.astype(np.complex128), axis=axis)
+        index = [slice(None)] * spectrum.ndim
+        index[axis] = slice(0, n // 2 + 1)
+        return np.ascontiguousarray(spectrum[tuple(index)])
+
+    def irfft(self, spectrum: np.ndarray, n: Optional[int] = None, axis: int = -1) -> np.ndarray:
+        """Real inverse of :meth:`rfft` along ``axis`` (length ``n``)."""
+
+        spectrum = np.asarray(spectrum, dtype=np.complex128)
+        bins = spectrum.shape[axis]
+        if n is None:
+            n = 2 * (bins - 1)
+        if bins != n // 2 + 1:
+            raise ValueError(f"spectrum has {bins} bins, expected {n // 2 + 1} for n={n}")
+        index = [slice(None)] * spectrum.ndim
+        index[axis] = slice(-2, 0, -1) if n % 2 == 0 else slice(-1, 0, -1)
+        full = np.concatenate([spectrum, np.conj(spectrum[tuple(index)])], axis=axis)
+        return np.real(self.ifft(full, axis=axis))
+
     def describe(self) -> str:
         return f"{self.name}: {self.description}"
 
@@ -88,6 +118,22 @@ class FFTLibBackend(FFTBackend):
 
         return ifft_along_axis(x, axis)
 
+    def rfft(self, x: np.ndarray, axis: int = -1) -> np.ndarray:
+        from repro.fftlib.executor import rfft
+
+        x = np.asarray(x, dtype=np.float64)
+        if axis == -1 or axis == x.ndim - 1:
+            return rfft(x)
+        return np.moveaxis(rfft(np.moveaxis(x, axis, -1)), -1, axis)
+
+    def irfft(self, spectrum: np.ndarray, n: Optional[int] = None, axis: int = -1) -> np.ndarray:
+        from repro.fftlib.executor import irfft
+
+        spectrum = np.asarray(spectrum, dtype=np.complex128)
+        if axis == -1 or axis == spectrum.ndim - 1:
+            return irfft(spectrum, n)
+        return np.moveaxis(irfft(np.moveaxis(spectrum, axis, -1), n), -1, axis)
+
 
 class NumpyFFTBackend(FFTBackend):
     """NumPy's pocketfft (compiled; the fast path for large workloads)."""
@@ -100,6 +146,12 @@ class NumpyFFTBackend(FFTBackend):
 
     def ifft(self, x: np.ndarray, axis: int = -1) -> np.ndarray:
         return np.fft.ifft(np.asarray(x, dtype=np.complex128), axis=axis)
+
+    def rfft(self, x: np.ndarray, axis: int = -1) -> np.ndarray:
+        return np.fft.rfft(np.asarray(x, dtype=np.float64), axis=axis)
+
+    def irfft(self, spectrum: np.ndarray, n: Optional[int] = None, axis: int = -1) -> np.ndarray:
+        return np.fft.irfft(np.asarray(spectrum, dtype=np.complex128), n=n, axis=axis)
 
 
 _LOCK = threading.RLock()

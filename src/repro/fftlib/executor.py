@@ -59,14 +59,18 @@ from repro.fftlib.twiddle import get_global_cache
 __all__ = [
     "Stage",
     "StageProgram",
+    "RealStageProgram",
     "compile_program",
     "get_program",
+    "get_real_program",
     "program_cache_info",
     "clear_program_cache",
     "fft",
     "ifft",
     "fft_along_axis",
     "ifft_along_axis",
+    "rfft",
+    "irfft",
 ]
 
 # Prime base sizes up to this threshold use a cached DFT-matrix product;
@@ -100,6 +104,13 @@ def lower(n: int) -> Tuple[int, Tuple[int, ...]]:
         r = _choose_radix(m)
         radices.append(r)
         m //= r
+    # A tiny base under large combines leaves the bottom stage as a
+    # memory-bound (batch, q, 2..8) matmul that dominates the whole program
+    # (2^13 ran 4x slower than 2^12 because of it); folding the innermost
+    # combine into the base instead yields one well-shaped direct DFT of a
+    # moderate size.
+    while radices and m < 16 and m * radices[-1] <= 64:
+        m *= radices.pop()
     return m, tuple(radices)
 
 
@@ -267,6 +278,136 @@ def compile_program(n: int) -> StageProgram:
     return StageProgram(n)
 
 
+class RealStageProgram:
+    """A compiled real-to-complex transform of one size (conjugate-even packing).
+
+    For even ``n`` the ``n`` real samples are viewed as ``n/2`` complex
+    samples, transformed with the cached half-length complex
+    :class:`StageProgram`, and disentangled with one vectorized pass:
+
+    .. math::
+
+        X[k] = A_k\\,Z_{ext}[k] + B_k\\,\\overline{Z_{ext}[h-k]},
+        \\qquad
+        A_k = \\tfrac{1}{2}(1 - i\\,\\omega_n^k),\\;
+        B_k = \\tfrac{1}{2}(1 + i\\,\\omega_n^k),
+
+    with ``h = n/2`` and ``Z_ext[h] = Z[0]``.  The inverse uses the conjugate
+    coefficients (``Z[k] = conj(A_k) X[k] + conj(B_k) conj(X[h-k])``) followed
+    by the half-length inverse, so both directions run at half the complex
+    flop/byte cost.  Odd lengths have no packing trick; they run the
+    full-length complex program and keep the ``n//2 + 1`` non-redundant bins
+    (still compiled - the seed's fallback re-entered the recursive engine).
+
+    Like :class:`StageProgram`, instances are immutable after construction,
+    batched over arbitrary leading axes, and memoized in the same LRU
+    (:func:`get_real_program`).
+    """
+
+    __slots__ = ("n", "bins", "half", "program", "_a", "_b")
+
+    def __init__(self, n: int) -> None:
+        self.n = int(n)
+        if self.n <= 0:
+            raise ValueError("transform length must be positive")
+        self.bins = self.n // 2 + 1
+        if self.n % 2 == 0 and self.n > 1:
+            self.half = self.n // 2
+            self.program = get_program(self.half)
+            w = np.exp(-2j * np.pi * np.arange(self.bins) / self.n)
+            self._a = 0.5 * (1.0 - 1j * w)
+            self._b = 0.5 * (1.0 + 1j * w)
+        else:
+            self.half = 0
+            self.program = get_program(self.n) if self.n > 1 else None
+            self._a = self._b = None
+
+    # ------------------------------------------------------------------
+    def execute(self, x: np.ndarray) -> np.ndarray:
+        """Packed forward transform along the last axis of a real array."""
+
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim == 0:
+            raise ValueError("input must have at least one dimension")
+        if x.shape[-1] != self.n:
+            raise ValueError(
+                f"real program of size {self.n} applied to array with last axis {x.shape[-1]}"
+            )
+        if self.n == 1:
+            return x.astype(np.complex128)
+        if self.half == 0:
+            # Odd length: full-length compiled complex transform, keep the
+            # non-redundant bins.
+            full = self.program.execute(x.astype(np.complex128))
+            return np.ascontiguousarray(full[..., : self.bins])
+        h = self.half
+        # Adjacent (even, odd) sample pairs ARE the complex128 memory layout,
+        # so the packing z[j] = x[2j] + i x[2j+1] is a zero-copy view.
+        if x.strides[-1] != x.itemsize:
+            x = np.ascontiguousarray(x)
+        z = x.view(np.complex128)
+        spectrum = self.program.execute(z)
+        # Disentangle on reversed-slice *views* (no index-array gathers):
+        # interior bins pair Z[k] with conj(Z[h-k]); bins 0 and h both pair
+        # Z[0] with itself.
+        out = np.empty(x.shape[:-1] + (self.bins,), dtype=np.complex128)
+        interior = out[..., 1:h]
+        np.multiply(spectrum[..., 1:h], self._a[1:h], out=interior)
+        interior += self._b[1:h] * np.conj(spectrum[..., h - 1 : 0 : -1])
+        z0 = spectrum[..., 0]
+        out[..., 0] = self._a[0] * z0 + self._b[0] * np.conj(z0)
+        out[..., h] = self._a[h] * z0 + self._b[h] * np.conj(z0)
+        return out
+
+    # ------------------------------------------------------------------
+    def execute_inverse(self, spectrum: np.ndarray) -> np.ndarray:
+        """Real inverse transform of a packed ``n//2 + 1``-bin spectrum."""
+
+        spectrum = np.asarray(spectrum, dtype=np.complex128)
+        if spectrum.ndim == 0:
+            raise ValueError("input must have at least one dimension")
+        if spectrum.shape[-1] != self.bins:
+            raise ValueError(
+                f"spectrum has {spectrum.shape[-1]} bins, expected {self.bins} for n={self.n}"
+            )
+        if self.n == 1:
+            return np.real(spectrum).astype(np.float64)
+        if self.half == 0:
+            # Odd length: rebuild the Hermitian spectrum, run the compiled
+            # complex inverse (conjugation identity), strip the imaginary
+            # rounding noise.
+            negative = np.conj(spectrum[..., -1:0:-1])
+            full = np.concatenate([spectrum, negative], axis=-1)
+            time_domain = np.conj(self.program.execute(np.conj(full))) / self.n
+            return np.real(time_domain)
+        h = self.half
+        # Z[k] = conj(A_k) X[k] + conj(B_k) conj(X[h-k]), k = 0..h-1; the
+        # reflected operand X[h], X[h-1], ..., X[1] is a reversed-slice view.
+        z = np.empty(spectrum.shape[:-1] + (h,), dtype=np.complex128)
+        np.multiply(spectrum[..., :h], np.conj(self._a[:h]), out=z)
+        z += np.conj(self._b[:h]) * np.conj(spectrum[..., h:0:-1])
+        time_half = np.conj(self.program.execute(np.conj(z)))
+        time_half /= h
+        # The complex128 layout of the half-length signal IS the interleaved
+        # (even, odd) float64 sample sequence: unpacking is a zero-copy view.
+        if time_half.strides[-1] != time_half.itemsize:
+            time_half = np.ascontiguousarray(time_half)
+        return time_half.view(np.float64)
+
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        """One-line program listing (half-length program plus repack pass)."""
+
+        if self.n == 1:
+            return "RealStageProgram(n=1, trivial)"
+        if self.half == 0:
+            return f"RealStageProgram(n={self.n}, odd -> {self.program.describe()})"
+        return f"RealStageProgram(n={self.n}, packed -> {self.program.describe()})"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return self.describe()
+
+
 # ----------------------------------------------------------------------
 # thread-local ping-pong work buffers
 # ----------------------------------------------------------------------
@@ -305,24 +446,24 @@ class ProgramCacheInfo(NamedTuple):
 _DEFAULT_PROGRAM_CACHE_LIMIT = 128
 
 _cache_lock = threading.RLock()
-_programs: "OrderedDict[int, StageProgram]" = OrderedDict()
+#: keyed by ``n`` (complex programs) or ``("real", n)`` (real programs)
+_programs: "OrderedDict[object, object]" = OrderedDict()
 _cache_limit = _DEFAULT_PROGRAM_CACHE_LIMIT
 _hits = 0
 _misses = 0
 
 
-def get_program(n: int) -> StageProgram:
-    """The (cached) compiled stage program for an ``n``-point transform."""
+def _cached_program(key, factory):
+    """Fetch ``key`` from the shared program LRU, compiling via ``factory``."""
 
     global _hits, _misses
-    key = int(n)
     with _cache_lock:
         cached = _programs.get(key)
         if cached is not None:
             _hits += 1
             _programs.move_to_end(key)
             return cached
-    created = StageProgram(key)  # compile outside the lock
+    created = factory()  # compile outside the lock
     with _cache_lock:
         existing = _programs.get(key)
         if existing is not None:
@@ -334,6 +475,24 @@ def get_program(n: int) -> StageProgram:
         while len(_programs) > _cache_limit:
             _programs.popitem(last=False)
         return created
+
+
+def get_program(n: int) -> StageProgram:
+    """The (cached) compiled stage program for an ``n``-point transform."""
+
+    n = int(n)
+    return _cached_program(n, lambda: StageProgram(n))
+
+
+def get_real_program(n: int) -> RealStageProgram:
+    """The (cached) compiled real-to-complex program for ``n`` real samples.
+
+    Shares the complex program LRU (keys are tagged), so a real program and
+    the half-length complex program it wraps count as two entries.
+    """
+
+    n = int(n)
+    return _cached_program(("real", n), lambda: RealStageProgram(n))
 
 
 def program_cache_info() -> ProgramCacheInfo:
@@ -378,6 +537,32 @@ def ifft(x: np.ndarray) -> np.ndarray:
     x = np.asarray(x, dtype=np.complex128)
     n = x.shape[-1]
     return np.conj(fft(np.conj(x))) / n
+
+
+def rfft(x: np.ndarray) -> np.ndarray:
+    """Packed real-to-complex DFT along the last axis (compiled, batched)."""
+
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim == 0:
+        raise ValueError("input must have at least one dimension")
+    if x.shape[-1] == 0:
+        raise ValueError("transform length must be positive")
+    return get_real_program(x.shape[-1]).execute(x)
+
+
+def irfft(spectrum: np.ndarray, n: Optional[int] = None) -> np.ndarray:
+    """Real inverse of :func:`rfft` along the last axis (compiled, batched).
+
+    ``n`` defaults to ``2 * (bins - 1)``, the even-length case; pass it
+    explicitly to recover an odd-length signal.
+    """
+
+    spectrum = np.asarray(spectrum, dtype=np.complex128)
+    if spectrum.ndim == 0:
+        raise ValueError("input must have at least one dimension")
+    if n is None:
+        n = 2 * (spectrum.shape[-1] - 1)
+    return get_real_program(n).execute_inverse(spectrum)
 
 
 def fft_along_axis(x: np.ndarray, axis: int) -> np.ndarray:

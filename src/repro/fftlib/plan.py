@@ -77,6 +77,12 @@ class Plan:
         Registry name of the sub-FFT kernel (see
         :mod:`repro.fftlib.backends`).  ``None`` resolves to the process-wide
         default at execution time.
+    real:
+        Real-input mode: the forward plan maps ``n`` real samples to the
+        packed ``n//2 + 1`` half-complex spectrum, the backward plan maps
+        the packed spectrum back to ``n`` real samples.  Lowered to a
+        :class:`~repro.fftlib.executor.RealStageProgram` on the ``fftlib``
+        backend (roughly half the flops/bytes of the complex plan).
     """
 
     n: int
@@ -84,6 +90,7 @@ class Plan:
     strategy: PlanStrategy = PlanStrategy.MIXED_RADIX
     flops: float = field(default=0.0, compare=False)
     backend: Optional[str] = None
+    real: bool = False
     #: compiled stage program (``fftlib`` backend only); built at plan time
     #: so ``execute`` pays no factorization/twiddle setup.
     program: Optional[object] = field(default=None, compare=False, repr=False)
@@ -91,24 +98,36 @@ class Plan:
     def __post_init__(self) -> None:
         ensure_positive_int(self.n, name="n")
         if self.flops == 0.0:
-            object.__setattr__(self, "flops", estimate_flops(self.n))
+            # Conjugate-even packing does the work of a half-length complex
+            # transform plus an O(n) repack.
+            flops = estimate_flops(self.n)
+            object.__setattr__(self, "flops", 0.5 * flops if self.real else flops)
         # Compile (or fetch the cached) stage program at plan time - the
         # FFTW split: all factorization, twiddle-table, and butterfly-matrix
         # work happens here, never inside execute().  Other backends own
         # their tables, so only the internal engine lowers a program.
         if self.program is None and resolve_backend_name(self.backend) == "fftlib":
-            from repro.fftlib.executor import get_program
+            from repro.fftlib.executor import get_program, get_real_program
 
-            object.__setattr__(self, "program", get_program(self.n))
+            lowered = get_real_program(self.n) if self.real else get_program(self.n)
+            object.__setattr__(self, "program", lowered)
 
     # ------------------------------------------------------------------
     @property
     def is_forward(self) -> bool:
         return self.direction is PlanDirection.FORWARD
 
+    @property
+    def bins(self) -> int:
+        """Number of packed half-complex bins (``n//2 + 1``; real plans)."""
+
+        return self.n // 2 + 1
+
     def execute(self, x: np.ndarray) -> np.ndarray:
         """Apply the plan to the last axis of ``x`` and return a new array."""
 
+        if self.real:
+            return self._execute_real(x)
         x = np.asarray(x, dtype=np.complex128)
         if x.shape[-1] != self.n:
             raise ValueError(
@@ -128,6 +147,29 @@ class Plan:
             return kernel.fft(x, axis=-1)
         return kernel.ifft(x, axis=-1)
 
+    def _execute_real(self, x: np.ndarray) -> np.ndarray:
+        """Real-mode execution: float input -> packed spectrum (or back)."""
+
+        program = self.program if self.backend is not None else None
+        if self.is_forward:
+            x = np.asarray(x, dtype=np.float64)
+            if x.shape[-1] != self.n:
+                raise ValueError(
+                    f"real plan of size {self.n} applied to array with last axis {x.shape[-1]}"
+                )
+            if program is not None:
+                return program.execute(x)
+            return get_backend(self.backend).rfft(x, axis=-1)
+        spectrum = np.asarray(x, dtype=np.complex128)
+        if spectrum.shape[-1] != self.bins:
+            raise ValueError(
+                f"real plan of size {self.n} expects {self.bins} packed bins, "
+                f"got last axis {spectrum.shape[-1]}"
+            )
+        if program is not None:
+            return program.execute_inverse(spectrum)
+        return get_backend(self.backend).irfft(spectrum, n=self.n, axis=-1)
+
     def execute_batch(self, x: np.ndarray, axis: int = -1) -> np.ndarray:
         """Apply the plan along an arbitrary axis (batched over the rest).
 
@@ -136,7 +178,11 @@ class Plan:
         view actually requires it.
         """
 
-        x = np.asarray(x, dtype=np.complex128)
+        x = np.asarray(x)
+        if not (self.real and self.is_forward):
+            # Forward real plans keep their float64 input; everything else
+            # runs in complex128.
+            x = np.asarray(x, dtype=np.complex128)
         moved = np.moveaxis(x, axis, -1)
         return np.moveaxis(self.execute(moved), -1, axis)
 
@@ -146,15 +192,16 @@ class Plan:
         direction = (
             PlanDirection.BACKWARD if self.is_forward else PlanDirection.FORWARD
         )
-        return Plan(self.n, direction, self.strategy, self.flops, self.backend)
+        return Plan(self.n, direction, self.strategy, self.flops, self.backend, self.real)
 
     def describe(self) -> str:
         """Human-readable one-line description (mirrors ``fftw_print_plan``)."""
 
         factors = "x".join(str(f) for f in factorization.radix_schedule(self.n))
         backend = self.backend or "fftlib"
+        kind = "real, " if self.real else ""
         return (
-            f"Plan(n={self.n}, dir={self.direction.value}, "
+            f"Plan(n={self.n}, {kind}dir={self.direction.value}, "
             f"strategy={self.strategy.value}, backend={backend}, "
             f"radices={factors}, ~{self.flops:.0f} flops)"
         )

@@ -27,7 +27,7 @@ import numpy as np
 from repro.fftlib import factorization
 from repro.fftlib.backends import resolve_backend_name
 from repro.fftlib.codelets import has_codelet
-from repro.fftlib.plan import Plan, PlanDirection, PlanStrategy, estimate_flops
+from repro.fftlib.plan import Plan, PlanDirection, PlanStrategy
 
 __all__ = ["PlannerPolicy", "Planner", "plan_fft", "get_default_planner"]
 
@@ -52,6 +52,16 @@ def _heuristic_strategy(n: int) -> PlanStrategy:
     return PlanStrategy.MIXED_RADIX
 
 
+def _strategy_is_valid(strategy: PlanStrategy, n: int) -> bool:
+    """Whether a (possibly imported) strategy is correct/sane for size ``n``."""
+
+    if strategy is PlanStrategy.CODELET:
+        return has_codelet(n)
+    if strategy is PlanStrategy.DIRECT:
+        return n <= 2048
+    return True
+
+
 @dataclass
 class Planner:
     """Creates and caches :class:`Plan` objects.
@@ -62,11 +72,11 @@ class Planner:
         Planning effort (estimate vs. measure).
     wisdom:
         Cache of previously created plans keyed by
-        ``(n, direction, backend)``.
+        ``(n, direction, backend, real)``.
     """
 
     policy: PlannerPolicy = PlannerPolicy.ESTIMATE
-    wisdom: Dict[Tuple[int, PlanDirection, str], Plan] = field(default_factory=dict)
+    wisdom: Dict[Tuple[int, PlanDirection, str, bool], Plan] = field(default_factory=dict)
     measurements: Dict[int, Dict[str, float]] = field(default_factory=dict)
 
     def plan(
@@ -74,27 +84,54 @@ class Planner:
         n: int,
         direction: PlanDirection = PlanDirection.FORWARD,
         backend: Optional[str] = None,
+        real: bool = False,
     ) -> Plan:
         """Return a (cached) plan for an ``n``-point transform.
 
         ``backend`` selects the sub-FFT kernel (see
         :mod:`repro.fftlib.backends`); plans are cached per backend so a
-        process can mix kernels freely.
+        process can mix kernels freely.  ``real`` requests the packed
+        real-input transform (``n`` real samples <-> ``n//2 + 1`` bins).
         """
 
         backend_name = resolve_backend_name(backend)
-        key = (int(n), direction, backend_name)
+        real = bool(real)
+        key = (int(n), direction, backend_name, real)
         cached = self.wisdom.get(key)
         if cached is not None:
             return cached
 
-        if self.policy is PlannerPolicy.MEASURE and n >= 32 and backend_name == "fftlib":
-            strategy = self._measure_strategy(int(n))
+        if (
+            self.policy is PlannerPolicy.MEASURE
+            and n >= 32
+            and backend_name == "fftlib"
+            and not real
+        ):
+            strategy = self._best_measured_strategy(int(n))
         else:
             strategy = _heuristic_strategy(int(n))
-        plan = Plan(int(n), direction, strategy, estimate_flops(int(n)), backend_name)
+        plan = Plan(int(n), direction, strategy, 0.0, backend_name, real)
         self.wisdom[key] = plan
         return plan
+
+    # ------------------------------------------------------------------
+    def _best_measured_strategy(self, n: int) -> PlanStrategy:
+        """Best strategy for ``n`` from stored timings, measuring if absent.
+
+        Timings imported through :meth:`import_wisdom` count, so a MEASURE
+        planner seeded with another process's wisdom never re-times a size.
+        """
+
+        timings = self.measurements.get(n)
+        if timings:
+            best = min(timings, key=timings.get)
+            try:
+                strategy = PlanStrategy(best)
+            except ValueError:
+                strategy = None
+            if strategy is not None and _strategy_is_valid(strategy, n):
+                return strategy
+        return self._measure_strategy(n)
 
     # ------------------------------------------------------------------
     def _measure_strategy(self, n: int) -> PlanStrategy:
@@ -136,17 +173,19 @@ class Planner:
         return best_strategy
 
     # ------------------------------------------------------------------
-    def lower(self, n: int):
+    def lower(self, n: int, real: bool = False):
         """The compiled :class:`~repro.fftlib.executor.StageProgram` for ``n``.
 
+        ``real=True`` lowers the packed real-input transform
+        (:class:`~repro.fftlib.executor.RealStageProgram`) instead.
         Lowering is memoized process-wide (programs are immutable and
         backend-independent), so this is cheap after the first call per
         size; plans created by :meth:`plan` reference the same object.
         """
 
-        from repro.fftlib.executor import get_program
+        from repro.fftlib.executor import get_program, get_real_program
 
-        return get_program(int(n))
+        return get_real_program(int(n)) if real else get_program(int(n))
 
     # ------------------------------------------------------------------
     def forget(self) -> None:
@@ -155,29 +194,55 @@ class Planner:
         self.wisdom.clear()
         self.measurements.clear()
 
-    def export_wisdom(self) -> Dict[str, str]:
-        """Serialise wisdom as ``{"n:direction:backend": strategy}``."""
+    def export_wisdom(self) -> Dict[str, object]:
+        """Serialise wisdom as ``{"n:direction:backend[:real]": strategy}``.
 
-        return {
-            f"{n}:{direction.value}:{backend}": plan.strategy.value
-            for (n, direction, backend), plan in self.wisdom.items()
-        }
-
-    def import_wisdom(self, data: Dict[str, str]) -> None:
-        """Re-create plans from :meth:`export_wisdom` output.
-
-        The pre-backend two-field format (``"n:direction"``) is still
-        accepted and mapped to the default backend.
+        Measured strategy timings and the compiled program descriptions ride
+        along under the reserved ``"__measurements__"`` / ``"__programs__"``
+        keys, so a MEASURE planner seeded from this dict never re-times a
+        size it has already seen - the whole mapping stays JSON-serialisable.
         """
 
+        data: Dict[str, object] = {}
+        programs: Dict[str, str] = {}
+        for (n, direction, backend, real), plan in self.wisdom.items():
+            key = f"{n}:{direction.value}:{backend}" + (":real" if real else "")
+            data[key] = plan.strategy.value
+            if plan.program is not None:
+                programs[key] = plan.program.describe()
+        if self.measurements:
+            data["__measurements__"] = {
+                str(n): dict(timings) for n, timings in self.measurements.items()
+            }
+        if programs:
+            data["__programs__"] = programs
+        return data
+
+    def import_wisdom(self, data: Dict[str, object]) -> None:
+        """Re-create plans from :meth:`export_wisdom` output.
+
+        Older formats are still accepted: the pre-backend two-field keys
+        (``"n:direction"``) map to the default backend, three-field keys to
+        ``real=False``, and dicts without the reserved timing/program
+        entries simply import no measurements.  Importing re-lowers the
+        stage programs, so the compiled-program cache is warm as well.
+        """
+
+        for n, timings in dict(data.get("__measurements__", {})).items():
+            self.measurements[int(n)] = {
+                str(name): float(t) for name, t in dict(timings).items()
+            }
         for key, strategy_name in data.items():
+            if key.startswith("__"):
+                continue
             parts = key.split(":")
             n = int(parts[0])
             direction = PlanDirection(parts[1])
             backend = resolve_backend_name(parts[2] if len(parts) > 2 else None)
+            real = "real" in parts[3:]
             strategy = PlanStrategy(strategy_name)
-            self.wisdom[(n, direction, backend)] = Plan(
-                n, direction, strategy, backend=backend
+            self.wisdom[(n, direction, backend, real)] = Plan(
+                n, direction, strategy, backend=backend, real=real
             )
 
 
@@ -194,7 +259,8 @@ def plan_fft(
     n: int,
     direction: PlanDirection = PlanDirection.FORWARD,
     backend: Optional[str] = None,
+    real: bool = False,
 ) -> Plan:
     """Convenience wrapper around the default planner."""
 
-    return _DEFAULT_PLANNER.plan(n, direction, backend)
+    return _DEFAULT_PLANNER.plan(n, direction, backend, real)

@@ -1,18 +1,25 @@
-"""Real-input transforms built on the complex engine.
+"""Real-input transforms on the compiled execution path.
 
 The paper's schemes operate on complex transforms, but FFTW (and any library
-worth adopting) also provides real-to-complex transforms.  For even lengths
-the classic packing trick is used: the ``n`` real samples are viewed as
-``n/2`` complex samples, transformed with a half-length complex FFT and then
-disentangled with a single post-processing pass.  Odd lengths fall back to
-the complex engine.
+worth adopting) also provides real-to-complex transforms.  Both directions
+route through the compiled :class:`~repro.fftlib.executor.RealStageProgram`:
+even lengths run the classic packing trick (the ``n`` real samples viewed as
+``n/2`` complex samples, one half-length compiled complex program, one
+vectorized disentangle pass), odd lengths run the full-length compiled
+complex program and keep the non-redundant bins.  Either way the program is
+fetched from the shared LRU, so repeated calls pay no planning cost - the
+seed's odd-length fallback re-entered the recursive engine on every call.
+
+This module keeps the original one-dimensional convenience API; batched
+callers should use :func:`repro.fftlib.executor.rfft` (arbitrary leading
+axes) or a real :class:`~repro.fftlib.plan.Plan`.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.fftlib.mixed_radix import fft as _fft, ifft as _ifft
+from repro.fftlib.executor import get_real_program
 from repro.utils.validation import ensure_positive_int
 
 __all__ = ["rfft", "irfft"]
@@ -29,25 +36,7 @@ def rfft(x: np.ndarray) -> np.ndarray:
     if x.ndim != 1:
         raise ValueError("rfft expects a one-dimensional real array")
     n = ensure_positive_int(x.size, name="len(x)")
-    if n == 1:
-        return x.astype(np.complex128)
-    if n % 2 != 0:
-        # Odd lengths: no packing trick; use the complex engine directly.
-        full = _fft(x.astype(np.complex128))
-        return full[: n // 2 + 1]
-
-    half = n // 2
-    packed = x[0::2] + 1j * x[1::2]
-    z = _fft(packed)
-
-    # Disentangle: split Z into the transforms of the even and odd samples.
-    k = np.arange(half + 1)
-    z_ext = np.concatenate([z, z[:1]])  # Z[half] = Z[0] by periodicity
-    z_conj = np.conj(z_ext[::-1])  # Z*[half - k]
-    even = 0.5 * (z_ext + z_conj)
-    odd = -0.5j * (z_ext - z_conj)
-    twiddle = np.exp(-2j * np.pi * k / n)
-    return even + twiddle * odd
+    return get_real_program(n).execute(x)
 
 
 def irfft(spectrum: np.ndarray, n: int | None = None) -> np.ndarray:
@@ -67,13 +56,4 @@ def irfft(spectrum: np.ndarray, n: int | None = None) -> np.ndarray:
         raise ValueError(
             f"spectrum has {spectrum.size} bins, expected {expected_bins} for n={n}"
         )
-
-    # Rebuild the full Hermitian spectrum and run the complex inverse; the
-    # result is real up to rounding, which we strip explicitly.
-    if n % 2 == 0:
-        negative = np.conj(spectrum[-2:0:-1])
-    else:
-        negative = np.conj(spectrum[-1:0:-1])
-    full = np.concatenate([spectrum, negative])
-    time_domain = _ifft(full)
-    return np.real(time_domain)
+    return get_real_program(n).execute_inverse(spectrum)

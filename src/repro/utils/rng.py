@@ -98,6 +98,30 @@ class RandomSource:
             x += noise * self.normal_complex(n)
         return x
 
+    # ------------------------------------------------------------------
+    # real-valued counterparts (rfft workloads: sensor/audio-style data)
+    # ------------------------------------------------------------------
+    def uniform_real(self, n: int, low: float = -1.0, high: float = 1.0) -> np.ndarray:
+        """Real vector with i.i.d. U(low, high) samples."""
+
+        return self._rng.uniform(low, high, size=n)
+
+    def normal_real(self, n: int, scale: float = 1.0) -> np.ndarray:
+        """Real vector with i.i.d. N(0, scale^2) samples."""
+
+        return self._rng.normal(0.0, scale, size=n)
+
+    def real_signal_with_tones(self, n: int, tones: Sequence[float], noise: float = 0.0) -> np.ndarray:
+        """A real sum-of-cosines test signal (rfft demos)."""
+
+        t = np.arange(n)
+        x = np.zeros(n, dtype=np.float64)
+        for freq in tones:
+            x += np.cos(2.0 * np.pi * freq * t / n)
+        if noise > 0.0:
+            x += noise * self.normal_real(n)
+        return x
+
     def integers(self, low: int, high: int, size=None):
         return self._rng.integers(low, high, size=size)
 

@@ -1,0 +1,177 @@
+"""Real-input FTPlans: packed-layout protection, fault recovery, wisdom keys."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.config import FTConfig
+from repro.faults.injector import FaultInjector
+from repro.faults.models import FaultKind, FaultSite, FaultSpec
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+def bitflip(site, element, bit=55, **kwargs):
+    return FaultInjector(
+        specs=[FaultSpec(site=site, element=element, kind=FaultKind.BIT_FLIP, bit=bit, **kwargs)]
+    )
+
+
+class TestRealConfig:
+    def test_name_round_trip(self):
+        config = FTConfig.from_name("opt-online+mem+real")
+        assert config.real
+        assert config.to_name() == "opt-online+mem+real"
+        assert not FTConfig.from_name("opt-online+mem").real
+
+    def test_real_flag_in_cache_key(self):
+        complex_plan = repro.plan(128, "opt-online+mem")
+        real_plan = repro.plan(128, "opt-online+mem", real=True)
+        assert complex_plan is not real_plan
+        assert repro.plan(128, "opt-online+mem", real=True) is real_plan
+
+    def test_schemes_built_real_return_packed(self, rng):
+        x = rng.standard_normal(64)
+        for name in ("fftw", "opt-offline+mem", "online", "opt-online+mem"):
+            scheme = FTConfig.from_name(name, real=True).build(64)
+            result = scheme.execute(x)
+            assert result.output.shape == (33,)
+            assert np.allclose(result.output, np.fft.rfft(x), atol=1e-9), name
+
+
+class TestRealExecution:
+    @pytest.mark.parametrize("n", [64, 96, 250, 81, 255])  # even, odd
+    @pytest.mark.parametrize("name", ["opt-online+mem", "opt-offline+mem", "fftw"])
+    def test_matches_numpy_rfft(self, n, name, rng):
+        plan = repro.plan(n, name, real=True)
+        x = rng.standard_normal(n)
+        result = plan.execute(x)
+        assert result.output.shape == (n // 2 + 1,)
+        assert np.allclose(result.output, np.fft.rfft(x), atol=1e-10)
+        assert not result.report.detected
+
+    @pytest.mark.parametrize("n", [64, 81])
+    def test_batched_matches_numpy_rfft(self, n, rng):
+        plan = repro.plan(n, real=True)
+        X = rng.standard_normal((7, n))
+        batch = plan.execute_many(X)
+        assert batch.output.shape == (7, n // 2 + 1)
+        assert np.allclose(batch.output, np.fft.rfft(X, axis=-1), atol=1e-10)
+        # arbitrary axis
+        batch = plan.execute_many(X.T, axis=0)
+        assert batch.output.shape == (n // 2 + 1, 7)
+        assert np.allclose(batch.output, np.fft.rfft(X, axis=-1).T, atol=1e-10)
+
+    def test_inverse_round_trip(self, rng):
+        plan = repro.plan(128, real=True)
+        x = rng.standard_normal(128)
+        spectrum = plan.execute(x).output
+        back = plan.inverse(spectrum)
+        assert np.isrealobj(back.output)
+        assert np.allclose(back.output, x, atol=1e-9)
+
+    def test_rejects_complex_input(self, rng):
+        plan = repro.plan(64, real=True)
+        with pytest.raises(ValueError):
+            plan.execute(rng.standard_normal(64) + 1j)
+
+    def test_complex64_dtype_halves_precision(self, rng):
+        plan = repro.plan(64, real=True, dtype="complex64")
+        x = rng.standard_normal(64)
+        assert plan.execute(x).output.dtype == np.complex64
+        assert plan.inverse(np.fft.rfft(x)).output.dtype == np.float32
+
+
+class TestRealFaultRecovery:
+    @pytest.mark.parametrize("bit", [50, 55, 62])
+    def test_packed_output_bitflip_corrected_scalar(self, bit, rng):
+        n = 256
+        plan = repro.plan(n, real=True)
+        x = rng.standard_normal(n)
+        injector = bitflip(FaultSite.OUTPUT, element=9, bit=bit)
+        result = plan.execute(x, injector)
+        assert injector.fired_count == 1
+        assert result.output.shape == (n // 2 + 1,)
+        assert np.allclose(result.output, np.fft.rfft(x), atol=1e-8)
+        assert result.report.detected and result.report.corrected
+
+    def test_interior_fault_corrected_through_online_machinery(self, rng):
+        n = 256
+        plan = repro.plan(n, real=True)
+        x = rng.standard_normal(n)
+        injector = FaultInjector(
+            specs=[
+                FaultSpec(
+                    site=FaultSite.STAGE1_COMPUTE,
+                    index=3,
+                    element=2,
+                    kind=FaultKind.ADD_CONSTANT,
+                    magnitude=25.0,
+                )
+            ]
+        )
+        result = plan.execute(x, injector)
+        assert injector.fired_count == 1
+        assert np.allclose(result.output, np.fft.rfft(x), atol=1e-8)
+        assert result.report.corrected
+
+    def test_batched_input_bitflip_recovered(self, rng):
+        n = 128
+        plan = repro.plan(n, real=True)
+        X = rng.standard_normal((6, n))
+        injector = bitflip(FaultSite.INPUT, element=n + 5)  # row 1, element 5
+        batch = plan.execute_many(X, injector=injector)
+        assert injector.fired_count == 1
+        assert np.allclose(batch.output, np.fft.rfft(X, axis=-1), atol=1e-8)
+        assert batch.detected and len(batch.fallback_rows) >= 1
+
+    def test_batched_packed_output_fault_recovered(self, rng):
+        n = 128
+        plan = repro.plan(n, real=True)
+        X = rng.standard_normal((4, n))
+        injector = FaultInjector(
+            specs=[
+                FaultSpec(
+                    site=FaultSite.OUTPUT,
+                    element=40,
+                    kind=FaultKind.SET_CONSTANT,
+                    magnitude=77.0,
+                )
+            ]
+        )
+        batch = plan.execute_many(X, injector=injector)
+        assert injector.fired_count == 1
+        assert np.allclose(batch.output, np.fft.rfft(X, axis=-1), atol=1e-8)
+
+    def test_inverse_packed_input_fault_corrected(self, rng):
+        n = 128
+        plan = repro.plan(n, real=True)
+        x = rng.standard_normal(n)
+        spectrum = np.fft.rfft(x)
+        injector = bitflip(FaultSite.INPUT, element=11, bit=56)
+        result = plan.inverse(spectrum, injector)
+        assert injector.fired_count == 1
+        assert np.allclose(result.output, x, atol=1e-8)
+        assert result.report.corrected
+
+    def test_offline_real_output_fault_restarts(self, rng):
+        n = 128
+        plan = repro.plan(n, "opt-offline+mem", real=True)
+        x = rng.standard_normal(n)
+        injector = FaultInjector(
+            specs=[
+                FaultSpec(
+                    site=FaultSite.OUTPUT,
+                    element=3,
+                    kind=FaultKind.ADD_CONSTANT,
+                    magnitude=40.0,
+                )
+            ]
+        )
+        result = plan.execute(x, injector)
+        assert injector.fired_count == 1
+        assert np.allclose(result.output, np.fft.rfft(x), atol=1e-8)
+        assert result.report.corrected

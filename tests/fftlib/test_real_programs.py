@@ -1,0 +1,181 @@
+"""Compiled real-input programs, real plans, backends, and wisdom persistence."""
+
+import numpy as np
+import pytest
+
+from repro.fftlib import executor
+from repro.fftlib.backends import FFTBackend, get_backend
+from repro.fftlib.executor import get_program, get_real_program, rfft as exec_rfft
+from repro.fftlib.plan import PlanDirection, PlanStrategy
+from repro.fftlib.planner import Planner, PlannerPolicy, plan_fft
+from repro.fftlib.real import irfft, rfft
+
+EVEN_SIZES = [2, 4, 16, 48, 250, 1024]
+ODD_SIZES = [3, 9, 15, 27, 81, 255]
+PRIME_SIZES = [17, 31, 97, 211]
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(20170712)
+
+
+class TestRealStageProgram:
+    @pytest.mark.parametrize("n", EVEN_SIZES + ODD_SIZES + PRIME_SIZES + [1])
+    def test_rfft_matches_numpy(self, n, rng):
+        x = rng.standard_normal(n)
+        assert np.allclose(rfft(x), np.fft.rfft(x), atol=1e-10)
+
+    @pytest.mark.parametrize("n", EVEN_SIZES + ODD_SIZES + PRIME_SIZES + [1])
+    def test_round_trip(self, n, rng):
+        x = rng.standard_normal(n)
+        assert np.allclose(irfft(rfft(x), n), x, atol=1e-10)
+
+    @pytest.mark.parametrize("n", [16, 27, 97, 250])
+    def test_batched_leading_axes(self, n, rng):
+        X = rng.standard_normal((3, 5, n))
+        program = get_real_program(n)
+        assert np.allclose(program.execute(X), np.fft.rfft(X, axis=-1), atol=1e-10)
+        assert np.allclose(program.execute_inverse(program.execute(X)), X, atol=1e-10)
+
+    def test_non_contiguous_input(self, rng):
+        Y = rng.standard_normal((64, 4)).T  # last axis strided
+        assert np.allclose(get_real_program(64).execute(Y), np.fft.rfft(Y, axis=-1), atol=1e-10)
+
+    def test_even_length_uses_half_program(self):
+        program = get_real_program(256)
+        assert program.half == 128
+        assert program.program is get_program(128)
+        assert "packed" in program.describe()
+
+    def test_odd_length_routes_through_compiled_program(self):
+        # The seed's odd fallback re-entered the recursive engine; the
+        # compiled path must reference the cached full-length program.
+        program = get_real_program(81)
+        assert program.half == 0
+        assert program.program is get_program(81)
+        assert "odd" in program.describe()
+
+    def test_shared_lru_with_complex_programs(self):
+        executor.clear_program_cache()
+        get_real_program(48)
+        info = executor.program_cache_info()
+        # one real program + the half-length complex program it wraps
+        assert info.size == 2
+        assert get_real_program(48) is get_real_program(48)
+        assert executor.program_cache_info().hits >= 1
+
+    def test_wrong_length_raises(self):
+        with pytest.raises(ValueError):
+            get_real_program(16).execute(np.zeros(15))
+        with pytest.raises(ValueError):
+            get_real_program(16).execute_inverse(np.zeros(5, dtype=complex))
+
+    def test_module_level_batched_rfft(self, rng):
+        X = rng.standard_normal((4, 30))
+        assert np.allclose(exec_rfft(X), np.fft.rfft(X, axis=-1), atol=1e-10)
+
+
+class TestRealPlans:
+    @pytest.mark.parametrize("n", [48, 81, 256])
+    def test_forward_and_inverse_plan(self, n, rng):
+        x = rng.standard_normal(n)
+        plan = plan_fft(n, real=True)
+        assert plan.real and plan.bins == n // 2 + 1
+        assert np.allclose(plan.execute(x), np.fft.rfft(x), atol=1e-10)
+        inverse = plan.inverse_plan()
+        assert inverse.real
+        assert np.allclose(inverse.execute(plan.execute(x)), x, atol=1e-10)
+
+    def test_real_plans_cached_separately(self):
+        planner = Planner()
+        assert planner.plan(64) is not planner.plan(64, real=True)
+        assert planner.plan(64, real=True) is planner.plan(64, real=True)
+
+    def test_shape_validation(self, rng):
+        plan = plan_fft(32, real=True)
+        with pytest.raises(ValueError):
+            plan.execute(rng.standard_normal(31))
+        with pytest.raises(ValueError):
+            plan.inverse_plan().execute(np.zeros(32, dtype=complex))
+
+
+class TestBackendRealTransforms:
+    @pytest.mark.parametrize("name", ["fftlib", "numpy"])
+    @pytest.mark.parametrize("n", [30, 33])
+    def test_builtin_backends(self, name, n, rng):
+        backend = get_backend(name)
+        X = rng.standard_normal((4, n))
+        assert np.allclose(backend.rfft(X, axis=-1), np.fft.rfft(X, axis=-1), atol=1e-10)
+        assert np.allclose(backend.irfft(backend.rfft(X, axis=-1), n=n, axis=-1), X, atol=1e-10)
+        # arbitrary axis
+        assert np.allclose(backend.rfft(X, axis=0), np.fft.rfft(X, axis=0), atol=1e-10)
+
+    def test_base_class_fallback_covers_third_party_backends(self, rng):
+        class Fallback(FFTBackend):
+            name = "fallback-test"
+
+            def fft(self, x, axis=-1):
+                return np.fft.fft(x, axis=axis)
+
+            def ifft(self, x, axis=-1):
+                return np.fft.ifft(x, axis=axis)
+
+        backend = Fallback()
+        for n in (8, 9):
+            x = rng.standard_normal((2, n))
+            assert np.allclose(backend.rfft(x), np.fft.rfft(x), atol=1e-10)
+            assert np.allclose(backend.irfft(backend.rfft(x), n=n), x, atol=1e-10)
+
+
+class TestWisdomPersistence:
+    def test_export_includes_measurements_and_programs(self):
+        planner = Planner(policy=PlannerPolicy.MEASURE)
+        planner.plan(64)
+        planner.plan(48, real=True)
+        data = planner.export_wisdom()
+        assert "64:forward:fftlib" in data
+        assert "48:forward:fftlib:real" in data
+        assert "64" in data["__measurements__"]
+        assert "RealStageProgram" in data["__programs__"]["48:forward:fftlib:real"]
+        # JSON-serialisable end to end
+        import json
+
+        json.dumps(data)
+
+    def test_import_round_trip_restores_real_plans_and_timings(self):
+        planner = Planner(policy=PlannerPolicy.MEASURE)
+        planner.plan(64)
+        planner.plan(48, real=True)
+        other = Planner(policy=PlannerPolicy.MEASURE)
+        other.import_wisdom(planner.export_wisdom())
+        assert 64 in other.measurements
+        restored = other.plan(48, real=True)
+        assert restored.real
+        assert restored.strategy is planner.plan(48, real=True).strategy
+
+    def test_measure_policy_reuses_imported_timings(self):
+        # Imported timings decide the strategy without re-timing: a fake
+        # measurement naming bluestein as fastest must win over the
+        # mixed-radix heuristic for a composite size.
+        planner = Planner(policy=PlannerPolicy.MEASURE)
+        planner.import_wisdom(
+            {"__measurements__": {"64": {"bluestein": 1e-9, "mixed-radix": 1.0}}}
+        )
+        assert planner.plan(64).strategy is PlanStrategy.BLUESTEIN
+
+    def test_imported_invalid_strategy_falls_back(self):
+        # A codelet strategy for a size without a codelet must not be trusted.
+        planner = Planner(policy=PlannerPolicy.ESTIMATE)
+        planner.import_wisdom({"4096:forward:fftlib": "mixed-radix"})
+        assert planner.plan(4096).strategy is PlanStrategy.MIXED_RADIX
+
+    def test_legacy_flat_formats_still_accepted(self):
+        planner = Planner()
+        planner.import_wisdom({"16:forward": "mixed-radix"})
+        assert planner.plan(16).strategy.value == "mixed-radix"
+        planner.import_wisdom({"32:backward:numpy": "mixed-radix"})
+        assert (
+            planner.plan(32, PlanDirection.BACKWARD, "numpy").strategy.value
+            == "mixed-radix"
+        )
