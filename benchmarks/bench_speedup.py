@@ -13,6 +13,9 @@ drifts cannot bias the ratios):
 * ``protected`` - the full ``opt-online+mem`` ABFT transform through
   ``repro.plan(n, backend="fftlib")`` (what the paper's overhead figures
   are measured on top of);
+* ``threaded`` - the shared-memory six-step program
+  (``plan_fft(n, threads=T)``; ``T`` from ``REPRO_BENCH_THREADS``, default
+  the pool size) - chunked row/column FFT phases on the worker pool;
 * ``rfft_compiled`` - the compiled half-complex real-input path
   (``plan_fft(n, real=True)``: half-length complex program + one repack
   pass);
@@ -44,6 +47,7 @@ from _harness import env_int, env_int_list, interleaved_best, make_input, save_t
 import repro
 from repro.fftlib.mixed_radix import fft as recursive_fft
 from repro.fftlib.planner import plan_fft
+from repro.runtime import default_thread_count
 from repro.utils.reporting import Table
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -55,6 +59,7 @@ DEFAULT_SIZES = (65536, 262144, 1048576)
 def run() -> dict:
     sizes = env_int_list("REPRO_BENCH_SIZES", DEFAULT_SIZES)
     repeats = env_int("REPRO_BENCH_REPEATS", 7)
+    threads = env_int("REPRO_BENCH_THREADS", default_thread_count())
 
     table = Table(
         "FFT engine speedup (best-of interleaved timings)",
@@ -62,10 +67,12 @@ def run() -> dict:
             "n",
             "recursive [ms]",
             "compiled [ms]",
+            f"threaded x{threads} [ms]",
             "numpy [ms]",
             "protected [ms]",
             "rfft [ms]",
             "compiled speedup",
+            "threaded speedup",
             "protected vs compiled",
             "rfft speedup",
         ],
@@ -76,6 +83,7 @@ def run() -> dict:
         xr = np.real(x).copy()
         bins = int(n) // 2 + 1
         compiled_plan = plan_fft(int(n), backend="fftlib")
+        threaded_plan = plan_fft(int(n), backend="fftlib", threads=threads)
         numpy_plan = plan_fft(int(n), backend="numpy")
         protected_plan = repro.plan(int(n), backend="fftlib")
         real_plan = plan_fft(int(n), backend="fftlib", real=True)
@@ -83,6 +91,7 @@ def run() -> dict:
         candidates = {
             "recursive": lambda x=x: recursive_fft(x),
             "compiled": lambda x=x, p=compiled_plan: p.execute(x),
+            "threaded": lambda x=x, p=threaded_plan: p.execute(x),
             "numpy": lambda x=x, p=numpy_plan: p.execute(x),
             "protected": lambda x=x, p=protected_plan: p.execute(x),
             "rfft_compiled": lambda xr=xr, p=real_plan: p.execute(xr),
@@ -94,19 +103,22 @@ def run() -> dict:
             "rfft_numpy": lambda xr=xr, p=real_numpy_plan: p.execute(xr),
         }
         # inner=4: one cache re-warm call + three steady-state calls per
-        # sample (seven candidates share the cache round-robin).
+        # sample (eight candidates share the cache round-robin).
         best = interleaved_best(candidates, repeats=repeats, warmup=1, inner=4)
         speedup = best["recursive"] / best["compiled"]
+        threaded_speedup = best["compiled"] / best["threaded"]
         protected_ratio = best["protected"] / best["compiled"]
         real_speedup = best["rfft_complex_engine"] / best["rfft_compiled"]
         results.append(
             {
                 "n": int(n),
+                "threads": int(threads),
                 "seconds": {name: float(t) for name, t in best.items()},
                 "speedup_compiled_vs_recursive": float(speedup),
                 "speedup_numpy_vs_recursive": float(best["recursive"] / best["numpy"]),
                 "speedup_protected_vs_recursive": float(best["recursive"] / best["protected"]),
                 "protected_over_compiled_ratio": float(protected_ratio),
+                "speedup_threaded_vs_compiled": float(threaded_speedup),
                 "speedup_real_vs_complex_engine": float(real_speedup),
                 "speedup_real_vs_numpy_rfft": float(best["rfft_numpy"] / best["rfft_compiled"]),
             }
@@ -115,10 +127,12 @@ def run() -> dict:
             str(n),
             f"{best['recursive'] * 1e3:.3f}",
             f"{best['compiled'] * 1e3:.3f}",
+            f"{best['threaded'] * 1e3:.3f}",
             f"{best['numpy'] * 1e3:.3f}",
             f"{best['protected'] * 1e3:.3f}",
             f"{best['rfft_compiled'] * 1e3:.3f}",
             f"{speedup:.2f}x",
+            f"{threaded_speedup:.2f}x",
             f"{protected_ratio:.2f}x",
             f"{real_speedup:.2f}x",
         )
@@ -128,16 +142,19 @@ def run() -> dict:
         "description": (
             "plan(n, backend='fftlib').execute (compiled stage programs) vs the "
             "seed-style recursive mixed-radix engine, the numpy backend, and the "
-            "fully protected opt-online+mem plan; rfft_* columns compare the "
-            "compiled half-complex real path against the complex engine on the "
-            "same real input and numpy.fft.rfft"
+            "fully protected opt-online+mem plan; threaded column is the "
+            "shared-memory six-step program on REPRO_BENCH_THREADS workers; "
+            "rfft_* columns compare the compiled half-complex real path against "
+            "the complex engine on the same real input and numpy.fft.rfft"
         ),
         "machine": {
             "python": platform.python_version(),
             "numpy": np.__version__,
             "platform": platform.platform(),
+            "cores": default_thread_count(),
         },
         "repeats": repeats,
+        "threads": int(threads),
         "results": results,
     }
     JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
@@ -146,10 +163,13 @@ def run() -> dict:
     return payload
 
 
-def test_bench_speedup():
-    """Pytest entry point: the compiled paths must beat their baselines."""
+def check(payload: dict) -> None:
+    """Assert the compiled paths beat their baselines.
 
-    payload = run()
+    Enforced by both the pytest entry point and the ``__main__`` path CI's
+    bench smoke actually executes, so a regression fails the run either way.
+    """
+
     for row in payload["results"]:
         assert row["speedup_compiled_vs_recursive"] > 1.0, row
         # Below ~2^14 both engines are dispatch-bound and the half-complex
@@ -157,10 +177,23 @@ def test_bench_speedup():
         # ratio is meaningful.
         if row["n"] >= 16384:
             assert row["speedup_real_vs_complex_engine"] > 1.0, row
+        # The threaded six-step must beat the serial compiled program at the
+        # paper's 2^20 regime, but only where real parallelism exists: at
+        # least 4 cores and 2 pool workers (a 1-core CI container runs the
+        # chunks inline and can only measure the chunking overhead).
+        if row["n"] >= 2**20 and default_thread_count() >= 4 and row["threads"] >= 2:
+            assert row["speedup_threaded_vs_compiled"] > 1.0, row
+
+
+def test_bench_speedup():
+    """Pytest entry point: the compiled paths must beat their baselines."""
+
+    check(run())
 
 
 if __name__ == "__main__":
     payload = run()
+    check(payload)
     worst = min(r["speedup_compiled_vs_recursive"] for r in payload["results"])
     worst_real = min(r["speedup_real_vs_complex_engine"] for r in payload["results"])
     print(f"worst compiled-vs-recursive speedup: {worst:.2f}x")

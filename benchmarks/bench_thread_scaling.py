@@ -1,0 +1,132 @@
+"""Thread-scaling benchmark: the six-step runtime at 1/2/4/8 workers.
+
+Times, per size, the serial compiled :class:`StageProgram` against the
+shared-memory :class:`~repro.runtime.threaded.ThreadedSixStepProgram` with
+the process pool resized to each worker count, plus the chunk-parallel
+protected batched path (``FTPlan.execute_many`` with ``threads=t``).  This
+is the shared-memory counterpart of the paper's strong-scaling figures
+(Fig. 8) - the README "Multicore execution" table is regenerated from it.
+
+Scaling is bounded by the host: the results record the visible core count,
+and worker counts beyond it only measure chunking overhead (the pool runs
+chunks inline when it has a single worker).
+
+Environment knobs: ``REPRO_BENCH_SIZES`` (default ``1048576``),
+``REPRO_BENCH_THREAD_COUNTS`` (default ``1 2 4 8``),
+``REPRO_BENCH_REPEATS`` (default 5), ``REPRO_BENCH_BATCH`` (default 8).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from _harness import env_int, env_int_list, interleaved_best, make_input, save_table
+
+import repro
+from repro.runtime import configure_pool, default_thread_count, get_pool, get_threaded_program
+from repro.fftlib.executor import get_program
+from repro.utils.reporting import Table
+
+DEFAULT_SIZES = (1048576,)
+DEFAULT_THREAD_COUNTS = (1, 2, 4, 8)
+
+
+def run() -> dict:
+    sizes = env_int_list("REPRO_BENCH_SIZES", DEFAULT_SIZES)
+    thread_counts = env_int_list("REPRO_BENCH_THREAD_COUNTS", DEFAULT_THREAD_COUNTS)
+    repeats = env_int("REPRO_BENCH_REPEATS", 5)
+    batch = env_int("REPRO_BENCH_BATCH", 8)
+
+    table = Table(
+        f"six-step thread scaling ({default_thread_count()} visible cores)",
+        ["n", "threads", "serial [ms]", "threaded [ms]", "speedup",
+         f"batch x{batch} serial [ms]", f"batch x{batch} threaded [ms]", "batch speedup"],
+    )
+    results = []
+    original_workers = get_pool().workers  # read without resizing
+    try:
+        for n in sizes:
+            n = int(n)
+            x = make_input(n)
+            X = np.tile(x, (batch, 1))
+            serial_program = get_program(n)
+            serial_plan = repro.plan(n, backend="fftlib")
+            for t in thread_counts:
+                t = int(t)
+                configure_pool(t)
+                threaded_program = get_threaded_program(n, t)
+                threaded_plan = repro.plan(n, backend="fftlib", threads=t)
+                best = interleaved_best(
+                    {
+                        "serial": lambda x=x, p=serial_program: p.execute(x),
+                        "threaded": lambda x=x, p=threaded_program: p.execute(x),
+                        "batch_serial": lambda X=X, p=serial_plan: p.execute_many(X),
+                        "batch_threaded": lambda X=X, p=threaded_plan: p.execute_many(X),
+                    },
+                    repeats=repeats,
+                    warmup=1,
+                    inner=3,
+                )
+                speedup = best["serial"] / best["threaded"]
+                batch_speedup = best["batch_serial"] / best["batch_threaded"]
+                results.append(
+                    {
+                        "n": n,
+                        "threads": t,
+                        "batch": batch,
+                        "seconds": {name: float(v) for name, v in best.items()},
+                        "speedup_threaded_vs_serial": float(speedup),
+                        "speedup_batch_threaded_vs_serial": float(batch_speedup),
+                    }
+                )
+                table.add_row(
+                    str(n),
+                    str(t),
+                    f"{best['serial'] * 1e3:.3f}",
+                    f"{best['threaded'] * 1e3:.3f}",
+                    f"{speedup:.2f}x",
+                    f"{best['batch_serial'] * 1e3:.3f}",
+                    f"{best['batch_threaded'] * 1e3:.3f}",
+                    f"{batch_speedup:.2f}x",
+                )
+    finally:
+        configure_pool(original_workers)
+
+    save_table(table, "thread_scaling.txt")
+    return {"benchmark": "bench_thread_scaling", "cores": default_thread_count(), "results": results}
+
+
+def check(payload: dict) -> None:
+    """Assert correctness and (on real multicore hosts) scaling.
+
+    Runs from both the pytest entry point and ``__main__`` (what CI's bench
+    smoke executes), so a scaling regression fails the run either way.
+    """
+
+    assert payload["results"], "no scaling rows produced"
+    for row in payload["results"]:
+        n, t = int(row["n"]), int(row["threads"])
+        program = get_threaded_program(n, t)
+        x = make_input(n)
+        assert np.allclose(program.execute(x), np.fft.fft(x)), (n, t)
+        # genuine multicore hosts must show scaling at the default sizes
+        if default_thread_count() >= 4 and t >= 4 and n >= 2**20:
+            assert row["speedup_threaded_vs_serial"] > 1.0, row
+
+
+def test_bench_thread_scaling():
+    """Pytest smoke: threaded results stay correct at every worker count."""
+
+    import os
+
+    os.environ.setdefault("REPRO_BENCH_SIZES", "65536")
+    os.environ.setdefault("REPRO_BENCH_THREAD_COUNTS", "1 2")
+    os.environ.setdefault("REPRO_BENCH_REPEATS", "2")
+    check(run())
+
+
+if __name__ == "__main__":
+    payload = run()
+    check(payload)
+    best = max(r["speedup_threaded_vs_serial"] for r in payload["results"])
+    print(f"best threaded-vs-serial speedup: {best:.2f}x on {payload['cores']} visible cores")

@@ -14,6 +14,9 @@ repro.cli <command>``:
 ``inject``
     Run a protected transform with a soft error injected at a chosen site
     and show detection/correction behaviour and the residual output error.
+``bench``
+    Time the serial compiled path against the shared-memory threaded
+    runtime (``--threads``) for one size, both unprotected and protected.
 ``predict``
     Print the Section 7 overhead predictions for a problem size (and,
     optionally, the parallel per-rank figures).
@@ -95,10 +98,13 @@ def _load_batch(args: argparse.Namespace, x: np.ndarray) -> np.ndarray:
 
 
 def _make_plan(args: argparse.Namespace, n: int) -> FTPlan:
-    """The (cached) FTPlan selected by ``--scheme`` / ``--backend`` / ``--real``."""
+    """The (cached) FTPlan from ``--scheme``/``--backend``/``--real``/``--threads``."""
 
     config = FTConfig.from_name(
-        args.scheme, backend=args.backend, real=getattr(args, "real", False)
+        args.scheme,
+        backend=args.backend,
+        real=getattr(args, "real", False),
+        threads=getattr(args, "threads", None),
     )
     return plan(n, config)
 
@@ -136,6 +142,13 @@ def _add_signal_options(parser: argparse.ArgumentParser) -> None:
         help="real-input transform: real float64 signal in, packed n//2+1 "
              "spectrum (numpy.fft.rfft layout) out, via the compiled "
              "half-complex path",
+    )
+    parser.add_argument(
+        "--threads", type=int, default=None, metavar="T",
+        help="shared-memory parallelism: run fault-free batches chunk-"
+             "parallel on T worker threads with per-chunk checksum "
+             "verification (0 = automatic from REPRO_THREADS/cores; "
+             "default: serial)",
     )
 
 
@@ -255,6 +268,63 @@ def _cmd_inject(args: argparse.Namespace) -> int:
     return 0 if err < args.tolerance else 1
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Serial vs threaded wall-clock for one size (interleaved best-of-N)."""
+
+    import time
+
+    from repro.fftlib.planner import plan_fft
+    from repro.runtime import default_thread_count, pool_info, resolve_thread_count
+
+    n = args.size
+    threads = resolve_thread_count(args.threads if args.threads is not None else 0)
+    rng = np.random.default_rng(args.seed if args.seed is not None else 20170712)
+    x = rng.uniform(-1.0, 1.0, n) + 1j * rng.uniform(-1.0, 1.0, n)
+    X = np.tile(x, (args.batch, 1)) if args.batch > 1 else None
+
+    serial_plan = plan_fft(n, backend="fftlib")
+    threaded_plan = plan_fft(n, backend="fftlib", threads=threads)
+    # The planner falls back to the serial lowering when threading cannot
+    # win (tiny or prime sizes); label the row so a ~1.00x reads as "not
+    # attempted", not "no benefit".
+    threaded_label = f"threaded x{threads}"
+    if threaded_plan.threads <= 1:
+        threaded_label += " (serial fallback)"
+    candidates = {
+        "serial compiled": lambda: serial_plan.execute(x),
+        threaded_label: lambda: threaded_plan.execute(x),
+    }
+    if X is not None:
+        ft_serial = plan(n, FTConfig.from_name(args.scheme))
+        ft_threaded = plan(n, FTConfig.from_name(args.scheme, threads=threads))
+        candidates[f"protected batch ({args.scheme})"] = lambda: ft_serial.execute_many(X)
+        candidates[f"protected batch x{threads}"] = lambda: ft_threaded.execute_many(X)
+
+    times = {name: float("inf") for name in candidates}
+    for fn in candidates.values():
+        fn()  # warm-up: plans, programs, pool
+    for _ in range(max(1, args.repeats)):
+        for name, fn in candidates.items():
+            start = time.perf_counter()
+            fn()
+            times[name] = min(times[name], time.perf_counter() - start)
+
+    table = Table(
+        f"serial vs threaded (n={n}, {default_thread_count()} pool workers)",
+        ["path", "best [ms]", "speedup vs serial"],
+    )
+    base = times["serial compiled"]
+    for name, value in times.items():
+        table.add_row(name, f"{value * 1e3:.3f}", f"{base / value:.2f}x")
+    print(table.render())
+    info = pool_info()
+    print(
+        f"pool: {info.workers} workers, {info.submitted} tasks submitted, "
+        f"{info.inline} run inline"
+    )
+    return 0
+
+
 def _cmd_predict(args: argparse.Namespace) -> int:
     table = Table(
         f"Section 7 predicted fault-free overhead for N=2^{int(np.log2(args.size))}",
@@ -312,6 +382,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="relative output error above which the command exits non-zero",
     )
     inject.set_defaults(func=_cmd_inject)
+
+    bench = sub.add_parser(
+        "bench", help="time serial vs threaded execution of one transform size"
+    )
+    bench.add_argument("--size", "-n", type=int, default=2**18, help="transform length (default 2^18)")
+    bench.add_argument(
+        "--threads", type=int, default=None, metavar="T",
+        help="worker threads to compare against serial (default: automatic "
+             "from REPRO_THREADS/cores)",
+    )
+    bench.add_argument("--repeats", type=int, default=5, help="best-of repeats (default 5)")
+    bench.add_argument(
+        "--batch", type=int, default=8, metavar="N",
+        help="also time the protected batched path over N rows (default 8; "
+             "1 disables)",
+    )
+    bench.add_argument(
+        "--scheme", default="opt-online+mem", choices=list(available_schemes()),
+        help="protection scheme for the batched rows (default: opt-online+mem)",
+    )
+    bench.add_argument("--seed", type=int, default=None, help="seed for the synthetic input")
+    bench.set_defaults(func=_cmd_bench)
 
     predict = sub.add_parser("predict", help="print the Section 7 overhead model")
     predict.add_argument("--size", "-n", type=int, default=2**25, help="problem size (default 2^25)")

@@ -110,6 +110,17 @@ class FTConfig:
         weights so detection/correction work directly on the packed layout.
         Legacy registry names carry the flag as a ``+real`` suffix
         (``"opt-online+mem+real"``).
+    threads:
+        Shared-memory parallelism (see :mod:`repro.runtime`).  ``None``
+        (default) is serial; ``0`` sizes automatically from
+        ``REPRO_THREADS`` / the core count; ``N`` uses N chunks.  Batched
+        fault-free executions (``FTPlan.execute_many``) run chunk-parallel
+        on the process-wide worker pool with per-chunk end-to-end checksum
+        verification (per-worker ABFT); single-vector executions keep the
+        scheme's serial interior machinery (threaded single transforms
+        live on the raw plan layer, ``plan_fft(n, threads=N)``).  Legacy
+        registry names carry the knob as a ``+t{N}`` suffix
+        (``"opt-online+mem+t4"``).
     """
 
     kind: str = "online"
@@ -122,6 +133,7 @@ class FTConfig:
     dtype: str = "complex128"
     backend: Optional[str] = None
     real: bool = False
+    threads: Optional[int] = None
 
     # ------------------------------------------------------------------
     def __post_init__(self) -> None:
@@ -150,6 +162,13 @@ class FTConfig:
         if self.flags is not None and not isinstance(self.flags, OptimizationFlags):
             raise TypeError("flags must be OptimizationFlags (or None)")
         object.__setattr__(self, "real", bool(self.real))
+        if self.threads is not None:
+            if int(self.threads) != self.threads or self.threads < 0:
+                raise ValueError(
+                    f"threads must be a non-negative integer (0 = automatic) "
+                    f"or None, got {self.threads!r}"
+                )
+            object.__setattr__(self, "threads", int(self.threads))
 
     # ------------------------------------------------------------------
     # legacy-name conversions
@@ -159,15 +178,27 @@ class FTConfig:
         """Build a config from a legacy registry name.
 
         A ``+real`` suffix selects the packed real-input transform
-        (``"opt-online+mem+real"``); ``overrides`` set any other field
+        (``"opt-online+mem+real"``), a ``+t{N}`` suffix the shared-memory
+        thread count (``"opt-online+mem+t4"``, ``+t0`` = automatic; the two
+        compose as ``"...+real+t4"``); ``overrides`` set any other field
         (``m``, ``k``, ``thresholds``, ``flags``, ``dtype``, ``backend``,
-        ``real``).
+        ``real``, ``threads``).
         """
 
         base = name
+        head, sep, tail = base.rpartition("+t")
+        if sep and tail.isdigit():
+            base = head
+            # An explicit override wins over the suffix, but the unset
+            # sentinels (threads=None, real=False) do not - callers routinely
+            # forward optional knobs verbatim (the CLI passes threads=None),
+            # and that must not silently strip a suffix the name carries.
+            if overrides.get("threads") is None:
+                overrides["threads"] = int(tail)
         if base.endswith("+real"):
             base = base[: -len("+real")]
-            overrides.setdefault("real", True)
+            if not overrides.get("real"):
+                overrides["real"] = True
         triple = _NAME_TO_TRIPLE.get(base)
         if triple is None:
             raise KeyError(
@@ -180,7 +211,11 @@ class FTConfig:
         """The legacy registry name selecting this algorithm combination."""
 
         name = _TRIPLE_TO_NAME[(self.kind, self.optimized, self.memory_ft)]
-        return name + "+real" if self.real else name
+        if self.real:
+            name += "+real"
+        if self.threads is not None:
+            name += f"+t{self.threads}"
+        return name
 
     def replace(self, **changes) -> "FTConfig":
         """A copy of this config with ``changes`` applied (re-validated)."""
@@ -240,6 +275,8 @@ class FTConfig:
             parts.append(f"m={self.m}, k={self.k}")
         if self.real:
             parts.append("real=True")
+        if self.threads is not None:
+            parts.append(f"threads={self.threads}")
         if self.dtype != "complex128":
             parts.append(f"dtype={self.dtype}")
         if self.backend is not None:

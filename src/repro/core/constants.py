@@ -113,15 +113,25 @@ class SchemeConstants:
     p1_h: Optional[np.ndarray] = None
     p2_h: Optional[np.ndarray] = None
     p1_h_rms: float = 0.0
+    #: interior verification of the compiled real fast path (even n only):
+    #: the computational/input checksum pair of the cached *half-length*
+    #: complex sub-transform, so ``c_h . z = r_h . Z`` is checked before the
+    #: disentangle pass - faults are caught mid-pipeline, not only
+    #: end-to-end.
+    r_h: Optional[np.ndarray] = None
+    c_h: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
-    def with_real(self, memory_ft: bool) -> "SchemeConstants":
+    def with_real(self, memory_ft: bool, *, optimized: bool = True) -> "SchemeConstants":
         """This bundle extended with the packed-layout (rfft) vectors.
 
         Folds the end-to-end computational vector onto the ``n//2 + 1``
         layout and, with memory fault tolerance, adds a classic locating
         pair defined directly on the packed spectrum (the weights must be a
         function of the *stored* layout for single-bin location to work).
+        Even sizes also get the half-length interior pair ``(r_h, c_h)``
+        used by the compiled fast path's mid-pipeline verification, with
+        the encoding (closed-form vs naive) matching ``optimized``.
         """
 
         bins = self.n // 2 + 1
@@ -132,6 +142,12 @@ class SchemeConstants:
         if memory_ft:
             p1_h, p2_h = memory_weights_classic(bins)
             p1_h_rms = weight_rms(p1_h)
+        r_h = c_h = None
+        if self.n % 2 == 0 and self.n > 2:
+            half = self.n // 2
+            r_h = computational_weights(half)
+            encode = input_checksum_weights if optimized else input_checksum_weights_naive
+            c_h = encode(half)
         return replace(
             self,
             real=True,
@@ -142,6 +158,8 @@ class SchemeConstants:
             p1_h=p1_h,
             p2_h=p2_h,
             p1_h_rms=p1_h_rms,
+            r_h=r_h,
+            c_h=c_h,
         )
 
     # ------------------------------------------------------------------
@@ -189,7 +207,7 @@ class SchemeConstants:
             w2_n=w2_n,
             w1_n_rms=weight_rms(w1_n),
         )
-        return bundle.with_real(memory_ft) if real else bundle
+        return bundle.with_real(memory_ft, optimized=optimized) if real else bundle
 
     @classmethod
     def for_online(
@@ -251,7 +269,7 @@ class SchemeConstants:
                     w1_k_rms=weight_rms(mem_k.w1),
                 )
         bundle = cls(**kwargs)
-        return bundle.with_real(memory_ft) if real else bundle
+        return bundle.with_real(memory_ft, optimized=optimized) if real else bundle
 
     @classmethod
     def for_config(cls, n: int, config) -> "SchemeConstants":

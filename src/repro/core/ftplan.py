@@ -32,6 +32,15 @@ vectors and exposes three execution entry points:
     verification fails drop into the scalar recovery path (memory repair via
     the locating checksum pair, then re-execution under the fully protected
     scheme).
+
+With ``FTConfig.threads`` above 1, fault-free batches additionally run
+*chunk-parallel* on the process-wide worker pool (:mod:`repro.runtime`):
+each worker transforms a contiguous slice of rows and verifies its own
+slice's end-to-end checksums before returning - per-worker ABFT, the
+shared-memory analogue of the paper's per-rank FFT2 protection - so a
+corrupted worker's chunk is located and recovered independently of the
+others.  The chunk layout depends only on ``(batch, threads)``, never on
+the pool, keeping threaded results deterministic.
 """
 
 from __future__ import annotations
@@ -56,6 +65,7 @@ from repro.core.thresholds import residual_exceeds
 from repro.faults.injector import FaultInjector, NullInjector
 from repro.faults.models import FaultSite
 from repro.fftlib.backends import get_backend, resolve_backend_name
+from repro.runtime.pool import get_pool, resolve_thread_count, split_ranges
 from repro.utils.validation import ensure_positive_int
 
 __all__ = [
@@ -126,6 +136,9 @@ class FTPlan:
         #: real-input mode: float64 input, packed n//2 + 1 output layout
         self._real = bool(config.real)
         self.bins = self.n // 2 + 1
+        #: shared-memory parallelism: chunk count of fault-free batched
+        #: executions (``None`` -> 1 = serial, ``0`` -> the pool's size)
+        self.threads = resolve_thread_count(config.threads)
         if self._protected:
             # Batched-protection state: end-to-end computational checksum
             # vector (c = rA) and, with memory FT, the locating pair
@@ -280,7 +293,11 @@ class FTPlan:
         checksum ``c . x`` uses the unchanged closed-form ``rA`` encoding
         (real samples), the output side folds onto the packed layout, and a
         violation repairs the input via the locating pair before
-        recomputing.
+        recomputing.  On even sizes the cached half-length complex
+        sub-transform is additionally verified *before* the disentangle pass
+        (``c_h . z = r_h . Z``), so a fault inside the compiled pipeline is
+        caught and recomputed mid-pipeline instead of surfacing only in the
+        end-to-end check.
         """
 
         consts = self.constants
@@ -294,29 +311,94 @@ class FTPlan:
             eta_mem = self.thresholds.eta_memory(
                 self._w1, xr, weight_rms=consts.w1_n_rms, data_rms=x_rms
             )
+        program = self._real_program
+        interior = (
+            program is not None
+            and getattr(program, "half", 0) > 0
+            and consts.c_h is not None
+        )
+        cz = eta_h = z = None
+        if interior:
+            # The packed view z aliases xr, so a memory repair of the input
+            # is visible here without re-packing.
+            z = program.pack(xr)
+            cz = weighted_sum(consts.c_h, z)
+            eta_h = self.thresholds.eta_offline(program.half, z)
+
+        def _repair_input() -> bool:
+            """Memory-verify ``xr`` and repair a located corruption.
+
+            Returns ``False`` only when corruption was detected but could
+            not be located (uncorrectable).  Both the interior and the
+            end-to-end detection branches route through this, so a
+            persistent input fault is repaired no matter which check
+            catches it first.  A repair re-encodes the interior checksum:
+            ``cz`` was computed from the pre-repair view and would
+            otherwise flag every subsequent (correct) half transform.
+            """
+
+            nonlocal cz, eta_h
+            if not self.config.memory_ft:
+                return True
+            mem_residual = float(np.abs(weighted_sum(self._w1, xr) - s1))
+            if residual_exceeds(mem_residual, eta_mem):
+                report.record_verification("real-mcv", None, mem_residual, eta_mem, True)
+                repaired = repair_single_error(xr, self._w1, self._w2, s1, s2)
+                if repaired is None:
+                    report.record_uncorrectable(
+                        "real: input corruption could not be located"
+                    )
+                    return False
+                report.record_correction(
+                    "memory-correct", "real-input", None, f"element {repaired[0]} repaired"
+                )
+                if interior:
+                    cz = weighted_sum(consts.c_h, z)
+                    eta_h = self.thresholds.eta_offline(program.half, z)
+            return True
         output = None
         attempts = 0
         while True:
             attempts += 1
-            output = self._transform_real(xr)
+            if interior:
+                half_spectrum = program.transform_half(z)
+                residual_h = float(
+                    np.abs(weighted_sum(consts.r_h, half_spectrum) - cz)
+                )
+                detected_h = bool(residual_exceeds(residual_h, eta_h))
+                report.record_verification(
+                    "real-interior-ccv", None, residual_h, eta_h, detected_h
+                )
+                if detected_h:
+                    # A corrupted *input* also trips the interior check (it
+                    # reads z, a view of xr), so the locating pair must get
+                    # its repair chance before the restart recomputes from
+                    # the same data.
+                    if not _repair_input():
+                        output = program.disentangle(half_spectrum)
+                        break
+                    if attempts > self._max_retries:
+                        report.record_uncorrectable(
+                            f"real: interior verification still failing after "
+                            f"{self._max_retries} restarts"
+                        )
+                        output = program.disentangle(half_spectrum)
+                        break
+                    report.record_correction(
+                        "restart", "real-interior", None,
+                        "half-length transform recomputed before disentangle",
+                    )
+                    continue
+                output = program.disentangle(half_spectrum)
+            else:
+                output = self._transform_real(xr)
             residual = float(np.abs(self._output_checksum(output) - cx))
             detected = bool(residual_exceeds(residual, eta))
             report.record_verification("real-ccv", None, residual, eta, detected)
             if not detected:
                 break
-            if self.config.memory_ft:
-                mem_residual = float(np.abs(weighted_sum(self._w1, xr) - s1))
-                if residual_exceeds(mem_residual, eta_mem):
-                    report.record_verification("real-mcv", None, mem_residual, eta_mem, True)
-                    repaired = repair_single_error(xr, self._w1, self._w2, s1, s2)
-                    if repaired is None:
-                        report.record_uncorrectable(
-                            "real: input corruption could not be located"
-                        )
-                        break
-                    report.record_correction(
-                        "memory-correct", "real-input", None, f"element {repaired[0]} repaired"
-                    )
+            if not _repair_input():
+                break
             if attempts > self._max_retries:
                 report.record_uncorrectable(
                     f"real: verification still failing after {self._max_retries} restarts"
@@ -442,10 +524,37 @@ class FTPlan:
         report = FTReport(scheme=f"{self.scheme.name}[batch]")
         fallback: List[int] = []
 
+        # Chunk layout of the (possibly) parallel execution: a function of
+        # (batch, threads) only, so threaded runs are deterministic.  One
+        # chunk keeps the legacy fully-serial path (direct binding of the
+        # transform result, whole-batch GEMV verification) bit for bit.
+        chunks = min(self.threads, batch) if self.threads > 1 else 1
+        ranges = split_ranges(batch, chunks)
+        width = self.bins if self._real else self.n
+        visit_lock = threading.Lock()
+
+        def _visit_output(segment: np.ndarray, chunk_index: int) -> None:
+            # The OUTPUT fault site, per worker chunk - the shared-memory
+            # analogue of the paper's per-rank sites.  Specs can pin a
+            # worker with ``index=``; the default fire-once spec strikes
+            # exactly one chunk.
+            if injector.is_live:
+                with visit_lock:
+                    injector.visit(FaultSite.OUTPUT, segment, index=chunk_index)
+
         if not self._protected:
             injector.visit(FaultSite.INPUT, rows)
-            out = self._transform_rows(rows)
-            injector.visit(FaultSite.OUTPUT, out)
+            if chunks == 1:
+                out = self._transform_rows(rows)
+                injector.visit(FaultSite.OUTPUT, out)
+            else:
+                out = np.empty((batch, width), dtype=np.complex128)
+
+                def transform_chunk(ci: int, lo: int, hi: int) -> None:
+                    out[lo:hi] = self._transform_rows(rows[lo:hi])
+                    _visit_output(out[lo:hi], ci)
+
+                self._run_chunks(transform_chunk, ranges)
         else:
             # --- vectorized encoding (one matmul per checksum vector) ----
             cx = rows @ self._c
@@ -464,22 +573,50 @@ class FTPlan:
             # fault model excludes corruption during checksum generation).
             injector.visit(FaultSite.INPUT, rows)
 
-            # --- vectorized transform + vectorized verification ----------
-            # (real plans: packed output, conjugate-even reduction)
-            out = self._transform_rows(rows)
-            injector.visit(FaultSite.OUTPUT, out)
-            residuals = np.abs(self._output_checksum(out) - cx)
+            # --- transform + verification (whole-batch when serial, ------
+            # per-worker chunks when threaded; real plans: packed output,
+            # conjugate-even reduction).  The memory verification of the
+            # input rows against their stored locating checksums catches
+            # input corruption even at the 3 | n sizes where the end-to-end
+            # vector rA is nearly degenerate and the computational residual
+            # is blind.
+            if chunks == 1:
+                out = self._transform_rows(rows)
+                injector.visit(FaultSite.OUTPUT, out)
+                residuals = np.abs(self._output_checksum(out) - cx)
+                comp_violations = residual_exceeds(residuals, etas)
+                violations = comp_violations
+                if self.config.memory_ft:
+                    mem_residuals = np.abs(rows @ self._w1 - s1)
+                    violations = violations | residual_exceeds(mem_residuals, eta_mem)
+            else:
+                out = np.empty((batch, width), dtype=np.complex128)
+                residuals = np.empty(batch, dtype=np.float64)
+                comp_violations = np.zeros(batch, dtype=bool)
+                violations = np.zeros(batch, dtype=bool)
+
+                def verify_chunk(ci: int, lo: int, hi: int) -> None:
+                    # Per-worker ABFT: each worker transforms its own slice
+                    # of rows, exposes the OUTPUT site, and verifies its
+                    # slice's end-to-end checksums before returning - a
+                    # corrupted worker's chunk is located independently of
+                    # the others.
+                    out[lo:hi] = self._transform_rows(rows[lo:hi])
+                    _visit_output(out[lo:hi], ci)
+                    residuals[lo:hi] = np.abs(
+                        self._output_checksum(out[lo:hi]) - cx[lo:hi]
+                    )
+                    viol = residual_exceeds(residuals[lo:hi], etas[lo:hi])
+                    comp_violations[lo:hi] = viol
+                    if self.config.memory_ft:
+                        mem_residuals = np.abs(rows[lo:hi] @ self._w1 - s1[lo:hi])
+                        viol = viol | residual_exceeds(mem_residuals, eta_mem[lo:hi])
+                    violations[lo:hi] = viol
+
+                self._run_chunks(verify_chunk, ranges)
             report.bump("verifications", batch)
-            comp_violations = residual_exceeds(residuals, etas)
-            violations = comp_violations
             if self.config.memory_ft:
-                # Also verify the input rows against their stored locating
-                # checksums (one matmul): this catches input corruption even
-                # at the 3 | n sizes where the end-to-end vector rA is
-                # nearly degenerate and the computational residual is blind.
-                mem_residuals = np.abs(rows @ self._w1 - s1)
                 report.bump("memory-verifications", batch)
-                violations = violations | residual_exceeds(mem_residuals, eta_mem)
             bad = np.nonzero(violations)[0]
 
             # --- scalar recovery for the (rare) flagged rows --------------
@@ -499,12 +636,32 @@ class FTPlan:
                         f"batch row {idx} still failing after {self._max_retries} retries"
                     )
 
-        width = self.bins if self._real else self.n
         output = out.reshape(batch_shape + (width,))
         output = np.moveaxis(output, -1, axis)
         if self.dtype != np.complex128:
             output = output.astype(self.dtype)
         return BatchResult(output=output, report=report, fallback_rows=tuple(fallback))
+
+    # ------------------------------------------------------------------
+    def _run_chunks(self, fn, ranges) -> None:
+        """Run ``fn(chunk_index, lo, hi)`` over every chunk, pooled when > 1.
+
+        Single-chunk runs execute inline on the calling thread (the legacy
+        serial path); multi-chunk runs go through the process-wide worker
+        pool, which itself falls back to inline execution when it has one
+        worker or is re-entered from a worker thread.
+        """
+
+        if len(ranges) <= 1:
+            for ci, (lo, hi) in enumerate(ranges):
+                fn(ci, lo, hi)
+            return
+        get_pool().run_tasks(
+            [
+                (lambda ci=ci, lo=lo, hi=hi: fn(ci, lo, hi))
+                for ci, (lo, hi) in enumerate(ranges)
+            ]
+        )
 
     # ------------------------------------------------------------------
     def _transform_rows(self, rows: np.ndarray) -> np.ndarray:

@@ -53,6 +53,12 @@ class FFTBackend(abc.ABC):
     name: str = "base"
     #: one-line human description for listings
     description: str = ""
+    #: whether plans on this backend may lower to the shared-memory threaded
+    #: six-step program (see :mod:`repro.runtime`).  Only the internal
+    #: engine exposes the chunked stage structure the threaded program
+    #: needs; compiled third-party kernels (pocketfft etc.) manage their own
+    #: parallelism, so the planner keeps their plans serial.
+    supports_threads: bool = False
 
     @abc.abstractmethod
     def fft(self, x: np.ndarray, axis: int = -1) -> np.ndarray:
@@ -107,6 +113,7 @@ class FFTLibBackend(FFTBackend):
 
     name = "fftlib"
     description = "internal compiled stage-program engine (codelets, mixed-radix, Bluestein)"
+    supports_threads = True
 
     def fft(self, x: np.ndarray, axis: int = -1) -> np.ndarray:
         from repro.fftlib.executor import fft_along_axis

@@ -340,17 +340,48 @@ class RealStageProgram:
             # non-redundant bins.
             full = self.program.execute(x.astype(np.complex128))
             return np.ascontiguousarray(full[..., : self.bins])
-        h = self.half
-        # Adjacent (even, odd) sample pairs ARE the complex128 memory layout,
-        # so the packing z[j] = x[2j] + i x[2j+1] is a zero-copy view.
+        return self.disentangle(self.transform_half(self.pack(x)))
+
+    # ------------------------------------------------------------------
+    # the three even-length pipeline steps, exposed separately so callers
+    # (the ABFT fast path) can verify the half-length sub-transform's
+    # checksum *between* them - interior online verification instead of
+    # only end-to-end.
+    # ------------------------------------------------------------------
+    def pack(self, x: np.ndarray) -> np.ndarray:
+        """View ``n`` real samples as the ``n/2`` packed complex sequence.
+
+        Adjacent (even, odd) sample pairs ARE the complex128 memory layout,
+        so the packing ``z[j] = x[2j] + i x[2j+1]`` is a zero-copy view
+        (a copy happens only for non-contiguous input).  Even lengths only.
+        """
+
+        if self.half == 0:
+            raise ValueError("packing requires an even transform length > 1")
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape[-1] != self.n:
+            raise ValueError(
+                f"real program of size {self.n} applied to array with last axis {x.shape[-1]}"
+            )
         if x.strides[-1] != x.itemsize:
             x = np.ascontiguousarray(x)
-        z = x.view(np.complex128)
-        spectrum = self.program.execute(z)
-        # Disentangle on reversed-slice *views* (no index-array gathers):
-        # interior bins pair Z[k] with conj(Z[h-k]); bins 0 and h both pair
-        # Z[0] with itself.
-        out = np.empty(x.shape[:-1] + (self.bins,), dtype=np.complex128)
+        return x.view(np.complex128)
+
+    def transform_half(self, z: np.ndarray) -> np.ndarray:
+        """The cached half-length complex transform of the packed sequence."""
+
+        return self.program.execute(z)
+
+    def disentangle(self, spectrum: np.ndarray) -> np.ndarray:
+        """Packed ``n//2 + 1``-bin spectrum from the half-length transform.
+
+        Disentangles on reversed-slice *views* (no index-array gathers):
+        interior bins pair ``Z[k]`` with ``conj(Z[h-k])``; bins 0 and ``h``
+        both pair ``Z[0]`` with itself.
+        """
+
+        h = self.half
+        out = np.empty(spectrum.shape[:-1] + (self.bins,), dtype=np.complex128)
         interior = out[..., 1:h]
         np.multiply(spectrum[..., 1:h], self._a[1:h], out=interior)
         interior += self._b[1:h] * np.conj(spectrum[..., h - 1 : 0 : -1])
@@ -446,34 +477,61 @@ class ProgramCacheInfo(NamedTuple):
 _DEFAULT_PROGRAM_CACHE_LIMIT = 128
 
 _cache_lock = threading.RLock()
-#: keyed by ``n`` (complex programs) or ``("real", n)`` (real programs)
+#: keyed by ``n`` (complex programs), ``("real", n)`` (real programs), or
+#: ``("sixstep", n, threads)`` (threaded six-step programs)
 _programs: "OrderedDict[object, object]" = OrderedDict()
+#: per-key once-guards: key -> Event set when that key's compile finishes
+_inflight: dict = {}
 _cache_limit = _DEFAULT_PROGRAM_CACHE_LIMIT
 _hits = 0
 _misses = 0
 
 
 def _cached_program(key, factory):
-    """Fetch ``key`` from the shared program LRU, compiling via ``factory``."""
+    """Fetch ``key`` from the shared program LRU, compiling via ``factory``.
+
+    Compilation happens *outside* the cache lock, guarded per key: the first
+    thread to request a key compiles it while concurrent requests for the
+    same key wait on its event (no duplicate compilation stampede), and
+    requests for *different* keys compile concurrently (no serialization of
+    unrelated planner threads behind one big lock).
+    """
 
     global _hits, _misses
-    with _cache_lock:
-        cached = _programs.get(key)
-        if cached is not None:
-            _hits += 1
-            _programs.move_to_end(key)
-            return cached
-    created = factory()  # compile outside the lock
-    with _cache_lock:
-        existing = _programs.get(key)
-        if existing is not None:
-            _hits += 1
-            _programs.move_to_end(key)
-            return existing
-        _misses += 1
-        _programs[key] = created
-        while len(_programs) > _cache_limit:
-            _programs.popitem(last=False)
+    while True:
+        with _cache_lock:
+            cached = _programs.get(key)
+            if cached is not None:
+                _hits += 1
+                _programs.move_to_end(key)
+                return cached
+            guard = _inflight.get(key)
+            if guard is None:
+                guard = threading.Event()
+                _inflight[key] = guard
+                owner = True
+            else:
+                owner = False
+        if not owner:
+            # Another thread is compiling this key; wait and re-check the
+            # cache (looping covers the owner failing or the entry being
+            # evicted between its insert and our wake-up).
+            guard.wait()
+            continue
+        try:
+            created = factory()
+        except BaseException:
+            with _cache_lock:
+                _inflight.pop(key, None)
+            guard.set()
+            raise
+        with _cache_lock:
+            _misses += 1
+            _programs[key] = created
+            while len(_programs) > _cache_limit:
+                _programs.popitem(last=False)
+            _inflight.pop(key, None)
+        guard.set()
         return created
 
 

@@ -83,6 +83,13 @@ class Plan:
         the packed spectrum back to ``n`` real samples.  Lowered to a
         :class:`~repro.fftlib.executor.RealStageProgram` on the ``fftlib``
         backend (roughly half the flops/bytes of the complex plan).
+    threads:
+        Worker count of the shared-memory six-step lowering
+        (:class:`~repro.runtime.threaded.ThreadedSixStepProgram`).  ``1``
+        (the default) keeps the serial compiled program; values above 1 run
+        the transform's phases as chunked batches on the process-wide
+        worker pool.  Only the ``fftlib`` backend lowers threaded programs
+        (complex plans); elsewhere the knob is inert.
     """
 
     n: int
@@ -91,12 +98,17 @@ class Plan:
     flops: float = field(default=0.0, compare=False)
     backend: Optional[str] = None
     real: bool = False
+    threads: int = 1
     #: compiled stage program (``fftlib`` backend only); built at plan time
     #: so ``execute`` pays no factorization/twiddle setup.
     program: Optional[object] = field(default=None, compare=False, repr=False)
 
     def __post_init__(self) -> None:
         ensure_positive_int(self.n, name="n")
+        if self.threads is None or int(self.threads) < 1:
+            object.__setattr__(self, "threads", 1)
+        else:
+            object.__setattr__(self, "threads", int(self.threads))
         if self.flops == 0.0:
             # Conjugate-even packing does the work of a half-length complex
             # transform plus an O(n) repack.
@@ -109,7 +121,14 @@ class Plan:
         if self.program is None and resolve_backend_name(self.backend) == "fftlib":
             from repro.fftlib.executor import get_program, get_real_program
 
-            lowered = get_real_program(self.n) if self.real else get_program(self.n)
+            if self.real:
+                lowered = get_real_program(self.n)
+            elif self.threads > 1:
+                from repro.runtime.threaded import get_threaded_program
+
+                lowered = get_threaded_program(self.n, self.threads)
+            else:
+                lowered = get_program(self.n)
             object.__setattr__(self, "program", lowered)
 
     # ------------------------------------------------------------------
@@ -192,7 +211,10 @@ class Plan:
         direction = (
             PlanDirection.BACKWARD if self.is_forward else PlanDirection.FORWARD
         )
-        return Plan(self.n, direction, self.strategy, self.flops, self.backend, self.real)
+        return Plan(
+            self.n, direction, self.strategy, self.flops, self.backend, self.real,
+            self.threads,
+        )
 
     def describe(self) -> str:
         """Human-readable one-line description (mirrors ``fftw_print_plan``)."""
@@ -200,8 +222,9 @@ class Plan:
         factors = "x".join(str(f) for f in factorization.radix_schedule(self.n))
         backend = self.backend or "fftlib"
         kind = "real, " if self.real else ""
+        threaded = f", threads={self.threads}" if self.threads > 1 else ""
         return (
             f"Plan(n={self.n}, {kind}dir={self.direction.value}, "
-            f"strategy={self.strategy.value}, backend={backend}, "
+            f"strategy={self.strategy.value}, backend={backend}{threaded}, "
             f"radices={factors}, ~{self.flops:.0f} flops)"
         )

@@ -25,7 +25,7 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from repro.fftlib import factorization
-from repro.fftlib.backends import resolve_backend_name
+from repro.fftlib.backends import get_backend, resolve_backend_name
 from repro.fftlib.codelets import has_codelet
 from repro.fftlib.plan import Plan, PlanDirection, PlanStrategy
 
@@ -72,12 +72,16 @@ class Planner:
         Planning effort (estimate vs. measure).
     wisdom:
         Cache of previously created plans keyed by
-        ``(n, direction, backend, real)``.
+        ``(n, direction, backend, real, threads)``.
     """
 
     policy: PlannerPolicy = PlannerPolicy.ESTIMATE
-    wisdom: Dict[Tuple[int, PlanDirection, str, bool], Plan] = field(default_factory=dict)
+    wisdom: Dict[Tuple[int, PlanDirection, str, bool, int], Plan] = field(default_factory=dict)
     measurements: Dict[int, Dict[str, float]] = field(default_factory=dict)
+    #: serial-vs-threaded timings per ``"n:t{threads}"`` request (MEASURE
+    #: mode); ride along in exported wisdom so an imported planner reuses
+    #: the recorded winner without re-timing.
+    thread_measurements: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     def plan(
         self,
@@ -85,6 +89,7 @@ class Planner:
         direction: PlanDirection = PlanDirection.FORWARD,
         backend: Optional[str] = None,
         real: bool = False,
+        threads: Optional[int] = None,
     ) -> Plan:
         """Return a (cached) plan for an ``n``-point transform.
 
@@ -92,11 +97,17 @@ class Planner:
         :mod:`repro.fftlib.backends`); plans are cached per backend so a
         process can mix kernels freely.  ``real`` requests the packed
         real-input transform (``n`` real samples <-> ``n//2 + 1`` bins).
+        ``threads`` requests the shared-memory six-step lowering (``None`` =
+        serial, ``0`` = automatic/pool size, ``N`` = N chunks); the planner
+        lowers to the threaded program only when profitable - by heuristic
+        in ESTIMATE mode, by timing serial vs threaded (and recording the
+        winner in wisdom) in MEASURE mode.
         """
 
         backend_name = resolve_backend_name(backend)
         real = bool(real)
-        key = (int(n), direction, backend_name, real)
+        nthreads = self._normalize_threads(backend_name, real, threads)
+        key = (int(n), direction, backend_name, real, nthreads)
         cached = self.wisdom.get(key)
         if cached is not None:
             return cached
@@ -110,9 +121,87 @@ class Planner:
             strategy = self._best_measured_strategy(int(n))
         else:
             strategy = _heuristic_strategy(int(n))
-        plan = Plan(int(n), direction, strategy, 0.0, backend_name, real)
+        effective = self._effective_threads(int(n), nthreads)
+        plan = Plan(int(n), direction, strategy, 0.0, backend_name, real, effective)
         self.wisdom[key] = plan
         return plan
+
+    # ------------------------------------------------------------------
+    def _normalize_threads(
+        self, backend_name: str, real: bool, threads: Optional[int]
+    ) -> int:
+        """Resolve the requested ``threads`` knob to a concrete chunk count.
+
+        Real plans and backends without :attr:`~repro.fftlib.backends.
+        FFTBackend.supports_threads` stay serial (real transforms thread at
+        the batch level inside :class:`~repro.core.ftplan.FTPlan` instead).
+        """
+
+        from repro.runtime.pool import resolve_thread_count
+
+        nthreads = resolve_thread_count(threads)
+        if nthreads <= 1:
+            return 1
+        if real or not getattr(get_backend(backend_name), "supports_threads", False):
+            return 1
+        return nthreads
+
+    def _effective_threads(self, n: int, nthreads: int, *, allow_timing: bool = True) -> int:
+        """Chunk count the plan is actually lowered with (the "winner").
+
+        ``allow_timing=False`` (wisdom import) never runs live benchmarks:
+        recorded serial-vs-threaded timings decide when present, otherwise
+        the profitability heuristic stands in - importing a wisdom dict
+        must stay a deserialization, not a measurement session.
+        """
+
+        if nthreads <= 1:
+            return 1
+        from repro.runtime.threaded import threading_profitable
+
+        if not threading_profitable(n, nthreads):
+            return 1
+        if self.policy is PlannerPolicy.MEASURE:
+            timings = self.thread_measurements.get(f"{n}:t{nthreads}")
+            if timings and "serial" in timings and "threaded" in timings:
+                return nthreads if timings["threaded"] < timings["serial"] else 1
+            if not allow_timing:
+                return nthreads
+            return nthreads if self._threaded_wins(n, nthreads) else 1
+        return nthreads
+
+    def _threaded_wins(self, n: int, nthreads: int) -> bool:
+        """MEASURE mode: time serial vs threaded once, remember the winner.
+
+        Timings (imported ones included) live in :attr:`thread_measurements`
+        under ``"n:t{threads}"``, so a planner seeded with another process's
+        wisdom never re-times a size/thread-count pair.
+        """
+
+        key = f"{n}:t{nthreads}"
+        timings = self.thread_measurements.get(key)
+        if not timings or "serial" not in timings or "threaded" not in timings:
+            from repro.fftlib.executor import get_program
+            from repro.runtime.threaded import get_threaded_program
+
+            serial = get_program(n)
+            threaded = get_threaded_program(n, nthreads)
+            rng = np.random.default_rng(4321 + n)
+            x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+            timings = {}
+            for label, fn in (
+                ("serial", lambda: serial.execute(x)),
+                ("threaded", lambda: threaded.execute(x)),
+            ):
+                fn()  # warm-up / twiddle-cache + pool fill
+                best = float("inf")
+                for _ in range(3):
+                    start = time.perf_counter()
+                    fn()
+                    best = min(best, time.perf_counter() - start)
+                timings[label] = best
+            self.thread_measurements[key] = timings
+        return timings["threaded"] < timings["serial"]
 
     # ------------------------------------------------------------------
     def _best_measured_strategy(self, n: int) -> PlanStrategy:
@@ -173,19 +262,29 @@ class Planner:
         return best_strategy
 
     # ------------------------------------------------------------------
-    def lower(self, n: int, real: bool = False):
+    def lower(self, n: int, real: bool = False, threads: Optional[int] = None):
         """The compiled :class:`~repro.fftlib.executor.StageProgram` for ``n``.
 
         ``real=True`` lowers the packed real-input transform
-        (:class:`~repro.fftlib.executor.RealStageProgram`) instead.
+        (:class:`~repro.fftlib.executor.RealStageProgram`) instead;
+        ``threads`` above 1 lowers the shared-memory six-step program
+        (:class:`~repro.runtime.threaded.ThreadedSixStepProgram`).
         Lowering is memoized process-wide (programs are immutable and
         backend-independent), so this is cheap after the first call per
-        size; plans created by :meth:`plan` reference the same object.
+        size; plans created by :meth:`plan` reference the same objects.
         """
 
         from repro.fftlib.executor import get_program, get_real_program
+        from repro.runtime.pool import resolve_thread_count
 
-        return get_real_program(int(n)) if real else get_program(int(n))
+        if real:
+            return get_real_program(int(n))
+        nthreads = resolve_thread_count(threads)
+        if nthreads > 1:
+            from repro.runtime.threaded import get_threaded_program
+
+            return get_threaded_program(int(n), nthreads)
+        return get_program(int(n))
 
     # ------------------------------------------------------------------
     def forget(self) -> None:
@@ -193,26 +292,37 @@ class Planner:
 
         self.wisdom.clear()
         self.measurements.clear()
+        self.thread_measurements.clear()
 
     def export_wisdom(self) -> Dict[str, object]:
-        """Serialise wisdom as ``{"n:direction:backend[:real]": strategy}``.
+        """Serialise wisdom as ``{"n:direction:backend[:real][:tN]": strategy}``.
 
-        Measured strategy timings and the compiled program descriptions ride
-        along under the reserved ``"__measurements__"`` / ``"__programs__"``
-        keys, so a MEASURE planner seeded from this dict never re-times a
-        size it has already seen - the whole mapping stays JSON-serialisable.
+        Measured strategy timings, the compiled program descriptions, and
+        the serial-vs-threaded timings ride along under the reserved
+        ``"__measurements__"`` / ``"__programs__"`` /
+        ``"__thread_measurements__"`` keys, so a MEASURE planner seeded from
+        this dict never re-times a size it has already seen - the whole
+        mapping stays JSON-serialisable.
         """
 
         data: Dict[str, object] = {}
         programs: Dict[str, str] = {}
-        for (n, direction, backend, real), plan in self.wisdom.items():
-            key = f"{n}:{direction.value}:{backend}" + (":real" if real else "")
+        for (n, direction, backend, real, threads), plan in self.wisdom.items():
+            key = f"{n}:{direction.value}:{backend}"
+            if real:
+                key += ":real"
+            if threads > 1:
+                key += f":t{threads}"
             data[key] = plan.strategy.value
             if plan.program is not None:
                 programs[key] = plan.program.describe()
         if self.measurements:
             data["__measurements__"] = {
                 str(n): dict(timings) for n, timings in self.measurements.items()
+            }
+        if self.thread_measurements:
+            data["__thread_measurements__"] = {
+                key: dict(timings) for key, timings in self.thread_measurements.items()
             }
         if programs:
             data["__programs__"] = programs
@@ -223,13 +333,19 @@ class Planner:
 
         Older formats are still accepted: the pre-backend two-field keys
         (``"n:direction"``) map to the default backend, three-field keys to
-        ``real=False``, and dicts without the reserved timing/program
-        entries simply import no measurements.  Importing re-lowers the
-        stage programs, so the compiled-program cache is warm as well.
+        ``real=False`` / serial, and dicts without the reserved
+        timing/program entries simply import no measurements.  Importing
+        re-lowers the stage programs (thread timings first, so a threaded
+        key re-lowers to the recorded winner), leaving the compiled-program
+        cache warm as well.
         """
 
         for n, timings in dict(data.get("__measurements__", {})).items():
             self.measurements[int(n)] = {
+                str(name): float(t) for name, t in dict(timings).items()
+            }
+        for key, timings in dict(data.get("__thread_measurements__", {})).items():
+            self.thread_measurements[str(key)] = {
                 str(name): float(t) for name, t in dict(timings).items()
             }
         for key, strategy_name in data.items():
@@ -239,10 +355,20 @@ class Planner:
             n = int(parts[0])
             direction = PlanDirection(parts[1])
             backend = resolve_backend_name(parts[2] if len(parts) > 2 else None)
-            real = "real" in parts[3:]
+            extras = parts[3:]
+            real = "real" in extras
+            threads = 1
+            for part in extras:
+                if len(part) > 1 and part[0] == "t" and part[1:].isdigit():
+                    threads = int(part[1:])
             strategy = PlanStrategy(strategy_name)
-            self.wisdom[(n, direction, backend, real)] = Plan(
-                n, direction, strategy, backend=backend, real=real
+            self.wisdom[(n, direction, backend, real, threads)] = Plan(
+                n,
+                direction,
+                strategy,
+                backend=backend,
+                real=real,
+                threads=self._effective_threads(n, threads, allow_timing=False),
             )
 
 
@@ -260,7 +386,8 @@ def plan_fft(
     direction: PlanDirection = PlanDirection.FORWARD,
     backend: Optional[str] = None,
     real: bool = False,
+    threads: Optional[int] = None,
 ) -> Plan:
     """Convenience wrapper around the default planner."""
 
-    return _DEFAULT_PLANNER.plan(n, direction, backend, real)
+    return _DEFAULT_PLANNER.plan(n, direction, backend, real, threads)

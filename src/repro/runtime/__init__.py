@@ -1,0 +1,52 @@
+"""Shared-memory parallel runtime: the worker pool and threaded programs.
+
+``pool``
+    The process-wide, lazily-started, reusable worker pool (sized by
+    ``REPRO_THREADS``), with ``cache_info()``-style counters and a clean
+    ``atexit`` shutdown.  All threaded execution paths share it.
+``threaded``
+    :class:`ThreadedSixStepProgram` - the six-step ``n = m * k``
+    decomposition whose row-FFT, twiddle, transpose, and column-FFT phases
+    execute the cached half-size compiled :class:`~repro.fftlib.executor.
+    StageProgram` objects over chunked batches on the pool.
+
+The runtime is threaded through the stack via the ``threads`` knobs:
+``plan_fft(n, threads=...)`` / :class:`~repro.fftlib.plan.Plan`,
+:class:`~repro.core.config.FTConfig` (name suffix ``+t{N}``),
+:meth:`~repro.core.ftplan.FTPlan.execute_many` (chunk-parallel batches with
+per-chunk ABFT), and the CLI's ``--threads``.
+"""
+
+from repro.runtime.pool import (
+    PoolInfo,
+    WorkerPool,
+    configure_pool,
+    default_thread_count,
+    get_pool,
+    pool_info,
+    resolve_thread_count,
+    shutdown_pool,
+    split_ranges,
+)
+from repro.runtime.threaded import (
+    MIN_THREADED_SIZE,
+    ThreadedSixStepProgram,
+    get_threaded_program,
+    threading_profitable,
+)
+
+__all__ = [
+    "PoolInfo",
+    "WorkerPool",
+    "configure_pool",
+    "default_thread_count",
+    "get_pool",
+    "pool_info",
+    "resolve_thread_count",
+    "shutdown_pool",
+    "split_ranges",
+    "MIN_THREADED_SIZE",
+    "ThreadedSixStepProgram",
+    "get_threaded_program",
+    "threading_profitable",
+]

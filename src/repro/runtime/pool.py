@@ -1,0 +1,285 @@
+"""The process-wide worker pool behind every threaded execution path.
+
+The paper's headline results are *parallel* protected FFTs; the compiled
+:class:`~repro.fftlib.executor.StageProgram` path is CPU-bound numpy/BLAS
+code whose heavy kernels (``np.matmul`` contractions, elementwise twiddle
+multiplies) release the GIL, so a plain thread pool gives real shared-memory
+speedup without any serialization of the input arrays.
+
+Design points (mirroring the plan/program caches elsewhere in the repo):
+
+* **one pool per process** - :func:`get_pool` lazily creates a single
+  :class:`WorkerPool` sized by the ``REPRO_THREADS`` environment variable
+  (default: the machine's core count).  Every threaded program and every
+  chunk-parallel :class:`~repro.core.ftplan.FTPlan` batch shares it, so the
+  process never oversubscribes the machine no matter how many plans exist;
+* **lazy start, idle safe** - no thread is created until the first parallel
+  task list is actually submitted, and an idle pool costs nothing but the
+  parked executor threads;
+* **counters** - :meth:`WorkerPool.info` exposes ``cache_info()``-style
+  statistics (tasks submitted / completed / run inline) so tests and
+  benchmarks can assert that work really went through the pool;
+* **clean shutdown** - the process pool is torn down via ``atexit`` so
+  interpreter shutdown never races the executor's worker threads;
+* **no nested blocking** - tasks submitted *from inside a pool worker* run
+  inline on that worker.  A bounded pool whose workers wait on sub-tasks of
+  their own pool can deadlock; running nested task lists inline keeps any
+  composition of threaded programs safe by construction.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, List, NamedTuple, Optional, Sequence, Tuple
+
+__all__ = [
+    "PoolInfo",
+    "WorkerPool",
+    "default_thread_count",
+    "resolve_thread_count",
+    "split_ranges",
+    "get_pool",
+    "configure_pool",
+    "pool_info",
+    "shutdown_pool",
+    "in_worker",
+]
+
+#: environment variable sizing the process-wide pool (and the ``threads=0``
+#: automatic knob of plans and configs)
+THREADS_ENV_VAR = "REPRO_THREADS"
+
+
+def default_thread_count() -> int:
+    """Worker count of the process pool: ``REPRO_THREADS`` or the core count."""
+
+    value = os.environ.get(THREADS_ENV_VAR)
+    if value:
+        try:
+            parsed = int(value)
+        except ValueError as exc:
+            raise ValueError(
+                f"{THREADS_ENV_VAR} must be an integer, got {value!r}"
+            ) from exc
+        if parsed > 0:
+            return parsed
+    try:
+        cores = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux hosts
+        cores = os.cpu_count() or 1
+    return max(1, cores)
+
+
+def resolve_thread_count(threads: Optional[int]) -> int:
+    """Normalise a user-facing ``threads`` knob to a concrete worker count.
+
+    ``None`` means serial (1), ``0`` means automatic (the
+    :func:`default_thread_count`), any positive integer is taken literally.
+    """
+
+    if threads is None:
+        return 1
+    threads = int(threads)
+    if threads < 0:
+        raise ValueError(f"threads must be >= 0 (0 = automatic), got {threads}")
+    if threads == 0:
+        return default_thread_count()
+    return threads
+
+
+def split_ranges(total: int, parts: int) -> Tuple[Tuple[int, int], ...]:
+    """Split ``range(total)`` into at most ``parts`` contiguous chunks.
+
+    The layout depends only on ``(total, parts)`` - never on the pool size or
+    scheduling order - which is what makes threaded executions bitwise
+    reproducible: the same chunks produce the same BLAS calls whether they
+    run on one worker or eight.
+    """
+
+    total = int(total)
+    if total <= 0:
+        return ()
+    parts = max(1, min(int(parts), total))
+    base, extra = divmod(total, parts)
+    ranges: List[Tuple[int, int]] = []
+    start = 0
+    for i in range(parts):
+        stop = start + base + (1 if i < extra else 0)
+        ranges.append((start, stop))
+        start = stop
+    return tuple(ranges)
+
+
+class PoolInfo(NamedTuple):
+    """``cache_info()``-style counters of one :class:`WorkerPool`."""
+
+    workers: int
+    submitted: int
+    completed: int
+    inline: int
+    started: bool
+
+
+_tls = threading.local()
+
+
+def in_worker() -> bool:
+    """Whether the calling thread is one of a :class:`WorkerPool`'s workers."""
+
+    return bool(getattr(_tls, "is_worker", False))
+
+
+def _mark_worker() -> None:
+    _tls.is_worker = True
+
+
+class WorkerPool:
+    """A lazily-started, reusable thread pool for array-chunk task lists.
+
+    The executor is created on first use and reused for the life of the
+    pool; :meth:`run_tasks` is the only execution entry point - it submits a
+    list of thunks, waits for all of them, and returns their results in task
+    order (so callers can treat it as a parallel ``[t() for t in tasks]``).
+    """
+
+    def __init__(self, workers: int) -> None:
+        self.workers = max(1, int(workers))
+        self._lock = threading.Lock()
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._submitted = 0
+        self._completed = 0
+        self._inline = 0
+
+    # ------------------------------------------------------------------
+    def _ensure_executor(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.workers,
+                    thread_name_prefix="repro-worker",
+                    initializer=_mark_worker,
+                )
+            return self._executor
+
+    # ------------------------------------------------------------------
+    def run_tasks(self, tasks: Sequence[Callable[[], object]]) -> List[object]:
+        """Run every thunk in ``tasks``; return their results in task order.
+
+        Runs inline (sequentially, on the calling thread) when the pool has
+        one worker, when there is at most one task, or when called from
+        inside a pool worker (nested parallelism; see the module docstring).
+        All tasks are always completed before an exception is re-raised, so
+        tasks that write into disjoint slices of a shared output array never
+        leave half of it unwritten silently.
+        """
+
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        if self.workers == 1 or len(tasks) == 1 or in_worker():
+            with self._lock:
+                self._inline += len(tasks)
+            return [task() for task in tasks]
+        executor = self._ensure_executor()
+        with self._lock:
+            self._submitted += len(tasks)
+        futures = [executor.submit(task) for task in tasks]
+        results: List[object] = []
+        first_error: Optional[BaseException] = None
+        done = 0
+        for future in futures:
+            try:
+                results.append(future.result())
+                done += 1
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                results.append(None)
+                if first_error is None:
+                    first_error = exc
+        with self._lock:
+            self._completed += done
+        if first_error is not None:
+            raise first_error
+        return results
+
+    # ------------------------------------------------------------------
+    def info(self) -> PoolInfo:
+        """Counters: workers, tasks submitted/completed/inlined, started."""
+
+        with self._lock:
+            return PoolInfo(
+                workers=self.workers,
+                submitted=self._submitted,
+                completed=self._completed,
+                inline=self._inline,
+                started=self._executor is not None,
+            )
+
+    def shutdown(self) -> None:
+        """Join and discard the executor (a later task list restarts it)."""
+
+        with self._lock:
+            executor = self._executor
+            self._executor = None
+        if executor is not None:
+            executor.shutdown(wait=True)
+
+
+# ----------------------------------------------------------------------
+# the process-wide pool
+# ----------------------------------------------------------------------
+
+_global_lock = threading.Lock()
+_global_pool: Optional[WorkerPool] = None
+
+
+def get_pool() -> WorkerPool:
+    """The shared process-wide pool (created on first call, reused after)."""
+
+    global _global_pool
+    with _global_lock:
+        if _global_pool is None:
+            _global_pool = WorkerPool(default_thread_count())
+        return _global_pool
+
+
+def configure_pool(workers: int) -> WorkerPool:
+    """Resize the process-wide pool to ``workers`` threads.
+
+    A no-op when the pool already has that size (counters are kept);
+    otherwise the old executor is shut down cleanly and a fresh pool takes
+    its place.  ``workers=0`` restores the automatic size.
+    """
+
+    workers = resolve_thread_count(int(workers) if workers else 0)
+    global _global_pool
+    with _global_lock:
+        current = _global_pool
+        if current is not None and current.workers == workers:
+            return current
+        _global_pool = WorkerPool(workers)
+        replaced = current
+        fresh = _global_pool
+    if replaced is not None:
+        replaced.shutdown()
+    return fresh
+
+
+def pool_info() -> PoolInfo:
+    """Counters of the process-wide pool (creating it if necessary)."""
+
+    return get_pool().info()
+
+
+def shutdown_pool() -> None:
+    """Shut down the process-wide pool's executor (idempotent)."""
+
+    with _global_lock:
+        pool = _global_pool
+    if pool is not None:
+        pool.shutdown()
+
+
+atexit.register(shutdown_pool)

@@ -1,0 +1,266 @@
+"""Shared-memory parallel six-step transforms: :class:`ThreadedSixStepProgram`.
+
+The paper's parallel FT-FFTW distributes the classical six-step algorithm
+(``N = p * q``: transpose, ``q`` ``p``-point FFTs, twiddle, transpose, ``p``
+``q``-point FFTs, transpose) over MPI ranks.  This module is the
+shared-memory analogue over the compiled executor: the same decomposition,
+with the row-FFT, twiddle, transpose, and column-FFT phases executed as
+*chunked batches* of the cached half-size :class:`~repro.fftlib.executor.
+StageProgram` objects on the process-wide :mod:`~repro.runtime.pool`.
+
+Phase structure for one ``n = m * k`` vector (``x2 = x.reshape(m, k)``):
+
+* **phase A** (transpose 1 + FFT 1 + twiddle, fused per chunk): each worker
+  takes a contiguous slice of the ``k`` columns, gathers them transposed
+  into a contiguous ``(cols, m)`` block, runs the cached ``m``-point program
+  over the block's last axis, multiplies by its slice of the
+  ``omega_N^{j2 n2}`` twiddle table, and stores the block into the shared
+  ``(k, m)`` intermediate;
+* **barrier** (the transpose-2 analogue: phase B reads every phase-A row);
+* **phase B** (FFT 2 + output transpose, fused per chunk): each worker takes
+  a slice of the ``m`` intermediate columns, gathers them transposed into a
+  contiguous ``(cols, k)`` block, runs the cached ``k``-point program, and
+  scatters the block into natural output order.
+
+Every heavy operation inside a chunk (``np.matmul`` combines, elementwise
+twiddles) releases the GIL, so the chunks genuinely overlap on multicore
+hosts; each worker computes on the executor's *thread-local* ping-pong
+buffers, so no scratch memory is ever shared.
+
+Determinism: the chunk layout depends only on ``(n, threads)`` - never on
+the pool size or scheduling order - and chunks write disjoint slices, so a
+threaded execution is bitwise identical to running the same chunks
+sequentially (``parallel=False``), and repeated executions are bitwise
+identical to each other.
+
+Batched inputs parallelise over the *batch* axis instead (each worker runs
+the vectorized six-step over its slice of rows), which is also what the
+chunk-parallel protected batches of :class:`~repro.core.ftplan.FTPlan`
+build on.
+
+Sizes that cannot profit - primes (no balanced split), tiny transforms
+(dispatch-bound), or a resolved thread count of 1 - fall back to the plain
+serial :class:`StageProgram` so every size stays valid.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.fftlib import factorization
+from repro.fftlib.executor import StageProgram, _cached_program, get_program
+from repro.fftlib.twiddle import get_global_cache
+from repro.runtime.pool import WorkerPool, get_pool, resolve_thread_count, split_ranges
+
+__all__ = [
+    "MIN_THREADED_SIZE",
+    "ThreadedSixStepProgram",
+    "threading_profitable",
+    "get_threaded_program",
+]
+
+#: Below this size the per-chunk Python dispatch dominates the BLAS work and
+#: threading cannot win; the planner and the program itself fall back to the
+#: serial compiled program.
+MIN_THREADED_SIZE = 1 << 12
+
+
+def threading_profitable(n: int, threads: Optional[int]) -> bool:
+    """Whether the six-step threaded lowering can beat the serial program.
+
+    The ESTIMATE-mode heuristic: a resolved thread count above 1, a size
+    large enough that chunk dispatch amortises, and a non-trivial balanced
+    split (primes have none).  MEASURE-mode planners time the two lowerings
+    instead of trusting this (see :meth:`repro.fftlib.planner.Planner.plan`).
+    """
+
+    n = int(n)
+    if resolve_thread_count(threads) <= 1 or n < MIN_THREADED_SIZE:
+        return False
+    _, k = factorization.balanced_split(n)
+    return k >= 2
+
+
+class ThreadedSixStepProgram:
+    """A compiled six-step transform whose phases run chunked on the pool.
+
+    Immutable after construction and safe to share across threads, like
+    :class:`StageProgram`; the ``threads`` parameter fixes the chunk layout
+    (and is part of the program-cache key), while the executing pool is
+    looked up per call.
+    """
+
+    __slots__ = (
+        "n",
+        "m",
+        "k",
+        "threads",
+        "serial",
+        "row_program",
+        "col_program",
+        "twiddle",
+        "_col_ranges",
+        "_mid_ranges",
+    )
+
+    def __init__(self, n: int, threads: Optional[int] = 0) -> None:
+        self.n = int(n)
+        if self.n <= 0:
+            raise ValueError("transform length must be positive")
+        self.threads = resolve_thread_count(threads)
+        if not threading_profitable(self.n, self.threads):
+            # Primes, tiny sizes, or a single thread: the serial compiled
+            # program is the right tool and keeps every size valid.
+            self.serial: Optional[StageProgram] = get_program(self.n)
+            self.m, self.k = self.n, 1
+            self.row_program = self.col_program = None
+            self.twiddle = None
+            self._col_ranges = self._mid_ranges = ()
+            return
+        self.serial = None
+        self.m, self.k = factorization.balanced_split(self.n)
+        self.row_program = get_program(self.m)
+        self.col_program = get_program(self.k)
+        # The (m, k) table omega_N^{j2 n2}, stored transposed (k, m) so the
+        # phase-A blocks (rows indexed by n2) multiply a contiguous slice.
+        self.twiddle = np.ascontiguousarray(get_global_cache().stage(self.m, self.k).T)
+        self._col_ranges = split_ranges(self.k, self.threads)
+        self._mid_ranges = split_ranges(self.m, self.threads)
+
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        x: np.ndarray,
+        *,
+        parallel: bool = True,
+        pool: Optional[WorkerPool] = None,
+    ) -> np.ndarray:
+        """Forward DFT along the last axis of ``x`` (batched, out-of-place).
+
+        ``parallel=False`` runs the identical chunk list sequentially on the
+        calling thread - the bitwise reference for the threaded execution.
+        """
+
+        x = np.asarray(x, dtype=np.complex128)
+        if x.ndim == 0:
+            raise ValueError("input must have at least one dimension")
+        n = self.n
+        if x.shape[-1] != n:
+            raise ValueError(
+                f"program of size {n} applied to array with last axis {x.shape[-1]}"
+            )
+        if self.serial is not None:
+            return self.serial.execute(x)
+        shape = x.shape
+        batch = x.size // n
+        if batch == 0:
+            # Empty batch: match the serial program (empty result, no work).
+            return x.copy()
+        xs = x.reshape(batch, n)
+        if not xs.flags.c_contiguous:
+            xs = np.ascontiguousarray(xs)
+        runner = (pool or get_pool()) if parallel else None
+        if batch > 1:
+            out = np.empty((batch, n), dtype=np.complex128)
+            tasks = [
+                (lambda lo=lo, hi=hi: out.__setitem__(
+                    slice(lo, hi), self._sixstep_batch(xs[lo:hi])
+                ))
+                for lo, hi in split_ranges(batch, self.threads)
+            ]
+            self._run(runner, tasks)
+            return out.reshape(shape)
+        out = np.empty(n, dtype=np.complex128)
+        self._execute_single(xs[0], out, runner)
+        return out.reshape(shape)
+
+    # ------------------------------------------------------------------
+    def _run(self, pool: Optional[WorkerPool], tasks) -> None:
+        if pool is None:
+            for task in tasks:
+                task()
+        else:
+            pool.run_tasks(tasks)
+
+    # ------------------------------------------------------------------
+    def _execute_single(
+        self, x: np.ndarray, out: np.ndarray, pool: Optional[WorkerPool]
+    ) -> None:
+        """The chunked six-step phases for one length-``n`` vector."""
+
+        m, k = self.m, self.k
+        work = x.reshape(m, k)
+        mid = np.empty((k, m), dtype=np.complex128)
+
+        def phase_a(lo: int, hi: int) -> None:
+            # transpose 1 + FFT 1 + twiddle for columns [lo, hi)
+            block = np.ascontiguousarray(work[:, lo:hi].T)
+            block = self.row_program.execute(block)
+            np.multiply(block, self.twiddle[lo:hi, :], out=mid[lo:hi, :])
+
+        self._run(pool, [(lambda lo=lo, hi=hi: phase_a(lo, hi)) for lo, hi in self._col_ranges])
+
+        out2 = out.reshape(k, m)
+
+        def phase_b(lo: int, hi: int) -> None:
+            # transpose 2 + FFT 2 + transpose 3 for intermediate columns [lo, hi)
+            block = np.ascontiguousarray(mid[:, lo:hi].T)
+            block = self.col_program.execute(block)
+            out2[:, lo:hi] = block.T
+
+        self._run(pool, [(lambda lo=lo, hi=hi: phase_b(lo, hi)) for lo, hi in self._mid_ranges])
+
+    # ------------------------------------------------------------------
+    def _sixstep_batch(self, rows: np.ndarray) -> np.ndarray:
+        """Vectorized (unchunked) six-step over a ``(batch, n)`` slice.
+
+        Used when the parallelism comes from the batch axis: each worker
+        runs this whole pipeline over its own row slice.
+        """
+
+        b = rows.shape[0]
+        m, k = self.m, self.k
+        # (b, k, m): row n2 of each batch entry holds the stride-k subsequence
+        blocks = np.ascontiguousarray(rows.reshape(b, m, k).transpose(0, 2, 1))
+        inner = self.row_program.execute(blocks)
+        inner *= self.twiddle[None, :, :]
+        mid = np.ascontiguousarray(inner.transpose(0, 2, 1))  # (b, m, k)
+        outer = self.col_program.execute(mid)
+        return np.ascontiguousarray(outer.transpose(0, 2, 1)).reshape(b, self.n)
+
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        """One-line program listing (decomposition, chunking, sub-programs)."""
+
+        if self.serial is not None:
+            return (
+                f"ThreadedSixStep(n={self.n}, serial fallback -> "
+                f"{self.serial.describe()})"
+            )
+        return (
+            f"ThreadedSixStep(n={self.n} = {self.m} x {self.k}, "
+            f"threads={self.threads}, row={self.row_program.describe()}, "
+            f"col={self.col_program.describe()})"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return self.describe()
+
+
+def get_threaded_program(n: int, threads: Optional[int] = 0):
+    """The (cached) threaded six-step program for ``n`` and a thread count.
+
+    Shares the executor's program LRU (keys are tagged with the resolved
+    thread count, since the chunk layout is part of the program's identity).
+    A resolved count of 1 returns the plain serial :func:`get_program`.
+    """
+
+    n = int(n)
+    nthreads = resolve_thread_count(threads)
+    if nthreads <= 1:
+        return get_program(n)
+    return _cached_program(
+        ("sixstep", n, nthreads), lambda: ThreadedSixStepProgram(n, nthreads)
+    )

@@ -1,0 +1,335 @@
+"""Threaded FTPlan behaviour: config knob, chunk-parallel batches, per-worker
+ABFT, interior real verification, and plan-cache thread safety."""
+
+import threading
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.config import FTConfig
+from repro.core.ftplan import FTPlan, clear_plan_cache, plan, plan_cache_info
+from repro.faults.injector import FaultInjector
+from repro.faults.models import FaultSite
+
+
+def _complex_batch(batch, n, seed=11):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal((batch, n)) + 1j * rng.standard_normal((batch, n))
+
+
+class TestConfigThreads:
+    def test_name_suffix_roundtrip(self):
+        assert FTConfig(threads=4).to_name() == "opt-online+mem+t4"
+        cfg = FTConfig.from_name("opt-online+mem+t4")
+        assert cfg.threads == 4 and not cfg.real
+
+    def test_real_and_threads_compose(self):
+        cfg = FTConfig.from_name("opt-online+mem+real+t2")
+        assert cfg.real and cfg.threads == 2
+        assert cfg.to_name() == "opt-online+mem+real+t2"
+
+    def test_auto_threads_suffix(self):
+        cfg = FTConfig.from_name("fftw+t0")
+        assert cfg.threads == 0
+        assert cfg.to_name() == "fftw+t0"
+
+    def test_none_override_does_not_swallow_suffix(self):
+        # The CLI forwards threads=None verbatim; a name's +t{N} must win
+        # over the unset sentinel (and +real over real=False).
+        cfg = FTConfig.from_name("opt-online+mem+t4", threads=None)
+        assert cfg.threads == 4
+        cfg = FTConfig.from_name("opt-online+mem+real+t2", threads=None, real=False)
+        assert cfg.threads == 2 and cfg.real
+
+    def test_explicit_override_beats_suffix(self):
+        assert FTConfig.from_name("opt-online+mem+t4", threads=8).threads == 8
+
+    def test_default_is_serial(self):
+        assert FTConfig().threads is None
+        assert FTConfig().to_name() == "opt-online+mem"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FTConfig(threads=-2)
+        with pytest.raises(ValueError):
+            FTConfig(threads=1.5)
+
+    def test_describe_mentions_threads(self):
+        assert "threads=4" in FTConfig(threads=4).describe()
+
+    def test_plan_cache_key_includes_threads(self):
+        serial = repro.plan(2048)
+        threaded = repro.plan(2048, threads=2)
+        assert serial is not threaded
+        assert repro.plan(2048, threads=2) is threaded
+        assert threaded.threads == 2
+
+
+class TestChunkParallelBatches:
+    @pytest.mark.parametrize("scheme", ["fftw", "opt-offline+mem", "opt-online+mem"])
+    def test_threaded_matches_serial_and_numpy(self, scheme):
+        n, batch = 1024, 10
+        X = _complex_batch(batch, n)
+        serial = plan(n, FTConfig.from_name(scheme))
+        threaded = plan(n, FTConfig.from_name(scheme, threads=4))
+        ref = np.fft.fft(X, axis=-1)
+        out_serial = serial.execute_many(X)
+        out_threaded = threaded.execute_many(X)
+        assert np.allclose(out_threaded.output, ref)
+        assert np.allclose(out_threaded.output, out_serial.output)
+        assert not out_threaded.detected
+        assert out_threaded.fallback_rows == ()
+
+    def test_threaded_repeatable(self):
+        n = 1024
+        X = _complex_batch(6, n, seed=5)
+        threaded = plan(n, threads=3)
+        first = threaded.execute_many(X).output
+        for _ in range(3):
+            assert np.array_equal(first, threaded.execute_many(X).output)
+
+    def test_real_mode_chunk_parallel(self):
+        n = 1024
+        rng = np.random.default_rng(9)
+        X = rng.standard_normal((8, n))
+        threaded = plan(n, real=True, threads=4)
+        batch = threaded.execute_many(X)
+        assert np.allclose(batch.output, np.fft.rfft(X, axis=-1))
+        assert not batch.detected
+
+    def test_batch_smaller_than_threads(self):
+        n = 1024
+        X = _complex_batch(2, n, seed=6)
+        threaded = plan(n, threads=8)
+        assert np.allclose(threaded.execute_many(X).output, np.fft.fft(X, axis=-1))
+
+    def test_single_row_batch(self):
+        n = 1024
+        X = _complex_batch(1, n, seed=8)
+        threaded = plan(n, threads=4)
+        assert np.allclose(threaded.execute_many(X).output, np.fft.fft(X, axis=-1))
+
+
+class TestPerWorkerABFT:
+    def test_fault_in_one_worker_chunk_is_located_and_corrected(self):
+        n, batch, threads = 1024, 8, 4
+        X = _complex_batch(batch, n, seed=13)
+        threaded = plan(n, threads=threads)
+        # chunk 2 of 4 covers rows 4..5; pin the OUTPUT fault to that worker
+        injector = FaultInjector().arm_memory(
+            site=FaultSite.OUTPUT, index=2, magnitude=300.0
+        )
+        result = threaded.execute_many(X, injector=injector)
+        assert injector.fired_count == 1
+        assert result.detected
+        assert not result.uncorrectable
+        assert all(4 <= row < 6 for row in result.fallback_rows)
+        assert np.allclose(result.output, np.fft.fft(X, axis=-1))
+
+    def test_unpinned_fault_strikes_exactly_one_chunk(self):
+        n, batch = 1024, 8
+        X = _complex_batch(batch, n, seed=14)
+        threaded = plan(n, threads=4)
+        injector = FaultInjector().arm_memory(site=FaultSite.OUTPUT, magnitude=300.0)
+        result = threaded.execute_many(X, injector=injector)
+        assert injector.fired_count == 1  # fire_once: one worker's chunk
+        assert not result.uncorrectable
+        assert np.allclose(result.output, np.fft.fft(X, axis=-1))
+
+    def test_input_fault_repaired_under_threads(self):
+        n, batch = 1024, 8
+        X = _complex_batch(batch, n, seed=15)
+        threaded = plan(n, threads=4)
+        injector = FaultInjector().arm_memory(site=FaultSite.INPUT, magnitude=200.0)
+        result = threaded.execute_many(X, injector=injector)
+        assert not result.uncorrectable
+        assert np.allclose(result.output, np.fft.fft(X, axis=-1))
+
+    def test_real_mode_worker_fault_recovered(self):
+        n, batch = 1024, 8
+        rng = np.random.default_rng(16)
+        X = rng.standard_normal((batch, n))
+        threaded = plan(n, real=True, threads=4)
+        injector = FaultInjector().arm_memory(
+            site=FaultSite.OUTPUT, index=1, magnitude=250.0
+        )
+        result = threaded.execute_many(X, injector=injector)
+        assert injector.fired_count == 1
+        assert not result.uncorrectable
+        assert np.allclose(result.output, np.fft.rfft(X, axis=-1))
+
+
+class TestInteriorRealVerification:
+    class _CorruptingProgram:
+        """Wraps the cached RealStageProgram, corrupting the half-length
+        sub-transform result a fixed number of times."""
+
+        def __init__(self, inner, strikes=1, magnitude=80.0):
+            self._inner = inner
+            self.remaining = strikes
+            self.magnitude = magnitude
+
+        @property
+        def half(self):
+            return self._inner.half
+
+        def pack(self, x):
+            return self._inner.pack(x)
+
+        def transform_half(self, z):
+            out = self._inner.transform_half(z)
+            if self.remaining:
+                self.remaining -= 1
+                out = out.copy()
+                out[5] += self.magnitude
+            return out
+
+        def disentangle(self, spectrum):
+            return self._inner.disentangle(spectrum)
+
+        def execute(self, x):
+            return self._inner.execute(x)
+
+        def execute_inverse(self, spectrum):
+            return self._inner.execute_inverse(spectrum)
+
+    def test_fault_free_run_records_interior_check(self):
+        ftp = FTPlan(2048, FTConfig(real=True))
+        xr = np.random.default_rng(21).standard_normal(2048)
+        result = ftp.execute(xr)
+        sites = [v.site for v in result.report.verifications]
+        assert "real-interior-ccv" in sites
+        assert not result.detected
+        assert np.allclose(result.output, np.fft.rfft(xr))
+
+    def test_interior_fault_caught_before_disentangle(self):
+        ftp = FTPlan(2048, FTConfig(real=True))
+        ftp._real_program = self._CorruptingProgram(ftp._real_program, strikes=1)
+        xr = np.random.default_rng(22).standard_normal(2048)
+        result = ftp.execute(xr)
+        interior = [
+            v for v in result.report.verifications if v.site == "real-interior-ccv"
+        ]
+        assert any(v.detected for v in interior)
+        assert not result.uncorrectable
+        assert np.allclose(result.output, np.fft.rfft(xr))
+        # the recovery happened mid-pipeline: a restart correction is logged
+        assert any(
+            c.site == "real-interior" for c in result.report.corrections
+        )
+
+    def test_persistent_interior_fault_reported_uncorrectable(self):
+        ftp = FTPlan(2048, FTConfig(real=True))
+        ftp._real_program = self._CorruptingProgram(ftp._real_program, strikes=99)
+        xr = np.random.default_rng(23).standard_normal(2048)
+        result = ftp.execute(xr)
+        assert result.uncorrectable
+
+    def test_input_memory_corruption_still_repaired_with_interior_check(self):
+        # Regression: corrupted input trips the interior check (z aliases
+        # xr), so the interior branch must route through the locating-pair
+        # repair instead of restarting from the same corrupted data.
+        ftp = FTPlan(1024, FTConfig.from_name("opt-online+mem+real"))
+        xr = np.random.default_rng(25).standard_normal(1024)
+        reference = np.fft.rfft(xr)
+
+        inner = ftp._real_program
+        corrupted = {"done": False}
+
+        class CorruptPack:
+            """Corrupts xr (through the packed view) after encoding, once."""
+
+            half = inner.half
+
+            def pack(self, x):
+                z = inner.pack(x)
+                if not corrupted["done"]:
+                    corrupted["done"] = True
+                    z[9] += 50.0  # writes through to xr: a memory fault
+                return z
+
+            def transform_half(self, z):
+                return inner.transform_half(z)
+
+            def disentangle(self, spectrum):
+                return inner.disentangle(spectrum)
+
+            def execute(self, x):
+                return inner.execute(x)
+
+        ftp._real_program = CorruptPack()
+        result = ftp.execute(xr)
+        assert not result.uncorrectable
+        assert result.report.memory_correction_count >= 1
+        assert np.allclose(result.output, reference)
+
+    def test_odd_size_has_no_interior_pair_but_works(self):
+        ftp = FTPlan(2187, FTConfig(real=True))  # odd: no half-length packing
+        assert ftp.constants.c_h is None
+        xr = np.random.default_rng(24).standard_normal(2187)
+        result = ftp.execute(xr)
+        assert np.allclose(result.output, np.fft.rfft(xr))
+
+
+class TestConcurrentPlanning:
+    def test_many_threads_same_key_get_one_plan(self):
+        clear_plan_cache()
+        results = []
+        barrier = threading.Barrier(8)
+
+        def fetch():
+            barrier.wait()
+            results.append(repro.plan(1536, "opt-offline"))
+
+        threads = [threading.Thread(target=fetch) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(p is results[0] for p in results)
+        info = plan_cache_info()
+        assert info.misses == 1
+
+    def test_concurrent_distinct_sizes(self):
+        clear_plan_cache()
+        sizes = [512, 768, 1024, 1280, 1536, 2048]
+        plans = {}
+        lock = threading.Lock()
+
+        def fetch(n):
+            p = repro.plan(n, "opt-online+mem")
+            with lock:
+                plans.setdefault(n, []).append(p)
+
+        threads = [
+            threading.Thread(target=fetch, args=(n,)) for n in sizes for _ in range(3)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        for n in sizes:
+            assert all(p is plans[n][0] for p in plans[n])
+            x = np.random.default_rng(n).standard_normal(n) + 0j
+            assert np.allclose(plans[n][0].execute(x).output, np.fft.fft(x))
+
+    def test_concurrent_executions_share_one_threaded_plan(self):
+        threaded = plan(1024, threads=2)
+        X = _complex_batch(6, 1024, seed=31)
+        ref = np.fft.fft(X, axis=-1)
+        errors = []
+
+        def work():
+            try:
+                out = threaded.execute_many(X)
+                assert np.allclose(out.output, ref)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        workers = [threading.Thread(target=work) for _ in range(6)]
+        for t in workers:
+            t.start()
+        for t in workers:
+            t.join()
+        assert not errors

@@ -89,3 +89,49 @@ class TestPredictCommand:
         assert main(["predict", "-n", str(2**24), "-p", "256"]) == 0
         out = capsys.readouterr().out
         assert "opt-FT-FFTW" in out
+
+
+class TestThreadsOption:
+    def test_threaded_batched_transform(self, capsys):
+        code = main(["transform", "-n", "1024", "--batch", "6", "--threads", "3", "--seed", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "batch rows           : 6" in out
+
+    def test_threaded_real_batch(self, capsys):
+        code = main(
+            ["transform", "-n", "1024", "--batch", "4", "--threads", "2", "--real", "--seed", "5"]
+        )
+        assert code == 0
+
+    def test_threaded_inject_worker_chunk(self, capsys):
+        # pin the OUTPUT fault to worker chunk 1; the per-chunk checksums
+        # must locate and correct it (exit 0 = output within tolerance)
+        code = main(
+            [
+                "inject", "-n", "1024", "--batch", "8", "--threads", "4",
+                "--site", "output", "--kind", "set-constant", "--magnitude", "99",
+                "--index", "1", "--seed", "6",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "faults injected      : 1" in out
+        assert "rows re-protected    : 1" in out
+
+    def test_threads_zero_is_automatic(self, capsys):
+        assert main(["transform", "-n", "512", "--batch", "2", "--threads", "0"]) == 0
+
+
+class TestBenchCommand:
+    def test_bench_smoke(self, capsys):
+        assert main(["bench", "-n", "4096", "--threads", "2", "--repeats", "1", "--batch", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "serial compiled" in out
+        assert "threaded x2" in out
+        assert "pool:" in out
+
+    def test_bench_without_batch(self, capsys):
+        assert main(["bench", "-n", "4096", "--threads", "2", "--repeats", "1", "--batch", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "protected batch" not in out

@@ -1,0 +1,158 @@
+"""Tests for the process-wide worker pool (repro.runtime.pool)."""
+
+import threading
+
+import pytest
+
+from repro.runtime.pool import (
+    WorkerPool,
+    configure_pool,
+    default_thread_count,
+    get_pool,
+    in_worker,
+    pool_info,
+    resolve_thread_count,
+    shutdown_pool,
+    split_ranges,
+)
+
+
+class TestSizing:
+    def test_env_var_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_THREADS", "5")
+        assert default_thread_count() == 5
+
+    def test_env_var_must_be_integer(self, monkeypatch):
+        monkeypatch.setenv("REPRO_THREADS", "many")
+        with pytest.raises(ValueError):
+            default_thread_count()
+
+    def test_without_env_var_uses_cores(self, monkeypatch):
+        monkeypatch.delenv("REPRO_THREADS", raising=False)
+        assert default_thread_count() >= 1
+
+    def test_resolve_thread_count(self, monkeypatch):
+        monkeypatch.setenv("REPRO_THREADS", "3")
+        assert resolve_thread_count(None) == 1
+        assert resolve_thread_count(0) == 3
+        assert resolve_thread_count(7) == 7
+        with pytest.raises(ValueError):
+            resolve_thread_count(-1)
+
+
+class TestSplitRanges:
+    def test_covers_everything_contiguously(self):
+        for total in (1, 2, 7, 16, 100):
+            for parts in (1, 2, 3, 8, 200):
+                ranges = split_ranges(total, parts)
+                assert ranges[0][0] == 0
+                assert ranges[-1][1] == total
+                for (_, a_stop), (b_start, _) in zip(ranges, ranges[1:]):
+                    assert a_stop == b_start
+
+    def test_at_most_parts_chunks_and_balanced(self):
+        ranges = split_ranges(10, 4)
+        assert len(ranges) == 4
+        sizes = [hi - lo for lo, hi in ranges]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_more_parts_than_items(self):
+        assert split_ranges(3, 8) == ((0, 1), (1, 2), (2, 3))
+
+    def test_empty(self):
+        assert split_ranges(0, 4) == ()
+
+
+class TestWorkerPool:
+    def test_results_in_task_order(self):
+        pool = WorkerPool(4)
+        try:
+            results = pool.run_tasks([lambda i=i: i * i for i in range(20)])
+            assert results == [i * i for i in range(20)]
+        finally:
+            pool.shutdown()
+
+    def test_single_worker_runs_inline(self):
+        pool = WorkerPool(1)
+        results = pool.run_tasks([lambda: threading.current_thread().name] * 3)
+        assert all(name == threading.current_thread().name for name in results)
+        info = pool.info()
+        assert info.inline == 3
+        assert info.submitted == 0
+        assert not info.started
+
+    def test_counters(self):
+        pool = WorkerPool(2)
+        try:
+            pool.run_tasks([lambda: None] * 6)
+            info = pool.info()
+            assert info.workers == 2
+            assert info.submitted == 6
+            assert info.completed == 6
+            assert info.started
+        finally:
+            pool.shutdown()
+
+    def test_nested_submission_runs_inline_without_deadlock(self):
+        # A worker re-entering run_tasks must not block on its own pool.
+        pool = WorkerPool(2)
+        try:
+            def outer():
+                assert in_worker()
+                return pool.run_tasks([lambda i=i: i for i in range(4)])
+
+            results = pool.run_tasks([outer, outer, outer, outer])
+            assert results == [[0, 1, 2, 3]] * 4
+        finally:
+            pool.shutdown()
+
+    def test_exceptions_propagate_after_all_tasks_finish(self):
+        pool = WorkerPool(2)
+        done = []
+        try:
+            def boom():
+                raise RuntimeError("task failed")
+
+            with pytest.raises(RuntimeError, match="task failed"):
+                pool.run_tasks([boom, lambda: done.append(1), lambda: done.append(2)])
+            assert sorted(done) == [1, 2]
+        finally:
+            pool.shutdown()
+
+    def test_shutdown_is_idempotent_and_restartable(self):
+        pool = WorkerPool(2)
+        assert pool.run_tasks([lambda: 1, lambda: 2]) == [1, 2]
+        pool.shutdown()
+        pool.shutdown()
+        # next task list lazily restarts the executor
+        assert pool.run_tasks([lambda: 3, lambda: 4]) == [3, 4]
+        pool.shutdown()
+
+    def test_empty_task_list(self):
+        assert WorkerPool(2).run_tasks([]) == []
+
+
+class TestGlobalPool:
+    def test_get_pool_is_singleton(self):
+        assert get_pool() is get_pool()
+
+    def test_pool_info_shape(self):
+        info = pool_info()
+        assert info.workers >= 1
+        assert info.submitted >= 0
+
+    def test_configure_resize_and_back(self):
+        original = get_pool().workers
+        try:
+            resized = configure_pool(3)
+            assert resized.workers == 3
+            assert get_pool() is resized
+            # same size is a no-op returning the same pool
+            assert configure_pool(3) is resized
+        finally:
+            configure_pool(original)
+        assert get_pool().workers == original
+
+    def test_shutdown_pool_safe(self):
+        shutdown_pool()  # must be idempotent and leave the pool reusable
+        assert get_pool().run_tasks([lambda: 42, lambda: 43]) == [42, 43]

@@ -1,0 +1,272 @@
+"""Tests for the threaded six-step program and its planner integration."""
+
+import threading
+
+import numpy as np
+import pytest
+
+import repro.fftlib.executor as executor
+from repro.fftlib.executor import clear_program_cache, get_program
+from repro.fftlib.plan import PlanDirection
+from repro.fftlib.planner import Planner, PlannerPolicy, plan_fft
+from repro.runtime.pool import WorkerPool
+from repro.runtime.threaded import (
+    MIN_THREADED_SIZE,
+    ThreadedSixStepProgram,
+    get_threaded_program,
+    threading_profitable,
+)
+
+
+def _signal(n, seed=7, batch=None):
+    rng = np.random.default_rng(seed)
+    shape = (n,) if batch is None else (batch, n)
+    return rng.standard_normal(shape) + 1j * rng.standard_normal(shape)
+
+
+class TestCorrectness:
+    # even power of two, even composite, odd composite, prime
+    SIZES = (4096, 6144, 6561, 4099)
+
+    @pytest.mark.parametrize("n", SIZES)
+    def test_matches_numpy_single(self, n):
+        program = ThreadedSixStepProgram(n, 4)
+        x = _signal(n)
+        assert np.allclose(program.execute(x), np.fft.fft(x))
+
+    @pytest.mark.parametrize("n", SIZES)
+    def test_matches_numpy_batched(self, n):
+        program = ThreadedSixStepProgram(n, 4)
+        X = _signal(n, batch=7)
+        assert np.allclose(program.execute(X), np.fft.fft(X, axis=-1))
+
+    def test_nd_batch_shape_preserved(self):
+        program = ThreadedSixStepProgram(4096, 4)
+        X = _signal(4096, batch=6).reshape(2, 3, 4096)
+        out = program.execute(X)
+        assert out.shape == X.shape
+        assert np.allclose(out, np.fft.fft(X, axis=-1))
+
+    def test_wrong_length_raises(self):
+        with pytest.raises(ValueError):
+            ThreadedSixStepProgram(4096, 2).execute(np.zeros(100, dtype=complex))
+
+    def test_empty_batch_matches_serial(self):
+        program = ThreadedSixStepProgram(4096, 4)
+        empty = np.empty((0, 4096), dtype=complex)
+        out = program.execute(empty)
+        assert out.shape == (0, 4096)
+        assert out.shape == get_program(4096).execute(empty).shape
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("n", (4096, 6561))
+    def test_parallel_bitwise_equals_inline(self, n):
+        # The same chunk list run on the pool and run sequentially must give
+        # bitwise-identical spectra (chunk layout is independent of the pool).
+        program = ThreadedSixStepProgram(n, 4)
+        x = _signal(n, seed=n)
+        assert np.array_equal(program.execute(x), program.execute(x, parallel=False))
+        X = _signal(n, seed=n + 1, batch=5)
+        assert np.array_equal(program.execute(X), program.execute(X, parallel=False))
+
+    def test_repeated_parallel_runs_bitwise_identical(self):
+        program = ThreadedSixStepProgram(8192, 4)
+        x = _signal(8192, seed=1)
+        first = program.execute(x)
+        for _ in range(3):
+            assert np.array_equal(first, program.execute(x))
+
+    def test_dedicated_pool_matches_global(self):
+        program = ThreadedSixStepProgram(4096, 3)
+        x = _signal(4096, seed=2)
+        pool = WorkerPool(2)
+        try:
+            assert np.array_equal(program.execute(x), program.execute(x, pool=pool))
+        finally:
+            pool.shutdown()
+
+
+class TestFallbacks:
+    def test_prime_falls_back_to_serial(self):
+        program = ThreadedSixStepProgram(4099, 4)
+        assert program.serial is not None
+        assert "serial fallback" in program.describe()
+
+    def test_small_size_falls_back(self):
+        assert ThreadedSixStepProgram(256, 4).serial is not None
+
+    def test_single_thread_falls_back(self):
+        assert ThreadedSixStepProgram(1 << 14, 1).serial is not None
+
+    def test_threading_profitable(self):
+        assert threading_profitable(1 << 16, 4)
+        assert not threading_profitable(1 << 16, 1)
+        assert not threading_profitable(MIN_THREADED_SIZE // 2, 4)
+        assert not threading_profitable(4099, 4)  # prime: no balanced split
+
+
+class TestProgramCache:
+    def test_cached_per_thread_count(self):
+        a = get_threaded_program(4096, 4)
+        b = get_threaded_program(4096, 4)
+        c = get_threaded_program(4096, 2)
+        assert a is b
+        assert a is not c
+        assert isinstance(a, ThreadedSixStepProgram)
+
+    def test_single_thread_returns_serial_program(self):
+        assert get_threaded_program(4096, 1) is get_program(4096)
+        assert get_threaded_program(4096, None) is get_program(4096)
+
+    def test_no_compile_stampede(self, monkeypatch):
+        # Concurrent get_program calls for the same new key must compile
+        # exactly once (per-key once-guard), not once per thread.
+        clear_program_cache()
+        compiled = []
+        real_cls = executor.StageProgram
+
+        class Counting(real_cls):
+            def __init__(self, n):
+                compiled.append(n)
+                super().__init__(n)
+
+        monkeypatch.setattr(executor, "StageProgram", Counting)
+        n = 3 * 5 * 7 * 11  # a size nothing else compiles
+        results = []
+        barrier = threading.Barrier(8)
+
+        def fetch():
+            barrier.wait()
+            results.append(executor.get_program(n))
+
+        threads = [threading.Thread(target=fetch) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert compiled.count(n) == 1
+        assert all(r is results[0] for r in results)
+
+    def test_failed_compile_releases_guard(self, monkeypatch):
+        clear_program_cache()
+        calls = []
+        real_cls = executor.StageProgram
+
+        class FlakyOnce(real_cls):
+            def __init__(self, n):
+                calls.append(n)
+                if len(calls) == 1:
+                    raise RuntimeError("transient compile failure")
+                super().__init__(n)
+
+        monkeypatch.setattr(executor, "StageProgram", FlakyOnce)
+        n = 3 * 5 * 7 * 13
+        with pytest.raises(RuntimeError):
+            executor.get_program(n)
+        # the in-flight guard must not wedge subsequent requests
+        assert executor.get_program(n).n == n
+
+
+class TestPlannerIntegration:
+    def test_plan_fft_threads_lowers_sixstep(self):
+        plan = plan_fft(1 << 14, threads=4)
+        assert isinstance(plan.program, ThreadedSixStepProgram)
+        assert plan.threads == 4
+        assert "threads=4" in plan.describe()
+        x = _signal(1 << 14)
+        assert np.allclose(plan.execute(x), np.fft.fft(x))
+
+    def test_threaded_backward_plan(self):
+        plan = plan_fft(1 << 14, PlanDirection.BACKWARD, threads=4)
+        x = _signal(1 << 14, seed=3)
+        assert np.allclose(plan.execute(x), np.fft.ifft(x))
+
+    def test_serial_request_unchanged(self):
+        plan = plan_fft(1 << 14)
+        assert plan.threads == 1
+        assert not isinstance(plan.program, ThreadedSixStepProgram)
+
+    def test_wisdom_cached_per_thread_count(self):
+        planner = Planner()
+        a = planner.plan(1 << 13, threads=4)
+        b = planner.plan(1 << 13, threads=4)
+        c = planner.plan(1 << 13)
+        assert a is b
+        assert a is not c
+
+    def test_unprofitable_size_lowers_serial(self):
+        planner = Planner()
+        plan = planner.plan(512, threads=4)
+        assert plan.threads == 1
+        assert not isinstance(plan.program, ThreadedSixStepProgram)
+
+    def test_numpy_backend_stays_serial(self):
+        plan = plan_fft(1 << 14, backend="numpy", threads=4)
+        assert plan.threads == 1
+
+    def test_real_plan_stays_serial(self):
+        plan = plan_fft(1 << 14, real=True, threads=4)
+        assert plan.threads == 1
+        assert plan.real
+
+    def test_measure_mode_times_and_records_winner(self):
+        planner = Planner(policy=PlannerPolicy.MEASURE)
+        n = 1 << 13
+        plan = planner.plan(n, threads=2)
+        key = f"{n}:t2"
+        timings = planner.thread_measurements[key]
+        assert set(timings) == {"serial", "threaded"}
+        winner_threaded = timings["threaded"] < timings["serial"]
+        assert plan.threads == (2 if winner_threaded else 1)
+
+    def test_measure_wisdom_roundtrip_without_retiming(self):
+        planner = Planner(policy=PlannerPolicy.MEASURE)
+        n = 1 << 13
+        planner.plan(n, threads=2)
+        exported = planner.export_wisdom()
+        assert "__thread_measurements__" in exported
+        assert any(key.endswith(":t2") for key in exported if not key.startswith("__"))
+
+        seeded = Planner(policy=PlannerPolicy.MEASURE)
+        seeded.import_wisdom(exported)
+        # imported timings must be reused verbatim (no re-timing)
+        assert seeded.thread_measurements[f"{n}:t2"] == planner.thread_measurements[f"{n}:t2"]
+        first = seeded.plan(n, threads=2)
+        assert first.threads == planner.plan(n, threads=2).threads
+        assert seeded.thread_measurements[f"{n}:t2"] == planner.thread_measurements[f"{n}:t2"]
+
+    def test_legacy_wisdom_import_still_works(self):
+        planner = Planner()
+        planner.import_wisdom({"4096:forward": "mixed-radix"})
+        assert (4096, PlanDirection.FORWARD, "fftlib", False, 1) in planner.wisdom
+
+    def test_import_without_thread_timings_never_measures(self):
+        # A MEASURE planner importing a threaded key from an exporter that
+        # recorded no timings (e.g. an ESTIMATE planner) must not run live
+        # benchmarks during deserialization.
+        planner = Planner(policy=PlannerPolicy.MEASURE)
+
+        def forbidden(*args, **kwargs):  # pragma: no cover - failure path
+            raise AssertionError("import_wisdom must not time transforms")
+
+        planner._threaded_wins = forbidden
+        planner.import_wisdom({"8192:forward:fftlib:t4": "mixed-radix"})
+        key = (8192, PlanDirection.FORWARD, "fftlib", False, 4)
+        assert key in planner.wisdom
+        # no timings recorded -> the profitability heuristic stands in
+        assert planner.wisdom[key].threads == 4
+        assert planner.thread_measurements == {}
+
+    def test_import_honours_recorded_thread_winner(self):
+        planner = Planner(policy=PlannerPolicy.MEASURE)
+        planner.import_wisdom(
+            {
+                "8192:forward:fftlib:t4": "mixed-radix",
+                "__thread_measurements__": {
+                    "8192:t4": {"serial": 0.001, "threaded": 0.005}
+                },
+            }
+        )
+        key = (8192, PlanDirection.FORWARD, "fftlib", False, 4)
+        assert planner.wisdom[key].threads == 1  # recorded winner: serial
