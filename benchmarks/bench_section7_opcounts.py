@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import pytest
 
-from _harness import bench_backend, interleaved_best, interleaved_overhead, make_input, plan_for, save_table, seq_sizes
+from _harness import bench_backend, interleaved_overhead, make_input, plan_for, save_table, seq_sizes
 from repro.core import OptimizationFlags
 from repro.core.optimized import OptimizedOnlineABFT
 from repro.perfmodel import offline_scheme_ops, online_scheme_ops

@@ -22,11 +22,22 @@ drifts cannot bias the ratios):
 * ``rfft_complex_engine`` - the same real input pushed through the complex
   compiled engine and truncated to ``n//2 + 1`` bins (what real workloads
   paid before real plans existed);
-* ``rfft_numpy`` - ``numpy.fft.rfft`` through the real plan interface.
+* ``rfft_numpy`` - ``numpy.fft.rfft`` through the real plan interface;
+* ``inplace`` - the in-place Stockham program
+  (``plan_fft(n, inplace=True)``: caller's buffer + one half-size scratch,
+  no ping-pong pair, no output allocation), timed overwrite-style on a
+  reused buffer.
 
 Machine-readable results are written to ``BENCH_fft_speed.json`` at the
 repository root so the perf trajectory of the compiled path is tracked in
 version control; a human-readable table lands in ``benchmarks/results/``.
+
+``--check`` turns the script into a CI regression gate: fresh numbers are
+compared against the *committed* ``BENCH_fft_speed.json`` (which is then
+left untouched) and the run fails when any tracked speedup ratio collapsed
+by more than ``REPRO_BENCH_CHECK_TOLERANCE`` (default 2.5x) - generous
+enough for machine noise across CI hosts, tight enough that "the compiled
+path silently lost its advantage" fails the PR instead of shipping.
 
 Environment knobs: ``REPRO_BENCH_SIZES`` (default ``65536 262144 1048576``,
 up to the paper's 2^20 benchmark regime; sizes below ~2^14 are dominated by
@@ -36,7 +47,9 @@ flop-level ratios the columns track), ``REPRO_BENCH_REPEATS`` (default 7).
 
 from __future__ import annotations
 
+import argparse
 import json
+import os
 import platform
 from pathlib import Path
 
@@ -55,8 +68,17 @@ JSON_PATH = REPO_ROOT / "BENCH_fft_speed.json"
 
 DEFAULT_SIZES = (65536, 262144, 1048576)
 
+#: ratio keys guarded by ``--check``; True = higher is better.
+CHECKED_RATIOS = {
+    "speedup_compiled_vs_recursive": True,
+    "speedup_real_vs_complex_engine": True,
+    "speedup_inplace_vs_compiled": True,
+    # protected overhead: lower is better (ratio of protected over compiled)
+    "protected_over_compiled_ratio": False,
+}
 
-def run() -> dict:
+
+def run(write: bool = True) -> dict:
     sizes = env_int_list("REPRO_BENCH_SIZES", DEFAULT_SIZES)
     repeats = env_int("REPRO_BENCH_REPEATS", 7)
     threads = env_int("REPRO_BENCH_THREADS", default_thread_count())
@@ -67,11 +89,13 @@ def run() -> dict:
             "n",
             "recursive [ms]",
             "compiled [ms]",
+            "inplace [ms]",
             f"threaded x{threads} [ms]",
             "numpy [ms]",
             "protected [ms]",
             "rfft [ms]",
             "compiled speedup",
+            "inplace vs compiled",
             "threaded speedup",
             "protected vs compiled",
             "rfft speedup",
@@ -83,14 +107,24 @@ def run() -> dict:
         xr = np.real(x).copy()
         bins = int(n) // 2 + 1
         compiled_plan = plan_fft(int(n), backend="fftlib")
+        inplace_plan = plan_fft(int(n), backend="fftlib", inplace=True)
         threaded_plan = plan_fft(int(n), backend="fftlib", threads=threads)
         numpy_plan = plan_fft(int(n), backend="numpy")
         protected_plan = repro.plan(int(n), backend="fftlib")
         real_plan = plan_fft(int(n), backend="fftlib", real=True)
         real_numpy_plan = plan_fft(int(n), backend="numpy", real=True)
+        # overwrite-style timing: refill the reused buffer, transform it in
+        # place - what a memory-constrained caller actually pays per call.
+        work_buf = np.empty(int(n), dtype=np.complex128)
+
+        def run_inplace(x=x, p=inplace_plan, buf=work_buf):
+            np.copyto(buf, x)
+            return p.execute_inplace(buf)
+
         candidates = {
             "recursive": lambda x=x: recursive_fft(x),
             "compiled": lambda x=x, p=compiled_plan: p.execute(x),
+            "inplace": run_inplace,
             "threaded": lambda x=x, p=threaded_plan: p.execute(x),
             "numpy": lambda x=x, p=numpy_plan: p.execute(x),
             "protected": lambda x=x, p=protected_plan: p.execute(x),
@@ -103,9 +137,10 @@ def run() -> dict:
             "rfft_numpy": lambda xr=xr, p=real_numpy_plan: p.execute(xr),
         }
         # inner=4: one cache re-warm call + three steady-state calls per
-        # sample (eight candidates share the cache round-robin).
+        # sample (nine candidates share the cache round-robin).
         best = interleaved_best(candidates, repeats=repeats, warmup=1, inner=4)
         speedup = best["recursive"] / best["compiled"]
+        inplace_speedup = best["compiled"] / best["inplace"]
         threaded_speedup = best["compiled"] / best["threaded"]
         protected_ratio = best["protected"] / best["compiled"]
         real_speedup = best["rfft_complex_engine"] / best["rfft_compiled"]
@@ -119,6 +154,7 @@ def run() -> dict:
                 "speedup_protected_vs_recursive": float(best["recursive"] / best["protected"]),
                 "protected_over_compiled_ratio": float(protected_ratio),
                 "speedup_threaded_vs_compiled": float(threaded_speedup),
+                "speedup_inplace_vs_compiled": float(inplace_speedup),
                 "speedup_real_vs_complex_engine": float(real_speedup),
                 "speedup_real_vs_numpy_rfft": float(best["rfft_numpy"] / best["rfft_compiled"]),
             }
@@ -127,11 +163,13 @@ def run() -> dict:
             str(n),
             f"{best['recursive'] * 1e3:.3f}",
             f"{best['compiled'] * 1e3:.3f}",
+            f"{best['inplace'] * 1e3:.3f}",
             f"{best['threaded'] * 1e3:.3f}",
             f"{best['numpy'] * 1e3:.3f}",
             f"{best['protected'] * 1e3:.3f}",
             f"{best['rfft_compiled'] * 1e3:.3f}",
             f"{speedup:.2f}x",
+            f"{inplace_speedup:.2f}x",
             f"{threaded_speedup:.2f}x",
             f"{protected_ratio:.2f}x",
             f"{real_speedup:.2f}x",
@@ -145,7 +183,9 @@ def run() -> dict:
             "fully protected opt-online+mem plan; threaded column is the "
             "shared-memory six-step program on REPRO_BENCH_THREADS workers; "
             "rfft_* columns compare the compiled half-complex real path against "
-            "the complex engine on the same real input and numpy.fft.rfft"
+            "the complex engine on the same real input and numpy.fft.rfft; the "
+            "inplace column is the Stockham autosort program overwriting a "
+            "reused buffer (half the working set of the ping-pong path)"
         ),
         "machine": {
             "python": platform.python_version(),
@@ -157,9 +197,10 @@ def run() -> dict:
         "threads": int(threads),
         "results": results,
     }
-    JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    if write:
+        JSON_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        print(f"\nwrote {JSON_PATH}")
     save_table(table, "fft_speedup.txt")
-    print(f"\nwrote {JSON_PATH}")
     return payload
 
 
@@ -185,6 +226,66 @@ def check(payload: dict) -> None:
             assert row["speedup_threaded_vs_compiled"] > 1.0, row
 
 
+def check_against_reference(payload: dict, reference: dict, tolerance: float) -> list:
+    """Compare fresh ratios to the committed reference; return regressions.
+
+    Only sizes present in both runs are compared (the CI smoke runs a small
+    subset of the committed sweep).  A ratio regresses when it collapsed by
+    more than ``tolerance`` relative to the recorded value - e.g. with the
+    default 2.5, a recorded 5x compiled-vs-recursive speedup fails below
+    2x.  Absolute milliseconds are deliberately not compared: CI hosts and
+    the machine that produced the committed numbers differ, ratios of
+    same-machine interleaved timings do not.
+    """
+
+    ref_rows = {row["n"]: row for row in reference.get("results", [])}
+    regressions = []
+    for row in payload["results"]:
+        ref = ref_rows.get(row["n"])
+        if ref is None:
+            continue
+        for key, higher_is_better in CHECKED_RATIOS.items():
+            fresh_value = row.get(key)
+            ref_value = ref.get(key)
+            if fresh_value is None or ref_value is None:
+                continue
+            if higher_is_better:
+                regressed = fresh_value < ref_value / tolerance
+            else:
+                regressed = fresh_value > ref_value * tolerance
+            if regressed:
+                regressions.append(
+                    f"n={row['n']}: {key} regressed to {fresh_value:.2f} "
+                    f"(recorded {ref_value:.2f}, tolerance {tolerance}x)"
+                )
+    return regressions
+
+
+def run_check() -> int:
+    """The ``--check`` CI gate: fresh smoke numbers vs the committed JSON."""
+
+    if not JSON_PATH.exists():
+        print(f"error: no committed reference at {JSON_PATH}; run without --check first")
+        return 2
+    reference = json.loads(JSON_PATH.read_text(encoding="utf-8"))
+    tolerance = float(os.environ.get("REPRO_BENCH_CHECK_TOLERANCE", "2.5"))
+    payload = run(write=False)  # never clobber the reference in check mode
+    check(payload)
+    compared = [r["n"] for r in payload["results"]
+                if any(ref["n"] == r["n"] for ref in reference.get("results", []))]
+    regressions = check_against_reference(payload, reference, tolerance)
+    if regressions:
+        print("\nbenchmark regression gate FAILED:")
+        for line in regressions:
+            print(f"  - {line}")
+        return 1
+    print(
+        f"\nbenchmark regression gate passed: sizes {compared} within "
+        f"{tolerance}x of the committed ratios"
+    )
+    return 0
+
+
 def test_bench_speedup():
     """Pytest entry point: the compiled paths must beat their baselines."""
 
@@ -192,9 +293,21 @@ def test_bench_speedup():
 
 
 if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check", action="store_true",
+        help="compare fresh numbers against the committed BENCH_fft_speed.json "
+             "and exit non-zero on a regression (the committed file is not "
+             "overwritten)",
+    )
+    cli_args = parser.parse_args()
+    if cli_args.check:
+        raise SystemExit(run_check())
     payload = run()
     check(payload)
     worst = min(r["speedup_compiled_vs_recursive"] for r in payload["results"])
     worst_real = min(r["speedup_real_vs_complex_engine"] for r in payload["results"])
+    worst_ip = min(r["speedup_inplace_vs_compiled"] for r in payload["results"])
     print(f"worst compiled-vs-recursive speedup: {worst:.2f}x")
     print(f"worst rfft-vs-complex-engine speedup: {worst_real:.2f}x")
+    print(f"worst inplace-vs-compiled ratio: {worst_ip:.2f}x")

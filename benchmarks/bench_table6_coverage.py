@@ -11,6 +11,8 @@ reports the fraction of runs whose relative output error exceeds 1e-6, 1e-8,
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
@@ -64,6 +66,40 @@ def _run_campaign(scheme_name: str, trials: int):
         seed=20171112,
     )
     return campaign.run(trials)
+
+
+@pytest.mark.skipif(
+    os.environ.get("REPRO_BENCH_REQUIRE_FULL_COVERAGE") != "1",
+    reason="nightly-only strict gate (set REPRO_BENCH_REQUIRE_FULL_COVERAGE=1)",
+)
+@pytest.mark.parametrize(
+    "label,scheme",
+    [s for s in SCHEMES if s[1] != "fftw"],
+    ids=[s[0] for s in SCHEMES if s[1] != "fftw"],
+)
+def test_table6_full_coverage(label, scheme):
+    """Nightly gate: 100% detection AND correction on the exercised sites.
+
+    The campaign's fault model is one random *high*-bit flip (bits 50-62:
+    high mantissa or exponent) per trial - always far above the detection
+    thresholds - struck at the input, intermediate, or output site.  Both
+    protected schemes must detect every one, correct every one, and leave
+    the output within 1e-8 relative error; any silent coverage regression
+    (a weakened threshold, a broken locating pair, a skipped verification)
+    fails the nightly run even though the statistical Table 6 shape
+    assertion of the regular suite would still pass.
+    """
+
+    trials = campaign_trials()
+    result = _run_campaign(scheme, trials)
+    outcomes = [o for o in result.outcomes if o.injected > 0]
+    assert outcomes, "campaign injected no faults"
+    undetected = [i for i, o in enumerate(outcomes) if not o.detected]
+    assert not undetected, f"{label}: trials {undetected} went undetected"
+    uncorrected = [i for i, o in enumerate(outcomes) if o.uncorrected]
+    assert not uncorrected, f"{label}: trials {uncorrected} were not corrected"
+    dirty = [i for i, o in enumerate(outcomes) if o.relative_error > 1e-8]
+    assert not dirty, f"{label}: trials {dirty} left residual output error"
 
 
 @pytest.mark.parametrize("label,scheme", SCHEMES, ids=[s[0] for s in SCHEMES])

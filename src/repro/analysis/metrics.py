@@ -14,9 +14,7 @@ infinite).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
-
-import numpy as np
+from typing import Callable, Dict, Iterable, Optional, Sequence
 
 from repro.faults.campaign import relative_inf_error
 

@@ -14,7 +14,7 @@ online scheme, for any input distribution, and are reused by the
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Optional
 
 import numpy as np
 

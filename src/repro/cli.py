@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -105,8 +105,35 @@ def _make_plan(args: argparse.Namespace, n: int) -> FTPlan:
         backend=args.backend,
         real=getattr(args, "real", False),
         threads=getattr(args, "threads", None),
+        inplace=getattr(args, "inplace", False),
     )
     return plan(n, config)
+
+
+def _execute_signal(ft_plan: FTPlan, args: argparse.Namespace, x: np.ndarray, injector=None):
+    """Run one signal through the plan, honouring ``--inplace``.
+
+    With ``--inplace`` the transform goes through the overwrite path: the
+    working buffer is handed to ``execute(out=...)`` and destroyed (complex)
+    or consumed into a preallocated packed-spectrum buffer (real).
+    """
+
+    if getattr(args, "inplace", False):
+        if getattr(args, "real", False):
+            out = np.empty(x.size // 2 + 1, dtype=np.complex128)
+            return ft_plan.execute(np.array(x, dtype=np.float64), injector, out=out)
+        buf = np.array(x, dtype=np.complex128)
+        return ft_plan.execute(buf, injector, out=buf)
+    return ft_plan.execute(x, injector)
+
+
+def _execute_batch(ft_plan: FTPlan, args: argparse.Namespace, X: np.ndarray, injector=None):
+    """Run a batch through the plan, honouring ``--inplace`` (complex only)."""
+
+    if getattr(args, "inplace", False) and not getattr(args, "real", False):
+        buf = np.array(X, dtype=np.complex128)
+        return ft_plan.execute_many(buf, injector=injector, out=buf)
+    return ft_plan.execute_many(X, injector=injector)
 
 
 def _reference_spectrum(args: argparse.Namespace, x: np.ndarray) -> np.ndarray:
@@ -149,6 +176,13 @@ def _add_signal_options(parser: argparse.ArgumentParser) -> None:
              "parallel on T worker threads with per-chunk checksum "
              "verification (0 = automatic from REPRO_THREADS/cores; "
              "default: serial)",
+    )
+    parser.add_argument(
+        "--inplace", action="store_true",
+        help="in-place execution: lower the Stockham autosort program "
+             "(caller's buffer + one half-size scratch instead of ping-pong "
+             "buffers) and run the transform through the overwrite path "
+             "with checksum-carried surrogate recovery",
     )
 
 
@@ -213,7 +247,7 @@ def _cmd_transform(args: argparse.Namespace) -> int:
     ft_plan = _make_plan(args, x.size)
     if args.batch > 1:
         X = _load_batch(args, x)
-        batch = ft_plan.execute_many(X)
+        batch = _execute_batch(ft_plan, args, X)
         _print_batch_report(batch, _reference_spectrum(args, X))
         if args.output:
             # Same (re, im) two-column layout as the single-signal path,
@@ -222,7 +256,7 @@ def _cmd_transform(args: argparse.Namespace) -> int:
             np.savetxt(args.output, np.column_stack([flat.real, flat.imag]))
             print(f"spectra written to    {args.output} ({X.shape[0]} spectra concatenated)")
         return 0 if not batch.uncorrectable else 1
-    result = ft_plan.execute(x)
+    result = _execute_signal(ft_plan, args, x)
     reference = _reference_spectrum(args, x)
     _print_report(result, reference)
     if args.output:
@@ -253,12 +287,12 @@ def _cmd_inject(args: argparse.Namespace) -> int:
             )
         X = _load_batch(args, x)
         reference = _reference_spectrum(args, X)
-        batch = ft_plan.execute_many(X, injector=injector)
+        batch = _execute_batch(ft_plan, args, X, injector)
         print(f"faults injected      : {injector.fired_count}")
         err = _print_batch_report(batch, reference)
         return 0 if err < args.tolerance else 1
     reference = _reference_spectrum(args, x)
-    result = ft_plan.execute(x, injector)
+    result = _execute_signal(ft_plan, args, x, injector)
     print(f"faults injected      : {injector.fired_count}")
     if injector.events:
         event = injector.events[0]

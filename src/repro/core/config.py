@@ -121,6 +121,15 @@ class FTConfig:
         live on the raw plan layer, ``plan_fft(n, threads=N)``).  Legacy
         registry names carry the knob as a ``+t{N}`` suffix
         (``"opt-online+mem+t4"``).
+    inplace:
+        In-place execution (the paper's Section 5 discipline): the plan
+        lowers the Stockham autosort program where the size supports it,
+        and ``FTPlan.execute``/``execute_many`` accept an ``out=`` buffer
+        that is *overwritten* - the input is destroyed mid-transform, so
+        recovery runs from the checksum-carried surrogate (the locating
+        pair re-encoded onto the output side) instead of re-executing.
+        Legacy registry names carry the flag as a ``+ip`` suffix
+        (``"opt-online+mem+ip"``; composes as ``"...+real+ip+t4"``).
     """
 
     kind: str = "online"
@@ -134,6 +143,7 @@ class FTConfig:
     backend: Optional[str] = None
     real: bool = False
     threads: Optional[int] = None
+    inplace: bool = False
 
     # ------------------------------------------------------------------
     def __post_init__(self) -> None:
@@ -162,6 +172,7 @@ class FTConfig:
         if self.flags is not None and not isinstance(self.flags, OptimizationFlags):
             raise TypeError("flags must be OptimizationFlags (or None)")
         object.__setattr__(self, "real", bool(self.real))
+        object.__setattr__(self, "inplace", bool(self.inplace))
         if self.threads is not None:
             if int(self.threads) != self.threads or self.threads < 0:
                 raise ValueError(
@@ -178,11 +189,12 @@ class FTConfig:
         """Build a config from a legacy registry name.
 
         A ``+real`` suffix selects the packed real-input transform
-        (``"opt-online+mem+real"``), a ``+t{N}`` suffix the shared-memory
-        thread count (``"opt-online+mem+t4"``, ``+t0`` = automatic; the two
-        compose as ``"...+real+t4"``); ``overrides`` set any other field
+        (``"opt-online+mem+real"``), a ``+ip`` suffix in-place execution
+        (``"opt-online+mem+ip"``), a ``+t{N}`` suffix the shared-memory
+        thread count (``"opt-online+mem+t4"``, ``+t0`` = automatic; they
+        compose as ``"...+real+ip+t4"``); ``overrides`` set any other field
         (``m``, ``k``, ``thresholds``, ``flags``, ``dtype``, ``backend``,
-        ``real``, ``threads``).
+        ``real``, ``threads``, ``inplace``).
         """
 
         base = name
@@ -195,6 +207,10 @@ class FTConfig:
             # and that must not silently strip a suffix the name carries.
             if overrides.get("threads") is None:
                 overrides["threads"] = int(tail)
+        if base.endswith("+ip"):
+            base = base[: -len("+ip")]
+            if not overrides.get("inplace"):
+                overrides["inplace"] = True
         if base.endswith("+real"):
             base = base[: -len("+real")]
             if not overrides.get("real"):
@@ -213,6 +229,8 @@ class FTConfig:
         name = _TRIPLE_TO_NAME[(self.kind, self.optimized, self.memory_ft)]
         if self.real:
             name += "+real"
+        if self.inplace:
+            name += "+ip"
         if self.threads is not None:
             name += f"+t{self.threads}"
         return name
@@ -275,6 +293,8 @@ class FTConfig:
             parts.append(f"m={self.m}, k={self.k}")
         if self.real:
             parts.append("real=True")
+        if self.inplace:
+            parts.append("inplace=True")
         if self.threads is not None:
             parts.append(f"threads={self.threads}")
         if self.dtype != "complex128":

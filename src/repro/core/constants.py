@@ -121,6 +121,25 @@ class SchemeConstants:
     r_h: Optional[np.ndarray] = None
     c_h: Optional[np.ndarray] = None
 
+    # --- in-place (overwrite) execution state ----------------------------
+    #: the checksum-carried input surrogate of the in-place path: with
+    #: ``F`` the (symmetric) DFT matrix, ``w1 . X == (F w1) . x``, so
+    #: encoding ``(F w1) . x`` and ``(F w2) . x`` *before* the transform
+    #: destroys the input yields the locating pair of the OUTPUT - a
+    #: detected single-element corruption of the overwritten buffer is
+    #: located and repaired without ever re-reading the (gone) input,
+    #: the paper's Fig. 4 backup discipline carried by checksums instead
+    #: of copies.  ``fw1_n``/``fw2_n`` are ``F w1_n``/``F w2_n`` (one
+    #: compiled FFT each at plan time).
+    inplace: bool = False
+    fw1_n: Optional[np.ndarray] = None
+    fw2_n: Optional[np.ndarray] = None
+    #: the same carried pair for real plans, folded onto the packed
+    #: ``n//2 + 1`` layout: ``p1_h . P == (F [p1_h; 0]) . x`` with the
+    #: packed weights zero-extended to length ``n``.
+    fp1_h: Optional[np.ndarray] = None
+    fp2_h: Optional[np.ndarray] = None
+
     # ------------------------------------------------------------------
     def with_real(self, memory_ft: bool, *, optimized: bool = True) -> "SchemeConstants":
         """This bundle extended with the packed-layout (rfft) vectors.
@@ -160,6 +179,36 @@ class SchemeConstants:
             p1_h_rms=p1_h_rms,
             r_h=r_h,
             c_h=c_h,
+        )
+
+    # ------------------------------------------------------------------
+    def with_inplace(self) -> "SchemeConstants":
+        """This bundle extended with the in-place carried locating pairs.
+
+        Uses the compiled executor to evaluate ``F w`` once per weight
+        vector at plan time (the vectors are data-independent, like every
+        other field here).  Without memory fault tolerance there is no
+        locating pair to carry, so a detected in-place violation is
+        honestly uncorrectable - the input no longer exists to recompute
+        from - and the bundle only gains the ``inplace`` marker.
+        """
+
+        from repro.fftlib.executor import fft as compiled_fft
+
+        fw1 = fw2 = None
+        if self.w1_n is not None and self.w2_n is not None:
+            fw1 = compiled_fft(np.asarray(self.w1_n, dtype=np.complex128))
+            fw2 = compiled_fft(np.asarray(self.w2_n, dtype=np.complex128))
+        fp1 = fp2 = None
+        if self.real and self.p1_h is not None and self.p2_h is not None:
+            ext1 = np.zeros(self.n, dtype=np.complex128)
+            ext1[: self.bins] = self.p1_h
+            ext2 = np.zeros(self.n, dtype=np.complex128)
+            ext2[: self.bins] = self.p2_h
+            fp1 = compiled_fft(ext1)
+            fp2 = compiled_fft(ext2)
+        return replace(
+            self, inplace=True, fw1_n=fw1, fw2_n=fw2, fp1_h=fp1, fp2_h=fp2
         )
 
     # ------------------------------------------------------------------
@@ -281,15 +330,17 @@ class SchemeConstants:
         """
 
         real = bool(getattr(config, "real", False))
+        inplace = bool(getattr(config, "inplace", False))
         if config.kind == "plain":
             return cls.for_plain(n, config.m, config.k, real=real)
         if config.kind == "offline":
-            return cls.for_offline(
+            bundle = cls.for_offline(
                 n, config.m, config.k,
                 optimized=config.optimized,
                 memory_ft=config.memory_ft,
                 real=real,
             )
+            return bundle.with_inplace() if inplace else bundle
         flags = config.flags
         modified = True if flags is None else bool(flags.modified_checksums)
         if not config.optimized:
@@ -309,7 +360,7 @@ class SchemeConstants:
             optimized=config.optimized,
             memory_ft=config.memory_ft,
         )
-        return replace(
+        bundle = replace(
             bundle,
             r_n=end_to_end.r_n,
             c_n=end_to_end.c_n,
@@ -317,3 +368,4 @@ class SchemeConstants:
             w2_n=end_to_end.w2_n,
             w1_n_rms=end_to_end.w1_n_rms,
         )
+        return bundle.with_inplace() if inplace else bundle

@@ -14,7 +14,7 @@ which DMR is a valid detector.
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Tuple
+from typing import Callable, Optional
 
 import numpy as np
 

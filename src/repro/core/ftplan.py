@@ -159,6 +159,21 @@ class FTPlan:
             from repro.fftlib.executor import get_real_program
 
             self._real_program = get_real_program(self.n)
+        #: in-place execution (``FTConfig.inplace``): the compiled Stockham
+        #: program behind the ``out=`` overwrite paths of ``execute`` /
+        #: ``execute_many`` (complex plans, fftlib backend, supported sizes;
+        #: ``None`` keeps the overwrite *semantics* via transform-and-copy).
+        self._inplace = bool(config.inplace)
+        self._inplace_program = None
+        if (
+            self._inplace
+            and not self._real
+            and self.backend == "fftlib"
+        ):
+            from repro.fftlib.executor import get_stockham_program, stockham_supported
+
+            if stockham_supported(self.n):
+                self._inplace_program = get_stockham_program(self.n)
         # Recovery retry budget: explicit flags win; otherwise inherit the
         # built scheme's own effective default so execute() and
         # execute_many() agree on what "uncorrectable" means.
@@ -192,7 +207,13 @@ class FTPlan:
         return self.scheme.thresholds
 
     # ------------------------------------------------------------------
-    def execute(self, x: np.ndarray, injector: Optional[FaultInjector] = None) -> SchemeResult:
+    def execute(
+        self,
+        x: np.ndarray,
+        injector: Optional[FaultInjector] = None,
+        *,
+        out: Optional[np.ndarray] = None,
+    ) -> SchemeResult:
         """Protected forward transform of one length-``n`` vector.
 
         Real plans accept ``n`` float64 samples and return the packed
@@ -201,8 +222,26 @@ class FTPlan:
         scheme's full interior machinery (packed-layout OUTPUT site and
         locating checksums included), fault-free runs take the compiled
         half-complex program with end-to-end conjugate-even verification.
+
+        ``out`` selects the overwrite path (Section 5 of the paper): the
+        result is written into the given buffer, which for complex plans
+        may be ``x`` itself - the transform then runs genuinely in place
+        (Stockham lowering, one half-size scratch) and the input is
+        *destroyed*.  Verification still works because the checksums
+        encoded before the transform carry an input surrogate: with memory
+        fault tolerance the locating pair is re-encoded onto the output
+        side (``w . X = (F w) . x``), so a detected single-element
+        corruption of the overwritten buffer is located and repaired
+        without the input; without memory FT a detected violation is
+        honestly uncorrectable.  Like the batched path, the overwrite path
+        visits only the INPUT/OUTPUT fault sites - use the out-of-place
+        ``execute`` to exercise stage-interior sites.
         """
 
+        if out is not None:
+            if self._real:
+                return self._execute_real_out(x, injector, out)
+            return self._execute_out(x, injector, out)
         if self._real:
             return self._execute_real(x, injector)
         result = self.scheme.execute(x, injector)
@@ -477,11 +516,280 @@ class FTPlan:
         )
 
     # ------------------------------------------------------------------
+    # in-place / overwrite execution (``out=``)
+    # ------------------------------------------------------------------
+    def _check_out(self, out: np.ndarray, shape, dtype) -> np.ndarray:
+        if self.dtype != np.complex128:
+            raise ValueError(
+                "the overwrite path runs in the buffer itself and cannot "
+                "down-cast; out= requires dtype='complex128'"
+            )
+        if (
+            not isinstance(out, np.ndarray)
+            or out.shape != shape
+            or out.dtype != dtype
+            or not out.flags.c_contiguous
+            or not out.flags.writeable
+        ):
+            raise ValueError(
+                f"out must be a writeable C-contiguous {np.dtype(dtype).name} "
+                f"array of shape {shape}"
+            )
+        return out
+
+    def _inplace_constants(self) -> SchemeConstants:
+        """The constants bundle with the carried surrogate pairs present.
+
+        Plans configured with ``inplace=True`` built them at plan time;
+        a plan whose caller discovers ``out=`` later gets them lazily here
+        (one compiled FFT per weight vector, cached on the plan - a benign
+        race recomputes identical arrays), so surrogate recovery never
+        silently degrades just because the config lacked the flag.
+        """
+
+        consts = self.constants
+        if self.config.memory_ft and not consts.inplace:
+            consts = self.constants = consts.with_inplace()
+        return consts
+
+    def _transform_inplace(self, rows: np.ndarray) -> None:
+        """Overwrite ``(batch, n)`` (or 1-D) rows with their spectra.
+
+        The Stockham program when the plan lowered one (caller's buffer
+        plus the half-size thread-local scratch); otherwise the ordinary
+        out-of-place pipeline with a copy back, preserving the overwrite
+        contract for unsupported sizes and foreign backends.
+        """
+
+        if self._inplace_program is not None:
+            self._inplace_program.execute_inplace(rows)
+        elif rows.ndim == 1:
+            rows[...] = self._transform_rows(rows[None, :])[0]
+        else:
+            rows[...] = self._transform_rows(rows)
+
+    def _repair_output(self, buf, S1, S2, weights, report, label, index=None) -> bool:
+        """Locate/repair one corrupted element of the overwritten buffer.
+
+        ``S1``/``S2`` are the carried surrogate sums encoded from the
+        (destroyed) input; ``weights`` is the matching locating pair over
+        the output layout.  Returns ``False`` when no surrogate exists or
+        location fails - the in-place path has nothing left to recompute
+        from, so the caller records the violation as uncorrectable.
+        """
+
+        if S1 is None:
+            report.record_uncorrectable(
+                f"{label}: input overwritten and no locating surrogate "
+                f"(the plan has no memory fault tolerance)"
+            )
+            return False
+        w1, w2 = weights
+        repaired = repair_single_error(buf, w1, w2, S1, S2)
+        if repaired is None:
+            report.record_uncorrectable(
+                f"{label}: corruption of the overwritten buffer could not be located"
+            )
+            return False
+        report.record_correction(
+            "memory-correct", label, index,
+            f"element {repaired[0]} repaired from the carried surrogate",
+        )
+        return True
+
+    def _execute_out(
+        self,
+        x: np.ndarray,
+        injector: Optional[FaultInjector],
+        out: np.ndarray,
+    ) -> SchemeResult:
+        """Complex overwrite path: ``out`` (possibly ``x`` itself) is transformed in place."""
+
+        out = self._check_out(out, (self.n,), np.complex128)
+        x = np.asarray(x)
+        if x.shape != (self.n,):
+            raise ValueError(f"input has length {x.size}, expected {self.n}")
+        if out is not x:
+            np.copyto(out, x.astype(np.complex128, copy=False))
+        injector = injector or NullInjector()
+        report = FTReport(scheme=f"{self.scheme.name}[inplace]")
+        if not self._protected:
+            injector.visit(FaultSite.INPUT, out)
+            self._transform_inplace(out)
+            injector.visit(FaultSite.OUTPUT, out)
+            return SchemeResult(output=out, report=report, scheme=self.scheme.name)
+
+        consts = self._inplace_constants()
+        # --- encode while the input still exists --------------------------
+        cx = weighted_sum(self._c, out)
+        eta = self.thresholds.eta_offline(self.n, out)
+        s1 = s2 = S1 = S2 = None
+        if self.config.memory_ft:
+            s1 = weighted_sum(self._w1, out)
+            s2 = weighted_sum(self._w2, out)
+            eta_mem = self.thresholds.eta_memory(
+                self._w1, out, weight_rms=consts.w1_n_rms
+            )
+            if consts.fw1_n is not None:
+                # The carried surrogate: these two sums ARE w1 . X / w2 . X
+                # of the not-yet-computed output.
+                S1 = weighted_sum(consts.fw1_n, out)
+                S2 = weighted_sum(consts.fw2_n, out)
+        report.bump("checksum-generations", 1)
+
+        injector.visit(FaultSite.INPUT, out)
+
+        # --- last-chance input verification (the buffer is about to go) ---
+        if self.config.memory_ft:
+            mem_residual = float(np.abs(weighted_sum(self._w1, out) - s1))
+            if residual_exceeds(mem_residual, eta_mem):
+                report.record_verification("inplace-mcv", None, mem_residual, eta_mem, True)
+                repaired = repair_single_error(out, self._w1, self._w2, s1, s2)
+                if repaired is None:
+                    report.record_uncorrectable(
+                        "in-place: input corruption could not be located before overwrite"
+                    )
+                else:
+                    report.record_correction(
+                        "memory-correct", "inplace-input", None,
+                        f"element {repaired[0]} repaired before the transform",
+                    )
+
+        # --- transform (destroys the input) + output verification ---------
+        self._transform_inplace(out)
+        injector.visit(FaultSite.OUTPUT, out)
+        attempts = 0
+        while True:
+            residual = float(np.abs(weighted_sum(self._r, out) - cx))
+            detected = bool(residual_exceeds(residual, eta))
+            report.record_verification("inplace-ccv", None, residual, eta, detected)
+            if not detected:
+                break
+            attempts += 1
+            if attempts > self._max_retries:
+                report.record_uncorrectable(
+                    f"in-place: verification still failing after {self._max_retries} repairs"
+                )
+                break
+            if not self._repair_output(
+                out, S1, S2, (self._w1, self._w2), report, "inplace-output"
+            ):
+                break
+        return SchemeResult(output=out, report=report, scheme=self.scheme.name)
+
+    def _execute_real_out(
+        self,
+        x: np.ndarray,
+        injector: Optional[FaultInjector],
+        out: np.ndarray,
+    ) -> SchemeResult:
+        """Real overwrite path: ``x``'s buffer is consumed, ``out`` gets the bins.
+
+        The packed view of the caller's float buffer is transformed in
+        place by the half-length Stockham program, so the real samples are
+        destroyed; the carried surrogate is the packed locating pair
+        re-encoded from the input (``p . P = (F [p; 0]) . x``).
+        """
+
+        out = self._check_out(out, (self.bins,), np.complex128)
+        x = np.asarray(x)
+        if x.shape != (self.n,):
+            raise ValueError(f"input has length {x.size}, expected {self.n}")
+        # The overwrite contract applies to the caller's buffer only when it
+        # is directly consumable; otherwise work on a private copy (the
+        # caller's data survives, the out= result is identical).
+        if (
+            isinstance(x, np.ndarray)
+            and x.dtype == np.float64
+            and x.flags.c_contiguous
+            and x.flags.writeable
+        ):
+            xr = x
+        else:
+            xr = self._as_real(x)
+        injector = injector or NullInjector()
+        report = FTReport(scheme=f"{self.scheme.name}[inplace]")
+        program = self._real_program
+        consts = self._inplace_constants() if self._protected else self.constants
+
+        def _transform() -> None:
+            if program is not None:
+                out[...] = program.execute_overwrite(xr)
+            else:
+                out[...] = get_backend(self.backend).rfft(xr, axis=-1)
+
+        if not self._protected:
+            injector.visit(FaultSite.INPUT, xr)
+            _transform()
+            injector.visit(FaultSite.OUTPUT, out)
+            return SchemeResult(output=out, report=report, scheme=self.scheme.name)
+
+        # --- encode while the input still exists --------------------------
+        cx = weighted_sum(self._c, xr)
+        x_rms = self.thresholds.magnitude_rms(xr)
+        sigma0 = float(x_rms / np.sqrt(2.0))
+        eta = self.thresholds.eta_offline(self.n, xr, sigma0=sigma0)
+        s1 = s2 = S1 = S2 = None
+        if self.config.memory_ft:
+            s1 = weighted_sum(self._w1, xr)
+            s2 = weighted_sum(self._w2, xr)
+            eta_mem = self.thresholds.eta_memory(
+                self._w1, xr, weight_rms=consts.w1_n_rms, data_rms=x_rms
+            )
+            if consts.fp1_h is not None:
+                S1 = weighted_sum(consts.fp1_h, xr)
+                S2 = weighted_sum(consts.fp2_h, xr)
+        report.bump("checksum-generations", 1)
+
+        injector.visit(FaultSite.INPUT, xr)
+
+        # --- last-chance input verification --------------------------------
+        if self.config.memory_ft:
+            mem_residual = float(np.abs(weighted_sum(self._w1, xr) - s1))
+            if residual_exceeds(mem_residual, eta_mem):
+                report.record_verification("inplace-mcv", None, mem_residual, eta_mem, True)
+                repaired = repair_single_error(xr, self._w1, self._w2, s1, s2)
+                if repaired is None:
+                    report.record_uncorrectable(
+                        "real in-place: input corruption could not be located before overwrite"
+                    )
+                else:
+                    report.record_correction(
+                        "memory-correct", "inplace-input", None,
+                        f"element {repaired[0]} repaired before the transform",
+                    )
+
+        # --- transform (destroys the input) + packed-output verification --
+        _transform()
+        injector.visit(FaultSite.OUTPUT, out)
+        attempts = 0
+        while True:
+            residual = float(np.abs(self._output_checksum(out) - cx))
+            detected = bool(residual_exceeds(residual, eta))
+            report.record_verification("inplace-ccv", None, residual, eta, detected)
+            if not detected:
+                break
+            attempts += 1
+            if attempts > self._max_retries:
+                report.record_uncorrectable(
+                    f"real in-place: verification still failing after "
+                    f"{self._max_retries} repairs"
+                )
+                break
+            if not self._repair_output(
+                out, S1, S2, (consts.p1_h, consts.p2_h), report, "inplace-output"
+            ):
+                break
+        return SchemeResult(output=out, report=report, scheme=self.scheme.name)
+
+    # ------------------------------------------------------------------
     def execute_many(
         self,
         X: np.ndarray,
         axis: int = -1,
         injector: Optional[FaultInjector] = None,
+        *,
+        out: Optional[np.ndarray] = None,
     ) -> BatchResult:
         """Protected transform of every length-``n`` slice of ``X`` along ``axis``.
 
@@ -493,8 +801,34 @@ class FTPlan:
         batched run (recovery re-executions are deliberately injector-free
         so a persistent spec cannot re-corrupt its own repair) - use
         :meth:`execute` to exercise interior fault sites.
+
+        ``out`` selects the batched overwrite path: the spectra land in the
+        given buffer, which for complex plans may be ``X`` itself - the
+        rows are then transformed chunk-parallel *in place* (Stockham
+        lowering, per-worker half-size scratch) and the input rows are
+        destroyed.  Protection follows the in-place discipline of
+        :meth:`execute`: a last-chance vectorized memory verification
+        repairs input corruption just before the overwrite, and flagged
+        output rows are repaired from the checksum-carried surrogate
+        (``rows @ (F w)`` encoded pre-transform) instead of re-executing.
+        Real plans accept a separate preallocated packed-spectrum buffer.
         """
 
+        if out is not None and not self._real:
+            return self._execute_many_out(X, axis, injector, out)
+        if out is not None:
+            # Validate the destination *before* paying for the protected
+            # batch: the packed output shape is X's shape with the transform
+            # axis replaced by the bin count.
+            shape = np.asarray(X).shape
+            norm_axis = axis if axis >= 0 else len(shape) + axis
+            expected = shape[:norm_axis] + (self.bins,) + shape[norm_axis + 1 :]
+            self._check_out(out, expected, np.complex128)
+            result = self.execute_many(X, axis, injector)
+            np.copyto(out, result.output)
+            return BatchResult(
+                output=out, report=result.report, fallback_rows=result.fallback_rows
+            )
         X = np.asarray(X)
         if X.ndim == 0:
             raise ValueError("execute_many expects at least a 1-D array")
@@ -643,6 +977,149 @@ class FTPlan:
         return BatchResult(output=output, report=report, fallback_rows=tuple(fallback))
 
     # ------------------------------------------------------------------
+    def _execute_many_out(
+        self,
+        X: np.ndarray,
+        axis: int,
+        injector: Optional[FaultInjector],
+        out: np.ndarray,
+    ) -> BatchResult:
+        """Complex batched overwrite path (see :meth:`execute_many`)."""
+
+        X = np.asarray(X)
+        if X.ndim == 0:
+            raise ValueError("execute_many expects at least a 1-D array")
+        out = self._check_out(out, X.shape, np.complex128)
+        if out is not X:
+            np.copyto(out, np.asarray(X, dtype=np.complex128))
+        moved = np.moveaxis(out, axis, -1)
+        if moved.shape[-1] != self.n:
+            raise ValueError(
+                f"axis {axis} has length {moved.shape[-1]}, expected {self.n}"
+            )
+        rows = moved.reshape(-1, self.n)
+        rows_alias_out = np.shares_memory(rows, out) and rows.flags.c_contiguous
+        if not rows_alias_out:
+            # Non-last-axis layouts work on a private contiguous matrix;
+            # the pipeline mutates it and the spectra are scattered back
+            # below (the overwrite contract is on `out`, not the layout).
+            rows = np.ascontiguousarray(rows)
+        batch = rows.shape[0]
+        injector = injector or NullInjector()
+        report = FTReport(scheme=f"{self.scheme.name}[batch,inplace]")
+        fallback: List[int] = []
+
+        chunks = min(self.threads, batch) if self.threads > 1 else 1
+        ranges = split_ranges(batch, chunks)
+        visit_lock = threading.Lock()
+
+        def _visit_output(segment: np.ndarray, chunk_index: int) -> None:
+            if injector.is_live:
+                with visit_lock:
+                    injector.visit(FaultSite.OUTPUT, segment, index=chunk_index)
+
+        if not self._protected:
+            injector.visit(FaultSite.INPUT, rows)
+
+            def transform_chunk(ci: int, lo: int, hi: int) -> None:
+                self._transform_inplace(rows[lo:hi])
+                _visit_output(rows[lo:hi], ci)
+
+            self._run_chunks(transform_chunk, ranges)
+        else:
+            consts = self._inplace_constants()
+            # --- encode while the input rows still exist ------------------
+            cx = rows @ self._c
+            etas = self.thresholds.eta_offline_batch(self.n, rows)
+            S1 = S2 = None
+            if self.config.memory_ft:
+                s1 = rows @ self._w1
+                s2 = rows @ self._w2
+                eta_mem = self.thresholds.eta_memory_batch(
+                    self._w1, rows, weight_rms=consts.w1_n_rms
+                )
+                if consts.fw1_n is not None:
+                    S1 = rows @ consts.fw1_n
+                    S2 = rows @ consts.fw2_n
+            report.bump("checksum-generations", batch)
+
+            injector.visit(FaultSite.INPUT, rows)
+
+            # --- last-chance input verification (vectorized) --------------
+            if self.config.memory_ft:
+                mem_residuals = np.abs(rows @ self._w1 - s1)
+                for idx in np.nonzero(residual_exceeds(mem_residuals, eta_mem))[0]:
+                    idx = int(idx)
+                    report.record_verification(
+                        "batch-inplace-mcv", idx,
+                        float(mem_residuals[idx]), float(eta_mem[idx]), True,
+                    )
+                    repaired = repair_single_error(
+                        rows[idx], self._w1, self._w2, s1[idx], s2[idx]
+                    )
+                    if repaired is None:
+                        report.record_uncorrectable(
+                            f"batch row {idx}: input corruption could not be "
+                            f"located before overwrite"
+                        )
+                    else:
+                        report.record_correction(
+                            "memory-correct", "batch-inplace-input", idx,
+                            f"element {repaired[0]} repaired before the transform",
+                        )
+                report.bump("memory-verifications", batch)
+
+            # --- chunked in-place transform + per-worker verification -----
+            residuals = np.empty(batch, dtype=np.float64)
+            violations = np.zeros(batch, dtype=bool)
+
+            def verify_chunk(ci: int, lo: int, hi: int) -> None:
+                self._transform_inplace(rows[lo:hi])
+                _visit_output(rows[lo:hi], ci)
+                residuals[lo:hi] = np.abs(rows[lo:hi] @ self._r - cx[lo:hi])
+                violations[lo:hi] = residual_exceeds(residuals[lo:hi], etas[lo:hi])
+
+            self._run_chunks(verify_chunk, ranges)
+            report.bump("verifications", batch)
+
+            # --- surrogate recovery for flagged rows ----------------------
+            for idx in np.nonzero(violations)[0]:
+                idx = int(idx)
+                report.record_verification(
+                    "batch-inplace-ccv", idx, float(residuals[idx]), float(etas[idx]), True
+                )
+                fallback.append(idx)
+                ok = False
+                for _ in range(max(1, self._max_retries)):
+                    if not self._repair_output(
+                        rows[idx],
+                        None if S1 is None else complex(S1[idx]),
+                        None if S2 is None else complex(S2[idx]),
+                        (self._w1, self._w2),
+                        report,
+                        "batch-inplace-output",
+                        idx,
+                    ):
+                        ok = None  # uncorrectable already recorded
+                        break
+                    residual = float(np.abs(weighted_sum(self._r, rows[idx]) - cx[idx]))
+                    ok = not bool(residual_exceeds(residual, float(etas[idx])))
+                    report.record_verification(
+                        "batch-inplace-ccv-retry", idx, residual, float(etas[idx]), not ok
+                    )
+                    if ok:
+                        break
+                if ok is False:
+                    report.record_uncorrectable(
+                        f"batch row {idx}: in-place verification still failing "
+                        f"after {self._max_retries} repairs"
+                    )
+
+        if not rows_alias_out:
+            moved[...] = rows.reshape(moved.shape)
+        return BatchResult(output=out, report=report, fallback_rows=tuple(fallback))
+
+    # ------------------------------------------------------------------
     def _run_chunks(self, fn, ranges) -> None:
         """Run ``fn(chunk_index, lo, hi)`` over every chunk, pooled when > 1.
 
@@ -732,9 +1209,10 @@ class FTPlan:
 
     def describe(self) -> str:
         real = f", real -> {self.bins} bins" if self._real else ""
+        inplace = ", inplace" if self._inplace else ""
         return (
-            f"FTPlan(n={self.n} = {self.m} x {self.k}{real}, scheme={self.scheme.name}, "
-            f"backend={self.backend}, dtype={self.dtype.name})"
+            f"FTPlan(n={self.n} = {self.m} x {self.k}{real}{inplace}, "
+            f"scheme={self.scheme.name}, backend={self.backend}, dtype={self.dtype.name})"
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -12,7 +12,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.core.base import FTScheme, SchemeResult
+from repro.core.base import FTScheme
 from repro.core.constants import SchemeConstants
 from repro.core.detection import FTReport
 from repro.core.thresholds import ThresholdPolicy

@@ -58,8 +58,11 @@ from repro.fftlib.codelets import SUPPORTED_CODELET_SIZES, apply_codelet, has_co
 from repro.fftlib.mixed_radix import fft as mixed_radix_fft, ifft as mixed_radix_ifft, fft_along_axis
 from repro.fftlib.executor import (
     StageProgram,
+    StockhamStageProgram,
     compile_program,
     get_program,
+    get_stockham_program,
+    stockham_supported,
     program_cache_info,
     clear_program_cache,
 )
@@ -94,8 +97,11 @@ __all__ = [
     "mixed_radix_ifft",
     "fft_along_axis",
     "StageProgram",
+    "StockhamStageProgram",
     "compile_program",
     "get_program",
+    "get_stockham_program",
+    "stockham_supported",
     "program_cache_info",
     "clear_program_cache",
     "bluestein_fft",

@@ -59,6 +59,13 @@ class FFTBackend(abc.ABC):
     #: needs; compiled third-party kernels (pocketfft etc.) manage their own
     #: parallelism, so the planner keeps their plans serial.
     supports_threads: bool = False
+    #: whether plans on this backend may lower to the in-place Stockham
+    #: program (see :class:`repro.fftlib.executor.StockhamStageProgram`).
+    #: Foreign kernels allocate their own output arrays, so only the
+    #: internal engine can honour the half-size-working-set contract;
+    #: ``Plan.execute_inplace`` on other backends degrades to
+    #: transform-and-copy.
+    supports_inplace: bool = False
 
     @abc.abstractmethod
     def fft(self, x: np.ndarray, axis: int = -1) -> np.ndarray:
@@ -114,6 +121,7 @@ class FFTLibBackend(FFTBackend):
     name = "fftlib"
     description = "internal compiled stage-program engine (codelets, mixed-radix, Bluestein)"
     supports_threads = True
+    supports_inplace = True
 
     def fft(self, x: np.ndarray, axis: int = -1) -> np.ndarray:
         from repro.fftlib.executor import fft_along_axis

@@ -60,9 +60,12 @@ __all__ = [
     "Stage",
     "StageProgram",
     "RealStageProgram",
+    "StockhamStageProgram",
     "compile_program",
     "get_program",
     "get_real_program",
+    "get_stockham_program",
+    "stockham_supported",
     "program_cache_info",
     "clear_program_cache",
     "fft",
@@ -254,6 +257,65 @@ class StageProgram:
         return current.reshape(shape)
 
     # ------------------------------------------------------------------
+    def execute_into(self, data: np.ndarray, work: np.ndarray) -> np.ndarray:
+        """Run the program between two caller-provided equal-size buffers.
+
+        ``data`` holds the input and is clobbered (it becomes the twiddle
+        staging area); the result lands in ``work``, which is returned.
+        Both must be ``(batch, n)`` complex128 arrays whose *last* axis is
+        unit-stride (leading strides are free - the in-place Stockham path
+        passes row-strided halves of the caller's buffer) and they must not
+        overlap.  Nothing is allocated: every reshape only splits an axis
+        (always a view) and every kernel writes through a strided view, so
+        this is the allocation-free core that
+        :class:`StockhamStageProgram` builds its half-transforms on.
+
+        Bluestein bases are not supported (their convolution needs its own
+        scratch); callers gate on :func:`stockham_supported`.
+        """
+
+        if self.base_kind == "bluestein":
+            raise ValueError("execute_into does not support Bluestein base kernels")
+        n = self.n
+        if data.ndim != 2 or data.shape != work.shape or data.shape[-1] != n:
+            raise ValueError(
+                f"execute_into expects matching (batch, {n}) buffers, got "
+                f"{data.shape} and {work.shape}"
+            )
+        batch = data.shape[0]
+
+        if not self.stages:
+            if self.base_kind == "codelet":
+                apply_codelet(data, n, out=work)
+            else:
+                np.matmul(data, self.base_matrix, out=work)
+            return work
+
+        # --- base kernel: stride-q gather view of `data`, result in `work`
+        base = self.base
+        q = n // base
+        gathered = data.reshape(batch, base, q).transpose(0, 2, 1)  # view
+        np.matmul(gathered, self.base_matrix, out=work.reshape(batch, q, base))
+
+        # --- combine stages: twiddle stage into `data` (dead input), rank-r
+        # DFT back into `work`; the result therefore stays in `work` for
+        # every stage, including the last.
+        for stage in self.stages:
+            r, p, count = stage.radix, stage.span, stage.count
+            grouped = data.reshape(batch, r, count, p)
+            np.multiply(
+                work.reshape(batch, r, count, p),
+                stage.twiddle[:, None, :],
+                out=grouped,
+            )
+            np.matmul(
+                grouped.transpose(0, 2, 3, 1),
+                stage.matrix,
+                out=work.reshape(batch, count, r, p).transpose(0, 1, 3, 2),
+            )
+        return work
+
+    # ------------------------------------------------------------------
     def describe(self) -> str:
         """One-line program listing (base kernel plus combine radices)."""
 
@@ -322,6 +384,20 @@ class RealStageProgram:
             self.program = get_program(self.n) if self.n > 1 else None
             self._a = self._b = None
 
+    @property
+    def stockham(self) -> Optional["StockhamStageProgram"]:
+        """The in-place half-length lowering, or ``None`` when unsupported.
+
+        Fetched lazily from the shared program LRU (it is only needed by
+        the overwrite execution mode): the packed view aliases the caller's
+        float buffer, so an overwrite-mode rfft destroys its input and
+        needs no ping-pong buffers at all.
+        """
+
+        if self.half and stockham_supported(self.half):
+            return get_stockham_program(self.half)
+        return None
+
     # ------------------------------------------------------------------
     def execute(self, x: np.ndarray) -> np.ndarray:
         """Packed forward transform along the last axis of a real array."""
@@ -371,6 +447,52 @@ class RealStageProgram:
         """The cached half-length complex transform of the packed sequence."""
 
         return self.program.execute(z)
+
+    def transform_half_inplace(self, z: np.ndarray) -> np.ndarray:
+        """The half-length transform *overwriting* the packed sequence.
+
+        ``z`` is typically the zero-copy packed view of the caller's float
+        buffer (:meth:`pack`), so this destroys the real input in exchange
+        for running without ping-pong buffers.  Only available when the
+        half size has a Stockham lowering (:attr:`supports_overwrite`).
+        """
+
+        if self.stockham is None:
+            raise ValueError(
+                f"real program of size {self.n} has no in-place half-length lowering"
+            )
+        return self.stockham.execute_inplace(z)
+
+    @property
+    def supports_overwrite(self) -> bool:
+        """Whether :meth:`execute_overwrite` can actually run in place."""
+
+        return self.stockham is not None
+
+    def execute_overwrite(self, x: np.ndarray) -> np.ndarray:
+        """Packed forward transform that may destroy its input buffer.
+
+        When the half-length Stockham lowering exists and ``x`` is a
+        contiguous writeable float64 buffer, the packed view is transformed
+        in place (the caller's samples are gone afterwards - the paper's
+        Section 5 in-place discipline) and only the ``n//2 + 1``-bin output
+        is allocated.  Otherwise this silently degrades to the ordinary
+        out-of-place :meth:`execute`.
+        """
+
+        if (
+            self.stockham is not None
+            and isinstance(x, np.ndarray)
+            and x.dtype == np.float64
+            and x.flags.c_contiguous
+            and x.flags.writeable
+            and x.ndim > 0
+            and x.shape[-1] == self.n
+        ):
+            z = x.view(np.complex128)  # zero-copy packed view of the buffer
+            self.stockham.execute_inplace(z)
+            return self.disentangle(z)
+        return self.execute(x)
 
     def disentangle(self, spectrum: np.ndarray) -> np.ndarray:
         """Packed ``n//2 + 1``-bin spectrum from the half-length transform.
@@ -439,6 +561,182 @@ class RealStageProgram:
         return self.describe()
 
 
+class StockhamStageProgram:
+    """An in-place compiled transform: caller's buffer plus one half scratch.
+
+    The ping-pong :class:`StageProgram` doubles the working set - two
+    full-size work buffers plus the output array.  At the paper's 2^20+
+    sizes (Section 5) that extra memory traffic is what the in-place
+    execution argument is about, so this program runs the transform *in the
+    caller's buffer* with exactly one half-size scratch allocation:
+
+    1. **deinterleave** - the odd-index samples move to the scratch ``S``
+       with one strided copy; the even-index samples are compacted into the
+       buffer's first half ``B1`` by a doubling schedule of
+       ``ceil(log2 n/2)`` slice copies whose source and destination ranges
+       never overlap (no hidden NumPy temporaries);
+    2. **two half transforms** - the cached ``n/2``-point
+       :class:`StageProgram` runs via :meth:`StageProgram.execute_into`,
+       which ping-pongs its self-sorting combine stages between two
+       *caller-provided* buffers: the even half between ``B1`` and ``B2``
+       (the buffer's second half), the odd half between ``S`` and ``B1``;
+    3. **autosort butterfly** - the final radix-2 DIT combine
+       ``X[k] = E[k] + omega_n^k O[k]``, ``X[k+n/2] = E[k] - omega_n^k O[k]``
+       writes both halves straight into their natural-order positions
+       (three elementwise passes, no permutation pass, no final copy).
+
+    Every write in steps 2-3 lands in a strided view of either the caller's
+    buffer or the single scratch - the Stockham discipline of alternating
+    buffers per stage, at half the usual footprint.  The half-length
+    programs are shared with the out-of-place path through the program LRU,
+    so compiling a Stockham program warms the ping-pong path too (and vice
+    versa).
+
+    Supported sizes: even ``n >= 2`` whose half-length program does not
+    bottom out in a Bluestein base (the chirp convolution needs its own
+    full-size scratch); see :func:`stockham_supported`.  Instances are
+    immutable and thread-safe - the only mutable execution state is the
+    thread-local scratch.
+    """
+
+    __slots__ = ("n", "half", "program", "twiddle")
+
+    def __init__(self, n: int) -> None:
+        self.n = int(n)
+        if self.n < 2 or self.n % 2:
+            raise ValueError(
+                f"in-place Stockham programs require an even size >= 2, got {n}"
+            )
+        self.half = self.n // 2
+        self.program = get_program(self.half)
+        if self.program.base_kind == "bluestein":
+            raise ValueError(
+                f"size {n} has a Bluestein half-length base; the in-place "
+                f"Stockham lowering does not support it"
+            )
+        #: omega_n^k for k < n/2 - the only root table the autosort
+        #: butterfly needs (one TwiddleCache hit at compile time).
+        self.twiddle = get_global_cache().half_vector(self.n)
+
+    # ------------------------------------------------------------------
+    def execute_inplace(self, buf: np.ndarray) -> np.ndarray:
+        """Forward DFT along the last axis, overwriting ``buf``.
+
+        ``buf`` must be a writeable C-contiguous complex128 array whose
+        last axis has length ``n`` (arbitrary leading batch axes).  The
+        transform allocates nothing beyond the reusable thread-local
+        scratch of *half* the buffer's size; the (mutated) buffer is
+        returned holding the natural-order spectrum.
+        """
+
+        rows = self._as_rows(buf)
+        batch = rows.shape[0]
+        h = self.half
+        scratch = _stockham_scratch(batch * h)[: batch * h].reshape(batch, h)
+        b1 = rows[:, :h]
+        b2 = rows[:, h:]
+
+        # --- deinterleave: odds -> scratch, evens compacted into b1 -------
+        scratch[...] = rows[:, 1::2]
+        # Doubling schedule: destination [j, 2j) <- source [2j, 4j) (stride
+        # 2).  Source start 2j == destination end, so the slices never
+        # overlap and NumPy never buffers; element 0 is already in place.
+        j = 1
+        while j < h:
+            w = min(j, h - j)
+            rows[:, j : j + w] = rows[:, 2 * j : 2 * (j + w) : 2]
+            j *= 2
+
+        # --- the two half-length transforms -------------------------------
+        self.program.execute_into(b1, b2)      # E = FFT(evens), staging in b1
+        self.program.execute_into(scratch, b1)  # O = FFT(odds), staging in scratch
+
+        # --- radix-2 autosort butterfly, natural order, no final copy -----
+        np.multiply(b1, self.twiddle, out=scratch)  # t = omega * O
+        np.add(b2, scratch, out=b1)                 # X[:h]  = E + t
+        np.subtract(b2, scratch, out=b2)            # X[h:]  = E - t
+        return buf
+
+    def execute_inverse_inplace(self, buf: np.ndarray) -> np.ndarray:
+        """Normalised inverse DFT along the last axis, overwriting ``buf``.
+
+        Uses the conjugation identity in place: conjugate, forward
+        transform, conjugate and scale - the same three-buffer discipline,
+        still nothing allocated beyond the half-size scratch.
+        """
+
+        rows = self._as_rows(buf)
+        np.conj(rows, out=rows)
+        self.execute_inplace(rows)
+        np.conj(rows, out=rows)
+        rows *= 1.0 / self.n
+        return buf
+
+    # ------------------------------------------------------------------
+    def execute(self, x: np.ndarray) -> np.ndarray:
+        """Out-of-place convenience wrapper: copy once, transform in place.
+
+        Gives the Stockham lowering the same call signature as
+        :class:`StageProgram`, so plans can swap programs freely; the copy
+        is the *only* full-size allocation on this path (the ping-pong
+        executor pays it too, as its output array).
+        """
+
+        x = np.asarray(x, dtype=np.complex128)
+        if x.ndim == 0:
+            raise ValueError("input must have at least one dimension")
+        if x.shape[-1] != self.n:
+            raise ValueError(
+                f"program of size {self.n} applied to array with last axis {x.shape[-1]}"
+            )
+        out = np.empty(x.shape, dtype=np.complex128)
+        np.copyto(out, x)
+        return self.execute_inplace(out)
+
+    # ------------------------------------------------------------------
+    def _as_rows(self, buf: np.ndarray) -> np.ndarray:
+        if not isinstance(buf, np.ndarray) or buf.dtype != np.complex128:
+            raise ValueError("in-place execution requires a complex128 ndarray buffer")
+        if not buf.flags.c_contiguous or not buf.flags.writeable:
+            raise ValueError(
+                "in-place execution requires a writeable C-contiguous buffer"
+            )
+        if buf.ndim == 0 or buf.shape[-1] != self.n:
+            raise ValueError(
+                f"program of size {self.n} applied to buffer with last axis "
+                f"{buf.shape[-1] if buf.ndim else 0}"
+            )
+        return buf.reshape(-1, self.n)
+
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        """One-line program listing (half program plus autosort combine)."""
+
+        return (
+            f"StockhamStageProgram(n={self.n}, inplace, scratch={self.half}, "
+            f"half -> {self.program.describe()})"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return self.describe()
+
+
+def stockham_supported(n: int) -> bool:
+    """Whether size ``n`` has an in-place Stockham lowering.
+
+    Even sizes whose half-length program bottoms out in a codelet or a
+    direct small-prime DFT qualify; odd sizes have no parity split and
+    Bluestein halves need their own convolution scratch.  Callers fall back
+    to the ping-pong :class:`StageProgram` (plus a copy when in-place
+    semantics were requested) for unsupported sizes.
+    """
+
+    n = int(n)
+    if n < 2 or n % 2:
+        return False
+    return get_program(n // 2).base_kind != "bluestein"
+
+
 # ----------------------------------------------------------------------
 # thread-local ping-pong work buffers
 # ----------------------------------------------------------------------
@@ -463,6 +761,23 @@ def _work_buffers(count: int) -> Tuple[np.ndarray, np.ndarray]:
     return pair
 
 
+def _stockham_scratch(count: int) -> np.ndarray:
+    """The single reusable half-size scratch of the in-place Stockham path.
+
+    Thread-local like the ping-pong pair (concurrent in-place executions
+    never share it) but deliberately *separate* from it: an in-place
+    transform must not inflate the out-of-place buffers, and the peak-memory
+    guarantee - at most one buffer of half the working set - is what the
+    scratch-accounting tests assert against.
+    """
+
+    buf = getattr(_tls, "stockham", None)
+    if buf is None or buf.size < count:
+        buf = np.empty(count, dtype=np.complex128)
+        _tls.stockham = buf
+    return buf
+
+
 # ----------------------------------------------------------------------
 # the program cache (shape mirrors the FTPlan "wisdom" cache)
 # ----------------------------------------------------------------------
@@ -477,8 +792,9 @@ class ProgramCacheInfo(NamedTuple):
 _DEFAULT_PROGRAM_CACHE_LIMIT = 128
 
 _cache_lock = threading.RLock()
-#: keyed by ``n`` (complex programs), ``("real", n)`` (real programs), or
-#: ``("sixstep", n, threads)`` (threaded six-step programs)
+#: keyed by ``n`` (complex programs), ``("real", n)`` (real programs),
+#: ``("stockham", n)`` (in-place Stockham programs), or
+#: ``("sixstep", n, threads, inplace)`` (threaded six-step programs)
 _programs: "OrderedDict[object, object]" = OrderedDict()
 #: per-key once-guards: key -> Event set when that key's compile finishes
 _inflight: dict = {}
@@ -551,6 +867,20 @@ def get_real_program(n: int) -> RealStageProgram:
 
     n = int(n)
     return _cached_program(("real", n), lambda: RealStageProgram(n))
+
+
+def get_stockham_program(n: int) -> StockhamStageProgram:
+    """The (cached) in-place Stockham program for an ``n``-point transform.
+
+    Shares the program LRU under ``("stockham", n)`` keys; the half-length
+    :class:`StageProgram` it wraps is the same object the out-of-place path
+    caches, so the two lowerings share twiddle tables and butterflies.
+    Raises ``ValueError`` for unsupported sizes (see
+    :func:`stockham_supported`).
+    """
+
+    n = int(n)
+    return _cached_program(("stockham", n), lambda: StockhamStageProgram(n))
 
 
 def program_cache_info() -> ProgramCacheInfo:

@@ -18,10 +18,10 @@ from typing import Optional
 
 import numpy as np
 
+from repro.fftlib.executor import get_stockham_program, stockham_supported
 from repro.fftlib.plan import PlanDirection
 from repro.fftlib.planner import Planner
 from repro.fftlib.two_layer import TwoLayerPlan
-from repro.utils.validation import ensure_positive_int
 
 __all__ = ["InPlaceTwoLayerPlan"]
 
@@ -33,6 +33,19 @@ class InPlaceTwoLayerPlan:
     ``complex128`` array of length ``n``; it is always interpreted as the
     ``(m, k)`` working matrix via a reshaped *view* so every write lands in
     the caller's memory.
+
+    The whole-stage bodies reuse the in-place Stockham programs
+    (:class:`~repro.fftlib.executor.StockhamStageProgram`) when the stage
+    sizes support them: stage 2 transforms the contiguous ``(m, k)`` rows
+    directly in the caller's buffer (one half-size scratch, no full-size
+    out-of-place result to copy back), and stage 1 runs the ``m``-point
+    Stockham program over gathered quarter-width column blocks.  Forward
+    direction only - the stage sub-plans of a backward two-layer plan
+    carry the inverse convention the Stockham lowering does not, so
+    backward plans keep the out-of-place stage bodies.  The per-column
+    recovery entry points (``stage*_single_inplace``) always use the
+    out-of-place sub-plans, matching the protected schemes' recompute
+    discipline.
     """
 
     def __init__(
@@ -45,6 +58,17 @@ class InPlaceTwoLayerPlan:
         planner: Optional[Planner] = None,
     ) -> None:
         self._oop = TwoLayerPlan(n, m, k, direction=direction, planner=planner)
+        forward = direction is PlanDirection.FORWARD
+        self._stockham_m = (
+            get_stockham_program(self._oop.m)
+            if forward and stockham_supported(self._oop.m)
+            else None
+        )
+        self._stockham_k = (
+            get_stockham_program(self._oop.k)
+            if forward and stockham_supported(self._oop.k)
+            else None
+        )
 
     # ------------------------------------------------------------------
     @property
@@ -80,10 +104,26 @@ class InPlaceTwoLayerPlan:
 
     # ------------------------------------------------------------------
     def stage1_inplace(self, buffer: np.ndarray) -> None:
-        """Overwrite the buffer with the outputs of the ``k`` inner FFTs."""
+        """Overwrite the buffer with the outputs of the ``k`` inner FFTs.
+
+        With a Stockham ``m``-point program the columns are processed in
+        quarter-width blocks: gather a ``(cols, m)`` transposed block (the
+        only temporary, at most ``n/4`` elements), transform it in place,
+        scatter it back - instead of materialising the full ``(m, k)``
+        out-of-place stage result before overwriting.
+        """
 
         work = self._as_work(buffer)
-        work[:, :] = self._oop.stage1(work)
+        if self._stockham_m is None:
+            work[:, :] = self._oop.stage1(work)
+            return
+        k = self.k
+        width = max(1, k // 4)
+        for lo in range(0, k, width):
+            hi = min(k, lo + width)
+            block = np.ascontiguousarray(work[:, lo:hi].T)
+            self._stockham_m.execute_inplace(block)
+            work[:, lo:hi] = block.T
 
     def stage1_single_inplace(self, buffer: np.ndarray, index: int) -> None:
         """Recompute only inner sub-FFT ``index`` from the data in ``buffer``.
@@ -102,10 +142,18 @@ class InPlaceTwoLayerPlan:
         work *= self._oop.twiddles
 
     def stage2_inplace(self, buffer: np.ndarray) -> None:
-        """Overwrite the buffer with the outputs of the ``m`` outer FFTs."""
+        """Overwrite the buffer with the outputs of the ``m`` outer FFTs.
+
+        The ``(m, k)`` rows are contiguous in the caller's buffer, so with
+        a Stockham ``k``-point program the whole stage runs genuinely in
+        place - one batched call against the single half-size scratch.
+        """
 
         work = self._as_work(buffer)
-        work[:, :] = self._oop.stage2(work)
+        if self._stockham_k is None:
+            work[:, :] = self._oop.stage2(work)
+            return
+        self._stockham_k.execute_inplace(work)
 
     def stage2_single_inplace(self, buffer: np.ndarray, index: int) -> None:
         work = self._as_work(buffer)

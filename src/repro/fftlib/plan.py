@@ -90,6 +90,17 @@ class Plan:
         the transform's phases as chunked batches on the process-wide
         worker pool.  Only the ``fftlib`` backend lowers threaded programs
         (complex plans); elsewhere the knob is inert.
+    inplace:
+        In-place execution (the paper's Section 5 discipline): the plan
+        lowers to the Stockham autosort program
+        (:class:`~repro.fftlib.executor.StockhamStageProgram`) when the
+        size supports it, halving the working set - the caller's buffer
+        plus a single half-size scratch instead of a full-size ping-pong
+        pair - and :meth:`execute_inplace` overwrites the caller's buffer.
+        Unsupported sizes (odd, Bluestein halves) and foreign backends keep
+        their usual lowering; ``execute_inplace`` still honours the
+        overwrite *semantics* there via one out-of-place transform plus a
+        copy back.
     """
 
     n: int
@@ -99,6 +110,7 @@ class Plan:
     backend: Optional[str] = None
     real: bool = False
     threads: int = 1
+    inplace: bool = False
     #: compiled stage program (``fftlib`` backend only); built at plan time
     #: so ``execute`` pays no factorization/twiddle setup.
     program: Optional[object] = field(default=None, compare=False, repr=False)
@@ -109,6 +121,7 @@ class Plan:
             object.__setattr__(self, "threads", 1)
         else:
             object.__setattr__(self, "threads", int(self.threads))
+        object.__setattr__(self, "inplace", bool(self.inplace))
         if self.flops == 0.0:
             # Conjugate-even packing does the work of a half-length complex
             # transform plus an O(n) repack.
@@ -119,14 +132,23 @@ class Plan:
         # work happens here, never inside execute().  Other backends own
         # their tables, so only the internal engine lowers a program.
         if self.program is None and resolve_backend_name(self.backend) == "fftlib":
-            from repro.fftlib.executor import get_program, get_real_program
+            from repro.fftlib.executor import (
+                get_program,
+                get_real_program,
+                get_stockham_program,
+                stockham_supported,
+            )
 
             if self.real:
                 lowered = get_real_program(self.n)
             elif self.threads > 1:
                 from repro.runtime.threaded import get_threaded_program
 
-                lowered = get_threaded_program(self.n, self.threads)
+                lowered = get_threaded_program(
+                    self.n, self.threads, inplace=self.inplace
+                )
+            elif self.inplace and stockham_supported(self.n):
+                lowered = get_stockham_program(self.n)
             else:
                 lowered = get_program(self.n)
             object.__setattr__(self, "program", lowered)
@@ -189,6 +211,47 @@ class Plan:
             return program.execute_inverse(spectrum)
         return get_backend(self.backend).irfft(spectrum, n=self.n, axis=-1)
 
+    def execute_inplace(self, buffer: np.ndarray) -> np.ndarray:
+        """Apply the plan to ``buffer``'s last axis, overwriting ``buffer``.
+
+        ``buffer`` must be a writeable C-contiguous complex128 array whose
+        last axis has length ``n`` (real plans change the output length and
+        therefore have no in-place form).  Plans lowered to the Stockham
+        autosort program run with a single half-size scratch; any other
+        lowering (unsupported sizes, foreign backends, threaded six-step
+        programs without in-place support) preserves the overwrite
+        *semantics* by transforming out of place and copying back, so the
+        caller can rely on the buffer holding the result either way.
+        """
+
+        if self.real:
+            raise ValueError(
+                "real plans map n samples to n//2 + 1 bins and cannot run in place"
+            )
+        buffer = np.asarray(buffer)
+        if buffer.ndim == 0 or buffer.shape[-1] != self.n:
+            raise ValueError(
+                f"plan of size {self.n} applied to buffer with last axis "
+                f"{buffer.shape[-1] if buffer.ndim else 0}"
+            )
+        if (
+            buffer.dtype != np.complex128
+            or not buffer.flags.c_contiguous
+            or not buffer.flags.writeable
+        ):
+            raise ValueError(
+                "execute_inplace requires a writeable C-contiguous complex128 "
+                "buffer (the transform overwrites it)"
+            )
+        program = self.program
+        if program is not None and hasattr(program, "execute_inplace"):
+            if self.is_forward:
+                return program.execute_inplace(buffer)
+            return program.execute_inverse_inplace(buffer)
+        result = self.execute(buffer)
+        np.copyto(buffer, result)
+        return buffer
+
     def execute_batch(self, x: np.ndarray, axis: int = -1) -> np.ndarray:
         """Apply the plan along an arbitrary axis (batched over the rest).
 
@@ -213,7 +276,7 @@ class Plan:
         )
         return Plan(
             self.n, direction, self.strategy, self.flops, self.backend, self.real,
-            self.threads,
+            self.threads, self.inplace,
         )
 
     def describe(self) -> str:
@@ -223,8 +286,9 @@ class Plan:
         backend = self.backend or "fftlib"
         kind = "real, " if self.real else ""
         threaded = f", threads={self.threads}" if self.threads > 1 else ""
+        inplace = ", inplace" if self.inplace else ""
         return (
             f"Plan(n={self.n}, {kind}dir={self.direction.value}, "
-            f"strategy={self.strategy.value}, backend={backend}{threaded}, "
+            f"strategy={self.strategy.value}, backend={backend}{threaded}{inplace}, "
             f"radices={factors}, ~{self.flops:.0f} flops)"
         )

@@ -72,16 +72,19 @@ class Planner:
         Planning effort (estimate vs. measure).
     wisdom:
         Cache of previously created plans keyed by
-        ``(n, direction, backend, real, threads)``.
+        ``(n, direction, backend, real, threads, inplace)``.
     """
 
     policy: PlannerPolicy = PlannerPolicy.ESTIMATE
-    wisdom: Dict[Tuple[int, PlanDirection, str, bool, int], Plan] = field(default_factory=dict)
+    wisdom: Dict[Tuple[int, PlanDirection, str, bool, int, bool], Plan] = field(default_factory=dict)
     measurements: Dict[int, Dict[str, float]] = field(default_factory=dict)
     #: serial-vs-threaded timings per ``"n:t{threads}"`` request (MEASURE
     #: mode); ride along in exported wisdom so an imported planner reuses
     #: the recorded winner without re-timing.
     thread_measurements: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: ping-pong vs in-place Stockham timings per ``"n"`` (MEASURE mode);
+    #: same export/import discipline as the thread timings.
+    inplace_measurements: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     def plan(
         self,
@@ -90,6 +93,7 @@ class Planner:
         backend: Optional[str] = None,
         real: bool = False,
         threads: Optional[int] = None,
+        inplace: bool = False,
     ) -> Plan:
         """Return a (cached) plan for an ``n``-point transform.
 
@@ -101,13 +105,19 @@ class Planner:
         serial, ``0`` = automatic/pool size, ``N`` = N chunks); the planner
         lowers to the threaded program only when profitable - by heuristic
         in ESTIMATE mode, by timing serial vs threaded (and recording the
-        winner in wisdom) in MEASURE mode.
+        winner in wisdom) in MEASURE mode.  ``inplace`` requests the
+        in-place Stockham lowering (caller's buffer plus one half-size
+        scratch; :meth:`Plan.execute_inplace`); ESTIMATE honours the
+        request whenever the size supports it - the caller asking for
+        in-place execution *is* the memory-pressure signal - while MEASURE
+        times ping-pong vs Stockham once and records the winner in wisdom.
         """
 
         backend_name = resolve_backend_name(backend)
         real = bool(real)
         nthreads = self._normalize_threads(backend_name, real, threads)
-        key = (int(n), direction, backend_name, real, nthreads)
+        requested_inplace = self._normalize_inplace(backend_name, real, inplace)
+        key = (int(n), direction, backend_name, real, nthreads, requested_inplace)
         cached = self.wisdom.get(key)
         if cached is not None:
             return cached
@@ -122,7 +132,11 @@ class Planner:
         else:
             strategy = _heuristic_strategy(int(n))
         effective = self._effective_threads(int(n), nthreads)
-        plan = Plan(int(n), direction, strategy, 0.0, backend_name, real, effective)
+        lowered_inplace = self._effective_inplace(int(n), requested_inplace)
+        plan = Plan(
+            int(n), direction, strategy, 0.0, backend_name, real, effective,
+            lowered_inplace,
+        )
         self.wisdom[key] = plan
         return plan
 
@@ -145,6 +159,80 @@ class Planner:
         if real or not getattr(get_backend(backend_name), "supports_threads", False):
             return 1
         return nthreads
+
+    def _normalize_inplace(self, backend_name: str, real: bool, inplace: bool) -> bool:
+        """Resolve the requested ``inplace`` knob.
+
+        Only the ``fftlib`` backend lowers Stockham programs, and real
+        plans change their output length (no in-place form); everywhere
+        else the knob is inert, mirroring ``threads``.
+        """
+
+        if not inplace or real:
+            return False
+        return bool(getattr(get_backend(backend_name), "supports_inplace", False))
+
+    def _effective_inplace(
+        self, n: int, inplace: bool, *, allow_timing: bool = True
+    ) -> bool:
+        """Whether the plan actually lowers to the Stockham program.
+
+        ESTIMATE mode honours any supported request (the caller asking for
+        in-place execution is itself the profitability signal - the point
+        is the halved working set).  MEASURE mode times the two lowerings
+        once (recorded under ``inplace_measurements[str(n)]``, exported
+        with the wisdom) and keeps ping-pong when it measured faster:
+        ``Plan.execute_inplace`` preserves the overwrite semantics either
+        way.  ``allow_timing=False`` (wisdom import) never benchmarks.
+        """
+
+        if not inplace:
+            return False
+        from repro.fftlib.executor import stockham_supported
+
+        if not stockham_supported(n):
+            return False
+        if self.policy is PlannerPolicy.MEASURE:
+            timings = self.inplace_measurements.get(str(n))
+            if timings and "pingpong" in timings and "stockham" in timings:
+                return timings["stockham"] < timings["pingpong"]
+            if not allow_timing:
+                return True
+            return self._stockham_wins(n)
+        return True
+
+    def _stockham_wins(self, n: int) -> bool:
+        """MEASURE mode: time ping-pong vs Stockham once, remember the winner."""
+
+        key = str(n)
+        timings = self.inplace_measurements.get(key)
+        if not timings or "pingpong" not in timings or "stockham" not in timings:
+            from repro.fftlib.executor import get_program, get_stockham_program
+
+            pingpong = get_program(n)
+            stockham = get_stockham_program(n)
+            rng = np.random.default_rng(8765 + n)
+            x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+            buf = np.empty(n, dtype=np.complex128)
+
+            def run_stockham():
+                np.copyto(buf, x)
+                stockham.execute_inplace(buf)
+
+            timings = {}
+            for label, fn in (
+                ("pingpong", lambda: pingpong.execute(x)),
+                ("stockham", run_stockham),
+            ):
+                fn()  # warm-up / twiddle-cache + scratch fill
+                best = float("inf")
+                for _ in range(3):
+                    start = time.perf_counter()
+                    fn()
+                    best = min(best, time.perf_counter() - start)
+                timings[label] = best
+            self.inplace_measurements[key] = timings
+        return timings["stockham"] < timings["pingpong"]
 
     def _effective_threads(self, n: int, nthreads: int, *, allow_timing: bool = True) -> int:
         """Chunk count the plan is actually lowered with (the "winner").
@@ -262,19 +350,34 @@ class Planner:
         return best_strategy
 
     # ------------------------------------------------------------------
-    def lower(self, n: int, real: bool = False, threads: Optional[int] = None):
+    def lower(
+        self,
+        n: int,
+        real: bool = False,
+        threads: Optional[int] = None,
+        inplace: bool = False,
+    ):
         """The compiled :class:`~repro.fftlib.executor.StageProgram` for ``n``.
 
         ``real=True`` lowers the packed real-input transform
         (:class:`~repro.fftlib.executor.RealStageProgram`) instead;
         ``threads`` above 1 lowers the shared-memory six-step program
-        (:class:`~repro.runtime.threaded.ThreadedSixStepProgram`).
-        Lowering is memoized process-wide (programs are immutable and
-        backend-independent), so this is cheap after the first call per
-        size; plans created by :meth:`plan` reference the same objects.
+        (:class:`~repro.runtime.threaded.ThreadedSixStepProgram`);
+        ``inplace=True`` lowers the in-place Stockham program
+        (:class:`~repro.fftlib.executor.StockhamStageProgram`) when the
+        size supports one - an explicit in-place request, a large size
+        under memory pressure, and the threaded stage bodies all arrive
+        here.  Lowering is memoized process-wide (programs are immutable
+        and backend-independent), so this is cheap after the first call
+        per size; plans created by :meth:`plan` reference the same objects.
         """
 
-        from repro.fftlib.executor import get_program, get_real_program
+        from repro.fftlib.executor import (
+            get_program,
+            get_real_program,
+            get_stockham_program,
+            stockham_supported,
+        )
         from repro.runtime.pool import resolve_thread_count
 
         if real:
@@ -283,7 +386,9 @@ class Planner:
         if nthreads > 1:
             from repro.runtime.threaded import get_threaded_program
 
-            return get_threaded_program(int(n), nthreads)
+            return get_threaded_program(int(n), nthreads, inplace=bool(inplace))
+        if inplace and stockham_supported(int(n)):
+            return get_stockham_program(int(n))
         return get_program(int(n))
 
     # ------------------------------------------------------------------
@@ -293,26 +398,30 @@ class Planner:
         self.wisdom.clear()
         self.measurements.clear()
         self.thread_measurements.clear()
+        self.inplace_measurements.clear()
 
     def export_wisdom(self) -> Dict[str, object]:
-        """Serialise wisdom as ``{"n:direction:backend[:real][:tN]": strategy}``.
+        """Serialise wisdom as ``{"n:direction:backend[:real][:tN][:ip]": strategy}``.
 
-        Measured strategy timings, the compiled program descriptions, and
-        the serial-vs-threaded timings ride along under the reserved
-        ``"__measurements__"`` / ``"__programs__"`` /
-        ``"__thread_measurements__"`` keys, so a MEASURE planner seeded from
-        this dict never re-times a size it has already seen - the whole
-        mapping stays JSON-serialisable.
+        Measured strategy timings, the compiled program descriptions, the
+        serial-vs-threaded timings, and the ping-pong-vs-Stockham timings
+        ride along under the reserved ``"__measurements__"`` /
+        ``"__programs__"`` / ``"__thread_measurements__"`` /
+        ``"__inplace_measurements__"`` keys, so a MEASURE planner seeded
+        from this dict never re-times a size it has already seen - the
+        whole mapping stays JSON-serialisable.
         """
 
         data: Dict[str, object] = {}
         programs: Dict[str, str] = {}
-        for (n, direction, backend, real, threads), plan in self.wisdom.items():
+        for (n, direction, backend, real, threads, inplace), plan in self.wisdom.items():
             key = f"{n}:{direction.value}:{backend}"
             if real:
                 key += ":real"
             if threads > 1:
                 key += f":t{threads}"
+            if inplace:
+                key += ":ip"
             data[key] = plan.strategy.value
             if plan.program is not None:
                 programs[key] = plan.program.describe()
@@ -323,6 +432,10 @@ class Planner:
         if self.thread_measurements:
             data["__thread_measurements__"] = {
                 key: dict(timings) for key, timings in self.thread_measurements.items()
+            }
+        if self.inplace_measurements:
+            data["__inplace_measurements__"] = {
+                key: dict(timings) for key, timings in self.inplace_measurements.items()
             }
         if programs:
             data["__programs__"] = programs
@@ -348,6 +461,10 @@ class Planner:
             self.thread_measurements[str(key)] = {
                 str(name): float(t) for name, t in dict(timings).items()
             }
+        for key, timings in dict(data.get("__inplace_measurements__", {})).items():
+            self.inplace_measurements[str(key)] = {
+                str(name): float(t) for name, t in dict(timings).items()
+            }
         for key, strategy_name in data.items():
             if key.startswith("__"):
                 continue
@@ -357,18 +474,20 @@ class Planner:
             backend = resolve_backend_name(parts[2] if len(parts) > 2 else None)
             extras = parts[3:]
             real = "real" in extras
+            inplace = "ip" in extras
             threads = 1
             for part in extras:
                 if len(part) > 1 and part[0] == "t" and part[1:].isdigit():
                     threads = int(part[1:])
             strategy = PlanStrategy(strategy_name)
-            self.wisdom[(n, direction, backend, real, threads)] = Plan(
+            self.wisdom[(n, direction, backend, real, threads, inplace)] = Plan(
                 n,
                 direction,
                 strategy,
                 backend=backend,
                 real=real,
                 threads=self._effective_threads(n, threads, allow_timing=False),
+                inplace=self._effective_inplace(n, inplace, allow_timing=False),
             )
 
 
@@ -387,7 +506,8 @@ def plan_fft(
     backend: Optional[str] = None,
     real: bool = False,
     threads: Optional[int] = None,
+    inplace: bool = False,
 ) -> Plan:
     """Convenience wrapper around the default planner."""
 
-    return _DEFAULT_PLANNER.plan(n, direction, backend, real, threads)
+    return _DEFAULT_PLANNER.plan(n, direction, backend, real, threads, inplace)

@@ -20,6 +20,7 @@ from repro.utils.validation import ensure_positive_int
 __all__ = [
     "omega",
     "twiddle_factors",
+    "half_twiddle_factors",
     "stage_twiddles",
     "TwiddleCache",
     "TwiddleCacheInfo",
@@ -50,6 +51,21 @@ def twiddle_factors(n: int, *, inverse: bool = False) -> np.ndarray:
     n = ensure_positive_int(n, name="n")
     sign = 1.0 if inverse else -1.0
     return np.exp(sign * 2j * np.pi * np.arange(n) / n)
+
+
+def half_twiddle_factors(n: int, *, inverse: bool = False) -> np.ndarray:
+    """The first half of the ``n``-th roots, ``[omega_n^0, ..., omega_n^{n//2-1}]``.
+
+    This is the per-stage layout of the in-place Stockham combine
+    (:class:`repro.fftlib.executor.StockhamStageProgram`): the final
+    radix-2 autosort butterfly pairs ``X[k]``/``X[k+n/2]`` and only ever
+    multiplies by the lower half of the root table, so caching the half
+    vector keeps the in-place path's table footprint at ``n/2`` as well.
+    """
+
+    n = ensure_positive_int(n, name="n")
+    sign = 1.0 if inverse else -1.0
+    return np.exp(sign * 2j * np.pi * np.arange(n // 2) / n)
 
 
 def stage_twiddles(m: int, k: int, *, inverse: bool = False) -> np.ndarray:
@@ -121,6 +137,10 @@ class TwiddleCache:
     def vector(self, n: int, *, inverse: bool = False) -> np.ndarray:
         key = ("vector", int(n), bool(inverse))
         return self._get(key, lambda: twiddle_factors(n, inverse=inverse))
+
+    def half_vector(self, n: int, *, inverse: bool = False) -> np.ndarray:
+        key = ("halfvec", int(n), bool(inverse))
+        return self._get(key, lambda: half_twiddle_factors(n, inverse=inverse))
 
     def stage(self, m: int, k: int, *, inverse: bool = False) -> np.ndarray:
         key = ("stage", int(m), int(k), bool(inverse))

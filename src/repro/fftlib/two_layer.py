@@ -22,7 +22,7 @@ execution) because the ABFT schemes need to
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 

@@ -45,12 +45,18 @@ serial :class:`StageProgram` so every size stays valid.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 
 from repro.fftlib import factorization
-from repro.fftlib.executor import StageProgram, _cached_program, get_program
+from repro.fftlib.executor import (
+    StageProgram,
+    _cached_program,
+    get_program,
+    get_stockham_program,
+    stockham_supported,
+)
 from repro.fftlib.twiddle import get_global_cache
 from repro.runtime.pool import WorkerPool, get_pool, resolve_thread_count, split_ranges
 
@@ -97,25 +103,37 @@ class ThreadedSixStepProgram:
         "m",
         "k",
         "threads",
+        "inplace",
         "serial",
         "row_program",
         "col_program",
+        "row_stockham",
+        "col_stockham",
         "twiddle",
         "_col_ranges",
         "_mid_ranges",
     )
 
-    def __init__(self, n: int, threads: Optional[int] = 0) -> None:
+    def __init__(
+        self, n: int, threads: Optional[int] = 0, *, inplace: bool = False
+    ) -> None:
         self.n = int(n)
         if self.n <= 0:
             raise ValueError("transform length must be positive")
         self.threads = resolve_thread_count(threads)
+        self.inplace = bool(inplace)
         if not threading_profitable(self.n, self.threads):
             # Primes, tiny sizes, or a single thread: the serial compiled
-            # program is the right tool and keeps every size valid.
-            self.serial: Optional[StageProgram] = get_program(self.n)
+            # program is the right tool and keeps every size valid.  An
+            # in-place request keeps its Stockham lowering through the
+            # fallback when the size supports one.
+            if self.inplace and stockham_supported(self.n):
+                self.serial = get_stockham_program(self.n)
+            else:
+                self.serial: Optional[StageProgram] = get_program(self.n)
             self.m, self.k = self.n, 1
             self.row_program = self.col_program = None
+            self.row_stockham = self.col_stockham = None
             self.twiddle = None
             self._col_ranges = self._mid_ranges = ()
             return
@@ -123,6 +141,18 @@ class ThreadedSixStepProgram:
         self.m, self.k = factorization.balanced_split(self.n)
         self.row_program = get_program(self.m)
         self.col_program = get_program(self.k)
+        # In-place mode: the workers' gathered blocks are transformed with
+        # the Stockham programs (each worker's block plus a thread-local
+        # half-block scratch) instead of the ping-pong executor - the
+        # stage bodies of the six-step then never allocate a second
+        # block-sized buffer.  Sizes without a Stockham lowering keep the
+        # ping-pong stage bodies.
+        self.row_stockham = self.col_stockham = None
+        if self.inplace:
+            if stockham_supported(self.m):
+                self.row_stockham = get_stockham_program(self.m)
+            if stockham_supported(self.k):
+                self.col_stockham = get_stockham_program(self.k)
         # The (m, k) table omega_N^{j2 n2}, stored transposed (k, m) so the
         # phase-A blocks (rows indexed by n2) multiply a contiguous slice.
         self.twiddle = np.ascontiguousarray(get_global_cache().stage(self.m, self.k).T)
@@ -136,11 +166,16 @@ class ThreadedSixStepProgram:
         *,
         parallel: bool = True,
         pool: Optional[WorkerPool] = None,
+        out: Optional[np.ndarray] = None,
     ) -> np.ndarray:
-        """Forward DFT along the last axis of ``x`` (batched, out-of-place).
+        """Forward DFT along the last axis of ``x`` (batched).
 
         ``parallel=False`` runs the identical chunk list sequentially on the
         calling thread - the bitwise reference for the threaded execution.
+        ``out`` receives the result instead of a fresh allocation; it may be
+        ``x``'s own buffer (the six-step phases consume the input into the
+        transpose intermediate before the output region is written), which
+        is how :meth:`execute_inplace` overwrites the caller's buffer.
         """
 
         x = np.asarray(x, dtype=np.complex128)
@@ -151,30 +186,81 @@ class ThreadedSixStepProgram:
             raise ValueError(
                 f"program of size {n} applied to array with last axis {x.shape[-1]}"
             )
+        if out is not None and (
+            not isinstance(out, np.ndarray)
+            or out.shape != x.shape
+            or out.dtype != np.complex128
+            or not out.flags.c_contiguous
+            or not out.flags.writeable
+        ):
+            raise ValueError(
+                "out must be a writeable C-contiguous complex128 array with "
+                "the input's shape"
+            )
         if self.serial is not None:
-            return self.serial.execute(x)
+            if out is None:
+                return self.serial.execute(x)
+            np.copyto(out, self.serial.execute(x))
+            return out
         shape = x.shape
         batch = x.size // n
         if batch == 0:
             # Empty batch: match the serial program (empty result, no work).
-            return x.copy()
+            return x.copy() if out is None else out
         xs = x.reshape(batch, n)
         if not xs.flags.c_contiguous:
             xs = np.ascontiguousarray(xs)
         runner = (pool or get_pool()) if parallel else None
+        if out is None:
+            target = np.empty((batch, n), dtype=np.complex128)
+        else:
+            target = out.reshape(batch, n)
         if batch > 1:
-            out = np.empty((batch, n), dtype=np.complex128)
             tasks = [
-                (lambda lo=lo, hi=hi: out.__setitem__(
+                (lambda lo=lo, hi=hi: target.__setitem__(
                     slice(lo, hi), self._sixstep_batch(xs[lo:hi])
                 ))
                 for lo, hi in split_ranges(batch, self.threads)
             ]
             self._run(runner, tasks)
-            return out.reshape(shape)
-        out = np.empty(n, dtype=np.complex128)
-        self._execute_single(xs[0], out, runner)
-        return out.reshape(shape)
+            return target.reshape(shape) if out is None else out
+        self._execute_single(xs[0], target.reshape(n), runner)
+        return target.reshape(shape) if out is None else out
+
+    def execute_inplace(self, buf: np.ndarray) -> np.ndarray:
+        """Forward DFT overwriting ``buf`` (C-contiguous complex128).
+
+        The input is consumed into the six-step transpose intermediate
+        during phase A, so phase B can write the spectrum straight back
+        into the caller's buffer.  Unlike the serial Stockham program the
+        six-step decomposition keeps its full-size ``(k, m)`` intermediate;
+        in-place here buys the *output* allocation back and (with the
+        Stockham stage bodies) halves each worker's block scratch.
+        """
+
+        buf = np.asarray(buf)
+        if (
+            buf.dtype != np.complex128
+            or not buf.flags.c_contiguous
+            or not buf.flags.writeable
+        ):
+            raise ValueError(
+                "in-place execution requires a writeable C-contiguous "
+                "complex128 buffer"
+            )
+        if self.serial is not None and hasattr(self.serial, "execute_inplace"):
+            return self.serial.execute_inplace(buf)
+        return self.execute(buf, out=buf)
+
+    def execute_inverse_inplace(self, buf: np.ndarray) -> np.ndarray:
+        """Normalised inverse DFT overwriting ``buf`` (conjugation identity)."""
+
+        buf = np.asarray(buf)
+        np.conj(buf, out=buf)
+        self.execute_inplace(buf)
+        np.conj(buf, out=buf)
+        buf *= 1.0 / self.n
+        return buf
 
     # ------------------------------------------------------------------
     def _run(self, pool: Optional[WorkerPool], tasks) -> None:
@@ -195,9 +281,14 @@ class ThreadedSixStepProgram:
         mid = np.empty((k, m), dtype=np.complex128)
 
         def phase_a(lo: int, hi: int) -> None:
-            # transpose 1 + FFT 1 + twiddle for columns [lo, hi)
+            # transpose 1 + FFT 1 + twiddle for columns [lo, hi); in-place
+            # mode transforms the gathered block with the Stockham program
+            # (block + thread-local half-block scratch, no ping-pong pair).
             block = np.ascontiguousarray(work[:, lo:hi].T)
-            block = self.row_program.execute(block)
+            if self.row_stockham is not None:
+                self.row_stockham.execute_inplace(block)
+            else:
+                block = self.row_program.execute(block)
             np.multiply(block, self.twiddle[lo:hi, :], out=mid[lo:hi, :])
 
         self._run(pool, [(lambda lo=lo, hi=hi: phase_a(lo, hi)) for lo, hi in self._col_ranges])
@@ -207,7 +298,10 @@ class ThreadedSixStepProgram:
         def phase_b(lo: int, hi: int) -> None:
             # transpose 2 + FFT 2 + transpose 3 for intermediate columns [lo, hi)
             block = np.ascontiguousarray(mid[:, lo:hi].T)
-            block = self.col_program.execute(block)
+            if self.col_stockham is not None:
+                self.col_stockham.execute_inplace(block)
+            else:
+                block = self.col_program.execute(block)
             out2[:, lo:hi] = block.T
 
         self._run(pool, [(lambda lo=lo, hi=hi: phase_b(lo, hi)) for lo, hi in self._mid_ranges])
@@ -224,10 +318,16 @@ class ThreadedSixStepProgram:
         m, k = self.m, self.k
         # (b, k, m): row n2 of each batch entry holds the stride-k subsequence
         blocks = np.ascontiguousarray(rows.reshape(b, m, k).transpose(0, 2, 1))
-        inner = self.row_program.execute(blocks)
+        if self.row_stockham is not None:
+            inner = self.row_stockham.execute_inplace(blocks)
+        else:
+            inner = self.row_program.execute(blocks)
         inner *= self.twiddle[None, :, :]
         mid = np.ascontiguousarray(inner.transpose(0, 2, 1))  # (b, m, k)
-        outer = self.col_program.execute(mid)
+        if self.col_stockham is not None:
+            outer = self.col_stockham.execute_inplace(mid)
+        else:
+            outer = self.col_program.execute(mid)
         return np.ascontiguousarray(outer.transpose(0, 2, 1)).reshape(b, self.n)
 
     # ------------------------------------------------------------------
@@ -239,28 +339,36 @@ class ThreadedSixStepProgram:
                 f"ThreadedSixStep(n={self.n}, serial fallback -> "
                 f"{self.serial.describe()})"
             )
+        row = (self.row_stockham or self.row_program).describe()
+        col = (self.col_stockham or self.col_program).describe()
+        inplace = ", inplace" if self.inplace else ""
         return (
             f"ThreadedSixStep(n={self.n} = {self.m} x {self.k}, "
-            f"threads={self.threads}, row={self.row_program.describe()}, "
-            f"col={self.col_program.describe()})"
+            f"threads={self.threads}{inplace}, row={row}, col={col})"
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return self.describe()
 
 
-def get_threaded_program(n: int, threads: Optional[int] = 0):
+def get_threaded_program(n: int, threads: Optional[int] = 0, *, inplace: bool = False):
     """The (cached) threaded six-step program for ``n`` and a thread count.
 
     Shares the executor's program LRU (keys are tagged with the resolved
-    thread count, since the chunk layout is part of the program's identity).
-    A resolved count of 1 returns the plain serial :func:`get_program`.
+    thread count and the in-place flag, since the chunk layout and the
+    stage-body lowering are part of the program's identity).  A resolved
+    count of 1 returns the plain serial :func:`get_program` (or the
+    in-place :func:`get_stockham_program` when requested and supported).
     """
 
     n = int(n)
     nthreads = resolve_thread_count(threads)
+    inplace = bool(inplace)
     if nthreads <= 1:
+        if inplace and stockham_supported(n):
+            return get_stockham_program(n)
         return get_program(n)
     return _cached_program(
-        ("sixstep", n, nthreads), lambda: ThreadedSixStepProgram(n, nthreads)
+        ("sixstep", n, nthreads, inplace),
+        lambda: ThreadedSixStepProgram(n, nthreads, inplace=inplace),
     )

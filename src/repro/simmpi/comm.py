@@ -13,7 +13,7 @@ that in-transit corruption is detected and repaired at the receiver.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np

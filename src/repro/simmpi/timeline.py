@@ -18,7 +18,7 @@ hidden behind which transposition).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List
 
 import numpy as np
 

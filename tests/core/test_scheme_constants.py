@@ -3,16 +3,14 @@
 import numpy as np
 import pytest
 
-import repro
 from repro.core import checksums
 from repro.core.constants import SchemeConstants, weight_rms
-from repro.core.config import FTConfig
 from repro.core.ftplan import FTPlan, clear_plan_cache
 from repro.core.offline import OfflineABFT
 from repro.core.online import OnlineABFT
 from repro.core.optimized import OptimizedOnlineABFT
 from repro.core.plain import PlainFFT
-from repro.faults.injector import FaultInjector, NullInjector
+from repro.faults.injector import FaultInjector
 from repro.faults.models import FaultSite
 
 N = 256

@@ -1,10 +1,9 @@
 """Tests for the fault injector."""
 
 import numpy as np
-import pytest
 
 from repro.faults.injector import FaultInjector, NullInjector
-from repro.faults.models import FaultKind, FaultSite, FaultSpec
+from repro.faults.models import FaultSite, FaultSpec
 
 
 class TestNullInjector:

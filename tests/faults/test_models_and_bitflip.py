@@ -1,6 +1,5 @@
 """Tests for fault models and IEEE-754 bit flipping."""
 
-import numpy as np
 import pytest
 
 from repro.faults.bitflip import HIGH_BIT_RANGE, flip_bit_in_complex, flip_bit_in_float, random_high_bit

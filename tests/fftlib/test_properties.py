@@ -7,7 +7,6 @@ round-trip identity, and agreement between the independent implementations
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.fftlib.dft import direct_dft

@@ -123,6 +123,44 @@ class TestThreadsOption:
         assert main(["transform", "-n", "512", "--batch", "2", "--threads", "0"]) == 0
 
 
+class TestInplaceOption:
+    def test_inplace_transform(self, capsys):
+        assert main(["transform", "-n", "1024", "--inplace", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "relative output error" in out
+
+    def test_inplace_real_transform(self, capsys):
+        assert main(["transform", "-n", "1024", "--inplace", "--real", "--seed", "3"]) == 0
+
+    def test_inplace_batched_transform(self, capsys):
+        code = main(
+            ["transform", "-n", "1024", "--batch", "4", "--inplace", "--seed", "4"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "batch rows           : 4" in out
+
+    def test_inplace_inject_output_fault_corrected(self, capsys):
+        # the overwrite path destroys the input; the carried surrogate must
+        # still locate and repair the output fault (exit 0 = within tolerance)
+        code = main(
+            [
+                "inject", "-n", "1024", "--inplace", "--site", "output",
+                "--magnitude", "40", "--element", "17", "--seed", "6",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "faults injected      : 1" in out
+
+    def test_inplace_composes_with_threads(self, capsys):
+        code = main(
+            ["transform", "-n", "1024", "--batch", "6", "--threads", "2",
+             "--inplace", "--seed", "7"]
+        )
+        assert code == 0
+
+
 class TestBenchCommand:
     def test_bench_smoke(self, capsys):
         assert main(["bench", "-n", "4096", "--threads", "2", "--repeats", "1", "--batch", "2"]) == 0

@@ -6,7 +6,6 @@ benchmark harnesses do, at sizes small enough for the unit-test suite.
 """
 
 import numpy as np
-import pytest
 
 from repro import FaultInjector, FaultSite, FaultTolerantFFT, available_schemes, create_scheme
 from repro.analysis.metrics import error_distribution_row, minimal_detectable_magnitude

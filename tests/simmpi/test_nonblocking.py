@@ -1,7 +1,6 @@
 """Tests for the non-blocking engine used by the Algorithm 3 schedule."""
 
 import numpy as np
-import pytest
 
 from repro.simmpi.nonblocking import NonBlockingEngine, Request
 
