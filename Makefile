@@ -1,0 +1,38 @@
+# Developer entry points.  `make lint` is the single local command that
+# mirrors the blocking static-analysis CI jobs: ruff (style), reprolint
+# (the repo's own AST invariant checker), and mypy (types).  ruff and mypy
+# are optional dev dependencies - when one is not installed the target
+# says so and moves on, so `make lint` is still useful in minimal
+# environments; reprolint is stdlib-only and always runs.
+
+PYTHON ?= python
+
+.PHONY: lint reprolint format typecheck test
+
+lint: reprolint
+	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \
+		$(PYTHON) -m ruff check . && $(PYTHON) -m ruff format --check .; \
+	else \
+		echo "ruff not installed - skipping style check (pip install ruff)"; \
+	fi
+	@if $(PYTHON) -m mypy --version >/dev/null 2>&1; then \
+		$(PYTHON) -m mypy; \
+	else \
+		echo "mypy not installed - skipping type check (pip install mypy)"; \
+	fi
+
+reprolint:
+	$(PYTHON) -m reprolint src tests benchmarks
+
+format:
+	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \
+		$(PYTHON) -m ruff format .; \
+	else \
+		echo "ruff not installed - cannot format (pip install ruff)"; exit 1; \
+	fi
+
+typecheck:
+	$(PYTHON) -m mypy
+
+test:
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q

@@ -43,7 +43,7 @@ def test_fig8a_simulated_execution(benchmark, config, ranks):
 
     n = 4096 * ranks  # keeps every rank's local FFT at a meaningful size
     x = make_input(n)
-    reference = np.fft.fft(x)
+    reference = np.fft.fft(x)  # reprolint: fft-ok - raw reference oracle
     scheme = _build(config, n, ranks)
     execution = benchmark(scheme.execute, x)
     assert relative_error(reference, execution.output) < 1e-8

@@ -35,7 +35,7 @@ def test_fig8b_simulated_execution(benchmark, config, scale):
     ranks = parallel_ranks()[-1]
     n = 2048 * ranks * scale
     x = make_input(n)
-    reference = np.fft.fft(x)
+    reference = np.fft.fft(x)  # reprolint: fft-ok - raw reference oracle
     scheme = _build(config, n, ranks)
     execution = benchmark(scheme.execute, x)
     assert relative_error(reference, execution.output) < 1e-8

@@ -14,7 +14,14 @@ from __future__ import annotations
 
 import pytest
 
-from _harness import bench_backend, interleaved_overhead, make_input, plan_for, save_table, seq_sizes
+from _harness import (
+    bench_backend,
+    interleaved_overhead,
+    make_input,
+    plan_for,
+    save_table,
+    seq_sizes,
+)
 from repro.core import OptimizationFlags
 from repro.core.optimized import OptimizedOnlineABFT
 from repro.perfmodel import offline_scheme_ops, online_scheme_ops
@@ -50,7 +57,9 @@ def test_ablation_table(benchmark):
         baseline = plan_for("fftw", n)
         schemes = {"fftw": baseline}
         for label, flags in ABLATIONS.items():
-            schemes[label] = OptimizedOnlineABFT(n, memory_ft=True, flags=flags, backend=bench_backend())
+            schemes[label] = OptimizedOnlineABFT(
+                n, memory_ft=True, flags=flags, backend=bench_backend()
+            )
         overhead = interleaved_overhead(
             "fftw", {name: (lambda s=s: s.execute(x)) for name, s in schemes.items()}, repeats=9
         )

@@ -52,7 +52,7 @@ def _scenarios() -> Dict[str, Callable[[], FaultInjector]]:
 def test_table2_row_timing(benchmark, ranks, scenario):
     n = 4096 * ranks
     x = make_input(n)
-    reference = np.fft.fft(x)
+    reference = np.fft.fft(x)  # reprolint: fft-ok - raw reference oracle
     scheme = ParallelFTFFT(n, ranks, overlap=True)
     factory = _scenarios()[scenario]
     scheme.execute(x)  # warm-up
@@ -77,7 +77,7 @@ def test_table2_strong_scaling_fault_table(benchmark):
         for ranks in parallel_ranks():
             n = 4096 * ranks
             x = make_input(n)
-            reference = np.fft.fft(x)
+            reference = np.fft.fft(x)  # reprolint: fft-ok - raw reference oracle
             scheme = ParallelFTFFT(n, ranks, overlap=True)
 
             def make_runner(factory):

@@ -56,7 +56,7 @@ def test_table3_row_timing(benchmark, scale, scenario):
     ranks = _ranks()
     n = 1024 * ranks * scale
     x = make_input(n)
-    reference = np.fft.fft(x)
+    reference = np.fft.fft(x)  # reprolint: fft-ok - raw reference oracle
     scheme = ParallelFTFFT(n, ranks, overlap=True)
     factory = _scenarios()[scenario]
     scheme.execute(x)
@@ -79,7 +79,7 @@ def test_table3_weak_scaling_fault_table(benchmark):
         grid = {name: [] for name in scenarios}
         for n in sizes:
             x = make_input(n)
-            reference = np.fft.fft(x)
+            reference = np.fft.fft(x)  # reprolint: fft-ok - raw reference oracle
             scheme = ParallelFTFFT(n, ranks, overlap=True)
 
             def make_runner(factory):

@@ -61,7 +61,7 @@ def _run_campaign(scheme_name: str, trials: int):
     campaign = CoverageCampaign(
         make_input=make_input,
         run_trial=run_trial,
-        reference=lambda x: np.fft.fft(x),
+        reference=lambda x: np.fft.fft(x),  # reprolint: fft-ok - raw reference oracle
         make_faults=make_faults,
         seed=20171112,
     )
@@ -106,7 +106,9 @@ def test_table6_full_coverage(label, scheme):
 def test_table6_campaign(benchmark, label, scheme):
     """Benchmark a small slice of the campaign per scheme (keeps rounds cheap)."""
 
-    result = benchmark.pedantic(lambda: _run_campaign(scheme, max(10, campaign_trials() // 10)), rounds=1, iterations=1)
+    result = benchmark.pedantic(
+        lambda: _run_campaign(scheme, max(10, campaign_trials() // 10)), rounds=1, iterations=1
+    )
     benchmark.extra_info.update({"scheme": label, **result.summary()})
 
 

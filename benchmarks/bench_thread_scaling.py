@@ -108,6 +108,7 @@ def check(payload: dict) -> None:
         n, t = int(row["n"]), int(row["threads"])
         program = get_threaded_program(n, t)
         x = make_input(n)
+        # reprolint: fft-ok - raw reference oracle
         assert np.allclose(program.execute(x), np.fft.fft(x)), (n, t)
         # genuine multicore hosts must show scaling at the default sizes
         if default_thread_count() >= 4 and t >= 4 and n >= 2**20:

@@ -1,0 +1,20 @@
+"""Repository-root launcher for the reprolint static-analysis pass.
+
+The real implementation lives in ``tools/reprolint/``; this shim lets
+``python -m reprolint src tests benchmarks`` (and ``python reprolint.py``)
+work from the repository root without installing anything: it prepends
+``tools/`` to ``sys.path`` so the package there wins the name and then
+dispatches to its CLI.
+"""
+
+import sys
+from pathlib import Path
+
+_TOOLS = str(Path(__file__).resolve().parent / "tools")
+if _TOOLS not in sys.path:
+    sys.path.insert(0, _TOOLS)
+
+if __name__ == "__main__":
+    from reprolint.cli import main
+
+    sys.exit(main())

@@ -158,7 +158,9 @@ class FaultTolerantFFT:
 
         return self._plan.execute(x, injector)
 
-    def inverse(self, spectrum: np.ndarray, injector: Optional[FaultInjector] = None) -> SchemeResult:
+    def inverse(
+        self, spectrum: np.ndarray, injector: Optional[FaultInjector] = None
+    ) -> SchemeResult:
         """Protected inverse transform (conjugation identity; same coverage)."""
 
         return self._plan.inverse(spectrum, injector)

@@ -148,7 +148,9 @@ def memory_weights_classic(n: int) -> Tuple[np.ndarray, np.ndarray]:
     return w1, w2
 
 
-def memory_weights_modified(n: int, *, base: Optional[np.ndarray] = None) -> Tuple[np.ndarray, np.ndarray]:
+def memory_weights_modified(
+    n: int, *, base: Optional[np.ndarray] = None
+) -> Tuple[np.ndarray, np.ndarray]:
     """The modified locating pair of Section 4.1: ``w1 = rA``, ``w2_j = j * (rA)_j``.
 
     Reusing ``rA`` means the first memory checksum *is* the computational
@@ -415,7 +417,9 @@ class MemoryChecksumVectors:
 
         return locate_single_error(vector, self.w1, self.w2, s1, s2)
 
-    def correct(self, vector: np.ndarray, s1: complex, s2: complex) -> Optional[Tuple[int, complex]]:
+    def correct(
+        self, vector: np.ndarray, s1: complex, s2: complex
+    ) -> Optional[Tuple[int, complex]]:
         """Locate and correct a single corrupted element in place.
 
         Returns ``(index, repaired_value)`` or ``None``; the repair uses the

@@ -25,7 +25,7 @@ existing call sites (and saved benchmark configurations) keep working.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace as _dc_replace
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Any, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -185,7 +185,7 @@ class FTConfig:
     # legacy-name conversions
     # ------------------------------------------------------------------
     @classmethod
-    def from_name(cls, name: str, **overrides) -> "FTConfig":
+    def from_name(cls, name: str, **overrides: Any) -> "FTConfig":
         """Build a config from a legacy registry name.
 
         A ``+real`` suffix selects the packed real-input transform
@@ -235,7 +235,7 @@ class FTConfig:
             name += f"+t{self.threads}"
         return name
 
-    def replace(self, **changes) -> "FTConfig":
+    def replace(self, **changes: Any) -> "FTConfig":
         """A copy of this config with ``changes`` applied (re-validated)."""
 
         return _dc_replace(self, **changes)
@@ -243,7 +243,7 @@ class FTConfig:
     # ------------------------------------------------------------------
     # scheme construction
     # ------------------------------------------------------------------
-    def build(self, n: int, **extra) -> FTScheme:
+    def build(self, n: int, **extra: Any) -> FTScheme:
         """Instantiate the scheme this config describes for size ``n``.
 
         ``extra`` keyword arguments are forwarded to the scheme constructor
@@ -251,7 +251,7 @@ class FTConfig:
         ``create_scheme(name, n, **kwargs)`` behaviour.
         """
 
-        kwargs = {
+        kwargs: Dict[str, Any] = {
             "m": self.m,
             "k": self.k,
             "thresholds": self.thresholds,

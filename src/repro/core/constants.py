@@ -20,7 +20,7 @@ per-run, the fault-free results are bit-identical.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Optional
+from typing import TYPE_CHECKING, Any, Dict, Optional
 
 import numpy as np
 
@@ -34,6 +34,9 @@ from repro.core.checksums import (
     memory_weights_modified,
 )
 from repro.fftlib.two_layer import TwoLayerDecomposition
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (config builds schemes)
+    from repro.core.config import FTConfig
 
 __all__ = ["SchemeConstants", "weight_rms"]
 
@@ -277,7 +280,7 @@ class SchemeConstants:
         encode = input_checksum_weights if optimized else input_checksum_weights_naive
         c_m = encode(m_)
         c_k = encode(k_)
-        kwargs = dict(
+        kwargs: Dict[str, Any] = dict(
             n=decomp.n,
             m=m_,
             k=k_,
@@ -321,7 +324,7 @@ class SchemeConstants:
         return bundle.with_real(memory_ft, optimized=optimized) if real else bundle
 
     @classmethod
-    def for_config(cls, n: int, config) -> "SchemeConstants":
+    def for_config(cls, n: int, config: "FTConfig") -> "SchemeConstants":
         """Build the bundle an :class:`~repro.core.config.FTConfig` needs.
 
         This is what ``FTPlan.__init__`` calls once per plan; the resulting

@@ -48,7 +48,7 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import List, NamedTuple, Optional, Tuple, Union
+from typing import Any, Callable, List, NamedTuple, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -61,7 +61,7 @@ from repro.core.checksums import (
 from repro.core.config import FTConfig
 from repro.core.constants import SchemeConstants
 from repro.core.detection import FTReport
-from repro.core.thresholds import residual_exceeds
+from repro.core.thresholds import ThresholdPolicy, residual_exceeds
 from repro.faults.injector import FaultInjector, NullInjector
 from repro.faults.models import FaultSite
 from repro.fftlib.backends import get_backend, resolve_backend_name
@@ -203,7 +203,7 @@ class FTPlan:
         return self.scheme.name
 
     @property
-    def thresholds(self):
+    def thresholds(self) -> ThresholdPolicy:
         return self.scheme.thresholds
 
     # ------------------------------------------------------------------
@@ -250,7 +250,9 @@ class FTPlan:
     def __call__(self, x: np.ndarray, injector: Optional[FaultInjector] = None) -> SchemeResult:
         return self.execute(x, injector)
 
-    def inverse(self, spectrum: np.ndarray, injector: Optional[FaultInjector] = None) -> SchemeResult:
+    def inverse(
+        self, spectrum: np.ndarray, injector: Optional[FaultInjector] = None
+    ) -> SchemeResult:
         """Protected inverse transform.
 
         Implemented with the conjugation identity
@@ -295,7 +297,7 @@ class FTPlan:
             return self._real_program.execute_inverse(spectrum)
         return get_backend(self.backend).irfft(spectrum, n=self.n, axis=-1)
 
-    def _output_checksum(self, packed: np.ndarray):
+    def _output_checksum(self, packed: np.ndarray) -> Union[np.complexfloating, np.ndarray]:
         """End-to-end output reduction; the conjugate-even fold in real mode.
 
         Works on one spectrum (last axis = bins/n) or a batch of them.
@@ -446,7 +448,9 @@ class FTPlan:
             report.record_correction("restart", "real", None, "packed transform recomputed")
         return output
 
-    def _inverse_real(self, spectrum: np.ndarray, injector: Optional[FaultInjector]) -> SchemeResult:
+    def _inverse_real(
+        self, spectrum: np.ndarray, injector: Optional[FaultInjector]
+    ) -> SchemeResult:
         """Packed spectrum -> real signal, protected end-to-end.
 
         Uses the same identity as the forward direction with the roles
@@ -518,7 +522,7 @@ class FTPlan:
     # ------------------------------------------------------------------
     # in-place / overwrite execution (``out=``)
     # ------------------------------------------------------------------
-    def _check_out(self, out: np.ndarray, shape, dtype) -> np.ndarray:
+    def _check_out(self, out: np.ndarray, shape: Tuple[int, ...], dtype: type) -> np.ndarray:
         if self.dtype != np.complex128:
             raise ValueError(
                 "the overwrite path runs in the buffer itself and cannot "
@@ -568,7 +572,16 @@ class FTPlan:
         else:
             rows[...] = self._transform_rows(rows)
 
-    def _repair_output(self, buf, S1, S2, weights, report, label, index=None) -> bool:
+    def _repair_output(
+        self,
+        buf: np.ndarray,
+        S1: Optional[np.complexfloating],
+        S2: Optional[np.complexfloating],
+        weights: Tuple[Optional[np.ndarray], Optional[np.ndarray]],
+        report: FTReport,
+        label: str,
+        index: Optional[int] = None,
+    ) -> bool:
         """Locate/repair one corrupted element of the overwritten buffer.
 
         ``S1``/``S2`` are the carried surrogate sums encoded from the
@@ -1120,7 +1133,9 @@ class FTPlan:
         return BatchResult(output=out, report=report, fallback_rows=tuple(fallback))
 
     # ------------------------------------------------------------------
-    def _run_chunks(self, fn, ranges) -> None:
+    def _run_chunks(
+        self, fn: Callable[[int, int, int], None], ranges: Sequence[Tuple[int, int]]
+    ) -> None:
         """Run ``fn(chunk_index, lo, hi)`` over every chunk, pooled when > 1.
 
         Single-chunk runs execute inline on the calling thread (the legacy
@@ -1157,9 +1172,21 @@ class FTPlan:
         twiddled = inner * tl.twiddles[None, :, :]
         outer = tl.outer_plan.execute_batch(twiddled, axis=2)
         # scatter_output, batched: result[j2, j1] holds frequency j1*m + j2.
+        # reprolint: alloc-ok - the batched result array itself (the
+        # transpose gather IS the two-layer scatter-output pass)
         return np.ascontiguousarray(outer.transpose(0, 2, 1)).reshape(batch, self.n)
 
-    def _recover_row(self, rows, out, idx, cx, etas, s1, s2, report) -> bool:
+    def _recover_row(
+        self,
+        rows: np.ndarray,
+        out: np.ndarray,
+        idx: int,
+        cx: np.ndarray,
+        etas: np.ndarray,
+        s1: Optional[np.ndarray],
+        s2: Optional[np.ndarray],
+        report: FTReport,
+    ) -> bool:
         """Recover flagged row ``idx``; mirrors the offline restart loop."""
 
         row = rows[idx]
@@ -1239,7 +1266,7 @@ _hits = 0
 _misses = 0
 
 
-def plan(n: int, config: Union[FTConfig, str, None] = None, **overrides) -> FTPlan:
+def plan(n: int, config: Union[FTConfig, str, None] = None, **overrides: Any) -> FTPlan:
     """A cached :class:`FTPlan` for an ``n``-point protected transform.
 
     Parameters

@@ -286,7 +286,9 @@ class ThresholdPolicy:
             etas = unit * np.maximum(sigma0, 1e-30)
         else:
             # checksum_roundoff_sigma(n, s) = s * checksum_roundoff_sigma(n, 1)
-            unit = self.safety_factor * float(np.sqrt(n)) * self.model.checksum_roundoff_sigma(n, 1.0)
+            unit = (
+                self.safety_factor * float(np.sqrt(n)) * self.model.checksum_roundoff_sigma(n, 1.0)
+            )
             etas = unit * sigma0
         return np.maximum(etas, self.floor)
 
@@ -372,5 +374,10 @@ class ThresholdPolicy:
         if self.mode is ThresholdMode.RELATIVE:
             etas = self.relative_factor * n * value_rms
         else:
-            etas = self.safety_factor * self.memory_margin * self.model.summation_sigma(n, 1.0) * value_rms
+            etas = (
+                self.safety_factor
+                * self.memory_margin
+                * self.model.summation_sigma(n, 1.0)
+                * value_rms
+            )
         return np.maximum(etas, self.floor)

@@ -44,7 +44,9 @@ def flip_bit_in_complex(value: complex, bit: int, *, imaginary: bool = False) ->
     return complex(real, imag)
 
 
-def random_high_bit(rng: np.random.Generator, *, low: Optional[int] = None, high: Optional[int] = None) -> int:
+def random_high_bit(
+    rng: np.random.Generator, *, low: Optional[int] = None, high: Optional[int] = None
+) -> int:
     """Draw a random bit position from the "high bit" range used by Table 6."""
 
     lo = HIGH_BIT_RANGE[0] if low is None else int(low)

@@ -41,7 +41,14 @@ class NullInjector:
 
     events: List[FaultEvent] = []
 
-    def visit(self, site: FaultSite, array: np.ndarray, *, index: Optional[int] = None, rank: Optional[int] = None) -> bool:
+    def visit(
+        self,
+        site: FaultSite,
+        array: np.ndarray,
+        *,
+        index: Optional[int] = None,
+        rank: Optional[int] = None,
+    ) -> bool:
         return False
 
     @property

@@ -55,7 +55,11 @@ from repro.fftlib.backends import (
 from repro.fftlib.dft import direct_dft, direct_idft, dft_matrix
 from repro.fftlib.twiddle import TwiddleCache, twiddle_factors, omega
 from repro.fftlib.codelets import SUPPORTED_CODELET_SIZES, apply_codelet, has_codelet
-from repro.fftlib.mixed_radix import fft as mixed_radix_fft, ifft as mixed_radix_ifft, fft_along_axis
+from repro.fftlib.mixed_radix import (
+    fft as mixed_radix_fft,
+    ifft as mixed_radix_ifft,
+    fft_along_axis,
+)
 from repro.fftlib.executor import (
     StageProgram,
     StockhamStageProgram,

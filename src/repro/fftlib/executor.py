@@ -205,6 +205,8 @@ class StageProgram:
         batch = x.size // n
         xs = x.reshape(batch, n)
         if not xs.flags.c_contiguous:
+            # reprolint: alloc-ok - normalisation fallback, never taken for
+            # conforming (contiguous) callers
             xs = np.ascontiguousarray(xs)
 
         if not self.stages:
@@ -226,6 +228,8 @@ class StageProgram:
         if self.base_kind == "bluestein":
             from repro.fftlib.bluestein import bluestein_fft
 
+            # reprolint: alloc-ok - the Bluestein base kernel allocates its
+            # own output; large-prime sizes never hit the matmul fast path
             current = np.ascontiguousarray(bluestein_fft(gathered))
         else:
             current = np.matmul(
@@ -243,6 +247,8 @@ class StageProgram:
                 out=grouped,
             )
             if index == last:
+                # reprolint: alloc-ok - the result array itself (out-of-place
+                # contract); execute_into is the allocation-free variant
                 target = np.empty((batch, count, r * p), dtype=np.complex128)
             else:
                 target = work_a[: batch * n].reshape(batch, count, r * p)
@@ -410,12 +416,13 @@ class RealStageProgram:
                 f"real program of size {self.n} applied to array with last axis {x.shape[-1]}"
             )
         if self.n == 1:
-            return x.astype(np.complex128)
+            return x.astype(np.complex128)  # reprolint: alloc-ok - trivial n=1 path
         if self.half == 0:
-            # Odd length: full-length compiled complex transform, keep the
-            # non-redundant bins.
+            # Odd lengths fall back to the full-length complex transform;
+            # the packed even-length pipeline below is the real fast path.
+            # reprolint: alloc-ok - cold odd-length fallback (widen + slice copy)
             full = self.program.execute(x.astype(np.complex128))
-            return np.ascontiguousarray(full[..., : self.bins])
+            return np.ascontiguousarray(full[..., : self.bins])  # reprolint: alloc-ok
         return self.disentangle(self.transform_half(self.pack(x)))
 
     # ------------------------------------------------------------------
@@ -524,18 +531,21 @@ class RealStageProgram:
                 f"spectrum has {spectrum.shape[-1]} bins, expected {self.bins} for n={self.n}"
             )
         if self.n == 1:
-            return np.real(spectrum).astype(np.float64)
+            return np.real(spectrum).astype(np.float64)  # reprolint: alloc-ok - trivial n=1 path
         if self.half == 0:
             # Odd length: rebuild the Hermitian spectrum, run the compiled
             # complex inverse (conjugation identity), strip the imaginary
             # rounding noise.
             negative = np.conj(spectrum[..., -1:0:-1])
+            # reprolint: alloc-ok - cold odd-length fallback (full-spectrum rebuild)
             full = np.concatenate([spectrum, negative], axis=-1)
             time_domain = np.conj(self.program.execute(np.conj(full))) / self.n
             return np.real(time_domain)
         h = self.half
         # Z[k] = conj(A_k) X[k] + conj(B_k) conj(X[h-k]), k = 0..h-1; the
         # reflected operand X[h], X[h-1], ..., X[1] is a reversed-slice view.
+        # reprolint: alloc-ok - half-length entangle intermediate, becomes the
+        # result's backing store via the zero-copy float64 view below
         z = np.empty(spectrum.shape[:-1] + (h,), dtype=np.complex128)
         np.multiply(spectrum[..., :h], np.conj(self._a[:h]), out=z)
         z += np.conj(self._b[:h]) * np.conj(spectrum[..., h:0:-1])
@@ -544,7 +554,7 @@ class RealStageProgram:
         # The complex128 layout of the half-length signal IS the interleaved
         # (even, odd) float64 sample sequence: unpacking is a zero-copy view.
         if time_half.strides[-1] != time_half.itemsize:
-            time_half = np.ascontiguousarray(time_half)
+            time_half = np.ascontiguousarray(time_half)  # reprolint: alloc-ok - strided fallback
         return time_half.view(np.float64)
 
     # ------------------------------------------------------------------
@@ -689,6 +699,8 @@ class StockhamStageProgram:
             raise ValueError(
                 f"program of size {self.n} applied to array with last axis {x.shape[-1]}"
             )
+        # reprolint: alloc-ok - the documented single full-size allocation of
+        # the out-of-place wrapper (the ping-pong executor pays it too)
         out = np.empty(x.shape, dtype=np.complex128)
         np.copyto(out, x)
         return self.execute_inplace(out)

@@ -18,9 +18,10 @@ lowering directly.
 from __future__ import annotations
 
 import enum
+import threading
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Any, Dict, Optional, Tuple, cast
 
 import numpy as np
 
@@ -76,7 +77,9 @@ class Planner:
     """
 
     policy: PlannerPolicy = PlannerPolicy.ESTIMATE
-    wisdom: Dict[Tuple[int, PlanDirection, str, bool, int, bool], Plan] = field(default_factory=dict)
+    wisdom: Dict[Tuple[int, PlanDirection, str, bool, int, bool], Plan] = field(
+        default_factory=dict
+    )
     measurements: Dict[int, Dict[str, float]] = field(default_factory=dict)
     #: serial-vs-threaded timings per ``"n:t{threads}"`` request (MEASURE
     #: mode); ride along in exported wisdom so an imported planner reuses
@@ -85,6 +88,15 @@ class Planner:
     #: ping-pong vs in-place Stockham timings per ``"n"`` (MEASURE mode);
     #: same export/import discipline as the thread timings.
     inplace_measurements: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: guards every wisdom/measurement mutation: the default planner is
+    #: process-wide shared state hit concurrently by threaded fault
+    #: campaigns, so unlocked writes here were a latent stampede/lost-update
+    #: bug of exactly the class reprolint's lock-discipline rule flags.
+    #: Reads stay unlocked (CPython dict reads are atomic; a stale miss just
+    #: re-plans and the locked insert keeps the first winner).
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def plan(
         self,
@@ -137,8 +149,10 @@ class Planner:
             int(n), direction, strategy, 0.0, backend_name, real, effective,
             lowered_inplace,
         )
-        self.wisdom[key] = plan
-        return plan
+        # two racing planners build equivalent plans; setdefault keeps the
+        # first one so every caller shares a single Plan object per key
+        with self._lock:
+            return self.wisdom.setdefault(key, plan)
 
     # ------------------------------------------------------------------
     def _normalize_threads(
@@ -207,19 +221,27 @@ class Planner:
         key = str(n)
         timings = self.inplace_measurements.get(key)
         if not timings or "pingpong" not in timings or "stockham" not in timings:
-            from repro.fftlib.executor import get_program, get_stockham_program
+            from repro.fftlib.executor import (
+                get_program,
+                get_stockham_program,
+                stockham_supported,
+            )
 
+            if not stockham_supported(n):
+                # every caller today pre-checks, but timing an unsupported
+                # size must stay a clean "ping-pong wins", not a KeyError
+                return False
             pingpong = get_program(n)
             stockham = get_stockham_program(n)
             rng = np.random.default_rng(8765 + n)
             x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
             buf = np.empty(n, dtype=np.complex128)
 
-            def run_stockham():
+            def run_stockham() -> None:
                 np.copyto(buf, x)
                 stockham.execute_inplace(buf)
 
-            timings = {}
+            timings: Dict[str, float] = {}
             for label, fn in (
                 ("pingpong", lambda: pingpong.execute(x)),
                 ("stockham", run_stockham),
@@ -231,7 +253,8 @@ class Planner:
                     fn()
                     best = min(best, time.perf_counter() - start)
                 timings[label] = best
-            self.inplace_measurements[key] = timings
+            with self._lock:
+                self.inplace_measurements[key] = timings
         return timings["stockham"] < timings["pingpong"]
 
     def _effective_threads(self, n: int, nthreads: int, *, allow_timing: bool = True) -> int:
@@ -270,13 +293,17 @@ class Planner:
         timings = self.thread_measurements.get(key)
         if not timings or "serial" not in timings or "threaded" not in timings:
             from repro.fftlib.executor import get_program
-            from repro.runtime.threaded import get_threaded_program
+            from repro.runtime.threaded import get_threaded_program, threading_profitable
 
+            if not threading_profitable(n, nthreads):
+                # unprofitable sizes lower to the serial fallback; timing
+                # that against itself would just record noise as wisdom
+                return False
             serial = get_program(n)
             threaded = get_threaded_program(n, nthreads)
             rng = np.random.default_rng(4321 + n)
             x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
-            timings = {}
+            timings: Dict[str, float] = {}
             for label, fn in (
                 ("serial", lambda: serial.execute(x)),
                 ("threaded", lambda: threaded.execute(x)),
@@ -288,7 +315,8 @@ class Planner:
                     fn()
                     best = min(best, time.perf_counter() - start)
                 timings[label] = best
-            self.thread_measurements[key] = timings
+            with self._lock:
+                self.thread_measurements[key] = timings
         return timings["threaded"] < timings["serial"]
 
     # ------------------------------------------------------------------
@@ -301,7 +329,7 @@ class Planner:
 
         timings = self.measurements.get(n)
         if timings:
-            best = min(timings, key=timings.get)
+            best = min(timings, key=lambda name: timings[name])
             try:
                 strategy = PlanStrategy(best)
             except ValueError:
@@ -346,7 +374,8 @@ class Planner:
             if elapsed < best_time:
                 best_time = elapsed
                 best_strategy = strategy
-        self.measurements[n] = timings
+        with self._lock:
+            self.measurements[n] = timings
         return best_strategy
 
     # ------------------------------------------------------------------
@@ -356,7 +385,7 @@ class Planner:
         real: bool = False,
         threads: Optional[int] = None,
         inplace: bool = False,
-    ):
+    ) -> Any:
         """The compiled :class:`~repro.fftlib.executor.StageProgram` for ``n``.
 
         ``real=True`` lowers the packed real-input transform
@@ -395,10 +424,11 @@ class Planner:
     def forget(self) -> None:
         """Drop all accumulated wisdom."""
 
-        self.wisdom.clear()
-        self.measurements.clear()
-        self.thread_measurements.clear()
-        self.inplace_measurements.clear()
+        with self._lock:
+            self.wisdom.clear()
+            self.measurements.clear()
+            self.thread_measurements.clear()
+            self.inplace_measurements.clear()
 
     def export_wisdom(self) -> Dict[str, object]:
         """Serialise wisdom as ``{"n:direction:backend[:real][:tN][:ip]": strategy}``.
@@ -453,18 +483,20 @@ class Planner:
         cache warm as well.
         """
 
-        for n, timings in dict(data.get("__measurements__", {})).items():
-            self.measurements[int(n)] = {
-                str(name): float(t) for name, t in dict(timings).items()
-            }
-        for key, timings in dict(data.get("__thread_measurements__", {})).items():
-            self.thread_measurements[str(key)] = {
-                str(name): float(t) for name, t in dict(timings).items()
-            }
-        for key, timings in dict(data.get("__inplace_measurements__", {})).items():
-            self.inplace_measurements[str(key)] = {
-                str(name): float(t) for name, t in dict(timings).items()
-            }
+        timing_dicts = cast(Dict[str, Dict[str, Dict[str, float]]], data)
+        with self._lock:
+            for n_key, timings in dict(timing_dicts.get("__measurements__", {})).items():
+                self.measurements[int(n_key)] = {
+                    str(name): float(t) for name, t in dict(timings).items()
+                }
+            for key, timings in dict(timing_dicts.get("__thread_measurements__", {})).items():
+                self.thread_measurements[str(key)] = {
+                    str(name): float(t) for name, t in dict(timings).items()
+                }
+            for key, timings in dict(timing_dicts.get("__inplace_measurements__", {})).items():
+                self.inplace_measurements[str(key)] = {
+                    str(name): float(t) for name, t in dict(timings).items()
+                }
         for key, strategy_name in data.items():
             if key.startswith("__"):
                 continue
@@ -479,8 +511,10 @@ class Planner:
             for part in extras:
                 if len(part) > 1 and part[0] == "t" and part[1:].isdigit():
                     threads = int(part[1:])
-            strategy = PlanStrategy(strategy_name)
-            self.wisdom[(n, direction, backend, real, threads, inplace)] = Plan(
+            strategy = PlanStrategy(cast(str, strategy_name))
+            # plan lowering happens outside the lock (it may take the
+            # executor's own program-cache lock); only the insert is guarded
+            imported = Plan(
                 n,
                 direction,
                 strategy,
@@ -489,6 +523,8 @@ class Planner:
                 threads=self._effective_threads(n, threads, allow_timing=False),
                 inplace=self._effective_inplace(n, inplace, allow_timing=False),
             )
+            with self._lock:
+                self.wisdom[(n, direction, backend, real, threads, inplace)] = imported
 
 
 _DEFAULT_PLANNER = Planner()

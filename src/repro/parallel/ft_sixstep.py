@@ -137,12 +137,14 @@ class ParallelFTFFT(ParallelFFT):
     # ------------------------------------------------------------------
     # fault-tolerance cost helpers (per rank, virtual time)
     # ------------------------------------------------------------------
-    def _pass_cost(self, elements: int, passes: float = 1.0, flops_per_element: float = 8.0) -> float:
+    def _pass_cost(
+        self, elements: int, passes: float = 1.0, flops_per_element: float = 8.0
+    ) -> float:
         """Cost of streaming ``elements`` complex values ``passes`` times."""
 
-        return self.machine.streaming_time(passes * elements * _COMPLEX_BYTES) + self.machine.compute_time(
-            passes * elements * flops_per_element
-        )
+        return self.machine.streaming_time(
+            passes * elements * _COMPLEX_BYTES
+        ) + self.machine.compute_time(passes * elements * flops_per_element)
 
     def _ft_cost_pre_tran1(self) -> float:
         # MCG of the local input block (one pass producing two checksums).
@@ -204,6 +206,9 @@ class ParallelFTFFT(ParallelFFT):
         for rank in range(p):
             mat = np.ascontiguousarray(dist.local(rank).reshape(p, sub))
             injector.visit(FaultSite.RANK_LOCAL_MEMORY, mat, rank=rank)
+            # reprolint: capability-ok - fft1_protected is the Fig. 4 scheme
+            # wrapper built in __init__, which is unconditionally in-place
+            # (a simulated-rank local matrix, not a backend program)
             self.fft1_protected.execute_inplace(mat, injector=injector, report=report, rank=rank)
             locals_fft1.append(mat)
         timeline.compute("fft-1(protected)", self._fft1_cost() + self._ft_cost_fft1())

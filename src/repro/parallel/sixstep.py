@@ -109,7 +109,9 @@ class ParallelFFT:
     def _transpose_cost(self) -> float:
         comm = SimCommunicator(self.ranks, protect_messages=self.protect_messages)
         bytes_per_rank = comm.bytes_per_rank_per_transpose(self.q)
-        return self.machine.alltoall_time(bytes_per_rank * self.ranks / max(self.ranks - 1, 1), self.ranks)
+        return self.machine.alltoall_time(
+            bytes_per_rank * self.ranks / max(self.ranks - 1, 1), self.ranks
+        )
 
     def _fft1_cost(self) -> float:
         return self.machine.fft_time(self.ranks, batch=self.sub)

@@ -157,7 +157,9 @@ def parallel_scheme_ops(local_n: int, *, r: int = 1, overlap: bool = False) -> O
     sqrt_n = max(int(np.sqrt(n)), 2)
     recovery = fft_operations(sqrt_n)
     name = "parallel-opt-ft-fftw" if overlap else "parallel-ft-fftw"
-    return OperationCounts(scheme=name, n=n, fault_free=fault_free, with_error=fault_free + recovery)
+    return OperationCounts(
+        scheme=name, n=n, fault_free=fault_free, with_error=fault_free + recovery
+    )
 
 
 def sequential_space_overhead(n: int) -> int:

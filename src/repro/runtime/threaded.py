@@ -206,12 +206,13 @@ class ThreadedSixStepProgram:
         batch = x.size // n
         if batch == 0:
             # Empty batch: match the serial program (empty result, no work).
-            return x.copy() if out is None else out
+            return x.copy() if out is None else out  # reprolint: alloc-ok - zero-size copy
         xs = x.reshape(batch, n)
         if not xs.flags.c_contiguous:
-            xs = np.ascontiguousarray(xs)
+            xs = np.ascontiguousarray(xs)  # reprolint: alloc-ok - non-contiguous fallback
         runner = (pool or get_pool()) if parallel else None
         if out is None:
+            # reprolint: alloc-ok - the result array itself (out=None contract)
             target = np.empty((batch, n), dtype=np.complex128)
         else:
             target = out.reshape(batch, n)
@@ -278,12 +279,16 @@ class ThreadedSixStepProgram:
 
         m, k = self.m, self.k
         work = x.reshape(m, k)
+        # reprolint: alloc-ok - the six-step transpose intermediate; the
+        # decomposition's documented full-size working set (class docstring)
         mid = np.empty((k, m), dtype=np.complex128)
 
         def phase_a(lo: int, hi: int) -> None:
             # transpose 1 + FFT 1 + twiddle for columns [lo, hi); in-place
             # mode transforms the gathered block with the Stockham program
             # (block + thread-local half-block scratch, no ping-pong pair).
+            # reprolint: alloc-ok - per-chunk transpose gather (strided
+            # columns must be materialised before the row transform)
             block = np.ascontiguousarray(work[:, lo:hi].T)
             if self.row_stockham is not None:
                 self.row_stockham.execute_inplace(block)
@@ -297,6 +302,7 @@ class ThreadedSixStepProgram:
 
         def phase_b(lo: int, hi: int) -> None:
             # transpose 2 + FFT 2 + transpose 3 for intermediate columns [lo, hi)
+            # reprolint: alloc-ok - per-chunk transpose gather, as in phase A
             block = np.ascontiguousarray(mid[:, lo:hi].T)
             if self.col_stockham is not None:
                 self.col_stockham.execute_inplace(block)

@@ -93,7 +93,9 @@ class VirtualTimeline:
         self.phases.append(PhaseRecord(name, "comm", duration, comm_time=duration))
         return duration
 
-    def overlapped(self, name: str, comm_seconds: float, hideable_per_rank, extra_per_rank=0.0) -> float:
+    def overlapped(
+        self, name: str, comm_seconds: float, hideable_per_rank, extra_per_rank=0.0
+    ) -> float:
         """A communication phase with work hidden behind it (Algorithm 3).
 
         ``hideable_per_rank`` is the work each rank can execute while its

@@ -99,7 +99,9 @@ def render_table(
     return "\n".join(lines)
 
 
-def dict_rows(columns: Sequence[str], records: Iterable[Dict[str, Cell]], digits: int = 3) -> List[List[str]]:
+def dict_rows(
+    columns: Sequence[str], records: Iterable[Dict[str, Cell]], digits: int = 3
+) -> List[List[str]]:
     """Convert dict records into string rows following ``columns`` order."""
 
     out: List[List[str]] = []

@@ -111,7 +111,9 @@ class RandomSource:
 
         return self._rng.normal(0.0, scale, size=n)
 
-    def real_signal_with_tones(self, n: int, tones: Sequence[float], noise: float = 0.0) -> np.ndarray:
+    def real_signal_with_tones(
+        self, n: int, tones: Sequence[float], noise: float = 0.0
+    ) -> np.ndarray:
         """A real sum-of-cosines test signal (rfft demos)."""
 
         t = np.arange(n)

@@ -63,7 +63,9 @@ class TestComputationalFaults:
         assert result.report.recompute_count >= 1
 
     def test_online_recovers_via_single_sub_fft(self, x, reference):
-        injector = FaultInjector().arm_computational(FaultSite.STAGE1_COMPUTE, index=5, magnitude=3.0)
+        injector = FaultInjector().arm_computational(
+            FaultSite.STAGE1_COMPUTE, index=5, magnitude=3.0
+        )
         result = OptimizedOnlineABFT(N).execute(x, injector)
         # exactly one sub-FFT recomputation, no full restart
         assert result.report.recompute_count == 1
@@ -194,14 +196,18 @@ class TestDetectionOrdering:
         from a stage-1 verification (timeliness: detected before the second
         part runs), not from the final check."""
 
-        injector = FaultInjector().arm_computational(FaultSite.STAGE1_COMPUTE, index=2, magnitude=6.0)
+        injector = FaultInjector().arm_computational(
+            FaultSite.STAGE1_COMPUTE, index=2, magnitude=6.0
+        )
         result = OptimizedOnlineABFT(N).execute(x, injector)
         detections = [v for v in result.report.verifications if v.detected]
         assert detections
         assert detections[0].site.startswith("stage1")
 
     def test_offline_detects_only_at_the_end(self, x):
-        injector = FaultInjector().arm_computational(FaultSite.STAGE1_COMPUTE, index=2, magnitude=6.0)
+        injector = FaultInjector().arm_computational(
+            FaultSite.STAGE1_COMPUTE, index=2, magnitude=6.0
+        )
         result = OfflineABFT(N, optimized=True).execute(x, injector)
         detections = [v for v in result.report.verifications if v.detected]
         assert detections

@@ -52,7 +52,9 @@ def test_checksum_identity(n, seed):
     magnitude=st.floats(1e-3, 1e3),
     use_modified=st.booleans(),
 )
-def test_single_memory_error_always_located_and_repaired(n, seed, position, magnitude, use_modified):
+def test_single_memory_error_always_located_and_repaired(
+    n, seed, position, magnitude, use_modified
+):
     x = complex_vector(n, seed)
     position = position % n
     w1, w2 = memory_weights_modified(n) if use_modified else memory_weights_classic(n)

@@ -6,7 +6,12 @@ import pytest
 from repro.core.checksums import computational_weights, input_checksum_weights, weighted_sum
 from repro.core.detection import FTReport
 from repro.core.dmr import dmr_elementwise, dmr_scalar
-from repro.core.thresholds import MANTISSA_BITS_DOUBLE, RoundoffModel, ThresholdMode, ThresholdPolicy
+from repro.core.thresholds import (
+    MANTISSA_BITS_DOUBLE,
+    RoundoffModel,
+    ThresholdMode,
+    ThresholdPolicy,
+)
 from repro.faults.injector import FaultInjector
 from repro.faults.models import FaultSite
 from repro.fftlib.two_layer import TwoLayerPlan
@@ -35,11 +40,15 @@ class TestRoundoffModel:
     def test_checksum_sigma_is_n_times_element_sigma(self):
         model = RoundoffModel()
         n = 256
-        assert model.checksum_roundoff_sigma(n, 1.0) == pytest.approx(n * model.fft_roundoff_sigma(n, 1.0))
+        assert model.checksum_roundoff_sigma(n, 1.0) == pytest.approx(
+            n * model.fft_roundoff_sigma(n, 1.0)
+        )
 
     def test_second_stage_uses_amplified_input(self):
         model = RoundoffModel()
-        assert model.second_stage_checksum_sigma(64, 64, 1.0) > model.checksum_roundoff_sigma(64, 1.0)
+        assert model.second_stage_checksum_sigma(64, 64, 1.0) > model.checksum_roundoff_sigma(
+            64, 1.0
+        )
 
     def test_throughput_monotone_in_eta(self):
         model = RoundoffModel()
@@ -69,7 +78,9 @@ class TestThresholdPolicy:
     def test_eta_scales_linearly_with_data(self, source):
         policy = ThresholdPolicy()
         x = source.normal_complex(2048)
-        assert policy.eta_stage1(64, 10.0 * x) == pytest.approx(10.0 * policy.eta_stage1(64, x), rel=1e-6)
+        assert policy.eta_stage1(64, 10.0 * x) == pytest.approx(
+            10.0 * policy.eta_stage1(64, x), rel=1e-6
+        )
 
     def test_eta_stage2_exceeds_stage1(self, source):
         policy = ThresholdPolicy()
@@ -192,7 +203,9 @@ class TestDMR:
 
     def test_fault_triggers_third_vote_and_correction(self):
         report = FTReport()
-        injector = FaultInjector().arm_computational(FaultSite.TWIDDLE_COMPUTE, element=2, magnitude=9.0)
+        injector = FaultInjector().arm_computational(
+            FaultSite.TWIDDLE_COMPUTE, element=2, magnitude=9.0
+        )
         out = dmr_elementwise(
             lambda: np.ones(4, dtype=complex), injector=injector, report=report
         )
@@ -200,7 +213,9 @@ class TestDMR:
         assert report.dmr_correction_count == 1
 
     def test_injector_only_touches_first_replica(self):
-        injector = FaultInjector().arm_computational(FaultSite.TWIDDLE_COMPUTE, element=0, magnitude=5.0)
+        injector = FaultInjector().arm_computational(
+            FaultSite.TWIDDLE_COMPUTE, element=0, magnitude=5.0
+        )
         out = dmr_elementwise(lambda: np.zeros(3, dtype=complex), injector=injector)
         assert np.allclose(out, 0.0)
         assert injector.fired_count == 1

@@ -25,9 +25,30 @@ class TestRelativeInfError:
 
 class TestTrialOutcome:
     def test_silent_corruption_flag(self):
-        silent = TrialOutcome(trial=0, injected=1, detected=False, corrected=False, uncorrected=False, relative_error=1.0)
-        caught = TrialOutcome(trial=1, injected=1, detected=True, corrected=True, uncorrected=False, relative_error=0.0)
-        clean = TrialOutcome(trial=2, injected=0, detected=False, corrected=False, uncorrected=False, relative_error=0.0)
+        silent = TrialOutcome(
+            trial=0,
+            injected=1,
+            detected=False,
+            corrected=False,
+            uncorrected=False,
+            relative_error=1.0,
+        )
+        caught = TrialOutcome(
+            trial=1,
+            injected=1,
+            detected=True,
+            corrected=True,
+            uncorrected=False,
+            relative_error=0.0,
+        )
+        clean = TrialOutcome(
+            trial=2,
+            injected=0,
+            detected=False,
+            corrected=False,
+            uncorrected=False,
+            relative_error=0.0,
+        )
         assert silent.silent_corruption
         assert not caught.silent_corruption
         assert not clean.silent_corruption
@@ -85,7 +106,14 @@ class TestCoverageCampaign:
 
         def make_faults(trial, rng):
             if trial % 2 == 0:
-                return [FaultSpec(site=FaultSite.INPUT, element=0, kind=FaultKind.ADD_CONSTANT, magnitude=100.0)]
+                return [
+                    FaultSpec(
+                        site=FaultSite.INPUT,
+                        element=0,
+                        kind=FaultKind.ADD_CONSTANT,
+                        magnitude=100.0,
+                    )
+                ]
             return []
 
         def run_trial(x, injector):
@@ -98,7 +126,11 @@ class TestCoverageCampaign:
             return x, detected, corrected, False
 
         campaign = CoverageCampaign(
-            make_input=make_input, run_trial=run_trial, reference=reference, make_faults=make_faults, seed=1
+            make_input=make_input,
+            run_trial=run_trial,
+            reference=reference,
+            make_faults=make_faults,
+            seed=1,
         )
         result = campaign.run(6)
         assert result.trials == 6
@@ -109,7 +141,8 @@ class TestCoverageCampaign:
     def test_injected_count_recorded(self):
         campaign = CoverageCampaign(
             make_input=lambda t, rng: np.ones(4, dtype=complex),
-            run_trial=lambda x, inj: (inj.visit(FaultSite.INPUT, x), x)[1:] and (x, False, False, False),
+            run_trial=lambda x, inj: (inj.visit(FaultSite.INPUT, x), x)[1:]
+            and (x, False, False, False),
             reference=lambda x: x.copy(),
             make_faults=lambda t, rng: [FaultSpec(site=FaultSite.INPUT, element=0)],
             seed=2,

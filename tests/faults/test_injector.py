@@ -17,7 +17,9 @@ class TestNullInjector:
 
 class TestArmAndVisit:
     def test_add_constant_fault(self):
-        injector = FaultInjector().arm_computational(FaultSite.STAGE1_COMPUTE, element=2, magnitude=5.0)
+        injector = FaultInjector().arm_computational(
+            FaultSite.STAGE1_COMPUTE, element=2, magnitude=5.0
+        )
         array = np.zeros(4, dtype=complex)
         fired = injector.visit(FaultSite.STAGE1_COMPUTE, array)
         assert fired and array[2] == 5.0
@@ -89,7 +91,9 @@ class TestArmAndVisit:
         assert array[10 % 4] == 1.0
 
     def test_random_element_uses_rng(self):
-        injector = FaultInjector(rng=np.random.default_rng(0)).arm_computational(FaultSite.OUTPUT, magnitude=1.0)
+        injector = FaultInjector(rng=np.random.default_rng(0)).arm_computational(
+            FaultSite.OUTPUT, magnitude=1.0
+        )
         array = np.zeros(100, dtype=complex)
         injector.visit(FaultSite.OUTPUT, array)
         assert np.count_nonzero(array) == 1

@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.faults.bitflip import HIGH_BIT_RANGE, flip_bit_in_complex, flip_bit_in_float, random_high_bit
+from repro.faults.bitflip import (
+    HIGH_BIT_RANGE,
+    flip_bit_in_complex,
+    flip_bit_in_float,
+    random_high_bit,
+)
 from repro.faults.models import COMPUTE_SITES, FaultEvent, FaultKind, FaultSite, FaultSpec
 
 

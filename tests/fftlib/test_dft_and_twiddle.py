@@ -4,7 +4,13 @@ import numpy as np
 import pytest
 
 from repro.fftlib.dft import dft_matrix, direct_dft, direct_idft, direct_dft_along_axis
-from repro.fftlib.twiddle import TwiddleCache, get_global_cache, omega, stage_twiddles, twiddle_factors
+from repro.fftlib.twiddle import (
+    TwiddleCache,
+    get_global_cache,
+    omega,
+    stage_twiddles,
+    twiddle_factors,
+)
 
 
 class TestDftMatrix:

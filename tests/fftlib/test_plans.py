@@ -213,7 +213,9 @@ class TestThreeLayerPlan:
         x = random_complex(128)
         work = plan.gather_input(x)
         manual = plan.scatter_output(
-            plan.layer3(plan.apply_outer_twiddle(plan.layer2(plan.apply_inner_twiddle(plan.layer1(work)))))
+            plan.layer3(
+                plan.apply_outer_twiddle(plan.layer2(plan.apply_inner_twiddle(plan.layer1(work))))
+            )
         )
         assert np.allclose(manual, plan.execute(x), atol=1e-10)
 

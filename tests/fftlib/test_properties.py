@@ -16,7 +16,9 @@ from repro.fftlib.factorization import balanced_split
 
 # Sizes kept modest so the whole property suite runs in a few seconds.
 SIZES = st.integers(min_value=1, max_value=96)
-COMPOSITE_SIZES = st.sampled_from([4, 6, 8, 9, 12, 16, 20, 24, 30, 32, 36, 48, 60, 64, 72, 90, 96, 128])
+COMPOSITE_SIZES = st.sampled_from(
+    [4, 6, 8, 9, 12, 16, 20, 24, 30, 32, 36, 48, 60, 64, 72, 90, 96, 128]
+)
 
 
 def complex_vector(n: int, seed: int, scale: float = 1.0) -> np.ndarray:

@@ -59,7 +59,9 @@ class TestSequentialPipeline:
         online = create_scheme("opt-online+mem", n)
 
         def detects(scheme, magnitude):
-            spec = FaultSpec(site=FaultSite.INPUT, element=5, kind=FaultKind.ADD_CONSTANT, magnitude=magnitude)
+            spec = FaultSpec(
+                site=FaultSite.INPUT, element=5, kind=FaultKind.ADD_CONSTANT, magnitude=magnitude
+            )
             return scheme.execute(x, FaultInjector(specs=[spec])).report.detected
 
         offline_limit = minimal_detectable_magnitude(lambda m: detects(offline, m)).minimal_detected
@@ -91,12 +93,21 @@ class TestCampaignPipeline:
             campaign = CoverageCampaign(
                 make_input=lambda t, rng: rng.uniform(-1, 1, n) + 1j * rng.uniform(-1, 1, n),
                 run_trial=lambda x, inj, scheme=scheme: (
-                    lambda r: (r.output, r.report.detected, r.report.corrected, r.report.has_uncorrectable)
+                    lambda r: (
+                        r.output,
+                        r.report.detected,
+                        r.report.corrected,
+                        r.report.has_uncorrectable,
+                    )
                 )(scheme.execute(x, inj)),
                 reference=lambda x: np.fft.fft(x),
                 make_faults=lambda t, rng: [
                     FaultSpec(
-                        site=[FaultSite.STAGE1_INPUT, FaultSite.INTERMEDIATE, FaultSite.OUTPUT][t % 3],
+                        site=[
+                            FaultSite.STAGE1_INPUT,
+                            FaultSite.INTERMEDIATE,
+                            FaultSite.OUTPUT,
+                        ][t % 3],
                         kind=FaultKind.BIT_FLIP,
                         bit=int(rng.integers(54, 63)),
                         element=int(rng.integers(0, n)),

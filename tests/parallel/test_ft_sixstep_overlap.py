@@ -53,7 +53,9 @@ class TestPipelinedTranspose:
         out = pipelined_transpose(
             comm, DistributedVector.from_global(x, p), generate=lambda r, peer, b: 2.0 * b
         )
-        plain = SimCommunicator(p, protect_messages=False).transpose(DistributedVector.from_global(x, p))
+        plain = SimCommunicator(p, protect_messages=False).transpose(
+            DistributedVector.from_global(x, p)
+        )
         assert np.allclose(out.to_global(), 2.0 * plain.to_global())
 
     def test_trace_records_overlapped_work(self, random_complex):
@@ -113,7 +115,9 @@ class TestParallelFTCorrectness:
 class TestParallelFTFaults:
     def test_fft1_computational_fault_corrected(self, random_complex, spectra_close):
         x = random_complex(4096)
-        injector = FaultInjector().arm_computational(FaultSite.RANK_LOCAL_FFT, rank=3, magnitude=15.0)
+        injector = FaultInjector().arm_computational(
+            FaultSite.RANK_LOCAL_FFT, rank=3, magnitude=15.0
+        )
         execution = ParallelFTFFT(4096, 8).execute(x, injector)
         assert injector.fired_count == 1
         assert execution.report.detected
@@ -188,6 +192,8 @@ class TestParallelFTTimeline:
 
         x = random_complex(4096)
         clean = ParallelFTFFT(4096, 8).execute(x).virtual_time
-        injector = FaultInjector().arm_computational(FaultSite.RANK_LOCAL_FFT, rank=0, magnitude=5.0)
+        injector = FaultInjector().arm_computational(
+            FaultSite.RANK_LOCAL_FFT, rank=0, magnitude=5.0
+        )
         faulty = ParallelFTFFT(4096, 8).execute(x, injector).virtual_time
         assert faulty == pytest.approx(clean, rel=1e-6)

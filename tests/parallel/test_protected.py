@@ -34,7 +34,9 @@ class TestProtectedInPlaceFFT:
         size, batch = 8, 16
         matrix = random_complex(size * batch).reshape(size, batch)
         expected = np.fft.fft(matrix, axis=0)
-        injector = FaultInjector().arm_computational(FaultSite.RANK_LOCAL_FFT, index=5, magnitude=20.0)
+        injector = FaultInjector().arm_computational(
+            FaultSite.RANK_LOCAL_FFT, index=5, magnitude=20.0
+        )
         report = FTReport()
         ProtectedInPlaceFFT(size).execute_inplace(matrix, injector=injector, report=report)
         assert injector.fired_count == 1

@@ -85,7 +85,9 @@ class TestParallelCounts:
         n = 2**20
         expected = 116 * n + 5 * n * np.log2(8)
         assert parallel_scheme_ops(n, r=8).fault_free == pytest.approx(expected)
-        assert parallel_scheme_ops(n, r=8, overlap=True).fault_free == pytest.approx(expected - 40 * n)
+        assert parallel_scheme_ops(n, r=8, overlap=True).fault_free == pytest.approx(
+            expected - 40 * n
+        )
 
     def test_space_and_communication_overheads(self):
         assert sequential_space_overhead(2**20) == 8 * 1024

@@ -1,0 +1,1 @@
+"""Tests for the ``tools/`` static-analysis packages (reprolint)."""

@@ -1,0 +1,8 @@
+"""``python -m reprolint`` entry point (see :mod:`reprolint.cli`)."""
+
+import sys
+
+from reprolint.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,67 @@
+"""Command-line front end: ``python -m reprolint [paths...]``.
+
+Exit status 0 means every scanned file honours every invariant (or waives
+it explicitly); 1 means violations were printed, one per line in
+``path:line: [rule] message`` format (editor/CI friendly).
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+from typing import Optional, Sequence
+
+from reprolint.engine import scan_paths
+
+DEFAULT_PATHS = ("src", "tests", "benchmarks")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description="AST-based invariant checker for the repro codebase",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=list(DEFAULT_PATHS),
+        help="files or directories to scan (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--root",
+        default=None,
+        help="repository root used to resolve relative paths (default: cwd)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule identifiers and exit",
+    )
+    parser.add_argument(
+        "-q",
+        "--quiet",
+        action="store_true",
+        help="suppress the summary line (violations are still printed)",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(list(argv) if argv is not None else None)
+    if args.list_rules:
+        from reprolint.rules import ALL_RULES
+
+        for rule in ALL_RULES:
+            print(rule.RULE)
+        return 0
+    root = Path(args.root) if args.root else None
+    violations = scan_paths(args.paths, root=root)
+    for violation in violations:
+        print(violation.render())
+    if not args.quiet:
+        scanned = ", ".join(args.paths)
+        if violations:
+            print(f"reprolint: {len(violations)} violation(s) in {scanned}")
+        else:
+            print(f"reprolint: OK ({scanned})")
+    return 1 if violations else 0

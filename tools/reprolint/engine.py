@@ -1,0 +1,223 @@
+"""Shared infrastructure: file contexts, waiver comments, the scan driver.
+
+Every rule module exposes ``RULE`` (its identifier, which doubles as the
+waiver token prefix) and ``check(ctx, project)`` yielding
+:class:`Violation` objects.  The driver parses each file once, builds the
+cross-file state rules need (currently: the registry of frozen dataclass
+names), and lets each rule walk the shared tree.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
+
+__all__ = [
+    "Violation",
+    "FileContext",
+    "Project",
+    "collect_files",
+    "scan_paths",
+]
+
+#: ``# reprolint: alloc-ok``, ``# reprolint: lock-ok, fft-ok - reason ...``
+_WAIVER_RE = re.compile(r"#\s*reprolint:\s*([a-z][a-z0-9-]*(?:\s*,\s*[a-z][a-z0-9-]*)*)")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule hit: ``path:line: [rule] message``."""
+
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+def parse_waivers(source: str) -> Dict[int, Set[str]]:
+    """Map 1-based line numbers to the waiver tokens declared on them."""
+
+    waivers: Dict[int, Set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _WAIVER_RE.search(line)
+        if match:
+            tokens = {part.strip() for part in match.group(1).split(",")}
+            waivers[lineno] = tokens
+    return waivers
+
+
+class FileContext:
+    """One parsed source file plus its waiver map."""
+
+    def __init__(self, path: Path, rel: str, source: str, tree: ast.Module) -> None:
+        self.path = path
+        self.rel = rel
+        self.source = source
+        self.tree = tree
+        self.waivers = parse_waivers(source)
+        self._comment_lines = {
+            lineno
+            for lineno, line in enumerate(source.splitlines(), start=1)
+            if line.lstrip().startswith("#")
+        }
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_path(cls, path: Path, root: Optional[Path] = None) -> "FileContext":
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+        try:
+            rel = path.resolve().relative_to((root or Path.cwd()).resolve()).as_posix()
+        except ValueError:
+            rel = path.as_posix()
+        return cls(path, rel, source, tree)
+
+    @classmethod
+    def from_source(cls, source: str, rel: str = "<snippet>.py") -> "FileContext":
+        """A context for an in-memory snippet (fixture tests use this)."""
+
+        return cls(Path(rel), rel, source, ast.parse(source, filename=rel))
+
+    # ------------------------------------------------------------------
+    def matches(self, *rel_paths: str) -> bool:
+        """Whether this file *is* one of ``rel_paths`` (suffix-robust)."""
+
+        for candidate in rel_paths:
+            if self.rel == candidate or self.rel.endswith("/" + candidate):
+                return True
+        return False
+
+    def in_tree(self, *prefixes: str) -> bool:
+        """Whether this file lives under one of the top-level ``prefixes``."""
+
+        for prefix in prefixes:
+            if self.rel.startswith(prefix + "/") or f"/{prefix}/" in self.rel:
+                return True
+        return False
+
+    def waived(self, token: str, node: ast.AST) -> bool:
+        """Whether ``node`` carries (or is preceded by) a waiver for ``token``.
+
+        The waiver comment may sit on any physical line of the flagged
+        statement, or anywhere in the contiguous comment block directly
+        above it, so multi-line justifications work naturally.
+        """
+
+        first = getattr(node, "lineno", 0)
+        last = getattr(node, "end_lineno", first) or first
+        for lineno in range(first, last + 1):
+            if token in self.waivers.get(lineno, ()):
+                return True
+        lineno = first - 1
+        while lineno >= 1 and lineno in self._comment_lines:
+            if token in self.waivers.get(lineno, ()):
+                return True
+            lineno -= 1
+        return False
+
+
+@dataclass
+class Project:
+    """Cross-file state shared by all rules during one scan."""
+
+    #: names of every ``@dataclass(frozen=True)`` class seen in the scan
+    frozen_classes: Set[str] = field(default_factory=set)
+
+    def collect(self, ctx: FileContext) -> None:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef) and _is_frozen_dataclass(node):
+                self.frozen_classes.add(node.name)
+
+
+def _is_frozen_dataclass(node: ast.ClassDef) -> bool:
+    for decorator in node.decorator_list:
+        if not isinstance(decorator, ast.Call):
+            continue
+        func = decorator.func
+        name = func.id if isinstance(func, ast.Name) else getattr(func, "attr", "")
+        if name != "dataclass":
+            continue
+        for keyword in decorator.keywords:
+            if keyword.arg == "frozen" and isinstance(keyword.value, ast.Constant):
+                if keyword.value.value is True:
+                    return True
+    return False
+
+
+# ----------------------------------------------------------------------
+# driver
+# ----------------------------------------------------------------------
+
+_SKIP_DIRS = {"__pycache__", ".git", "results", ".ruff_cache", ".mypy_cache"}
+
+
+def collect_files(paths: Sequence[str], root: Optional[Path] = None) -> List[Path]:
+    base = (root or Path.cwd()).resolve()
+    files: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if not path.is_absolute():
+            path = base / path
+        if path.is_file() and path.suffix == ".py":
+            files.append(path)
+            continue
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if not _SKIP_DIRS.intersection(candidate.parts):
+                    files.append(candidate)
+    return files
+
+
+def scan_paths(
+    paths: Sequence[str],
+    root: Optional[Path] = None,
+    rules: Optional[Iterable[object]] = None,
+) -> List[Violation]:
+    """Scan ``paths`` with every rule; returns violations sorted by location."""
+
+    from reprolint import rules as rule_package
+
+    active = list(rules) if rules is not None else rule_package.ALL_RULES
+    contexts: List[FileContext] = []
+    errors: List[Violation] = []
+    for path in collect_files(paths, root=root):
+        try:
+            contexts.append(FileContext.from_path(path, root=root))
+        except SyntaxError as exc:
+            errors.append(
+                Violation(str(path), exc.lineno or 0, "parse-error", str(exc.msg))
+            )
+    project = Project()
+    for ctx in contexts:
+        project.collect(ctx)
+    violations = list(errors)
+    for ctx in contexts:
+        for rule in active:
+            violations.extend(rule.check(ctx, project))
+    violations.sort(key=lambda v: (v.path, v.line, v.rule))
+    return violations
+
+
+def run_rule(
+    rule: object, source: str, rel: str, extra_frozen: Iterable[str] = ()
+) -> List[Violation]:
+    """Run one rule over an in-memory snippet (test helper)."""
+
+    ctx = FileContext.from_source(source, rel)
+    project = Project()
+    project.collect(ctx)
+    project.frozen_classes.update(extra_frozen)
+    violations = rule.check(ctx, project)  # type: ignore[attr-defined]
+    return sorted(violations, key=lambda v: (v.line, v.rule))
+
+
+def iter_functions(tree: ast.AST) -> Iterator[ast.FunctionDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node  # type: ignore[misc]

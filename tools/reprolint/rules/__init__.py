@@ -1,0 +1,10 @@
+"""The rule registry: one module per repo invariant."""
+
+from __future__ import annotations
+
+from reprolint.rules import boundary, capability, frozen, hotpath, locks
+
+#: scan order is irrelevant; list order is the order of ``--list-rules``
+ALL_RULES = [hotpath, locks, frozen, capability, boundary]
+
+__all__ = ["ALL_RULES", "boundary", "capability", "frozen", "hotpath", "locks"]

@@ -1,0 +1,70 @@
+"""Rule ``fft-boundary``: ``numpy.fft`` stays behind the backend registry.
+
+Every production FFT in this repository goes through
+``repro.fftlib.backends`` so that schemes, plans, the CLI, and the
+benchmarks agree on which kernel computed what (and so a registered
+third-party backend is a one-line swap).  Direct ``numpy.fft`` use
+anywhere else silently bypasses the registry - and, in protected paths,
+bypasses the checksum machinery entirely.  Allowed:
+
+* ``src/repro/fftlib/backends.py`` - the one sanctioned call site
+  (``NumpyFFTBackend``);
+* test code - tests cross-check against ``numpy.fft`` as an oracle.
+
+Benchmarks that want a raw reference spectrum use an explicit
+``# reprolint: fft-ok - <why>`` waiver so the exception is visible at the
+call site.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from reprolint.engine import FileContext, Project, Violation
+
+RULE = "fft-boundary"
+WAIVER = "fft-ok"
+
+ALLOWED_FILE = "src/repro/fftlib/backends.py"
+NUMPY_ALIASES = frozenset({"np", "numpy"})
+
+
+def check(ctx: FileContext, project: Project) -> Iterator[Violation]:
+    if ctx.matches(ALLOWED_FILE) or ctx.in_tree("tests"):
+        return
+    for node in ast.walk(ctx.tree):
+        label = _boundary_use(node)
+        if not label:
+            continue
+        if ctx.waived(WAIVER, node):
+            continue
+        yield Violation(
+            ctx.rel,
+            node.lineno,
+            RULE,
+            f"{label} outside {ALLOWED_FILE} and tests (route through "
+            f"repro.fftlib.backends.get_backend, or waive with "
+            f"'# reprolint: {WAIVER} - <why>')",
+        )
+
+
+def _boundary_use(node: ast.AST) -> str:
+    if isinstance(node, ast.Import):
+        for alias in node.names:
+            if alias.name == "numpy.fft" or alias.name.startswith("numpy.fft."):
+                return f"import of {alias.name}"
+    elif isinstance(node, ast.ImportFrom):
+        module = node.module or ""
+        if module == "numpy.fft" or module.startswith("numpy.fft."):
+            return f"import from {module}"
+        if module == "numpy" and any(alias.name == "fft" for alias in node.names):
+            return "import of numpy.fft"
+    elif isinstance(node, ast.Attribute):
+        if (
+            node.attr == "fft"
+            and isinstance(node.value, ast.Name)
+            and node.value.id in NUMPY_ALIASES
+        ):
+            return f"use of {node.value.id}.fft"
+    return ""

@@ -1,0 +1,229 @@
+"""Rule ``frozen-object``: plan-time dataclasses stay frozen.
+
+``FTConfig``, ``SchemeConstants``, ``ThresholdPolicy``, ``Plan``, ``Stage``
+and friends are ``@dataclass(frozen=True)`` precisely so that a plan,
+once built, can be shared across threads and cached without defensive
+copies.  Runtime enforcement exists (``FrozenInstanceError``) but only on
+the paths tests happen to execute; this rule flags the pattern statically:
+
+* ``x.attr = ...`` (or ``x.attr += ...``) where ``x`` is inferred to hold
+  an instance of a frozen dataclass - assigned from its constructor or a
+  classmethod on it, produced by ``dataclasses.replace``, or annotated
+  with the class;
+* ``object.__setattr__(x, ...)`` on such an instance outside the frozen
+  class's own methods (``__post_init__`` uses it legitimately; everyone
+  else is defeating the freeze).
+
+The registry of frozen class names is collected across every scanned file,
+so instances travelling between modules are still recognised.  Attribute
+assignments inside ``with pytest.raises(...)`` blocks are exempt - that is
+how tests *assert* frozenness.  Anything else takes a
+``# reprolint: frozen-ok - <why>`` waiver.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Set
+
+from reprolint.engine import FileContext, Project, Violation
+
+RULE = "frozen-object"
+WAIVER = "frozen-ok"
+
+
+def check(ctx: FileContext, project: Project) -> Iterator[Violation]:
+    frozen = project.frozen_classes
+    if not frozen:
+        return
+    for func in _functions_with_class(ctx.tree):
+        func_node, owner_class = func
+        tracked = _tracked_vars(func_node, frozen)
+        if not tracked:
+            continue
+        yield from _check_function(ctx, func_node, owner_class, tracked, frozen)
+
+
+def _functions_with_class(tree: ast.Module):
+    """Yield (function, enclosing class name or None) pairs, recursively."""
+
+    def walk(node: ast.AST, owner: Optional[str]):
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.ClassDef):
+                yield from walk(child, child.name)
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield child, owner
+                yield from walk(child, owner)
+            else:
+                yield from walk(child, owner)
+
+    yield from walk(tree, None)
+
+
+# ----------------------------------------------------------------------
+# instance tracking (flow-insensitive, per function)
+# ----------------------------------------------------------------------
+
+def _annotation_class(annotation: Optional[ast.AST], frozen: Set[str]) -> str:
+    """The frozen class named by ``annotation`` (handles Optional[...] / strings)."""
+
+    if annotation is None:
+        return ""
+    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        name = annotation.value.strip().rsplit(".", 1)[-1]
+        return name if name in frozen else ""
+    if isinstance(annotation, ast.Name):
+        return annotation.id if annotation.id in frozen else ""
+    if isinstance(annotation, ast.Attribute):
+        return annotation.attr if annotation.attr in frozen else ""
+    if isinstance(annotation, ast.Subscript):  # Optional[X], list[X] -> X is a guess
+        return _annotation_class(annotation.slice, frozen)
+    return ""
+
+
+def _constructed_class(value: ast.AST, frozen: Set[str], tracked: Dict[str, str]) -> str:
+    """The frozen class an expression evaluates to, if inferable."""
+
+    if not isinstance(value, ast.Call):
+        return ""
+    func = value.func
+    if isinstance(func, ast.Name):
+        if func.id in frozen:
+            return func.id
+        if func.id == "replace" and value.args:
+            return _expr_class(value.args[0], frozen, tracked)
+    elif isinstance(func, ast.Attribute):
+        base = func.value
+        # ``FrozenClass.from_name(...)`` style classmethod constructors
+        if isinstance(base, ast.Name) and base.id in frozen:
+            return base.id
+        # ``dataclasses.replace(x, ...)``
+        if func.attr == "replace" and isinstance(base, ast.Name) and base.id in (
+            "dataclasses",
+        ):
+            if value.args:
+                return _expr_class(value.args[0], frozen, tracked)
+        # ``x.replace(...)`` instance helper on a tracked instance
+        if func.attr == "replace":
+            return _expr_class(base, frozen, tracked)
+    return ""
+
+
+def _expr_class(expr: ast.AST, frozen: Set[str], tracked: Dict[str, str]) -> str:
+    if isinstance(expr, ast.Name):
+        return tracked.get(expr.id, "")
+    return _constructed_class(expr, frozen, tracked)
+
+
+def _tracked_vars(func: ast.FunctionDef, frozen: Set[str]) -> Dict[str, str]:
+    tracked: Dict[str, str] = {}
+    for arg in list(func.args.args) + list(func.args.kwonlyargs) + list(
+        func.args.posonlyargs
+    ):
+        cls = _annotation_class(arg.annotation, frozen)
+        if cls:
+            tracked[arg.arg] = cls
+    # two passes so ``y = replace(x, ...)`` after ``x = Frozen(...)`` resolves
+    for _ in range(2):
+        for node in ast.walk(func):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name):
+                    cls = _constructed_class(node.value, frozen, tracked)
+                    if cls:
+                        tracked[target.id] = cls
+            elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+                cls = _annotation_class(node.annotation, frozen)
+                if cls:
+                    tracked[node.target.id] = cls
+    return tracked
+
+
+# ----------------------------------------------------------------------
+# violation walk
+# ----------------------------------------------------------------------
+
+_INIT_METHODS = ("__init__", "__post_init__", "__new__")
+
+
+def _check_function(
+    ctx: FileContext,
+    func: ast.FunctionDef,
+    owner_class: Optional[str],
+    tracked: Dict[str, str],
+    frozen: Set[str],
+) -> Iterator[Violation]:
+    own_init = func.name in _INIT_METHODS and owner_class in frozen
+    in_frozen_method = owner_class in frozen
+
+    def walk(node: ast.AST, in_raises: bool) -> Iterator[Violation]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue  # nested functions are visited on their own
+            child_in_raises = in_raises or (
+                isinstance(child, ast.With) and _is_pytest_raises(child)
+            )
+            if not child_in_raises and not own_init:
+                yield from _flag(ctx, child, tracked, in_frozen_method)
+            yield from walk(child, child_in_raises)
+
+    yield from walk(func, False)
+
+
+def _is_pytest_raises(node: ast.With) -> bool:
+    for item in node.items:
+        expr = item.context_expr
+        if isinstance(expr, ast.Call):
+            func = expr.func
+            name = func.attr if isinstance(func, ast.Attribute) else getattr(func, "id", "")
+            if name == "raises":
+                return True
+    return False
+
+
+def _flag(
+    ctx: FileContext,
+    node: ast.AST,
+    tracked: Dict[str, str],
+    in_frozen_method: bool,
+) -> Iterator[Violation]:
+    if isinstance(node, (ast.Assign, ast.AugAssign)):
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        for target in targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id in tracked
+            ):
+                if ctx.waived(WAIVER, node):
+                    continue
+                cls = tracked[target.value.id]
+                yield Violation(
+                    ctx.rel,
+                    node.lineno,
+                    RULE,
+                    f"attribute assignment {target.value.id}.{target.attr} on frozen "
+                    f"dataclass {cls!r} (build a new instance with "
+                    f"dataclasses.replace, or waive with "
+                    f"'# reprolint: {WAIVER} - <why>')",
+                )
+    elif isinstance(node, ast.Call) and not in_frozen_method:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "__setattr__"
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "object"
+            and node.args
+            and isinstance(node.args[0], ast.Name)
+            and node.args[0].id in tracked
+        ):
+            if not ctx.waived(WAIVER, node):
+                cls = tracked[node.args[0].id]
+                yield Violation(
+                    ctx.rel,
+                    node.lineno,
+                    RULE,
+                    f"object.__setattr__ on frozen dataclass {cls!r} outside its "
+                    f"own methods (waive with '# reprolint: {WAIVER} - <why>')",
+                )

@@ -1,0 +1,166 @@
+"""Rule ``hotpath-alloc``: hot-path stage-program bodies must not allocate.
+
+The paper's low-overhead claim rests on the executor's compiled programs
+reusing thread-local scratch instead of allocating per call (PR 5's
+tracemalloc test asserts this for one size; this rule asserts the *shape*
+for every size).  Functions whose name marks them as hot - ``execute*`` /
+``transform*`` prefixes, ``*_into`` / ``*_overwrite`` suffixes - in the
+executor, the real-transform module, the threaded runtime, and the FTPlan
+transform fast paths may not:
+
+* call allocating numpy constructors (``np.empty`` / ``zeros`` /
+  ``concatenate`` / ``array`` / ``ascontiguousarray`` / ...),
+* call ``.copy()`` or ``.astype()`` on anything,
+* build list/set/dict literals or comprehensions inside a loop.
+
+The sanctioned escape hatches are the thread-local scratch helpers
+(``_work_buffers`` / ``_stockham_scratch``, whose *bodies* are not hot
+functions) and an explicit ``# reprolint: alloc-ok - <why>`` waiver for
+the handful of boundary allocations (final output buffers, cold fallback
+branches) that are part of the contract.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Tuple
+
+from reprolint.engine import FileContext, Project, Violation
+
+RULE = "hotpath-alloc"
+WAIVER = "alloc-ok"
+
+#: file -> hot-function name prefixes enforced there.  The ``_into`` /
+#: ``_overwrite`` suffixes are hot in every listed file.
+HOT_FILES = {
+    "src/repro/fftlib/executor.py": ("execute", "transform"),
+    "src/repro/fftlib/real.py": ("execute", "transform"),
+    "src/repro/runtime/threaded.py": ("execute", "transform"),
+    # FTPlan's execute* entry points run the (allocating) protection
+    # machinery; only its transform fast paths are allocation-sensitive.
+    "src/repro/core/ftplan.py": ("transform",),
+}
+HOT_SUFFIXES = ("_into", "_overwrite")
+
+#: allocating numpy constructors (``asarray`` is deliberately absent: it is
+#: the no-copy normalisation idiom and never allocates for conforming input)
+NUMPY_ALLOCATORS = frozenset(
+    {
+        "empty",
+        "zeros",
+        "ones",
+        "full",
+        "empty_like",
+        "zeros_like",
+        "ones_like",
+        "full_like",
+        "array",
+        "copy",
+        "concatenate",
+        "stack",
+        "hstack",
+        "vstack",
+        "column_stack",
+        "tile",
+        "repeat",
+        "ascontiguousarray",
+        "asfortranarray",
+    }
+)
+
+#: allocating methods on any receiver
+ALLOCATING_METHODS = frozenset({"copy", "astype"})
+
+NUMPY_ALIASES = frozenset({"np", "numpy"})
+
+
+def is_hot_function(name: str, prefixes: Tuple[str, ...]) -> bool:
+    stripped = name.lstrip("_")
+    if any(stripped.startswith(prefix) for prefix in prefixes):
+        return True
+    return name.endswith(HOT_SUFFIXES)
+
+
+def _hot_prefixes(ctx: FileContext) -> Tuple[str, ...]:
+    for rel, prefixes in HOT_FILES.items():
+        if ctx.matches(rel):
+            return prefixes
+    return ()
+
+
+def check(ctx: FileContext, project: Project) -> Iterator[Violation]:
+    prefixes = _hot_prefixes(ctx)
+    if not prefixes:
+        return
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.FunctionDef) and is_hot_function(node.name, prefixes):
+            yield from _check_function(ctx, node)
+
+
+def _check_function(ctx: FileContext, func: ast.FunctionDef) -> Iterator[Violation]:
+    for finding, node in _walk(func, in_loop=False):
+        if ctx.waived(WAIVER, node):
+            continue
+        yield Violation(
+            ctx.rel,
+            node.lineno,
+            RULE,
+            f"{finding} in hot function {func.name!r} "
+            f"(waive with '# reprolint: {WAIVER} - <why>' or use the "
+            f"thread-local scratch helpers)",
+        )
+
+
+def _walk(node: ast.AST, in_loop: bool) -> Iterator[Tuple[str, ast.AST]]:
+    """Yield (description, node) for every allocation under ``node``.
+
+    Tracks loop nesting lexically; nested function definitions are walked
+    too (a closure defined in a hot body runs on the hot path).
+    """
+
+    children: List[ast.AST] = list(ast.iter_child_nodes(node))
+    for child in children:
+        child_in_loop = in_loop or isinstance(child, (ast.For, ast.While))
+        if isinstance(child, ast.Call):
+            label = _allocating_call(child, in_loop)
+            if label:
+                yield label, child
+        elif in_loop and isinstance(
+            child, (ast.List, ast.Set, ast.Dict, ast.ListComp, ast.SetComp, ast.DictComp)
+        ):
+            yield f"{_literal_label(child)} inside a loop", child
+        yield from _walk(child, child_in_loop)
+
+
+def _allocating_call(call: ast.Call, in_loop: bool) -> str:
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        base = func.value
+        if (
+            isinstance(base, ast.Name)
+            and base.id in NUMPY_ALIASES
+            and func.attr in NUMPY_ALLOCATORS
+        ):
+            return f"allocating call {base.id}.{func.attr}(...)"
+        if func.attr in ALLOCATING_METHODS:
+            return f"allocating method call .{func.attr}(...)"
+    elif (
+        in_loop
+        and isinstance(func, ast.Name)
+        and func.id in {"list", "dict", "set", "bytearray"}
+    ):
+        # container constructors follow the same rule as container
+        # literals: per-iteration allocation is what the rule forbids
+        return f"allocating constructor {func.id}(...) inside a loop"
+    return ""
+
+
+def _literal_label(node: ast.AST) -> str:
+    return {
+        ast.List: "list literal",
+        ast.Set: "set literal",
+        ast.Dict: "dict literal",
+        ast.ListComp: "list comprehension",
+        ast.SetComp: "set comprehension",
+        ast.DictComp: "dict comprehension",
+    }[type(node)]
