@@ -66,7 +66,7 @@ from repro.faults.injector import FaultInjector, NullInjector
 from repro.faults.models import FaultSite
 from repro.fftlib.backends import get_backend, resolve_backend_name
 from repro.runtime.pool import get_pool, resolve_thread_count, split_ranges
-from repro.utils.validation import ensure_positive_int
+from repro.utils.validation import as_complex_vector, ensure_positive_int
 
 __all__ = [
     "BatchResult",
@@ -174,6 +174,42 @@ class FTPlan:
 
             if stockham_supported(self.n):
                 self._inplace_program = get_stockham_program(self.n)
+        #: Compiled direct program for batched complex rows (fftlib backend):
+        #: execute_many transforms the whole batch through the one-shot stage
+        #: program instead of the two-layer pipeline.
+        self._batch_program = None
+        #: Fused protected program (tentpole of the fused execution path):
+        #: protection compiled into the transform - per-stage taps, frozen
+        #: verification operators - used by the fault-free single-vector
+        #: ``execute``/``inverse``.  Live injectors always take the
+        #: paper-exact scheme path.
+        self._fused_program = None
+        self._fused_eta = None
+        self._fused_eta_memory = None
+        if not self._real and self.backend == "fftlib":
+            from repro.fftlib.executor import get_program
+
+            self._batch_program = get_program(self.n)
+            if self._protected:
+                from repro.fftlib.planner import get_default_planner
+                from repro.fftlib.protected import get_protected_program
+
+                self._fused_program = get_protected_program(
+                    self.n, optimized=config.optimized, memory_ft=config.memory_ft
+                )
+                # Threshold derivations, pre-bound at plan time (bit-identical
+                # to eta_offline / eta_memory, see ThresholdPolicy).
+                self._fused_eta = self.thresholds.offline_threshold_fn(self.n)
+                self._fused_eta_memory = self.thresholds.memory_threshold_fn(self.n)
+                # MEASURE-mode planners time fused-vs-scheme once per size
+                # and remember the winner in wisdom; ESTIMATE trusts the
+                # fused lowering (it wraps the fastest compiled program).
+                if not get_default_planner().fused_wins(
+                    self.n,
+                    lambda v: self._execute_fused(v),
+                    lambda v: self.scheme.execute(v),
+                ):
+                    self._fused_program = None
         # Recovery retry budget: explicit flags win; otherwise inherit the
         # built scheme's own effective default so execute() and
         # execute_many() agree on what "uncorrectable" means.
@@ -244,11 +280,30 @@ class FTPlan:
             return self._execute_out(x, injector, out)
         if self._real:
             return self._execute_real(x, injector)
-        result = self.scheme.execute(x, injector)
-        return self._cast_result(result)
+        return self._cast_result(self._execute_complex(x, injector))
 
-    def __call__(self, x: np.ndarray, injector: Optional[FaultInjector] = None) -> SchemeResult:
-        return self.execute(x, injector)
+    def __call__(
+        self,
+        x: np.ndarray,
+        injector: Optional[FaultInjector] = None,
+        *,
+        out: Optional[np.ndarray] = None,
+    ) -> SchemeResult:
+        return self.execute(x, injector, out=out)
+
+    def _execute_complex(
+        self, x: np.ndarray, injector: Optional[FaultInjector]
+    ) -> SchemeResult:
+        """Route one complex vector: fused fast path or paper-exact scheme.
+
+        The fused program handles fault-free runs only; any live injector
+        gets the scheme's full interior machinery so every instrumented
+        fault site keeps firing exactly as the paper describes.
+        """
+
+        if self._fused_program is not None and (injector is None or not injector.is_live):
+            return self._execute_fused(x)
+        return self.scheme.execute(x, injector)
 
     def inverse(
         self, spectrum: np.ndarray, injector: Optional[FaultInjector] = None
@@ -266,11 +321,136 @@ class FTPlan:
         if self._real:
             return self._inverse_real(spectrum, injector)
         spectrum = np.asarray(spectrum, dtype=np.complex128)
-        result = self.scheme.execute(np.conj(spectrum), injector)
+        result = self._execute_complex(np.conj(spectrum), injector)
         output = np.conj(result.output) / self.n
         return self._cast_result(
             SchemeResult(output=output, report=result.report, scheme=result.scheme)
         )
+
+    # ------------------------------------------------------------------
+    # fused protected execution (fault-free fast path)
+    # ------------------------------------------------------------------
+    def _execute_fused(self, x: np.ndarray) -> SchemeResult:
+        """One vector through the fused protected program.
+
+        Protection compiled into the transform: the reference checksums for
+        every tap come from one :meth:`ProtectedStageProgram.encode` pass
+        (telescoping folds, ~2n complex ops), the transform itself is the
+        compiled stage program with per-stage tap reductions interleaved,
+        and all verification operators were frozen at plan time.  The
+        spectrum is bit-identical to the unprotected compiled transform;
+        the end-to-end check (``taps[-1]`` vs ``c . x``) is the paper's
+        offline verification with the exact thresholds the legacy scheme
+        uses.  Detected violations follow the same discipline as
+        :meth:`_protected_rfft`: memory-verify and repair the input via the
+        locating pair, then restart, up to the retry budget.
+        """
+
+        prog = self._fused_program
+        original = x
+        x = as_complex_vector(x, name="x")
+        if x.size != self.n:
+            raise ValueError(f"input has length {x.size}, expected {self.n}")
+        # The input is only copied if a repair must mutate it (fault-free
+        # runs never pay for the legacy path's defensive copy).
+        private = x is not original
+        report = FTReport(scheme=self.scheme.name)
+        thresholds = self.thresholds
+        memory = self.config.memory_ft
+
+        refs = prog.encode(x)
+        cx = complex(refs[-1])
+        x_rms = thresholds.magnitude_rms(x)
+        sigma0 = float(x_rms / np.sqrt(2.0))
+        eta = self._fused_eta(sigma0)
+        if memory:
+            # With the optimized scheme w1 *is* the rA encoding, so the
+            # first locating checksum is the input checksum already in hand.
+            # Same np.dot / suppressed-overflow contract as weighted_sum,
+            # one errstate entry for both checksums.
+            with np.errstate(over="ignore", invalid="ignore"):
+                s1 = cx if prog.reuse_input_checksum else complex(np.dot(self._w1, x))
+                s2 = complex(np.dot(self._w2, x))
+            eta_mem = self._fused_eta_memory(self.constants.w1_n_rms, x_rms)
+        report.bump("checksum-generations", 1)
+
+        def _repair_input() -> bool:
+            """Memory-verify ``x``, repair a located corruption, re-encode.
+
+            Returns ``False`` only when corruption was detected but could
+            not be located (uncorrectable).  Mirrors the discipline of
+            :meth:`_protected_rfft`.
+            """
+
+            nonlocal x, private, refs, cx, s1
+            if not memory:
+                return True
+            mem_residual = float(np.abs(weighted_sum(self._w1, x) - s1))
+            if residual_exceeds(mem_residual, eta_mem):
+                report.record_verification("fused-mcv", None, mem_residual, eta_mem, True)
+                if not private:
+                    x = x.copy()
+                    private = True
+                repaired = repair_single_error(x, self._w1, self._w2, s1, s2)
+                if repaired is None:
+                    report.record_uncorrectable(
+                        "fused: input corruption could not be located"
+                    )
+                    return False
+                report.record_correction(
+                    "memory-correct", "fused-input", None,
+                    f"element {repaired[0]} repaired",
+                )
+                # The tap references were encoded from the pre-repair data
+                # and would otherwise flag every subsequent (correct) run.
+                refs = prog.encode(x)
+                cx = complex(refs[-1])
+                if prog.reuse_input_checksum:
+                    s1 = cx
+            return True
+
+        attempts = 0
+        single_tap = len(prog.taps) == 1
+        while True:
+            attempts += 1
+            output, taps = prog.execute_tapped(x)
+            report.bump("verifications", len(prog.taps))
+            if single_tap:
+                # Scalar path: a Python float comparison with the same
+                # NaN-is-violation semantics as residual_exceeds.
+                final_residual = float(np.abs(taps[0] - refs[0]))
+                detected = not final_residual <= eta
+                report.record_verification(
+                    "fused-ccv", None, final_residual, eta, detected
+                )
+            else:
+                residuals = np.abs(taps - refs)
+                violations = residual_exceeds(residuals, eta)
+                detected = bool(violations.any())
+                report.record_verification(
+                    "fused-ccv", None, float(residuals[-1]), eta, bool(violations[-1])
+                )
+                if detected and not bool(violations[-1]):
+                    # Interior-only violation: the earliest flagged tap names
+                    # the first corrupted stage.
+                    stage = int(np.nonzero(violations)[0][0])
+                    report.record_verification(
+                        "fused-interior-ccv", stage, float(residuals[stage]), eta, True
+                    )
+            if not detected:
+                break
+            if not _repair_input():
+                break
+            if attempts > self._max_retries:
+                report.record_uncorrectable(
+                    f"fused: verification still failing after "
+                    f"{self._max_retries} restarts"
+                )
+                break
+            report.record_correction(
+                "restart", "fused", None, "fused transform recomputed"
+            )
+        return SchemeResult(output=output, report=report, scheme=self.scheme.name)
 
     # ------------------------------------------------------------------
     # real-input execution
@@ -903,14 +1083,17 @@ class FTPlan:
 
                 self._run_chunks(transform_chunk, ranges)
         else:
-            # --- vectorized encoding (one matmul per checksum vector) ----
+            # --- vectorized encoding (one matmul per checksum vector; the
+            # robust per-row statistics are sampled once and shared by every
+            # threshold that needs them) ----------------------------------
             cx = rows @ self._c
-            etas = self.thresholds.eta_offline_batch(self.n, rows)
+            sigma_rows = self.thresholds.component_sigma_rows(rows)
+            etas = self.thresholds.eta_offline_batch(self.n, rows, sigma0=sigma_rows)
             if self.config.memory_ft:
                 s1 = rows @ self._w1
                 s2 = rows @ self._w2
                 eta_mem = self.thresholds.eta_memory_batch(
-                    self._w1, rows, weight_rms=self.constants.w1_n_rms
+                    self._w1, rows, weight_rms=self.constants.w1_n_rms, sigma0=sigma_rows
                 )
             else:
                 s1 = s2 = None
@@ -1041,15 +1224,17 @@ class FTPlan:
             self._run_chunks(transform_chunk, ranges)
         else:
             consts = self._inplace_constants()
-            # --- encode while the input rows still exist ------------------
+            # --- encode while the input rows still exist (batch statistics
+            # sampled once, shared across thresholds) ----------------------
             cx = rows @ self._c
-            etas = self.thresholds.eta_offline_batch(self.n, rows)
+            sigma_rows = self.thresholds.component_sigma_rows(rows)
+            etas = self.thresholds.eta_offline_batch(self.n, rows, sigma0=sigma_rows)
             S1 = S2 = None
             if self.config.memory_ft:
                 s1 = rows @ self._w1
                 s2 = rows @ self._w2
                 eta_mem = self.thresholds.eta_memory_batch(
-                    self._w1, rows, weight_rms=consts.w1_n_rms
+                    self._w1, rows, weight_rms=consts.w1_n_rms, sigma0=sigma_rows
                 )
                 if consts.fw1_n is not None:
                     S1 = rows @ consts.fw1_n
@@ -1159,12 +1344,17 @@ class FTPlan:
     def _transform_rows(self, rows: np.ndarray) -> np.ndarray:
         """Unprotected vectorized transform of a ``(batch, n)`` array.
 
-        Complex plans run the batched two-layer pipeline; real plans run the
-        compiled half-complex program (packed ``(batch, bins)`` output).
+        Complex fftlib plans run the whole batch through the compiled
+        one-shot stage program (the same lowering the fused protected path
+        wraps); other backends fall back to the batched two-layer pipeline.
+        Real plans run the compiled half-complex program (packed
+        ``(batch, bins)`` output).
         """
 
         if self._real:
             return self._transform_real(rows)
+        if self._batch_program is not None:
+            return self._batch_program.execute(rows)
         tl = self.scheme.plan
         batch = rows.shape[0]
         work = rows.reshape(batch, tl.m, tl.k)

@@ -428,7 +428,12 @@ class OptimizedOnlineABFT(FTScheme):
         for _ in range(retries):
             if self.memory_ft:
                 column = work[:, index]
-                residual = float(np.abs(np.dot(w1_m, column) - in_s1[index]))
+                # Same suppressed-overflow contract as weighted_sum: a
+                # checksum over corrupted data (e.g. an exponent-bit flip
+                # to ~1e308) may legitimately overflow; the non-finite
+                # residual is treated as a mismatch, not a warning.
+                with np.errstate(over="ignore", invalid="ignore"):
+                    residual = float(np.abs(np.dot(w1_m, column) - in_s1[index]))
                 if residual_exceeds(residual, eta_mem):
                     report.record_verification("stage1-recovery-mcv", index, residual, eta_mem, True)
                     repaired = repair_single_error(column, w1_m, w2_m, in_s1[index], in_s2[index])
@@ -442,7 +447,8 @@ class OptimizedOnlineABFT(FTScheme):
                     )
             fresh = self.plan.stage1_single(work, index)
             injector.visit(FaultSite.STAGE1_COMPUTE, fresh, index=index)
-            residual = float(np.abs(np.dot(r_m, fresh) - np.dot(c_m, work[:, index])))
+            with np.errstate(over="ignore", invalid="ignore"):
+                residual = float(np.abs(np.dot(r_m, fresh) - np.dot(c_m, work[:, index])))
             ok = residual <= eta1
             report.record_verification("stage1-ccv-retry", index, residual, eta1, not ok)
             report.record_correction("recompute", "stage1", index, "m-point sub-FFT recomputed")
@@ -468,7 +474,8 @@ class OptimizedOnlineABFT(FTScheme):
             row = np.ascontiguousarray(twiddled[local, :])
             fresh = self.plan.outer_plan.execute(row)
             injector.visit(FaultSite.STAGE2_COMPUTE, fresh, index=index)
-            residual = float(np.abs(np.dot(r_k, fresh) - np.dot(c_k, row)))
+            with np.errstate(over="ignore", invalid="ignore"):
+                residual = float(np.abs(np.dot(r_k, fresh) - np.dot(c_k, row)))
             ok = residual <= eta2
             report.record_verification("stage2-ccv-retry", index, residual, eta2, not ok)
             report.record_correction("recompute", "stage2", index, "k-point sub-FFT recomputed")

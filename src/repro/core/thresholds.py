@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional
 
 import numpy as np
 from scipy.stats import norm
@@ -54,6 +54,25 @@ def residual_exceeds(residual, eta):
 
 #: Mantissa bits of IEEE-754 binary64 (excluding the implicit leading bit).
 MANTISSA_BITS_DOUBLE = 52
+
+
+def _median_finite(sample: np.ndarray) -> float:
+    """``float(np.median(sample))`` for a 1-D finite array, faster.
+
+    ``np.median`` partitions around *both* middle order statistics, which
+    costs two introselect passes; one pass around the upper statistic plus a
+    ``max`` over the lower partition gives the same two values.  The even
+    case averages them exactly as ``np.median`` does (``(a + b) / 2`` - a
+    power-of-two division, so bit-identical).  Callers guarantee the sample
+    is non-empty and contains no NaN/inf (``np.median`` would propagate
+    them; the threshold paths filter first).
+    """
+
+    m = sample.size // 2
+    if sample.size % 2:
+        return float(np.partition(sample, m)[m])
+    part = np.partition(sample, m)
+    return float((part[:m].max() + part[m]) / 2.0)
 
 
 @dataclass(frozen=True)
@@ -175,8 +194,12 @@ class ThresholdPolicy:
     #: Number of elements sampled when estimating data statistics.  The
     #: thresholds only need the *scale* of the data; sampling keeps the
     #: estimation cost O(1) relative to the transform instead of adding an
-    #: extra full pass per verification boundary.
-    sample_size: int = 4096
+    #: extra full pass per verification boundary.  1024 strided samples pin
+    #: the robust RMS to a few percent (concentration ~1/sqrt(2k)), far
+    #: inside the 3-sigma safety factor and the paper's conservative
+    #: n^(3/2) round-off bound; the median/partition work this saves was
+    #: the single largest non-BLAS cost of a protected transform.
+    sample_size: int = 1024
 
     # ------------------------------------------------------------------
     def _sample(self, data: np.ndarray) -> np.ndarray:
@@ -202,15 +225,24 @@ class ThresholdPolicy:
         sample = np.abs(self._sample(data))
         if sample.size == 0:
             return 0.0
-        sample = sample[np.isfinite(sample)]
-        if sample.size == 0:
-            return 0.0
-        median = float(np.median(sample))
-        if median > 0:
+        # One max reduction gates both slow paths: magnitudes are >= 0, so a
+        # finite max means every element is finite (NaN poisons np.max), and
+        # max <= bound means all <= bound.  The common all-clean case then
+        # touches the data twice (max, mean) instead of building two masks.
+        amax = float(np.max(sample))
+        if not np.isfinite(amax):
+            sample = sample[np.isfinite(sample)]
+            if sample.size == 0:
+                return 0.0
+            amax = float(np.max(sample))
+        median = _median_finite(sample)
+        if median > 0 and not amax <= 1e6 * median:
             sample = sample[sample <= 1e6 * median]
         if sample.size == 0:
             return median
-        return float(np.sqrt(np.mean(sample ** 2)))
+        # In-place square: ``sample`` is always a private array here (np.abs
+        # output or a mask copy), and x**2 == np.square(x) bit-for-bit.
+        return float(np.sqrt(np.mean(np.square(sample, out=sample))))
 
     def magnitude_rms(self, data: np.ndarray) -> float:
         """Public robust RMS of ``|data|`` (see :meth:`_magnitude_rms`).
@@ -267,20 +299,90 @@ class ThresholdPolicy:
 
         return self.eta_stage1(n, data, sigma0=sigma0)
 
-    def eta_offline_batch(self, n: int, rows: np.ndarray) -> np.ndarray:
+    def offline_threshold_fn(self, n: int) -> "Callable[[float], float]":
+        """A ``sigma0 -> eta`` closure bit-identical to :meth:`eta_offline`.
+
+        Every data-independent scalar (``sqrt(n)``, ``log2(n)``,
+        ``sigma_eps^2`` and their products) is bound once, in the exact
+        evaluation order and dtypes of the per-call formula, so the closure's
+        result matches :meth:`eta_offline` bit for bit while costing one
+        short multiply chain.  Built at plan time by the fused protected
+        path, which derives a threshold on every execution.
+        """
+
+        sqrt_n = float(np.sqrt(n))
+        floor = self.floor
+        if self.mode is ThresholdMode.RELATIVE:
+            base = sqrt_n * n  # float(np.sqrt(m)) * m, same association
+            rel = self.relative_factor
+
+            def eta_relative(sigma0: float) -> float:
+                return max(rel * (base * max(sigma0, 1e-30)), floor)
+
+            return eta_relative
+        prefactor = self.safety_factor * sqrt_n
+        if n < 2:
+            const = max(prefactor * 0.0, floor)
+            return lambda sigma0: const
+        # fft_roundoff_sigma's radicand, left-associated exactly as written
+        # there: (((2.0 * n) * sigma0**2) * sigma_eps**2) * log2(n).
+        two_n = 2.0 * n
+        eps2 = self.model.sigma_eps ** 2
+        log2_n = np.log2(n)  # numpy scalar, preserving the promotion
+
+        def eta_paper(sigma0: float) -> float:
+            roundoff = float(np.sqrt(((two_n * sigma0 ** 2) * eps2) * log2_n))
+            sigma_roe = float(n * roundoff)
+            return max(prefactor * sigma_roe, floor)
+
+        return eta_paper
+
+    def memory_threshold_fn(self, n: int) -> "Callable[[float, float], float]":
+        """A ``(weight_rms, data_rms) -> eta`` closure matching :meth:`eta_memory`.
+
+        Same contract as :meth:`offline_threshold_fn`: the weight- and
+        data-independent factors are bound once with unchanged evaluation
+        order, so results are bit-identical to calling :meth:`eta_memory`
+        with precomputed ``weight_rms``/``data_rms``.
+        """
+
+        floor = self.floor
+        if self.mode is ThresholdMode.RELATIVE:
+            rel = self.relative_factor
+
+            def eta_relative(weight_rms: float, data_rms: float) -> float:
+                return max(rel * n * (weight_rms * data_rms), floor)
+
+            return eta_relative
+        eps = self.model.sigma_eps
+        prefactor = self.safety_factor * self.memory_margin
+
+        def eta_paper(weight_rms: float, data_rms: float) -> float:
+            sigma = float(n * (weight_rms * data_rms) * eps)
+            return max(prefactor * sigma, floor)
+
+        return eta_paper
+
+    def eta_offline_batch(
+        self, n: int, rows: np.ndarray, *, sigma0: Optional[np.ndarray] = None
+    ) -> np.ndarray:
         """Per-row offline thresholds for a ``(batch, n)`` array, vectorized.
 
         Semantically one :meth:`eta_offline` per row, but computed without a
         Python loop so batched execution (``FTPlan.execute_many``) keeps its
         protection fully vectorized.  Both threshold modes are linear in the
         per-row ``sigma_0``, so the data-independent factor is evaluated once
-        and scaled by the vector of per-row sigmas.
+        and scaled by the vector of per-row sigmas.  ``sigma0`` may carry a
+        precomputed :meth:`component_sigma_rows` of ``rows`` (bit-identical,
+        lets a caller sample the batch once and share the statistics with
+        :meth:`eta_memory_batch`).
         """
 
         rows = np.asarray(rows)
         if rows.ndim != 2:
             raise ValueError(f"rows must be 2-D, got shape {rows.shape}")
-        sigma0 = self._component_sigma_rows(rows)
+        if sigma0 is None:
+            sigma0 = self._component_sigma_rows(rows)
         if self.mode is ThresholdMode.RELATIVE:
             unit = self.relative_factor * float(np.sqrt(n)) * n
             etas = unit * np.maximum(sigma0, 1e-30)
@@ -291,6 +393,16 @@ class ThresholdPolicy:
             )
             etas = unit * sigma0
         return np.maximum(etas, self.floor)
+
+    def component_sigma_rows(self, rows: np.ndarray) -> np.ndarray:
+        """Public vectorized per-row :meth:`component_sigma`.
+
+        Exposed so batched callers can sample a batch *once* and feed the
+        same statistics into both :meth:`eta_offline_batch` and
+        :meth:`eta_memory_batch` (bit-identical thresholds either way).
+        """
+
+        return self._component_sigma_rows(rows)
 
     def _component_sigma_rows(self, rows: np.ndarray) -> np.ndarray:
         """Vectorized per-row :meth:`component_sigma` (robust, sampled)."""
@@ -351,7 +463,12 @@ class ThresholdPolicy:
         return max(self.safety_factor * self.memory_margin * sigma, self.floor)
 
     def eta_memory_batch(
-        self, weights: np.ndarray, rows: np.ndarray, *, weight_rms: Optional[float] = None
+        self,
+        weights: np.ndarray,
+        rows: np.ndarray,
+        *,
+        weight_rms: Optional[float] = None,
+        sigma0: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         """Per-row memory-checksum thresholds for a ``(batch, n)`` array.
 
@@ -359,7 +476,9 @@ class ThresholdPolicy:
         are linear in the per-row data RMS, so the weight/data-independent
         factor is computed once and scaled by the vector of row RMS values.
         ``weight_rms`` optionally carries the plan-time precomputed
-        weight-vector RMS (see :meth:`eta_memory`).
+        weight-vector RMS (see :meth:`eta_memory`); ``sigma0`` a precomputed
+        :meth:`component_sigma_rows` of ``rows`` (see
+        :meth:`eta_offline_batch`).
         """
 
         rows = np.asarray(rows)
@@ -369,8 +488,10 @@ class ThresholdPolicy:
         n = weights.shape[0]
         if weight_rms is None:
             weight_rms = float(np.sqrt(np.mean(np.abs(weights) ** 2))) if n else 0.0
-        # _component_sigma_rows returns rms/sqrt(2); undo to get magnitude RMS.
-        value_rms = weight_rms * self._component_sigma_rows(rows) * float(np.sqrt(2.0))
+        if sigma0 is None:
+            sigma0 = self._component_sigma_rows(rows)
+        # component sigma is rms/sqrt(2); undo to get magnitude RMS.
+        value_rms = weight_rms * sigma0 * float(np.sqrt(2.0))
         if self.mode is ThresholdMode.RELATIVE:
             etas = self.relative_factor * n * value_rms
         else:

@@ -805,8 +805,10 @@ _DEFAULT_PROGRAM_CACHE_LIMIT = 128
 
 _cache_lock = threading.RLock()
 #: keyed by ``n`` (complex programs), ``("real", n)`` (real programs),
-#: ``("stockham", n)`` (in-place Stockham programs), or
-#: ``("sixstep", n, threads, inplace)`` (threaded six-step programs)
+#: ``("stockham", n)`` (in-place Stockham programs),
+#: ``("sixstep", n, threads, inplace)`` (threaded six-step programs), or
+#: ``("protected", n, optimized, memory_ft)`` (fused protected programs,
+#: see :mod:`repro.fftlib.protected`)
 _programs: "OrderedDict[object, object]" = OrderedDict()
 #: per-key once-guards: key -> Event set when that key's compile finishes
 _inflight: dict = {}

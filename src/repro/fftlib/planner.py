@@ -21,7 +21,7 @@ import enum
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional, Tuple, cast
+from typing import Any, Callable, Dict, Optional, Tuple, cast
 
 import numpy as np
 
@@ -88,6 +88,9 @@ class Planner:
     #: ping-pong vs in-place Stockham timings per ``"n"`` (MEASURE mode);
     #: same export/import discipline as the thread timings.
     inplace_measurements: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: fused-protected-program vs legacy-scheme timings per ``"n"`` (MEASURE
+    #: mode, see :meth:`fused_wins`); same export/import discipline.
+    fused_measurements: Dict[str, Dict[str, float]] = field(default_factory=dict)
     #: guards every wisdom/measurement mutation: the default planner is
     #: process-wide shared state hit concurrently by threaded fault
     #: campaigns, so unlocked writes here were a latent stampede/lost-update
@@ -256,6 +259,44 @@ class Planner:
             with self._lock:
                 self.inplace_measurements[key] = timings
         return timings["stockham"] < timings["pingpong"]
+
+    def fused_wins(
+        self,
+        n: int,
+        fused_fn: "Callable[[np.ndarray], object]",
+        scheme_fn: "Callable[[np.ndarray], object]",
+    ) -> bool:
+        """Whether the fused protected program should serve fault-free runs.
+
+        ESTIMATE mode trusts the fused lowering: it wraps the fastest
+        compiled program and its verification operators are precomputed, so
+        it is the winner by construction.  MEASURE mode times one fused
+        execution against one legacy scheme execution (callables supplied by
+        the caller - the protected plan lives above this layer) and records
+        the winner under ``fused_measurements[str(n)]``, exported with the
+        wisdom like the thread/in-place timings, so a seeded planner never
+        re-times a size.
+        """
+
+        if self.policy is not PlannerPolicy.MEASURE:
+            return True
+        key = str(n)
+        timings = self.fused_measurements.get(key)
+        if not timings or "fused" not in timings or "scheme" not in timings:
+            rng = np.random.default_rng(2468 + n)
+            x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+            timings: Dict[str, float] = {}
+            for label, fn in (("fused", fused_fn), ("scheme", scheme_fn)):
+                fn(x)  # warm-up / twiddle-cache + scratch fill
+                best = float("inf")
+                for _ in range(3):
+                    start = time.perf_counter()
+                    fn(x)
+                    best = min(best, time.perf_counter() - start)
+                timings[label] = best
+            with self._lock:
+                self.fused_measurements[key] = timings
+        return timings["fused"] < timings["scheme"]
 
     def _effective_threads(self, n: int, nthreads: int, *, allow_timing: bool = True) -> int:
         """Chunk count the plan is actually lowered with (the "winner").
@@ -429,15 +470,17 @@ class Planner:
             self.measurements.clear()
             self.thread_measurements.clear()
             self.inplace_measurements.clear()
+            self.fused_measurements.clear()
 
     def export_wisdom(self) -> Dict[str, object]:
         """Serialise wisdom as ``{"n:direction:backend[:real][:tN][:ip]": strategy}``.
 
         Measured strategy timings, the compiled program descriptions, the
-        serial-vs-threaded timings, and the ping-pong-vs-Stockham timings
-        ride along under the reserved ``"__measurements__"`` /
-        ``"__programs__"`` / ``"__thread_measurements__"`` /
-        ``"__inplace_measurements__"`` keys, so a MEASURE planner seeded
+        serial-vs-threaded timings, the ping-pong-vs-Stockham timings, and
+        the fused-vs-scheme timings ride along under the reserved
+        ``"__measurements__"`` / ``"__programs__"`` /
+        ``"__thread_measurements__"`` / ``"__inplace_measurements__"`` /
+        ``"__fused_measurements__"`` keys, so a MEASURE planner seeded
         from this dict never re-times a size it has already seen - the
         whole mapping stays JSON-serialisable.
         """
@@ -467,6 +510,10 @@ class Planner:
             data["__inplace_measurements__"] = {
                 key: dict(timings) for key, timings in self.inplace_measurements.items()
             }
+        if self.fused_measurements:
+            data["__fused_measurements__"] = {
+                key: dict(timings) for key, timings in self.fused_measurements.items()
+            }
         if programs:
             data["__programs__"] = programs
         return data
@@ -495,6 +542,10 @@ class Planner:
                 }
             for key, timings in dict(timing_dicts.get("__inplace_measurements__", {})).items():
                 self.inplace_measurements[str(key)] = {
+                    str(name): float(t) for name, t in dict(timings).items()
+                }
+            for key, timings in dict(timing_dicts.get("__fused_measurements__", {})).items():
+                self.fused_measurements[str(key)] = {
                     str(name): float(t) for name, t in dict(timings).items()
                 }
         for key, strategy_name in data.items():

@@ -1,0 +1,310 @@
+"""Differential tests: the fused protected program vs the legacy scheme path.
+
+The fused path (PR tentpole) compiles the ABFT into the transform; these
+tests pin down the equivalences that make that safe:
+
+* the fused spectrum is *bitwise* identical to the unprotected compiled
+  ``StageProgram`` (same kernels, same scratch, same write order);
+* the end-to-end reference checksum (``refs[-1]``) is bitwise identical to
+  the legacy scheme's ``c . x`` (same operators from the same constants);
+* the detection thresholds are bitwise identical between the paths (the
+  plan-time threshold closures reproduce ``eta_offline`` / ``eta_memory``
+  exactly);
+* clean runs make the same no-fault decision on both paths, and a live
+  injector never reaches the fused program - every instrumented fault site
+  still fires through the paper-exact scheme machinery;
+* the fused verification loop detects and repairs faults arriving between
+  encode and transform (memory) or inside the transform (computational).
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.checksums import weighted_sum
+from repro.core.config import FTConfig
+from repro.core.constants import SchemeConstants
+from repro.core.ftplan import clear_plan_cache
+from repro.core.thresholds import ThresholdMode, ThresholdPolicy
+from repro.faults.injector import FaultInjector
+from repro.faults.models import FaultSite
+from repro.fftlib import protected as protected_mod
+from repro.fftlib.executor import get_program
+from repro.fftlib.protected import ProtectedStageProgram, get_protected_program
+
+# codelet-only, mixed-radix, and prime (Bluestein) sizes
+SIZES = [64, 720, 4096, 1009]
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_plan_cache()
+    yield
+    clear_plan_cache()
+
+
+def _data(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal(n) + 1j * rng.standard_normal(n)
+
+
+class TestFusedSpectrum:
+    @pytest.mark.parametrize("n", SIZES)
+    def test_bitwise_identical_to_compiled_program(self, n):
+        x = _data(n)
+        fused = repro.plan(n).execute(x).output
+        direct = get_program(n).execute(x.reshape(1, n)).reshape(n)
+        assert np.array_equal(fused, direct)
+
+    @pytest.mark.parametrize("n", SIZES)
+    def test_matches_legacy_scheme_within_roundoff(self, n):
+        x = _data(n)
+        p = repro.plan(n)
+        assert p._fused_program is not None
+        fused = p._execute_fused(x).output
+        legacy = p.scheme.execute(x).output
+        assert np.allclose(fused, legacy, rtol=1e-9, atol=1e-9)
+
+    def test_inverse_round_trip_through_fused_path(self):
+        n = 720
+        x = _data(n)
+        p = repro.plan(n)
+        spectrum = p.execute(x).output
+        back = p.inverse(spectrum).output
+        assert np.allclose(back, x, rtol=1e-10, atol=1e-10)
+
+    def test_interior_taps_execute_bitwise_identical_too(self, monkeypatch):
+        monkeypatch.setattr(protected_mod, "_INTERIOR_TAP_MIN", 256)
+        n = 4096
+        prog = ProtectedStageProgram.build(n, optimized=True, memory_ft=True)
+        assert len(prog.taps) > 1
+        x = _data(n)
+        out, taps = prog.execute_tapped(x)
+        direct = get_program(n).execute(x.reshape(1, n)).reshape(n)
+        assert np.array_equal(out, direct)
+        assert taps.shape == (len(prog.taps),)
+
+
+class TestReferenceChecksums:
+    @pytest.mark.parametrize("n", SIZES)
+    @pytest.mark.parametrize("optimized", [True, False])
+    def test_final_reference_bitwise_equals_legacy_cx(self, n, optimized):
+        config = FTConfig(optimized=optimized)
+        consts = SchemeConstants.for_config(n, config)
+        prog = get_protected_program(n, optimized=optimized, memory_ft=True)
+        x = _data(n)
+        refs = prog.encode(x)
+        assert np.array_equal(prog.c, consts.c_n)
+        assert complex(refs[-1]) == complex(weighted_sum(consts.c_n, x))
+
+    def test_memory_pair_matches_scheme_constants(self):
+        n = 720
+        consts = SchemeConstants.for_config(n, FTConfig())
+        prog = get_protected_program(n, optimized=True, memory_ft=True)
+        assert np.array_equal(prog.w1, consts.w1_n)
+        assert np.array_equal(prog.w2, consts.w2_n)
+        assert prog.w1_rms == consts.w1_n_rms
+
+    def test_interior_references_telescope_correctly(self, monkeypatch):
+        monkeypatch.setattr(protected_mod, "_INTERIOR_TAP_MIN", 256)
+        n = 4096
+        prog = ProtectedStageProgram.build(n, optimized=True, memory_ft=True)
+        x = _data(n)
+        refs = prog.encode(x)
+        for i, tap in enumerate(prog.taps):
+            fold = x.reshape(tap.span, -1).sum(axis=1)
+            direct_ref = np.dot(tap.encode, fold)
+            assert np.isclose(refs[i], direct_ref, rtol=1e-12, atol=0.0)
+
+    def test_interior_taps_verify_clean_data(self, monkeypatch):
+        """Tap values agree with the telescoped references on clean input."""
+
+        monkeypatch.setattr(protected_mod, "_INTERIOR_TAP_MIN", 256)
+        n = 4096
+        prog = ProtectedStageProgram.build(n, optimized=True, memory_ft=True)
+        x = _data(n)
+        refs = prog.encode(x)
+        _, taps = prog.execute_tapped(x)
+        scale = float(np.sqrt(n)) * float(np.linalg.norm(x))
+        assert np.all(np.abs(taps - refs) < 1e-10 * scale)
+
+
+class TestThresholdEquivalence:
+    @pytest.mark.parametrize("mode", [ThresholdMode.PAPER, ThresholdMode.RELATIVE])
+    @pytest.mark.parametrize("n", [1, 2, 720, 4096, 1 << 20])
+    def test_offline_closure_bitwise_equals_eta_offline(self, mode, n):
+        pol = ThresholdPolicy(mode=mode)
+        fn = pol.offline_threshold_fn(n)
+        rng = np.random.default_rng(5)
+        for _ in range(25):
+            sigma0 = float(rng.uniform(0.1, 4.0)) * 10.0 ** int(rng.integers(-20, 20))
+            assert fn(sigma0) == pol.eta_offline(n, None, sigma0=sigma0)
+        assert fn(0.0) == pol.eta_offline(n, None, sigma0=0.0)
+
+    @pytest.mark.parametrize("mode", [ThresholdMode.PAPER, ThresholdMode.RELATIVE])
+    def test_memory_closure_bitwise_equals_eta_memory(self, mode):
+        pol = ThresholdPolicy(mode=mode)
+        n = 720
+        fn = pol.memory_threshold_fn(n)
+        weights = np.ones(n)
+        rng = np.random.default_rng(6)
+        for _ in range(25):
+            wr = float(rng.uniform(0.5, 2.0))
+            dr = float(rng.uniform(0.0, 8.0))
+            assert fn(wr, dr) == pol.eta_memory(
+                weights, None, weight_rms=wr, data_rms=dr
+            )
+
+    def test_fused_run_decides_clean_on_clean_data(self):
+        p = repro.plan(720)
+        result = p._execute_fused(_data(720))
+        assert not result.report.uncorrectable
+        assert not result.report.corrections
+        records = [r for r in result.report.verifications if r.site == "fused-ccv"]
+        assert records and not any(r.detected for r in records)
+
+
+class TestRouting:
+    def test_live_injector_takes_the_scheme_path(self):
+        # Table 6 methodology: power-of-two size, high-bit flip (bits 50-62)
+        # so detection is guaranteed on the legacy path.
+        n = 4096
+        p = repro.plan(n)
+        assert p._fused_program is not None
+        calls = []
+        original = p._execute_fused
+        p._execute_fused = lambda x: calls.append(1) or original(x)
+        x = _data(n)
+        injector = FaultInjector().arm_bitflip(
+            FaultSite.STAGE1_INPUT, element=5, bit=60
+        )
+        result = p.execute(x, injector)
+        assert not calls, "live injector must route through the legacy scheme"
+        assert result.report.corrections
+        direct = get_program(n).execute(x.reshape(1, n)).reshape(n)
+        assert np.allclose(result.output, direct, rtol=1e-8, atol=1e-8)
+
+    def test_fault_free_run_takes_the_fused_path(self):
+        n = 720
+        p = repro.plan(n)
+        calls = []
+        original = p._execute_fused
+        p._execute_fused = lambda x: calls.append(1) or original(x)
+        p.execute(_data(n))
+        assert calls, "fault-free execute must use the fused program"
+        calls.clear()
+        # a FaultInjector instance is always live, even with no specs armed
+        p.execute(_data(n), FaultInjector())
+        assert not calls
+
+    @pytest.mark.parametrize(
+        "site", [FaultSite.STAGE1_INPUT, FaultSite.INTERMEDIATE, FaultSite.OUTPUT]
+    )
+    @pytest.mark.parametrize("scheme", ["opt-offline+mem", "opt-online+mem"])
+    def test_injected_faults_still_corrected_per_site(self, site, scheme):
+        # High-bit flip at a power-of-two size, per the Table 6 campaign's
+        # fault model ("one random high bit", bits 50-62): always far above
+        # the detection thresholds, so correction must always succeed.
+        n = 4096
+        p = repro.plan(n, scheme)
+        x = _data(n)
+        clean = p.execute(x).output
+        injector = FaultInjector().arm_bitflip(site, element=17, bit=60)
+        result = p.execute(x, injector)
+        assert injector.events, "fault site must have fired"
+        assert not result.report.uncorrectable
+        assert np.allclose(result.output, clean, rtol=1e-8, atol=1e-8)
+
+
+class TestFusedRecovery:
+    def test_memory_corruption_between_encode_and_transform(self, monkeypatch):
+        """Corruption of x after encode is located, repaired, and re-run."""
+
+        n = 720
+        p = repro.plan(n)
+        prog = p._fused_program
+        assert prog is not None
+        state = {"hits": 0}
+        original = ProtectedStageProgram.execute_tapped
+
+        def corrupt_once(self, x):
+            state["hits"] += 1
+            if state["hits"] == 1:
+                x[13] += 1e6  # in-place: simulates memory corruption
+            return original(self, x)
+
+        monkeypatch.setattr(ProtectedStageProgram, "execute_tapped", corrupt_once)
+        x = _data(n)
+        keep = x.copy()
+        result = p._execute_fused(x)
+        kinds = [c.kind for c in result.report.corrections]
+        assert "memory-correct" in kinds and "restart" in kinds
+        assert not result.report.uncorrectable
+        # repair reconstructs element 13 from the locating pair (roundoff
+        # accurate, not bitwise), so the recovered spectrum matches the
+        # clean transform to roundoff
+        clean = get_program(n).execute(keep.reshape(1, n)).reshape(n)
+        assert np.allclose(result.output, clean, rtol=1e-8, atol=1e-8)
+
+    def test_computational_fault_recovered_by_restart(self, monkeypatch):
+        n = 720
+        p = repro.plan(n)
+        state = {"hits": 0}
+        original = ProtectedStageProgram.execute_tapped
+
+        def corrupt_output_once(self, x):
+            out, taps = original(self, x)
+            state["hits"] += 1
+            if state["hits"] == 1:
+                out = out.copy()
+                out[3] += 1e6  # computational fault in the transform
+                taps = taps.copy()
+                taps[-1] = np.dot(self.taps[-1].weights, out)
+            return out, taps
+
+        monkeypatch.setattr(
+            ProtectedStageProgram, "execute_tapped", corrupt_output_once
+        )
+        x = _data(n)
+        result = p._execute_fused(x)
+        assert state["hits"] == 2, "verification failure must trigger a re-run"
+        assert not result.report.uncorrectable
+        assert [c.kind for c in result.report.corrections] == ["restart"]
+        monkeypatch.undo()
+        direct = get_program(n).execute(x.reshape(1, n)).reshape(n)
+        assert np.array_equal(result.output, direct)
+
+    def test_persistent_corruption_reported_uncorrectable(self, monkeypatch):
+        n = 720
+        p = repro.plan(n)
+        original = ProtectedStageProgram.execute_tapped
+
+        def always_corrupt(self, x):
+            out, taps = original(self, x)
+            out = out.copy()
+            out[3] += 1e6
+            taps = taps.copy()
+            taps[-1] = np.dot(self.taps[-1].weights, out)
+            return out, taps
+
+        monkeypatch.setattr(ProtectedStageProgram, "execute_tapped", always_corrupt)
+        result = p._execute_fused(_data(n))
+        assert result.report.uncorrectable
+
+
+class TestBatchAmortization:
+    def test_execute_many_matches_single_vector_decisions(self):
+        n = 256
+        p = repro.plan(n)
+        rows = np.stack([_data(n, seed=s) for s in range(6)])
+        batch = p.execute_many(rows)
+        singles = np.stack([p.execute(rows[i]).output for i in range(6)])
+        assert np.allclose(batch.output, singles, rtol=1e-9, atol=1e-9)
+        assert not batch.report.uncorrectable
+
+    def test_component_sigma_rows_matches_private_helper(self):
+        pol = ThresholdPolicy()
+        rows = np.stack([_data(512, seed=s) for s in range(4)])
+        assert np.array_equal(
+            pol.component_sigma_rows(rows), pol._component_sigma_rows(rows)
+        )

@@ -39,6 +39,10 @@ HOT_FILES = {
     # FTPlan's execute* entry points run the (allocating) protection
     # machinery; only its transform fast paths are allocation-sensitive.
     "src/repro/core/ftplan.py": ("transform",),
+    # The fused protected program: execute_tapped replicates the executor's
+    # scratch discipline and encode's telescoping folds are the per-call
+    # reference side, both on the protected hot path.
+    "src/repro/fftlib/protected.py": ("execute", "encode", "transform"),
 }
 HOT_SUFFIXES = ("_into", "_overwrite")
 
