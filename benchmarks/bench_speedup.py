@@ -26,7 +26,21 @@ drifts cannot bias the ratios):
 * ``inplace`` - the in-place Stockham program
   (``plan_fft(n, inplace=True)``: caller's buffer + one half-size scratch,
   no ping-pong pair, no output allocation), timed overwrite-style on a
-  reused buffer.
+  reused buffer;
+* ``native`` - the generated-C codelet tier (``plan_fft(n, native=True)``:
+  the same stage schedule executed by compiled combine/base kernels loaded
+  via ctypes, one foreign call per transform);
+* ``rfft_native`` - the real-input path with the native half-length
+  program underneath.
+
+The two native columns are recorded as ``null`` (and their gates skipped)
+when the tier is unavailable - no working C compiler on the host, or
+``REPRO_NO_NATIVE=1``.  When the columns *are* present, ``--check``
+enforces absolute floors on the committed reference alongside the
+protected budget: ``speedup_native_vs_compiled`` at least 1.25x from 2^16
+up, and ``speedup_native_vs_numpy`` at least 0.9x at every size (the
+generated kernels must approach pocketfft, the compiled-C reference
+point, or the tier is not paying for its complexity).
 
 Machine-readable results are written to ``BENCH_fft_speed.json`` at the
 repository root so the perf trajectory of the compiled path is tracked in
@@ -64,6 +78,7 @@ from _harness import env_int, env_int_list, interleaved_best, make_input, save_t
 
 import repro
 from repro.fftlib.mixed_radix import fft as recursive_fft
+from repro.fftlib.native import native_supported
 from repro.fftlib.planner import plan_fft
 from repro.runtime import default_thread_count
 from repro.utils.reporting import Table
@@ -78,6 +93,9 @@ CHECKED_RATIOS = {
     "speedup_compiled_vs_recursive": True,
     "speedup_real_vs_complex_engine": True,
     "speedup_inplace_vs_compiled": True,
+    "speedup_native_vs_compiled": True,
+    "speedup_native_vs_numpy": True,
+    "speedup_rfft_native_vs_compiled": True,
     # protected overhead: lower is better (ratio of protected over compiled)
     "protected_over_compiled_ratio": False,
 }
@@ -91,6 +109,15 @@ PROTECTED_RATIO_MAX = 2.0
 #: transform is memory-bound and the protection adds ~2 passes over the data).
 PROTECTED_RATIO_MAX_LARGE = 1.5
 PROTECTED_RATIO_LARGE_MIN_N = 65536
+
+
+#: Absolute floors for the generated-C native tier, enforced (like the
+#: protected budget) on the committed reference and at regeneration time.
+#: Both gates are skipped for rows whose native columns are null - the
+#: machine that produced the reference had no usable C compiler.
+NATIVE_VS_COMPILED_MIN = 1.25
+NATIVE_VS_COMPILED_MIN_N = 65536
+NATIVE_VS_NUMPY_MIN = 0.9
 
 
 def protected_budget(n: int) -> float:
@@ -116,23 +143,52 @@ def check_protected_budget(rows: list, label: str) -> list:
     return violations
 
 
+def check_native_floors(rows: list, label: str) -> list:
+    """Absolute native-tier floor violations, as strings (null columns skip)."""
+
+    violations = []
+    for row in rows:
+        n = int(row["n"])
+        vs_compiled = row.get("speedup_native_vs_compiled")
+        vs_numpy = row.get("speedup_native_vs_numpy")
+        if (
+            vs_compiled is not None
+            and n >= NATIVE_VS_COMPILED_MIN_N
+            and vs_compiled < NATIVE_VS_COMPILED_MIN
+        ):
+            violations.append(
+                f"n={n}: speedup_native_vs_compiled {vs_compiled:.3f} below "
+                f"the {NATIVE_VS_COMPILED_MIN}x floor ({label})"
+            )
+        if vs_numpy is not None and vs_numpy < NATIVE_VS_NUMPY_MIN:
+            violations.append(
+                f"n={n}: speedup_native_vs_numpy {vs_numpy:.3f} below "
+                f"the {NATIVE_VS_NUMPY_MIN}x floor ({label})"
+            )
+    return violations
+
+
 def run(write: bool = True) -> dict:
     sizes = env_int_list("REPRO_BENCH_SIZES", DEFAULT_SIZES)
     repeats = env_int("REPRO_BENCH_REPEATS", 7)
     threads = env_int("REPRO_BENCH_THREADS", default_thread_count())
 
+    with_native = native_supported()
     table = Table(
         "FFT engine speedup (best-of interleaved timings)",
         [
             "n",
             "recursive [ms]",
             "compiled [ms]",
+            "native [ms]",
             "inplace [ms]",
             f"threaded x{threads} [ms]",
             "numpy [ms]",
             "protected [ms]",
             "rfft [ms]",
             "compiled speedup",
+            "native vs compiled",
+            "native vs numpy",
             "inplace vs compiled",
             "threaded speedup",
             "protected vs compiled",
@@ -174,14 +230,25 @@ def run(write: bool = True) -> dict:
             )[:b],
             "rfft_numpy": lambda xr=xr, p=real_numpy_plan: p.execute(xr),
         }
+        if with_native:
+            native_plan = plan_fft(int(n), backend="fftlib", native=True)
+            real_native_plan = plan_fft(int(n), backend="fftlib", real=True, native=True)
+            candidates["native"] = lambda x=x, p=native_plan: p.execute(x)
+            candidates["rfft_native"] = lambda xr=xr, p=real_native_plan: p.execute(xr)
         # inner=4: one cache re-warm call + three steady-state calls per
-        # sample (nine candidates share the cache round-robin).
+        # sample (the candidates share the cache round-robin).
         best = interleaved_best(candidates, repeats=repeats, warmup=1, inner=4)
         speedup = best["recursive"] / best["compiled"]
         inplace_speedup = best["compiled"] / best["inplace"]
         threaded_speedup = best["compiled"] / best["threaded"]
         protected_ratio = best["protected"] / best["compiled"]
         real_speedup = best["rfft_complex_engine"] / best["rfft_compiled"]
+        if with_native:
+            native_vs_compiled = float(best["compiled"] / best["native"])
+            native_vs_numpy = float(best["numpy"] / best["native"])
+            rfft_native_speedup = float(best["rfft_compiled"] / best["rfft_native"])
+        else:
+            native_vs_compiled = native_vs_numpy = rfft_native_speedup = None
         results.append(
             {
                 "n": int(n),
@@ -195,18 +262,24 @@ def run(write: bool = True) -> dict:
                 "speedup_inplace_vs_compiled": float(inplace_speedup),
                 "speedup_real_vs_complex_engine": float(real_speedup),
                 "speedup_real_vs_numpy_rfft": float(best["rfft_numpy"] / best["rfft_compiled"]),
+                "speedup_native_vs_compiled": native_vs_compiled,
+                "speedup_native_vs_numpy": native_vs_numpy,
+                "speedup_rfft_native_vs_compiled": rfft_native_speedup,
             }
         )
         table.add_row(
             str(n),
             f"{best['recursive'] * 1e3:.3f}",
             f"{best['compiled'] * 1e3:.3f}",
+            f"{best['native'] * 1e3:.3f}" if with_native else "-",
             f"{best['inplace'] * 1e3:.3f}",
             f"{best['threaded'] * 1e3:.3f}",
             f"{best['numpy'] * 1e3:.3f}",
             f"{best['protected'] * 1e3:.3f}",
             f"{best['rfft_compiled'] * 1e3:.3f}",
             f"{speedup:.2f}x",
+            f"{native_vs_compiled:.2f}x" if with_native else "-",
+            f"{native_vs_numpy:.2f}x" if with_native else "-",
             f"{inplace_speedup:.2f}x",
             f"{threaded_speedup:.2f}x",
             f"{protected_ratio:.2f}x",
@@ -223,7 +296,9 @@ def run(write: bool = True) -> dict:
             "rfft_* columns compare the compiled half-complex real path against "
             "the complex engine on the same real input and numpy.fft.rfft; the "
             "inplace column is the Stockham autosort program overwriting a "
-            "reused buffer (half the working set of the ping-pong path)"
+            "reused buffer (half the working set of the ping-pong path); the "
+            "native/rfft_native columns are the generated-C codelet tier "
+            "(null when the machine has no usable C compiler)"
         ),
         "machine": {
             "python": platform.python_version(),
@@ -313,8 +388,11 @@ def run_check() -> int:
     budget_violations = check_protected_budget(
         reference.get("results", []), "committed reference"
     )
+    budget_violations += check_native_floors(
+        reference.get("results", []), "committed reference"
+    )
     if budget_violations:
-        print("\nprotected overhead budget FAILED (committed reference):")
+        print("\nabsolute benchmark budgets FAILED (committed reference):")
         for line in budget_violations:
             print(f"  - {line}")
         return 1
@@ -355,8 +433,9 @@ if __name__ == "__main__":
     payload = run()
     check(payload)
     budget_violations = check_protected_budget(payload["results"], "fresh run")
+    budget_violations += check_native_floors(payload["results"], "fresh run")
     if budget_violations:
-        print("\nprotected overhead budget FAILED for the regenerated numbers:")
+        print("\nabsolute benchmark budgets FAILED for the regenerated numbers:")
         for line in budget_violations:
             print(f"  - {line}")
         print("do not commit this BENCH_fft_speed.json")
@@ -367,3 +446,10 @@ if __name__ == "__main__":
     print(f"worst compiled-vs-recursive speedup: {worst:.2f}x")
     print(f"worst rfft-vs-complex-engine speedup: {worst_real:.2f}x")
     print(f"worst inplace-vs-compiled ratio: {worst_ip:.2f}x")
+    native_ratios = [
+        r["speedup_native_vs_compiled"]
+        for r in payload["results"]
+        if r.get("speedup_native_vs_compiled") is not None
+    ]
+    if native_ratios:
+        print(f"worst native-vs-compiled speedup: {min(native_ratios):.2f}x")

@@ -106,6 +106,7 @@ def _make_plan(args: argparse.Namespace, n: int) -> FTPlan:
         real=getattr(args, "real", False),
         threads=getattr(args, "threads", None),
         inplace=getattr(args, "inplace", False),
+        native=getattr(args, "native", False),
     )
     return plan(n, config)
 
@@ -191,6 +192,13 @@ def _add_signal_options(parser: argparse.ArgumentParser) -> None:
              "(caller's buffer + one half-size scratch instead of ping-pong "
              "buffers) and run the transform through the overwrite path "
              "with checksum-carried surrogate recovery",
+    )
+    parser.add_argument(
+        "--native", action="store_true",
+        help="native kernel tier: execute the fault-free stage bodies "
+             "through generated-C codelets compiled once per machine with "
+             "the system C compiler (silently falls back to the pure-NumPy "
+             "lowering when no compiler is available or REPRO_NO_NATIVE=1)",
     )
 
 
@@ -338,6 +346,14 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         "serial compiled": lambda: serial_plan.execute(x),
         threaded_label: lambda: threaded_plan.execute(x),
     }
+    if getattr(args, "native", False):
+        from repro.fftlib.native import native_supported
+
+        native_plan = plan_fft(n, backend="fftlib", native=True)
+        native_label = "native codelets"
+        if not native_supported():
+            native_label += " (pure fallback)"
+        candidates[native_label] = lambda: native_plan.execute(x)
     if X is not None:
         ft_serial = plan(n, FTConfig.from_name(args.scheme))
         ft_threaded = plan(n, FTConfig.from_name(args.scheme, threads=threads))
@@ -449,6 +465,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="protection scheme for the batched rows (default: opt-online+mem)",
     )
     bench.add_argument("--seed", type=int, default=None, help="seed for the synthetic input")
+    bench.add_argument(
+        "--native", action="store_true",
+        help="also time the generated-C native kernel tier for the size",
+    )
     bench.set_defaults(func=_cmd_bench)
 
     predict = sub.add_parser("predict", help="print the Section 7 overhead model")

@@ -130,6 +130,16 @@ class FTConfig:
         pair re-encoded onto the output side) instead of re-executing.
         Legacy registry names carry the flag as a ``+ip`` suffix
         (``"opt-online+mem+ip"``; composes as ``"...+real+ip+t4"``).
+    native:
+        Native kernel tier (see :mod:`repro.fftlib.native`): the plan's
+        compiled stage programs dispatch their combine/base bodies to
+        generated C kernels loaded via ``ctypes`` - one GIL-free foreign
+        call per transform.  Requesting it never fails: with no C compiler,
+        a failed compile, or ``REPRO_NO_NATIVE=1`` the plan silently keeps
+        its pure-NumPy stage bodies (``FTPlan.describe()`` reports the
+        fallback).  Legacy registry names carry the flag as a ``+native``
+        suffix (``"opt-online+mem+native"``; composes as
+        ``"...+real+ip+t4+native"``).
     """
 
     kind: str = "online"
@@ -144,6 +154,7 @@ class FTConfig:
     real: bool = False
     threads: Optional[int] = None
     inplace: bool = False
+    native: bool = False
 
     # ------------------------------------------------------------------
     def __post_init__(self) -> None:
@@ -173,6 +184,7 @@ class FTConfig:
             raise TypeError("flags must be OptimizationFlags (or None)")
         object.__setattr__(self, "real", bool(self.real))
         object.__setattr__(self, "inplace", bool(self.inplace))
+        object.__setattr__(self, "native", bool(self.native))
         if self.threads is not None:
             if int(self.threads) != self.threads or self.threads < 0:
                 raise ValueError(
@@ -191,13 +203,18 @@ class FTConfig:
         A ``+real`` suffix selects the packed real-input transform
         (``"opt-online+mem+real"``), a ``+ip`` suffix in-place execution
         (``"opt-online+mem+ip"``), a ``+t{N}`` suffix the shared-memory
-        thread count (``"opt-online+mem+t4"``, ``+t0`` = automatic; they
-        compose as ``"...+real+ip+t4"``); ``overrides`` set any other field
+        thread count (``"opt-online+mem+t4"``, ``+t0`` = automatic), a
+        ``+native`` suffix the generated-C kernel tier (they compose as
+        ``"...+real+ip+t4+native"``); ``overrides`` set any other field
         (``m``, ``k``, ``thresholds``, ``flags``, ``dtype``, ``backend``,
-        ``real``, ``threads``, ``inplace``).
+        ``real``, ``threads``, ``inplace``, ``native``).
         """
 
         base = name
+        if base.endswith("+native"):
+            base = base[: -len("+native")]
+            if not overrides.get("native"):
+                overrides["native"] = True
         head, sep, tail = base.rpartition("+t")
         if sep and tail.isdigit():
             base = head
@@ -233,6 +250,8 @@ class FTConfig:
             name += "+ip"
         if self.threads is not None:
             name += f"+t{self.threads}"
+        if self.native:
+            name += "+native"
         return name
 
     def replace(self, **changes: Any) -> "FTConfig":
@@ -297,6 +316,8 @@ class FTConfig:
             parts.append("inplace=True")
         if self.threads is not None:
             parts.append(f"threads={self.threads}")
+        if self.native:
+            parts.append("native=True")
         if self.dtype != "complex128":
             parts.append(f"dtype={self.dtype}")
         if self.backend is not None:

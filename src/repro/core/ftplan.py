@@ -158,7 +158,7 @@ class FTPlan:
         if self._real and self.backend == "fftlib":
             from repro.fftlib.executor import get_real_program
 
-            self._real_program = get_real_program(self.n)
+            self._real_program = get_real_program(self.n, native=config.native)
         #: in-place execution (``FTConfig.inplace``): the compiled Stockham
         #: program behind the ``out=`` overwrite paths of ``execute`` /
         #: ``execute_many`` (complex plans, fftlib backend, supported sizes;
@@ -173,7 +173,9 @@ class FTPlan:
             from repro.fftlib.executor import get_stockham_program, stockham_supported
 
             if stockham_supported(self.n):
-                self._inplace_program = get_stockham_program(self.n)
+                self._inplace_program = get_stockham_program(
+                    self.n, native=config.native
+                )
         #: Compiled direct program for batched complex rows (fftlib backend):
         #: execute_many transforms the whole batch through the one-shot stage
         #: program instead of the two-layer pipeline.
@@ -189,7 +191,10 @@ class FTPlan:
         if not self._real and self.backend == "fftlib":
             from repro.fftlib.executor import get_program
 
-            self._batch_program = get_program(self.n)
+            # Native stage bodies for the batched fault-free path (the fused
+            # protected program keeps its own pure-NumPy lowering - its
+            # interleaved verification taps have no native kernels).
+            self._batch_program = get_program(self.n, native=config.native)
             if self._protected:
                 from repro.fftlib.planner import get_default_planner
                 from repro.fftlib.protected import get_protected_program
@@ -1427,8 +1432,19 @@ class FTPlan:
     def describe(self) -> str:
         real = f", real -> {self.bins} bins" if self._real else ""
         inplace = ", inplace" if self._inplace else ""
+        native = ""
+        if self.config.native:
+            from repro.fftlib.plan import _native_program_state
+
+            native = ", native-fallback"
+            for program in (self._real_program, self._inplace_program, self._batch_program):
+                if program is None:
+                    continue
+                active, reason = _native_program_state(program)
+                native = ", native" if active else f", native-fallback({reason or 'not lowered'})"
+                break
         return (
-            f"FTPlan(n={self.n} = {self.m} x {self.k}{real}{inplace}, "
+            f"FTPlan(n={self.n} = {self.m} x {self.k}{real}{inplace}{native}, "
             f"scheme={self.scheme.name}, backend={self.backend}, dtype={self.dtype.name})"
         )
 

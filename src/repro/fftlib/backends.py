@@ -66,6 +66,14 @@ class FFTBackend(abc.ABC):
     #: ``Plan.execute_inplace`` on other backends degrades to
     #: transform-and-copy.
     supports_inplace: bool = False
+    #: whether plans on this backend may lower their stage bodies to the
+    #: generated-C native kernel tier (see :mod:`repro.fftlib.native`).
+    #: Only the internal engine exposes the stage structure the generator
+    #: mirrors; foreign kernels are already compiled code.  The flag means
+    #: "may request", not "will get": with no working C compiler (or under
+    #: ``REPRO_NO_NATIVE=1``) the lowering silently keeps its pure-NumPy
+    #: stage bodies and reports the reason in ``Plan.describe()``.
+    supports_native: bool = False
 
     @abc.abstractmethod
     def fft(self, x: np.ndarray, axis: int = -1) -> np.ndarray:
@@ -122,6 +130,7 @@ class FFTLibBackend(FFTBackend):
     description = "internal compiled stage-program engine (codelets, mixed-radix, Bluestein)"
     supports_threads = True
     supports_inplace = True
+    supports_native = True
 
     def fft(self, x: np.ndarray, axis: int = -1) -> np.ndarray:
         from repro.fftlib.executor import fft_along_axis

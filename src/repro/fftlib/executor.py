@@ -154,9 +154,17 @@ class StageProgram:
     buffers.
     """
 
-    __slots__ = ("n", "base", "base_kind", "base_matrix", "stages")
+    __slots__ = (
+        "n",
+        "base",
+        "base_kind",
+        "base_matrix",
+        "stages",
+        "native",
+        "native_fallback_reason",
+    )
 
-    def __init__(self, n: int) -> None:
+    def __init__(self, n: int, *, native: bool = False) -> None:
         self.n = int(n)
         if self.n <= 0:
             raise ValueError("transform length must be positive")
@@ -188,6 +196,14 @@ class StageProgram:
             )
             span *= radix
         self.stages: Tuple[Stage, ...] = tuple(stages)
+        #: native kernel lowering (generated C via ctypes), or ``None`` with
+        #: the fallback reason - requesting it never fails, it degrades.
+        self.native = None
+        self.native_fallback_reason = None
+        if native:
+            from repro.fftlib.native import build_native_program
+
+            self.native, self.native_fallback_reason = build_native_program(self)
 
     # ------------------------------------------------------------------
     def execute(self, x: np.ndarray) -> np.ndarray:
@@ -208,6 +224,21 @@ class StageProgram:
             # reprolint: alloc-ok - normalisation fallback, never taken for
             # conforming (contiguous) callers
             xs = np.ascontiguousarray(xs)
+
+        native = self.native
+        if native is not None:
+            # One foreign call per transform: generated C stage bodies, GIL
+            # released for the call's duration (ctypes), result written into
+            # the out-of-place contract's result array.
+            # reprolint: alloc-ok - the result array itself (out-of-place
+            # contract, same as the pure-NumPy final stage below)
+            out = np.empty((batch, n), dtype=np.complex128)
+            if self.stages:
+                work_a, work_b = _work_buffers(batch * n)
+                native.execute(xs, out, work_a, work_b)
+            else:
+                native.execute(xs, out, None, None)
+            return out.reshape(shape)
 
         if not self.stages:
             # Whole transform handled by the base kernel.
@@ -290,6 +321,17 @@ class StageProgram:
             )
         batch = data.shape[0]
 
+        native = self.native
+        if (
+            native is not None
+            and data.strides[-1] == data.itemsize
+            and work.strides[-1] == work.itemsize
+        ):
+            # Same two-buffer discipline in one GIL-free call (the C driver
+            # stages the first combine through `data` when the stage count
+            # is odd so the result still lands in `work`).
+            return native.execute_into(data, work)
+
         if not self.stages:
             if self.base_kind == "codelet":
                 apply_codelet(data, n, out=work)
@@ -326,9 +368,15 @@ class StageProgram:
         """One-line program listing (base kernel plus combine radices)."""
 
         combines = "*".join(str(s.radix) for s in self.stages) or "-"
+        if self.native is not None:
+            kernels = ", native"
+        elif self.native_fallback_reason is not None:
+            kernels = ", native-fallback"
+        else:
+            kernels = ""
         return (
             f"StageProgram(n={self.n}, base={self.base}[{self.base_kind}], "
-            f"combine={combines})"
+            f"combine={combines}{kernels})"
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -372,23 +420,29 @@ class RealStageProgram:
     (:func:`get_real_program`).
     """
 
-    __slots__ = ("n", "bins", "half", "program", "_a", "_b")
+    __slots__ = ("n", "bins", "half", "program", "_a", "_b", "_ia", "_ib", "_native")
 
-    def __init__(self, n: int) -> None:
+    def __init__(self, n: int, *, native: bool = False) -> None:
         self.n = int(n)
         if self.n <= 0:
             raise ValueError("transform length must be positive")
         self.bins = self.n // 2 + 1
+        self._native = bool(native)
         if self.n % 2 == 0 and self.n > 1:
             self.half = self.n // 2
-            self.program = get_program(self.half)
+            self.program = get_program(self.half, native=self._native)
             w = np.exp(-2j * np.pi * np.arange(self.bins) / self.n)
             self._a = 0.5 * (1.0 - 1j * w)
             self._b = 0.5 * (1.0 + 1j * w)
+            # The inverse entangle uses the conjugate coefficients on every
+            # call; precompute them once so the hot paths never conjugate a
+            # table per transform.
+            self._ia = np.conj(self._a)
+            self._ib = np.conj(self._b)
         else:
             self.half = 0
-            self.program = get_program(self.n) if self.n > 1 else None
-            self._a = self._b = None
+            self.program = get_program(self.n, native=self._native) if self.n > 1 else None
+            self._a = self._b = self._ia = self._ib = None
 
     @property
     def stockham(self) -> Optional["StockhamStageProgram"]:
@@ -401,7 +455,7 @@ class RealStageProgram:
         """
 
         if self.half and stockham_supported(self.half):
-            return get_stockham_program(self.half)
+            return get_stockham_program(self.half, native=self._native)
         return None
 
     # ------------------------------------------------------------------
@@ -547,8 +601,8 @@ class RealStageProgram:
         # reprolint: alloc-ok - half-length entangle intermediate, becomes the
         # result's backing store via the zero-copy float64 view below
         z = np.empty(spectrum.shape[:-1] + (h,), dtype=np.complex128)
-        np.multiply(spectrum[..., :h], np.conj(self._a[:h]), out=z)
-        z += np.conj(self._b[:h]) * np.conj(spectrum[..., h:0:-1])
+        np.multiply(spectrum[..., :h], self._ia[:h], out=z)
+        z += self._ib[:h] * np.conj(spectrum[..., h:0:-1])
         time_half = np.conj(self.program.execute(np.conj(z)))
         time_half /= h
         # The complex128 layout of the half-length signal IS the interleaved
@@ -556,6 +610,51 @@ class RealStageProgram:
         if time_half.strides[-1] != time_half.itemsize:
             time_half = np.ascontiguousarray(time_half)  # reprolint: alloc-ok - strided fallback
         return time_half.view(np.float64)
+
+    def execute_inverse_overwrite(self, spectrum: np.ndarray) -> np.ndarray:
+        """Real inverse transform that may destroy its spectrum buffer.
+
+        The mirror of :meth:`execute_overwrite` for the inverse direction:
+        when the half-length Stockham lowering exists and ``spectrum`` is a
+        1-D contiguous writeable complex128 buffer of ``n//2 + 1`` bins,
+        the conjugate entangle pass writes back into the buffer's first
+        ``n/2`` slots (the reflected operand is staged through the shared
+        half-size Stockham scratch because its reversed read range overlaps
+        the write range), the half-length inverse runs in place on those
+        slots, and the returned ``n`` real samples are a zero-copy float64
+        view aliasing the caller's buffer - no full-size allocation at all.
+        The buffer's spectrum is gone afterwards.  Anything else (batched,
+        strided, read-only, or Stockham-unsupported spectra) silently
+        degrades to the ordinary out-of-place :meth:`execute_inverse`.
+        """
+
+        if (
+            self.stockham is not None
+            and isinstance(spectrum, np.ndarray)
+            and spectrum.dtype == np.complex128
+            and spectrum.ndim == 1
+            and spectrum.shape[-1] == self.bins
+            and spectrum.flags.c_contiguous
+            and spectrum.flags.writeable
+        ):
+            h = self.half
+            z = spectrum[:h]
+            scratch = _stockham_scratch(h)[:h]
+            # The reflected term conj(B_k) conj(X[h-k]) first: X[h], ..,
+            # X[1] overlaps the z[0..h) write range, so it is consumed into
+            # the scratch before any bin is overwritten.
+            np.conjugate(spectrum[h:0:-1], out=scratch)
+            scratch *= self._ib[:h]
+            # z[k] = conj(A_k) X[k] + staged reflected term, in the buffer.
+            z *= self._ia[:h]
+            z += scratch
+            # Half-length inverse in place (the entangle scratch is dead by
+            # now; the Stockham program reuses its first half internally).
+            self.stockham.execute_inverse_inplace(z)
+            # The complex128 half-signal IS the interleaved (even, odd)
+            # float64 samples: the result aliases the caller's buffer.
+            return z.view(np.float64)
+        return self.execute_inverse(spectrum)
 
     # ------------------------------------------------------------------
     def describe(self) -> str:
@@ -611,14 +710,14 @@ class StockhamStageProgram:
 
     __slots__ = ("n", "half", "program", "twiddle")
 
-    def __init__(self, n: int) -> None:
+    def __init__(self, n: int, *, native: bool = False) -> None:
         self.n = int(n)
         if self.n < 2 or self.n % 2:
             raise ValueError(
                 f"in-place Stockham programs require an even size >= 2, got {n}"
             )
         self.half = self.n // 2
-        self.program = get_program(self.half)
+        self.program = get_program(self.half, native=native)
         if self.program.base_kind == "bluestein":
             raise ValueError(
                 f"size {n} has a Bluestein half-length base; the in-place "
@@ -808,7 +907,9 @@ _cache_lock = threading.RLock()
 #: ``("stockham", n)`` (in-place Stockham programs),
 #: ``("sixstep", n, threads, inplace)`` (threaded six-step programs), or
 #: ``("protected", n, optimized, memory_ft)`` (fused protected programs,
-#: see :mod:`repro.fftlib.protected`)
+#: see :mod:`repro.fftlib.protected`).  Native-tier lowerings are distinct
+#: entries under ``("native", <key>)`` so a native request never mutates
+#: (or is satisfied by) the pure-NumPy program of the same size.
 _programs: "OrderedDict[object, object]" = OrderedDict()
 #: per-key once-guards: key -> Event set when that key's compile finishes
 _inflight: dict = {}
@@ -865,14 +966,22 @@ def _cached_program(key, factory):
         return created
 
 
-def get_program(n: int) -> StageProgram:
-    """The (cached) compiled stage program for an ``n``-point transform."""
+def get_program(n: int, *, native: bool = False) -> StageProgram:
+    """The (cached) compiled stage program for an ``n``-point transform.
+
+    ``native=True`` requests the generated-C kernel lowering (a separate
+    cache entry); when the native tier is unavailable the returned program
+    silently keeps its pure-NumPy stage bodies and records the reason on
+    ``native_fallback_reason``.
+    """
 
     n = int(n)
+    if native:
+        return _cached_program(("native", n), lambda: StageProgram(n, native=True))
     return _cached_program(n, lambda: StageProgram(n))
 
 
-def get_real_program(n: int) -> RealStageProgram:
+def get_real_program(n: int, *, native: bool = False) -> RealStageProgram:
     """The (cached) compiled real-to-complex program for ``n`` real samples.
 
     Shares the complex program LRU (keys are tagged), so a real program and
@@ -880,10 +989,14 @@ def get_real_program(n: int) -> RealStageProgram:
     """
 
     n = int(n)
+    if native:
+        return _cached_program(
+            ("native", ("real", n)), lambda: RealStageProgram(n, native=True)
+        )
     return _cached_program(("real", n), lambda: RealStageProgram(n))
 
 
-def get_stockham_program(n: int) -> StockhamStageProgram:
+def get_stockham_program(n: int, *, native: bool = False) -> StockhamStageProgram:
     """The (cached) in-place Stockham program for an ``n``-point transform.
 
     Shares the program LRU under ``("stockham", n)`` keys; the half-length
@@ -894,6 +1007,10 @@ def get_stockham_program(n: int) -> StockhamStageProgram:
     """
 
     n = int(n)
+    if native:
+        return _cached_program(
+            ("native", ("stockham", n)), lambda: StockhamStageProgram(n, native=True)
+        )
     return _cached_program(("stockham", n), lambda: StockhamStageProgram(n))
 
 

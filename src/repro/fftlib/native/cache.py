@@ -1,0 +1,275 @@
+"""Compile-once kernel cache for the native tier.
+
+The generated C source is compiled at most once per (generator version,
+compiler identity, flags) into a shared object under a per-user cache
+directory, then loaded with stdlib :mod:`ctypes` - the tier adds zero hard
+dependencies and zero build-time requirements beyond a working ``cc``.
+
+Layout and invalidation
+-----------------------
+The cache directory is, in order of preference, ``$REPRO_NATIVE_CACHE``,
+``$XDG_CACHE_HOME/repro/native``, or ``~/.cache/repro/native``.  Each entry
+is named ``repro_native_<key>.so`` where ``<key>`` hashes the full generated
+source text (which embeds :data:`~.generator.GENERATOR_VERSION` and the
+radix set), the compiler identity line, and the flag list - so a generator
+change, a compiler upgrade, or a flag change each produce a fresh entry and
+stale objects are simply never looked up again (persisted like wisdom, and
+safe to ``rm -rf`` at any time).
+
+Concurrency
+-----------
+First-compile stampedes are safe both in-process and across processes: the
+module-level lock serialises threads of one interpreter, and the shared
+object is written to a per-pid temporary name then published with
+``os.replace`` (atomic on POSIX), so concurrent builders at worst do
+redundant work and the loser's rename harmlessly overwrites an identical
+file.  Loading always goes through the published name.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import subprocess
+import tempfile
+import threading
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from .generator import GENERATOR_VERSION, NATIVE_ABI, generate_source
+
+__all__ = [
+    "CacheStats",
+    "compiler_command",
+    "cache_dir",
+    "load_library",
+    "cache_stats",
+    "reset_cache_state",
+]
+
+_BASE_FLAGS: Tuple[str, ...] = ("-O3", "-fPIC", "-shared", "-fno-math-errno")
+_ARCH_FLAG = "-march=native"
+
+_lock = threading.Lock()
+_library: Optional[ctypes.CDLL] = None
+_load_attempted = False
+_failure_reason: Optional[str] = None
+
+_stats_lock = threading.Lock()
+_compiles = 0
+_disk_hits = 0
+_failures = 0
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """``cache_info()``-style counters for the kernel cache."""
+
+    compiles: int
+    disk_hits: int
+    failures: int
+    loaded: bool
+    reason: Optional[str]
+
+
+def compiler_command() -> Optional[List[str]]:
+    """The C compiler to use, or ``None`` when the host has none.
+
+    ``$CC`` wins when set (split on whitespace so ``CC="ccache cc"`` works);
+    otherwise the first of ``cc``/``gcc``/``clang`` found on ``$PATH``.
+    """
+
+    env_cc = os.environ.get("CC", "").split()
+    candidates: List[List[str]] = [env_cc] if env_cc else []
+    candidates += [["cc"], ["gcc"], ["clang"]]
+    for cand in candidates:
+        path = _which(cand[0])
+        if path is not None:
+            return [path] + cand[1:]
+    return None
+
+
+def _which(name: str) -> Optional[str]:
+    if os.sep in name:
+        return name if os.access(name, os.X_OK) else None
+    for d in os.environ.get("PATH", "").split(os.pathsep):
+        if not d:
+            continue
+        cand = os.path.join(d, name)
+        if os.access(cand, os.X_OK) and os.path.isfile(cand):
+            return cand
+    return None
+
+
+def _compiler_id(cc: Sequence[str]) -> str:
+    """A stable identity line for the compiler (first line of ``--version``)."""
+
+    try:
+        out = subprocess.run(
+            list(cc) + ["--version"],
+            capture_output=True,
+            text=True,
+            timeout=30,
+            check=False,
+        ).stdout
+    except OSError:
+        out = ""
+    first = out.splitlines()[0] if out else ""
+    return f"{cc[0]}::{first}"
+
+
+def cache_dir() -> str:
+    override = os.environ.get("REPRO_NATIVE_CACHE")
+    if override:
+        return override
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    root = xdg if xdg else os.path.join(os.path.expanduser("~"), ".cache")
+    return os.path.join(root, "repro", "native")
+
+
+def _cache_key(source: str, compiler_id: str, flags: Sequence[str]) -> str:
+    h = hashlib.sha256()
+    h.update(f"generator={GENERATOR_VERSION};abi={NATIVE_ABI}\n".encode())
+    h.update(compiler_id.encode())
+    h.update(("\n" + " ".join(flags) + "\n").encode())
+    h.update(source.encode())
+    return h.hexdigest()[:24]
+
+
+def _compile(
+    cc: Sequence[str], source: str, flags: Sequence[str], out_path: str
+) -> Optional[str]:
+    """Compile ``source`` to ``out_path``; return an error string on failure."""
+
+    tmp_so = f"{out_path}.{os.getpid()}.tmp"
+    with tempfile.NamedTemporaryFile(
+        "w", suffix=".c", prefix="repro_native_", delete=False
+    ) as f:
+        f.write(source)
+        c_path = f.name
+    try:
+        proc = subprocess.run(
+            list(cc) + list(flags) + [c_path, "-o", tmp_so, "-lm"],
+            capture_output=True,
+            text=True,
+            timeout=300,
+            check=False,
+        )
+        if proc.returncode != 0:
+            return (proc.stderr or proc.stdout or "unknown compiler error").strip()[
+                :500
+            ]
+        os.replace(tmp_so, out_path)
+        return None
+    except (OSError, subprocess.TimeoutExpired) as exc:
+        return f"{type(exc).__name__}: {exc}"
+    finally:
+        for leftover in (c_path, tmp_so):
+            try:
+                os.unlink(leftover)
+            except OSError:
+                pass
+
+
+def _load_so(path: str) -> Optional[ctypes.CDLL]:
+    """Load and ABI-check a compiled object; ``None`` when unusable."""
+
+    try:
+        lib = ctypes.CDLL(path)
+        lib.repro_native_abi.restype = ctypes.c_int64
+        lib.repro_native_abi.argtypes = []
+        if lib.repro_native_abi() != NATIVE_ABI:
+            return None
+        return lib
+    except OSError:
+        return None
+
+
+def _build_and_load() -> Tuple[Optional[ctypes.CDLL], Optional[str]]:
+    global _compiles, _disk_hits, _failures
+    cc = compiler_command()
+    if cc is None:
+        return None, "no C compiler found (checked $CC, cc, gcc, clang)"
+    source = generate_source()
+    compiler_id = _compiler_id(cc)
+    directory = cache_dir()
+    try:
+        os.makedirs(directory, exist_ok=True)
+    except OSError as exc:
+        return None, f"cache dir unavailable: {exc}"
+
+    flag_sets = [_BASE_FLAGS + (_ARCH_FLAG,), _BASE_FLAGS]
+    last_error = "compile failed"
+    for flags in flag_sets:
+        key = _cache_key(source, compiler_id, flags)
+        so_path = os.path.join(directory, f"repro_native_{key}.so")
+        if os.path.exists(so_path):
+            lib = _load_so(so_path)
+            if lib is not None:
+                with _stats_lock:
+                    _disk_hits += 1
+                return lib, None
+            # Stale/corrupt entry: fall through and rebuild over it.
+        error = _compile(cc, source, flags, so_path)
+        if error is None:
+            lib = _load_so(so_path)
+            if lib is not None:
+                with _stats_lock:
+                    _compiles += 1
+                return lib, None
+            last_error = "compiled object failed to load or ABI mismatch"
+        else:
+            last_error = error
+        # -march=native can be unsupported (older cc, exotic arch): retry
+        # with the portable flag set before giving up.
+    with _stats_lock:
+        _failures += 1
+    return None, f"compile failed: {last_error}"
+
+
+def load_library() -> Tuple[Optional[ctypes.CDLL], Optional[str]]:
+    """The process-wide kernel library, building it on first use.
+
+    Returns ``(library, None)`` on success or ``(None, reason)`` when the
+    tier is unavailable.  The outcome is cached: later callers get the same
+    answer without re-running the compiler.
+    """
+
+    global _library, _load_attempted, _failure_reason
+    if _load_attempted:
+        return _library, _failure_reason
+    with _lock:
+        if _load_attempted:
+            return _library, _failure_reason
+        lib, reason = _build_and_load()
+        _library = lib
+        _failure_reason = reason
+        _load_attempted = True
+    return _library, _failure_reason
+
+
+def cache_stats() -> CacheStats:
+    with _stats_lock:
+        return CacheStats(
+            compiles=_compiles,
+            disk_hits=_disk_hits,
+            failures=_failures,
+            loaded=_library is not None,
+            reason=_failure_reason,
+        )
+
+
+def reset_cache_state() -> None:
+    """Forget the loaded library and counters (test hook)."""
+
+    global _library, _load_attempted, _failure_reason
+    global _compiles, _disk_hits, _failures
+    with _lock:
+        _library = None
+        _load_attempted = False
+        _failure_reason = None
+    with _stats_lock:
+        _compiles = 0
+        _disk_hits = 0
+        _failures = 0

@@ -58,6 +58,30 @@ def estimate_flops(n: int) -> float:
     return 5.0 * n * max(np.log2(n), 1.0)
 
 
+def _native_program_state(program: object) -> tuple:
+    """``(active, reason)`` of the native lowering beneath ``program``.
+
+    Walks the wrapper chain (real -> half complex, Stockham -> half complex,
+    threaded -> row/serial sub-program) down to the
+    :class:`~repro.fftlib.executor.StageProgram` that carries the native
+    kernel handle, so ``describe()`` can report what actually executes.
+    """
+
+    for _ in range(4):  # Real -> Stockham -> StageProgram is the deepest chain
+        if program is None:
+            break
+        if hasattr(program, "native_fallback_reason"):
+            if getattr(program, "native", None) is not None:
+                return True, None
+            return False, getattr(program, "native_fallback_reason", None)
+        program = (
+            getattr(program, "program", None)
+            or getattr(program, "serial", None)
+            or getattr(program, "row_program", None)
+        )
+    return False, None
+
+
 @dataclass(frozen=True)
 class Plan:
     """A prepared 1-D transform of length ``n``.
@@ -101,6 +125,16 @@ class Plan:
         their usual lowering; ``execute_inplace`` still honours the
         overwrite *semantics* there via one out-of-place transform plus a
         copy back.
+    native:
+        Native kernel tier (see :mod:`repro.fftlib.native`): the lowered
+        stage programs dispatch their combine/base bodies to generated C
+        kernels loaded via ``ctypes`` - one GIL-free foreign call per
+        transform.  Requesting it never fails: with no C compiler, a failed
+        compile, ``REPRO_NO_NATIVE=1``, or an unsupported program shape
+        (Bluestein bases) the plan silently keeps its pure-NumPy stage
+        bodies and :meth:`describe` reports the fallback reason.  Only the
+        ``fftlib`` backend lowers native programs (see
+        :attr:`~repro.fftlib.backends.FFTBackend.supports_native`).
     """
 
     n: int
@@ -111,6 +145,7 @@ class Plan:
     real: bool = False
     threads: int = 1
     inplace: bool = False
+    native: bool = False
     #: compiled stage program (``fftlib`` backend only); built at plan time
     #: so ``execute`` pays no factorization/twiddle setup.
     program: Optional[object] = field(default=None, compare=False, repr=False)
@@ -122,6 +157,7 @@ class Plan:
         else:
             object.__setattr__(self, "threads", int(self.threads))
         object.__setattr__(self, "inplace", bool(self.inplace))
+        object.__setattr__(self, "native", bool(self.native))
         if self.flops == 0.0:
             # Conjugate-even packing does the work of a half-length complex
             # transform plus an O(n) repack.
@@ -140,17 +176,17 @@ class Plan:
             )
 
             if self.real:
-                lowered = get_real_program(self.n)
+                lowered = get_real_program(self.n, native=self.native)
             elif self.threads > 1:
                 from repro.runtime.threaded import get_threaded_program
 
                 lowered = get_threaded_program(
-                    self.n, self.threads, inplace=self.inplace
+                    self.n, self.threads, inplace=self.inplace, native=self.native
                 )
             elif self.inplace and stockham_supported(self.n):
-                lowered = get_stockham_program(self.n)
+                lowered = get_stockham_program(self.n, native=self.native)
             else:
-                lowered = get_program(self.n)
+                lowered = get_program(self.n, native=self.native)
             object.__setattr__(self, "program", lowered)
 
     # ------------------------------------------------------------------
@@ -276,7 +312,7 @@ class Plan:
         )
         return Plan(
             self.n, direction, self.strategy, self.flops, self.backend, self.real,
-            self.threads, self.inplace,
+            self.threads, self.inplace, self.native,
         )
 
     def describe(self) -> str:
@@ -287,8 +323,21 @@ class Plan:
         kind = "real, " if self.real else ""
         threaded = f", threads={self.threads}" if self.threads > 1 else ""
         inplace = ", inplace" if self.inplace else ""
+        native = ""
+        if self.native:
+            active, reason = _native_program_state(self.program)
+            if active:
+                native = ", native"
+            else:
+                if reason is None:
+                    reason = (
+                        "not lowered"
+                        if resolve_backend_name(self.backend) == "fftlib"
+                        else f"backend {backend} has no native lowering"
+                    )
+                native = f", native-fallback({reason})"
         return (
             f"Plan(n={self.n}, {kind}dir={self.direction.value}, "
-            f"strategy={self.strategy.value}, backend={backend}{threaded}{inplace}, "
-            f"radices={factors}, ~{self.flops:.0f} flops)"
+            f"strategy={self.strategy.value}, backend={backend}{threaded}"
+            f"{inplace}{native}, radices={factors}, ~{self.flops:.0f} flops)"
         )

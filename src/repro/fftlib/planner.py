@@ -73,11 +73,11 @@ class Planner:
         Planning effort (estimate vs. measure).
     wisdom:
         Cache of previously created plans keyed by
-        ``(n, direction, backend, real, threads, inplace)``.
+        ``(n, direction, backend, real, threads, inplace, native)``.
     """
 
     policy: PlannerPolicy = PlannerPolicy.ESTIMATE
-    wisdom: Dict[Tuple[int, PlanDirection, str, bool, int, bool], Plan] = field(
+    wisdom: Dict[Tuple[int, PlanDirection, str, bool, int, bool, bool], Plan] = field(
         default_factory=dict
     )
     measurements: Dict[int, Dict[str, float]] = field(default_factory=dict)
@@ -91,6 +91,9 @@ class Planner:
     #: fused-protected-program vs legacy-scheme timings per ``"n"`` (MEASURE
     #: mode, see :meth:`fused_wins`); same export/import discipline.
     fused_measurements: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: native-kernel vs pure-NumPy stage-body timings per ``"n"`` (MEASURE
+    #: mode, see :meth:`_native_wins`); same export/import discipline.
+    native_measurements: Dict[str, Dict[str, float]] = field(default_factory=dict)
     #: guards every wisdom/measurement mutation: the default planner is
     #: process-wide shared state hit concurrently by threaded fault
     #: campaigns, so unlocked writes here were a latent stampede/lost-update
@@ -109,6 +112,7 @@ class Planner:
         real: bool = False,
         threads: Optional[int] = None,
         inplace: bool = False,
+        native: bool = False,
     ) -> Plan:
         """Return a (cached) plan for an ``n``-point transform.
 
@@ -126,13 +130,23 @@ class Planner:
         request whenever the size supports it - the caller asking for
         in-place execution *is* the memory-pressure signal - while MEASURE
         times ping-pong vs Stockham once and records the winner in wisdom.
+        ``native`` requests the generated-C kernel tier
+        (:mod:`repro.fftlib.native`); ESTIMATE honours the request whenever
+        the tier is available, MEASURE times native vs pure-NumPy stage
+        bodies once (recorded in wisdom) and keeps the winner.  The request
+        never fails: an unavailable tier silently keeps the pure-NumPy
+        lowering and the plan's ``describe()`` reports why.
         """
 
         backend_name = resolve_backend_name(backend)
         real = bool(real)
         nthreads = self._normalize_threads(backend_name, real, threads)
         requested_inplace = self._normalize_inplace(backend_name, real, inplace)
-        key = (int(n), direction, backend_name, real, nthreads, requested_inplace)
+        requested_native = self._normalize_native(backend_name, native)
+        key = (
+            int(n), direction, backend_name, real, nthreads, requested_inplace,
+            requested_native,
+        )
         cached = self.wisdom.get(key)
         if cached is not None:
             return cached
@@ -148,9 +162,10 @@ class Planner:
             strategy = _heuristic_strategy(int(n))
         effective = self._effective_threads(int(n), nthreads)
         lowered_inplace = self._effective_inplace(int(n), requested_inplace)
+        lowered_native = self._effective_native(int(n), requested_native)
         plan = Plan(
             int(n), direction, strategy, 0.0, backend_name, real, effective,
-            lowered_inplace,
+            lowered_inplace, lowered_native,
         )
         # two racing planners build equivalent plans; setdefault keeps the
         # first one so every caller shares a single Plan object per key
@@ -188,6 +203,83 @@ class Planner:
         if not inplace or real:
             return False
         return bool(getattr(get_backend(backend_name), "supports_inplace", False))
+
+    def _normalize_native(self, backend_name: str, native: bool) -> bool:
+        """Resolve the requested ``native`` knob.
+
+        Only backends advertising
+        :attr:`~repro.fftlib.backends.FFTBackend.supports_native` lower the
+        generated-C stage bodies (foreign kernels are already compiled
+        code); everywhere else the knob is inert, mirroring ``threads`` and
+        ``inplace``.
+        """
+
+        if not native:
+            return False
+        return bool(getattr(get_backend(backend_name), "supports_native", False))
+
+    def _effective_native(
+        self, n: int, native: bool, *, allow_timing: bool = True
+    ) -> bool:
+        """Whether the plan actually requests native-kernel stage bodies.
+
+        ESTIMATE mode honours any supported request (the lowering itself
+        still degrades silently if a specific program shape has no native
+        kernels).  MEASURE mode times native vs pure-NumPy stage bodies
+        once (recorded under ``native_measurements[str(n)]``, exported with
+        the wisdom) and keeps pure NumPy when it measured faster.
+        ``allow_timing=False`` (wisdom import) never benchmarks.
+        """
+
+        if not native:
+            return False
+        from repro.fftlib.native import native_supported
+
+        if not native_supported():
+            # The tier is down (no compiler / disabled): plan with the
+            # pure-NumPy lowering but keep the *request* so describe()
+            # reports the fallback instead of silently dropping the flag.
+            return True
+        if self.policy is PlannerPolicy.MEASURE:
+            timings = self.native_measurements.get(str(n))
+            if timings and "native" in timings and "numpy" in timings:
+                return timings["native"] < timings["numpy"]
+            if not allow_timing:
+                return True
+            return self._native_wins(n)
+        return True
+
+    def _native_wins(self, n: int) -> bool:
+        """MEASURE mode: time native vs pure-NumPy stage bodies, remember."""
+
+        key = str(n)
+        timings = self.native_measurements.get(key)
+        if not timings or "native" not in timings or "numpy" not in timings:
+            from repro.fftlib.executor import get_program
+
+            pure = get_program(n)
+            native_program = get_program(n, native=True)
+            if native_program.native is None:
+                # The size has no native lowering (e.g. Bluestein base):
+                # record nothing - there is no second candidate to race.
+                return True
+            rng = np.random.default_rng(9753 + n)
+            x = rng.standard_normal(n) + 1j * rng.standard_normal(n)
+            timings: Dict[str, float] = {}
+            for label, fn in (
+                ("numpy", lambda: pure.execute(x)),
+                ("native", lambda: native_program.execute(x)),
+            ):
+                fn()  # warm-up / twiddle-cache + work-buffer fill
+                best = float("inf")
+                for _ in range(3):
+                    start = time.perf_counter()
+                    fn()
+                    best = min(best, time.perf_counter() - start)
+                timings[label] = best
+            with self._lock:
+                self.native_measurements[key] = timings
+        return timings["native"] < timings["numpy"]
 
     def _effective_inplace(
         self, n: int, inplace: bool, *, allow_timing: bool = True
@@ -426,6 +518,7 @@ class Planner:
         real: bool = False,
         threads: Optional[int] = None,
         inplace: bool = False,
+        native: bool = False,
     ) -> Any:
         """The compiled :class:`~repro.fftlib.executor.StageProgram` for ``n``.
 
@@ -450,16 +543,19 @@ class Planner:
         )
         from repro.runtime.pool import resolve_thread_count
 
+        native = bool(native)
         if real:
-            return get_real_program(int(n))
+            return get_real_program(int(n), native=native)
         nthreads = resolve_thread_count(threads)
         if nthreads > 1:
             from repro.runtime.threaded import get_threaded_program
 
-            return get_threaded_program(int(n), nthreads, inplace=bool(inplace))
+            return get_threaded_program(
+                int(n), nthreads, inplace=bool(inplace), native=native
+            )
         if inplace and stockham_supported(int(n)):
-            return get_stockham_program(int(n))
-        return get_program(int(n))
+            return get_stockham_program(int(n), native=native)
+        return get_program(int(n), native=native)
 
     # ------------------------------------------------------------------
     def forget(self) -> None:
@@ -471,23 +567,26 @@ class Planner:
             self.thread_measurements.clear()
             self.inplace_measurements.clear()
             self.fused_measurements.clear()
+            self.native_measurements.clear()
 
     def export_wisdom(self) -> Dict[str, object]:
-        """Serialise wisdom as ``{"n:direction:backend[:real][:tN][:ip]": strategy}``.
+        """Serialise wisdom as ``{"n:direction:backend[:real][:tN][:ip][:nat]": strategy}``.
 
         Measured strategy timings, the compiled program descriptions, the
-        serial-vs-threaded timings, the ping-pong-vs-Stockham timings, and
-        the fused-vs-scheme timings ride along under the reserved
-        ``"__measurements__"`` / ``"__programs__"`` /
+        serial-vs-threaded timings, the ping-pong-vs-Stockham timings, the
+        fused-vs-scheme timings, and the native-vs-NumPy timings ride along
+        under the reserved ``"__measurements__"`` / ``"__programs__"`` /
         ``"__thread_measurements__"`` / ``"__inplace_measurements__"`` /
-        ``"__fused_measurements__"`` keys, so a MEASURE planner seeded
-        from this dict never re-times a size it has already seen - the
-        whole mapping stays JSON-serialisable.
+        ``"__fused_measurements__"`` / ``"__native_measurements__"`` keys,
+        so a MEASURE planner seeded from this dict never re-times a size it
+        has already seen - the whole mapping stays JSON-serialisable.
         """
 
         data: Dict[str, object] = {}
         programs: Dict[str, str] = {}
-        for (n, direction, backend, real, threads, inplace), plan in self.wisdom.items():
+        for (
+            n, direction, backend, real, threads, inplace, native,
+        ), plan in self.wisdom.items():
             key = f"{n}:{direction.value}:{backend}"
             if real:
                 key += ":real"
@@ -495,6 +594,8 @@ class Planner:
                 key += f":t{threads}"
             if inplace:
                 key += ":ip"
+            if native:
+                key += ":nat"
             data[key] = plan.strategy.value
             if plan.program is not None:
                 programs[key] = plan.program.describe()
@@ -513,6 +614,10 @@ class Planner:
         if self.fused_measurements:
             data["__fused_measurements__"] = {
                 key: dict(timings) for key, timings in self.fused_measurements.items()
+            }
+        if self.native_measurements:
+            data["__native_measurements__"] = {
+                key: dict(timings) for key, timings in self.native_measurements.items()
             }
         if programs:
             data["__programs__"] = programs
@@ -548,6 +653,10 @@ class Planner:
                 self.fused_measurements[str(key)] = {
                     str(name): float(t) for name, t in dict(timings).items()
                 }
+            for key, timings in dict(timing_dicts.get("__native_measurements__", {})).items():
+                self.native_measurements[str(key)] = {
+                    str(name): float(t) for name, t in dict(timings).items()
+                }
         for key, strategy_name in data.items():
             if key.startswith("__"):
                 continue
@@ -558,6 +667,7 @@ class Planner:
             extras = parts[3:]
             real = "real" in extras
             inplace = "ip" in extras
+            native = "nat" in extras
             threads = 1
             for part in extras:
                 if len(part) > 1 and part[0] == "t" and part[1:].isdigit():
@@ -573,9 +683,12 @@ class Planner:
                 real=real,
                 threads=self._effective_threads(n, threads, allow_timing=False),
                 inplace=self._effective_inplace(n, inplace, allow_timing=False),
+                native=self._effective_native(n, native, allow_timing=False),
             )
             with self._lock:
-                self.wisdom[(n, direction, backend, real, threads, inplace)] = imported
+                self.wisdom[
+                    (n, direction, backend, real, threads, inplace, native)
+                ] = imported
 
 
 _DEFAULT_PLANNER = Planner()
@@ -594,7 +707,8 @@ def plan_fft(
     real: bool = False,
     threads: Optional[int] = None,
     inplace: bool = False,
+    native: bool = False,
 ) -> Plan:
     """Convenience wrapper around the default planner."""
 
-    return _DEFAULT_PLANNER.plan(n, direction, backend, real, threads, inplace)
+    return _DEFAULT_PLANNER.plan(n, direction, backend, real, threads, inplace, native)

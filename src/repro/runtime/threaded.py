@@ -104,6 +104,7 @@ class ThreadedSixStepProgram:
         "k",
         "threads",
         "inplace",
+        "native",
         "serial",
         "row_program",
         "col_program",
@@ -115,22 +116,34 @@ class ThreadedSixStepProgram:
     )
 
     def __init__(
-        self, n: int, threads: Optional[int] = 0, *, inplace: bool = False
+        self,
+        n: int,
+        threads: Optional[int] = 0,
+        *,
+        inplace: bool = False,
+        native: bool = False,
     ) -> None:
         self.n = int(n)
         if self.n <= 0:
             raise ValueError("transform length must be positive")
         self.threads = resolve_thread_count(threads)
         self.inplace = bool(inplace)
+        #: native kernel stage bodies: the row/column sub-programs dispatch
+        #: to generated C, whose ctypes calls release the GIL - so the
+        #: chunked phases genuinely overlap instead of serialising on the
+        #: interpreter lock (silent pure-NumPy fallback as everywhere).
+        self.native = bool(native)
         if not threading_profitable(self.n, self.threads):
             # Primes, tiny sizes, or a single thread: the serial compiled
             # program is the right tool and keeps every size valid.  An
             # in-place request keeps its Stockham lowering through the
             # fallback when the size supports one.
             if self.inplace and stockham_supported(self.n):
-                self.serial = get_stockham_program(self.n)
+                self.serial = get_stockham_program(self.n, native=self.native)
             else:
-                self.serial: Optional[StageProgram] = get_program(self.n)
+                self.serial: Optional[StageProgram] = get_program(
+                    self.n, native=self.native
+                )
             self.m, self.k = self.n, 1
             self.row_program = self.col_program = None
             self.row_stockham = self.col_stockham = None
@@ -139,8 +152,8 @@ class ThreadedSixStepProgram:
             return
         self.serial = None
         self.m, self.k = factorization.balanced_split(self.n)
-        self.row_program = get_program(self.m)
-        self.col_program = get_program(self.k)
+        self.row_program = get_program(self.m, native=self.native)
+        self.col_program = get_program(self.k, native=self.native)
         # In-place mode: the workers' gathered blocks are transformed with
         # the Stockham programs (each worker's block plus a thread-local
         # half-block scratch) instead of the ping-pong executor - the
@@ -150,9 +163,9 @@ class ThreadedSixStepProgram:
         self.row_stockham = self.col_stockham = None
         if self.inplace:
             if stockham_supported(self.m):
-                self.row_stockham = get_stockham_program(self.m)
+                self.row_stockham = get_stockham_program(self.m, native=self.native)
             if stockham_supported(self.k):
-                self.col_stockham = get_stockham_program(self.k)
+                self.col_stockham = get_stockham_program(self.k, native=self.native)
         # The (m, k) table omega_N^{j2 n2}, stored transposed (k, m) so the
         # phase-A blocks (rows indexed by n2) multiply a contiguous slice.
         self.twiddle = np.ascontiguousarray(get_global_cache().stage(self.m, self.k).T)
@@ -357,12 +370,19 @@ class ThreadedSixStepProgram:
         return self.describe()
 
 
-def get_threaded_program(n: int, threads: Optional[int] = 0, *, inplace: bool = False):
+def get_threaded_program(
+    n: int,
+    threads: Optional[int] = 0,
+    *,
+    inplace: bool = False,
+    native: bool = False,
+):
     """The (cached) threaded six-step program for ``n`` and a thread count.
 
     Shares the executor's program LRU (keys are tagged with the resolved
     thread count and the in-place flag, since the chunk layout and the
-    stage-body lowering are part of the program's identity).  A resolved
+    stage-body lowering are part of the program's identity; native-tier
+    lowerings live under separate ``("native", ...)`` keys).  A resolved
     count of 1 returns the plain serial :func:`get_program` (or the
     in-place :func:`get_stockham_program` when requested and supported).
     """
@@ -370,11 +390,15 @@ def get_threaded_program(n: int, threads: Optional[int] = 0, *, inplace: bool = 
     n = int(n)
     nthreads = resolve_thread_count(threads)
     inplace = bool(inplace)
+    native = bool(native)
     if nthreads <= 1:
         if inplace and stockham_supported(n):
-            return get_stockham_program(n)
-        return get_program(n)
+            return get_stockham_program(n, native=native)
+        return get_program(n, native=native)
+    key = ("sixstep", n, nthreads, inplace)
+    if native:
+        key = ("native", key)
     return _cached_program(
-        ("sixstep", n, nthreads, inplace),
-        lambda: ThreadedSixStepProgram(n, nthreads, inplace=inplace),
+        key,
+        lambda: ThreadedSixStepProgram(n, nthreads, inplace=inplace, native=native),
     )

@@ -1,0 +1,268 @@
+"""Tests for the generated-C native kernel tier.
+
+The contract under test: requesting ``native=True`` anywhere in the stack
+NEVER changes results (differential equivalence against the pure-NumPy
+stage bodies) and NEVER fails (graceful fallback with a reason when the
+tier cannot run).  The compile-once kernel cache is exercised across
+processes, including the concurrent first-compile stampede.
+"""
+
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.fftlib import native as native_mod
+from repro.fftlib.executor import (
+    RealStageProgram,
+    StageProgram,
+    StockhamStageProgram,
+    get_program,
+)
+from repro.fftlib.native import (
+    build_native_program,
+    native_info,
+    native_supported,
+    native_unavailable_reason,
+)
+from repro.fftlib.planner import Planner, plan_fft
+
+HAVE_NATIVE = native_supported()
+
+needs_native = pytest.mark.skipif(
+    not HAVE_NATIVE, reason="no usable C compiler / native tier disabled"
+)
+
+#: codelet bases, generic odd radices, large mixed-radix, small prime
+DIFFERENTIAL_SIZES = [2, 8, 16, 64, 96, 360, 500, 1000, 2187, 4096, 5040, 61, 121]
+
+
+def _rng(n):
+    rng = np.random.default_rng(1234 + n)
+    return rng.standard_normal(n) + 1j * rng.standard_normal(n)
+
+
+class TestDifferentialEquivalence:
+    """Native and pure lowerings must agree to near machine precision."""
+
+    @needs_native
+    @pytest.mark.parametrize("n", DIFFERENTIAL_SIZES)
+    def test_complex_forward_matches_pure(self, n):
+        x = _rng(n)
+        pure = StageProgram(n).execute(x)
+        native = StageProgram(n, native=True)
+        assert native.native is not None, native.native_fallback_reason
+        scale = np.max(np.abs(pure))
+        assert np.allclose(native.execute(x), pure, atol=1e-12 * scale)
+
+    @needs_native
+    @pytest.mark.parametrize("n", [256, 360, 4096])
+    def test_batched_matches_pure(self, n):
+        rng = np.random.default_rng(99)
+        X = rng.standard_normal((5, n)) + 1j * rng.standard_normal((5, n))
+        pure = StageProgram(n).execute(X)
+        native = StageProgram(n, native=True).execute(X)
+        assert np.allclose(native, pure, atol=1e-12 * np.max(np.abs(pure)))
+
+    @needs_native
+    @pytest.mark.parametrize("n", [16, 4096, 1000, 360])
+    def test_real_program_matches_pure(self, n):
+        xr = np.random.default_rng(7).standard_normal(n)
+        pure = RealStageProgram(n).execute(xr)
+        native = RealStageProgram(n, native=True).execute(xr)
+        assert np.allclose(native, pure, atol=1e-12 * np.max(np.abs(pure)))
+
+    @needs_native
+    @pytest.mark.parametrize("n", [16, 256, 4096, 1000])
+    def test_inplace_stockham_matches_pure(self, n):
+        x = _rng(n)
+        pure = StockhamStageProgram(n).execute(x)
+        buf = np.array(x)
+        StockhamStageProgram(n, native=True).execute_inplace(buf)
+        assert np.allclose(buf, pure, atol=1e-12 * np.max(np.abs(pure)))
+
+    @needs_native
+    def test_bluestein_size_falls_back_but_matches(self):
+        # 12289 is prime past the direct-DFT bound: Bluestein base, no
+        # native lowering - the program must report why and still be right.
+        n = 12289
+        program = StageProgram(n, native=True)
+        assert program.native is None
+        assert "Bluestein" in program.native_fallback_reason
+        x = _rng(n)
+        pure = StageProgram(n).execute(x)
+        assert np.allclose(program.execute(x), pure, atol=1e-12 * np.max(np.abs(pure)))
+
+    @needs_native
+    def test_plan_level_native_roundtrip(self):
+        n = 4096
+        x = _rng(n)
+        plan = plan_fft(n, backend="fftlib", native=True)
+        reference = StageProgram(n).execute(x)
+        spectrum = plan.execute(x)
+        assert np.allclose(spectrum, reference, atol=1e-12 * np.max(np.abs(reference)))
+        back = plan.inverse_plan().execute(spectrum)
+        assert np.allclose(back, x, atol=1e-12 * np.max(np.abs(x)))
+
+
+class TestGracefulFallback:
+    """native=True must never fail - only degrade, with a reason."""
+
+    def test_env_disable_forces_pure_lowering(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_NATIVE", "1")
+        assert not native_supported()
+        assert "REPRO_NO_NATIVE" in native_unavailable_reason()
+        program = StageProgram(360, native=True)
+        assert program.native is None
+        assert "REPRO_NO_NATIVE" in program.native_fallback_reason
+        x = _rng(360)
+        pure = StageProgram(360).execute(x)
+        assert np.allclose(program.execute(x), pure, atol=1e-12 * np.max(np.abs(pure)))
+
+    def test_env_disable_is_not_sticky(self, monkeypatch):
+        # Baseline with the kill switch absent (the outer test run may itself
+        # set REPRO_NO_NATIVE, so HAVE_NATIVE is not the right reference).
+        monkeypatch.delenv("REPRO_NO_NATIVE", raising=False)
+        baseline = native_supported()
+        monkeypatch.setenv("REPRO_NO_NATIVE", "1")
+        assert not native_supported()
+        monkeypatch.delenv("REPRO_NO_NATIVE")
+        assert native_supported() == baseline
+
+    def test_missing_compiler_reports_reason(self, monkeypatch):
+        from repro.fftlib.native import cache
+
+        monkeypatch.delenv("REPRO_NO_NATIVE", raising=False)
+        monkeypatch.setattr(cache, "compiler_command", lambda: None)
+        cache.reset_cache_state()
+        try:
+            assert not native_supported()
+            reason = native_unavailable_reason()
+            assert reason and "compiler" in reason
+            program = StageProgram(256, native=True)
+            assert program.native is None
+            assert "compiler" in program.native_fallback_reason
+            x = _rng(256)
+            pure = StageProgram(256).execute(x)
+            assert np.allclose(program.execute(x), pure, atol=1e-12 * np.max(np.abs(pure)))
+        finally:
+            monkeypatch.undo()
+            cache.reset_cache_state()
+
+    def test_get_native_kernels_raises_when_unavailable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_NATIVE", "1")
+        with pytest.raises(RuntimeError, match="REPRO_NO_NATIVE"):
+            native_mod.get_native_kernels()
+
+    def test_planner_keeps_request_and_reports_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_NATIVE", "1")
+        plan = Planner().plan(512, native=True)
+        assert plan.native
+        assert "native-fallback" in plan.describe()
+
+    def test_foreign_backend_request_is_inert(self):
+        plan = plan_fft(512, backend="numpy", native=True)
+        assert not plan.native
+
+    def test_native_info_counters(self):
+        info = native_info()
+        assert set(info) >= {
+            "supported", "reason", "compiles", "disk_hits",
+            "failures", "programs_built", "fallbacks",
+        }
+        assert info["supported"] == HAVE_NATIVE
+
+
+class TestPlannerSurface:
+    def test_wisdom_key_distinguishes_native(self):
+        planner = Planner()
+        a = planner.plan(256, native=True)
+        b = planner.plan(256)
+        assert a is not b
+        assert a is planner.plan(256, native=True)
+
+    def test_wisdom_export_import_round_trip(self):
+        planner = Planner()
+        planner.plan(512, native=True)
+        data = planner.export_wisdom()
+        assert "512:forward:fftlib:nat" in data
+        fresh = Planner()
+        fresh.import_wisdom(data)
+        restored = fresh.plan(512, native=True)
+        assert restored.native
+
+
+SUBPROCESS_PROBE = """
+import json
+import numpy as np
+from repro.fftlib.executor import StageProgram
+from repro.fftlib.native import native_info
+
+program = StageProgram(360, native=True)
+x = np.arange(360) * (1.0 + 0.5j)
+got = program.execute(x)
+ref = StageProgram(360).execute(x)
+ok = bool(np.allclose(got, ref, atol=1e-12 * float(np.max(np.abs(ref)))))
+info = native_info()
+print(json.dumps({"ok": ok, "compiles": info["compiles"],
+                  "disk_hits": info["disk_hits"], "supported": info["supported"]}))
+"""
+
+
+def _probe_env(cache_dir):
+    import repro
+
+    env = dict(os.environ)
+    env["REPRO_NATIVE_CACHE"] = str(cache_dir)
+    env.pop("REPRO_NO_NATIVE", None)
+    env["PYTHONPATH"] = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    return env
+
+
+@needs_native
+class TestKernelCacheAcrossProcesses:
+    def test_second_process_reuses_compiled_kernel(self, tmp_path):
+        import json as _json
+
+        env = _probe_env(tmp_path / "cache")
+        first = subprocess.run(
+            [sys.executable, "-c", SUBPROCESS_PROBE], env=env,
+            capture_output=True, text=True, timeout=300,
+        )
+        assert first.returncode == 0, first.stderr
+        report = _json.loads(first.stdout)
+        assert report["ok"] and report["supported"]
+        assert report["compiles"] == 1 and report["disk_hits"] == 0
+        second = subprocess.run(
+            [sys.executable, "-c", SUBPROCESS_PROBE], env=env,
+            capture_output=True, text=True, timeout=300,
+        )
+        assert second.returncode == 0, second.stderr
+        report = _json.loads(second.stdout)
+        assert report["ok"] and report["supported"]
+        # cache hit: the shared object is loaded straight from disk
+        assert report["compiles"] == 0 and report["disk_hits"] == 1
+
+    def test_concurrent_first_compile_is_stampede_safe(self, tmp_path):
+        import json as _json
+
+        env = _probe_env(tmp_path / "stampede")
+        procs = [
+            subprocess.Popen(
+                [sys.executable, "-c", SUBPROCESS_PROBE], env=env,
+                stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+            )
+            for _ in range(4)
+        ]
+        reports = []
+        for proc in procs:
+            out, err = proc.communicate(timeout=300)
+            assert proc.returncode == 0, err
+            reports.append(_json.loads(out))
+        # every racer must end up with a working tier and a correct result
+        assert all(r["ok"] and r["supported"] for r in reports)
+        # the atomic-rename discipline means racers either compiled their own
+        # temp (then renamed over the same key) or hit the finished artifact
+        assert all(r["compiles"] + r["disk_hits"] == 1 for r in reports)

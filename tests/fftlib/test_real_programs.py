@@ -179,3 +179,46 @@ class TestWisdomPersistence:
             planner.plan(32, PlanDirection.BACKWARD, "numpy").strategy.value
             == "mixed-radix"
         )
+
+
+class TestFusedInverseOverwrite:
+    @pytest.mark.parametrize("n", [16, 64, 360, 1000, 4096])
+    def test_overwrite_inverse_matches_out_of_place(self, n):
+        rng = np.random.default_rng(5 + n)
+        x = rng.standard_normal(n)
+        program = get_real_program(n)
+        spectrum = program.execute(x)
+        expected = program.execute_inverse(spectrum)
+        buf = np.array(spectrum)
+        out = program.execute_inverse_overwrite(buf)
+        assert np.allclose(out, expected, atol=1e-12 * np.max(np.abs(x) + 1))
+        # the fused path returns a float64 view aliasing the caller's buffer
+        assert out.dtype == np.float64
+        assert np.shares_memory(out, buf)
+
+    def test_overwrite_inverse_destroys_the_spectrum(self):
+        program = get_real_program(64)
+        x = np.random.default_rng(0).standard_normal(64)
+        buf = program.execute(x)
+        snapshot = buf.copy()
+        program.execute_inverse_overwrite(buf)
+        assert not np.allclose(buf, snapshot)
+
+    def test_degraded_paths_still_correct(self):
+        rng = np.random.default_rng(21)
+        # odd length: no packing trick, ordinary out-of-place inverse
+        x = rng.standard_normal(15)
+        program = get_real_program(15)
+        out = program.execute_inverse_overwrite(program.execute(x))
+        assert np.allclose(out, x, atol=1e-12)
+        # batched spectra: the 1-D fused fast path silently degrades
+        X = rng.standard_normal((3, 64))
+        program = get_real_program(64)
+        S = np.stack([program.execute(row) for row in X])
+        out = program.execute_inverse_overwrite(S)
+        assert np.allclose(out, X, atol=1e-12)
+        assert not np.shares_memory(out, S)
+        # read-only spectra never get overwritten
+        s = program.execute(X[0])
+        s.flags.writeable = False
+        assert np.allclose(program.execute_inverse_overwrite(s), X[0], atol=1e-12)

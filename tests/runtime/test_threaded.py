@@ -239,7 +239,7 @@ class TestPlannerIntegration:
     def test_legacy_wisdom_import_still_works(self):
         planner = Planner()
         planner.import_wisdom({"4096:forward": "mixed-radix"})
-        assert (4096, PlanDirection.FORWARD, "fftlib", False, 1, False) in planner.wisdom
+        assert (4096, PlanDirection.FORWARD, "fftlib", False, 1, False, False) in planner.wisdom
 
     def test_import_without_thread_timings_never_measures(self):
         # A MEASURE planner importing a threaded key from an exporter that
@@ -252,7 +252,7 @@ class TestPlannerIntegration:
 
         planner._threaded_wins = forbidden
         planner.import_wisdom({"8192:forward:fftlib:t4": "mixed-radix"})
-        key = (8192, PlanDirection.FORWARD, "fftlib", False, 4, False)
+        key = (8192, PlanDirection.FORWARD, "fftlib", False, 4, False, False)
         assert key in planner.wisdom
         # no timings recorded -> the profitability heuristic stands in
         assert planner.wisdom[key].threads == 4
@@ -268,5 +268,5 @@ class TestPlannerIntegration:
                 },
             }
         )
-        key = (8192, PlanDirection.FORWARD, "fftlib", False, 4, False)
+        key = (8192, PlanDirection.FORWARD, "fftlib", False, 4, False, False)
         assert planner.wisdom[key].threads == 1  # recorded winner: serial

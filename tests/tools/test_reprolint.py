@@ -53,6 +53,20 @@ class TestHotpathAlloc:
         assert [v.rule for v in found] == ["hotpath-alloc"]
         assert "np.empty" in found[0].message
 
+    def test_native_kernel_shim_is_a_hot_file(self):
+        found = _rules(
+            hotpath,
+            """
+            import numpy as np
+
+            def execute(xs, out):
+                staging = np.empty(out.shape, dtype=np.complex128)
+                return staging
+            """,
+            rel="src/repro/fftlib/native/kernels.py",
+        )
+        assert [v.rule for v in found] == ["hotpath-alloc"]
+
     def test_flags_copy_astype_and_loop_literals(self):
         found = _rules(
             hotpath,
@@ -525,6 +539,33 @@ class TestCapabilityGuard:
             rel="src/repro/fftlib/executor.py",
         )
         assert found == []
+
+    def test_unguarded_native_kernels_flagged_and_guard_accepted(self):
+        bad = _rules(
+            capability,
+            """
+            def bind(program):
+                return get_native_kernels()
+            """,
+            rel="src/repro/fftlib/native/kernels.py",
+        )
+        assert len(bad) == 1 and "get_native_kernels" in bad[0].message
+        good = _rules(
+            capability,
+            """
+            def bind(program):
+                if not native_supported():
+                    return None
+                return get_native_kernels()
+
+            def bind_via_backend(backend):
+                if not backend.supports_native:
+                    return None
+                return get_native_kernels()
+            """,
+            rel="src/repro/fftlib/executor.py",
+        )
+        assert good == []
 
     def test_tests_and_benchmarks_are_out_of_scope(self):
         snippet = """

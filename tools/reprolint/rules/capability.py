@@ -13,7 +13,12 @@ internals directly):
   ``.execute_inverse_inplace(...)`` must sit in a function that shows
   in-place guard evidence;
 * calls to ``get_threaded_program(...)`` must sit in a function that shows
-  threading guard evidence.
+  threading guard evidence;
+* calls to ``get_native_kernels(...)`` must sit in a function that shows
+  native-tier guard evidence (``native_supported`` / ``supports_native``) -
+  the unguarded call raises when the tier is down (no compiler,
+  ``REPRO_NO_NATIVE``), which is precisely the degraded environment a
+  graceful-fallback path must survive.
 
 Guard evidence is lexical: a reference to one of the capability predicates,
 a ``hasattr(...)`` probe, or an ``is None`` / ``is not None`` receiver
@@ -39,11 +44,13 @@ INPLACE_TOKENS = frozenset({"stockham_supported", "supports_inplace"})
 THREAD_TOKENS = frozenset(
     {"threading_profitable", "resolve_thread_count", "supports_threads"}
 )
+NATIVE_TOKENS = frozenset({"native_supported", "supports_native"})
 
 #: function-call targets -> required guard tokens
 CALL_TARGETS = {
     "get_stockham_program": INPLACE_TOKENS,
     "get_threaded_program": THREAD_TOKENS,
+    "get_native_kernels": NATIVE_TOKENS,
 }
 #: method-call targets -> required guard tokens
 METHOD_TARGETS = {
@@ -164,12 +171,12 @@ def _guard_evidence(func: ast.FunctionDef) -> Set[str]:
     evidence: Set[str] = set()
     for node in ast.walk(func):
         if isinstance(node, ast.Name):
-            if node.id in INPLACE_TOKENS | THREAD_TOKENS:
+            if node.id in INPLACE_TOKENS | THREAD_TOKENS | NATIVE_TOKENS:
                 evidence.add(node.id)
             elif node.id == "hasattr":
                 evidence.add("hasattr")
         elif isinstance(node, ast.Attribute):
-            if node.attr in INPLACE_TOKENS | THREAD_TOKENS:
+            if node.attr in INPLACE_TOKENS | THREAD_TOKENS | NATIVE_TOKENS:
                 evidence.add(node.attr)
         elif isinstance(node, ast.Compare):
             if any(isinstance(op, (ast.Is, ast.IsNot)) for op in node.ops) and any(

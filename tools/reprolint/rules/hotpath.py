@@ -43,6 +43,10 @@ HOT_FILES = {
     # scratch discipline and encode's telescoping folds are the per-call
     # reference side, both on the protected hot path.
     "src/repro/fftlib/protected.py": ("execute", "encode", "transform"),
+    # The native-tier ctypes shim: each NativeProgram.execute* is one
+    # foreign call plus pointer marshalling - any numpy allocation here
+    # would defeat the tier's purpose.
+    "src/repro/fftlib/native/kernels.py": ("execute", "transform"),
 }
 HOT_SUFFIXES = ("_into", "_overwrite")
 
