@@ -105,6 +105,7 @@ def interleaved_best(
     repeats: int = 3,
     warmup: int = 1,
     inner: int = 1,
+    estimator: str = "mean",
 ) -> Dict[str, float]:
     """Best-of-``repeats`` wall time per labelled callable, measured round-robin.
 
@@ -118,6 +119,13 @@ def interleaved_best(
     remaining ``inner - 1`` calls: steady-state throughput, which is what
     bandwidth-bound candidates (e.g. the packed real path) are actually
     compared on.
+
+    ``estimator="min"`` times each of those calls individually and records
+    the fastest one instead of their mean.  Ratios of near-equal candidates
+    guarded by tight absolute budgets want this: the mean-of-a-few estimator
+    carries each candidate's own noise variance into the ratio (the noisier
+    candidate's best *sample* stays further above its floor), while
+    floor-to-floor minima compare the candidates' actual steady states.
     """
 
     for _ in range(warmup):
@@ -125,14 +133,23 @@ def interleaved_best(
             fn()
     times: Dict[str, List[float]] = {name: [] for name in callables}
     timed_calls = inner - 1 if inner > 1 else 1
+    use_min = estimator == "min" and timed_calls > 1
     for _ in range(repeats):
         for name, fn in callables.items():
             if inner > 1:
                 fn()  # cache re-warm, excluded from the sample
-            start = time.perf_counter()
-            for _ in range(timed_calls):
-                fn()
-            times[name].append((time.perf_counter() - start) / timed_calls)
+            if use_min:
+                best_call = float("inf")
+                for _ in range(timed_calls):
+                    start = time.perf_counter()
+                    fn()
+                    best_call = min(best_call, time.perf_counter() - start)
+                times[name].append(best_call)
+            else:
+                start = time.perf_counter()
+                for _ in range(timed_calls):
+                    fn()
+                times[name].append((time.perf_counter() - start) / timed_calls)
     return {name: min(values) for name, values in times.items()}
 
 

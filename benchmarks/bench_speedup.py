@@ -31,7 +31,14 @@ drifts cannot bias the ratios):
   the same stage schedule executed by compiled combine/base kernels loaded
   via ctypes, one foreign call per transform);
 * ``rfft_native`` - the real-input path with the native half-length
-  program underneath.
+  program underneath;
+* ``protected_traced`` - the protected path with event tracing enabled
+  (ring sink) for the call's duration.  ``telemetry_overhead_ratio`` is
+  ``protected_traced / protected`` from the same interleaved run - a
+  same-machine ratio like every other column - and ``--check`` enforces
+  the :mod:`repro.telemetry` contract that it stays at most
+  ``TELEMETRY_RATIO_MAX`` (1.02x): turning the observability layer on may
+  not cost the fault-free protected path more than 2%.
 
 The two native columns are recorded as ``null`` (and their gates skipped)
 when the tier is unavailable - no working C compiler on the host, or
@@ -61,7 +68,11 @@ the regenerate path refuses to bless such numbers in the first place.
 Environment knobs: ``REPRO_BENCH_SIZES`` (default ``65536 262144 1048576``,
 up to the paper's 2^20 benchmark regime; sizes below ~2^14 are dominated by
 fixed per-stage Python dispatch cost on every engine, which masks the
-flop-level ratios the columns track), ``REPRO_BENCH_REPEATS`` (default 7).
+flop-level ratios the columns track), ``REPRO_BENCH_REPEATS`` (default 7),
+``REPRO_BENCH_INNER`` (default 4: one untimed cache re-warm call plus three
+timed steady-state calls per interleaved sample; raise it when regenerating
+the reference so the near-equal protected/telemetry ratios average over
+more steady-state calls).
 """
 
 from __future__ import annotations
@@ -98,6 +109,8 @@ CHECKED_RATIOS = {
     "speedup_rfft_native_vs_compiled": True,
     # protected overhead: lower is better (ratio of protected over compiled)
     "protected_over_compiled_ratio": False,
+    # tracing-enabled over tracing-disabled protected time: lower is better
+    "telemetry_overhead_ratio": False,
 }
 
 #: Absolute budget for the fused protected path: the paper's low-overhead
@@ -119,6 +132,13 @@ NATIVE_VS_COMPILED_MIN = 1.25
 NATIVE_VS_COMPILED_MIN_N = 65536
 NATIVE_VS_NUMPY_MIN = 0.9
 
+#: Absolute ceiling for ``telemetry_overhead_ratio`` (tracing-enabled over
+#: tracing-disabled protected time, same interleaved run): the telemetry
+#: subsystem's contract that observability costs the fault-free hot path at
+#: most 2%.  Enforced like the protected budget - deterministically on the
+#: committed reference, and at regeneration time before blessing new JSON.
+TELEMETRY_RATIO_MAX = 1.02
+
 
 def protected_budget(n: int) -> float:
     """Absolute ``protected_over_compiled_ratio`` bound for size ``n``."""
@@ -139,6 +159,22 @@ def check_protected_budget(rows: list, label: str) -> list:
             violations.append(
                 f"n={row['n']}: protected_over_compiled_ratio {ratio:.3f} "
                 f"exceeds the {budget}x budget ({label})"
+            )
+    return violations
+
+
+def check_telemetry_budget(rows: list, label: str) -> list:
+    """Absolute telemetry-overhead violations, as strings (null columns skip)."""
+
+    violations = []
+    for row in rows:
+        ratio = row.get("telemetry_overhead_ratio")
+        if ratio is None:
+            continue
+        if ratio > TELEMETRY_RATIO_MAX:
+            violations.append(
+                f"n={row['n']}: telemetry_overhead_ratio {ratio:.3f} exceeds "
+                f"the {TELEMETRY_RATIO_MAX}x ceiling ({label})"
             )
     return violations
 
@@ -171,6 +207,7 @@ def check_native_floors(rows: list, label: str) -> list:
 def run(write: bool = True) -> dict:
     sizes = env_int_list("REPRO_BENCH_SIZES", DEFAULT_SIZES)
     repeats = env_int("REPRO_BENCH_REPEATS", 7)
+    inner = env_int("REPRO_BENCH_INNER", 4)
     threads = env_int("REPRO_BENCH_THREADS", default_thread_count())
 
     with_native = native_supported()
@@ -192,6 +229,7 @@ def run(write: bool = True) -> dict:
             "inplace vs compiled",
             "threaded speedup",
             "protected vs compiled",
+            "telemetry overhead",
             "rfft speedup",
         ],
     )
@@ -215,6 +253,16 @@ def run(write: bool = True) -> dict:
             np.copyto(buf, x)
             return p.execute_inplace(buf)
 
+        def run_protected_traced(x=x, p=protected_plan):
+            # Event tracing on (ring sink only) for exactly this call: the
+            # interleaved ratio against the plain protected candidate is the
+            # telemetry layer's measured cost on the fault-free hot path.
+            repro.telemetry.enable_trace()
+            try:
+                return p.execute(x)
+            finally:
+                repro.telemetry.disable_trace()
+
         candidates = {
             "recursive": lambda x=x: recursive_fft(x),
             "compiled": lambda x=x, p=compiled_plan: p.execute(x),
@@ -222,6 +270,7 @@ def run(write: bool = True) -> dict:
             "threaded": lambda x=x, p=threaded_plan: p.execute(x),
             "numpy": lambda x=x, p=numpy_plan: p.execute(x),
             "protected": lambda x=x, p=protected_plan: p.execute(x),
+            "protected_traced": run_protected_traced,
             "rfft_compiled": lambda xr=xr, p=real_plan: p.execute(xr),
             # the pre-real-plan cost of a real workload: complexify, run the
             # compiled complex engine, keep the non-redundant bins
@@ -235,13 +284,19 @@ def run(write: bool = True) -> dict:
             real_native_plan = plan_fft(int(n), backend="fftlib", real=True, native=True)
             candidates["native"] = lambda x=x, p=native_plan: p.execute(x)
             candidates["rfft_native"] = lambda xr=xr, p=real_native_plan: p.execute(xr)
-        # inner=4: one cache re-warm call + three steady-state calls per
-        # sample (the candidates share the cache round-robin).
-        best = interleaved_best(candidates, repeats=repeats, warmup=1, inner=4)
+        # one cache re-warm call + inner-1 steady-state calls per sample
+        # (the candidates share the cache round-robin).  The min estimator
+        # keeps per-candidate noise variance out of the near-equal ratios
+        # the absolute budgets gate (protected vs compiled, traced vs
+        # untraced): floor-to-floor, not mean-to-mean.
+        best = interleaved_best(
+            candidates, repeats=repeats, warmup=1, inner=inner, estimator="min"
+        )
         speedup = best["recursive"] / best["compiled"]
         inplace_speedup = best["compiled"] / best["inplace"]
         threaded_speedup = best["compiled"] / best["threaded"]
         protected_ratio = best["protected"] / best["compiled"]
+        telemetry_ratio = best["protected_traced"] / best["protected"]
         real_speedup = best["rfft_complex_engine"] / best["rfft_compiled"]
         if with_native:
             native_vs_compiled = float(best["compiled"] / best["native"])
@@ -258,6 +313,7 @@ def run(write: bool = True) -> dict:
                 "speedup_numpy_vs_recursive": float(best["recursive"] / best["numpy"]),
                 "speedup_protected_vs_recursive": float(best["recursive"] / best["protected"]),
                 "protected_over_compiled_ratio": float(protected_ratio),
+                "telemetry_overhead_ratio": float(telemetry_ratio),
                 "speedup_threaded_vs_compiled": float(threaded_speedup),
                 "speedup_inplace_vs_compiled": float(inplace_speedup),
                 "speedup_real_vs_complex_engine": float(real_speedup),
@@ -283,6 +339,7 @@ def run(write: bool = True) -> dict:
             f"{inplace_speedup:.2f}x",
             f"{threaded_speedup:.2f}x",
             f"{protected_ratio:.2f}x",
+            f"{telemetry_ratio:.3f}x",
             f"{real_speedup:.2f}x",
         )
 
@@ -298,7 +355,10 @@ def run(write: bool = True) -> dict:
             "inplace column is the Stockham autosort program overwriting a "
             "reused buffer (half the working set of the ping-pong path); the "
             "native/rfft_native columns are the generated-C codelet tier "
-            "(null when the machine has no usable C compiler)"
+            "(null when the machine has no usable C compiler); "
+            "protected_traced is the protected path with event tracing "
+            "enabled, so telemetry_overhead_ratio is the measured cost of "
+            "turning the observability layer on"
         ),
         "machine": {
             "python": platform.python_version(),
@@ -307,6 +367,7 @@ def run(write: bool = True) -> dict:
             "cores": default_thread_count(),
         },
         "repeats": repeats,
+        "inner": inner,
         "threads": int(threads),
         "results": results,
     }
@@ -391,6 +452,9 @@ def run_check() -> int:
     budget_violations += check_native_floors(
         reference.get("results", []), "committed reference"
     )
+    budget_violations += check_telemetry_budget(
+        reference.get("results", []), "committed reference"
+    )
     if budget_violations:
         print("\nabsolute benchmark budgets FAILED (committed reference):")
         for line in budget_violations:
@@ -434,6 +498,7 @@ if __name__ == "__main__":
     check(payload)
     budget_violations = check_protected_budget(payload["results"], "fresh run")
     budget_violations += check_native_floors(payload["results"], "fresh run")
+    budget_violations += check_telemetry_budget(payload["results"], "fresh run")
     if budget_violations:
         print("\nabsolute benchmark budgets FAILED for the regenerated numbers:")
         for line in budget_violations:

@@ -64,6 +64,7 @@ See ``examples/`` for fault-injection demos and ``benchmarks/`` for the
 harnesses that regenerate every table and figure of the paper.
 """
 
+from repro import telemetry
 from repro.core.api import FaultTolerantFFT, available_schemes, create_scheme, ft_fft
 from repro.core.base import OptimizationFlags, SchemeResult
 from repro.core.config import FTConfig
@@ -97,7 +98,22 @@ from repro.runtime import (
 
 __version__ = "1.1.0"
 
+
+def native_cache_info() -> dict:
+    """Counters and status of the native kernel tier (compiles, disk hits,
+    failures, programs built, fallbacks), mirroring :func:`plan_cache_info`
+    and the other ``*_info`` surfaces.  The same numbers appear under
+    ``repro.telemetry.snapshot()["caches"]["native"]``.
+    """
+
+    from repro.fftlib.native import native_info
+
+    return native_info()
+
+
 __all__ = [
+    "telemetry",
+    "native_cache_info",
     "plan",
     "FTPlan",
     "FTConfig",

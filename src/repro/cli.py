@@ -20,6 +20,13 @@ repro.cli <command>``:
 ``predict``
     Print the Section 7 overhead predictions for a problem size (and,
     optionally, the parallel per-rank figures).
+``profile``
+    Time one protected execution phase by phase (checksum encode, each
+    lowered transform stage, tap verification) via ``FTPlan.profile``.
+``stats``
+    Print the process-wide telemetry registry (every ``*_info`` cache
+    surface plus the event counters) as a table, ``--json``, or
+    ``--prometheus`` text exposition.
 
 The CLI only composes the public plan API (``repro.plan`` + ``FTConfig``);
 everything it prints can also be obtained programmatically.
@@ -385,6 +392,53 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Per-phase timing of one protected execution (``FTPlan.profile``)."""
+
+    x = _load_signal(args)
+    ft_plan = _make_plan(args, x.size)
+    ft_plan.execute(x)  # warm-up: programs, twiddles, work buffers
+    result = ft_plan.profile(x)
+    print(result.format())
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """Dump the telemetry registry (counters, gauges, cache surfaces)."""
+
+    from repro import telemetry
+
+    if getattr(args, "json", False):
+        print(telemetry.registry().to_json())
+        return 0
+    if getattr(args, "prometheus", False):
+        print(telemetry.render_prometheus(), end="")
+        return 0
+    snapshot = telemetry.snapshot()
+    counters = snapshot["counters"]
+    table = Table("telemetry counters", ["counter", "value"])
+    if counters:
+        for name, value in sorted(counters.items()):
+            table.add_row(name, str(value))
+    else:
+        table.add_row("(none recorded)", "0")
+    print(table.render())
+    gauges = snapshot["gauges"]
+    if gauges:
+        print()
+        gauge_table = Table("telemetry gauges", ["gauge", "value"])
+        for name, value in sorted(gauges.items()):
+            gauge_table.add_row(name, str(value))
+        print(gauge_table.render())
+    for surface, fields in sorted(snapshot["caches"].items()):
+        print()
+        surface_table = Table(f"{surface} info", ["field", "value"])
+        for field_name, value in fields.items():
+            surface_table.add_row(field_name, str(value))
+        print(surface_table.render())
+    return 0
+
+
 def _cmd_predict(args: argparse.Namespace) -> int:
     table = Table(
         f"Section 7 predicted fault-free overhead for N=2^{int(np.log2(args.size))}",
@@ -470,6 +524,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="also time the generated-C native kernel tier for the size",
     )
     bench.set_defaults(func=_cmd_bench)
+
+    profile = sub.add_parser(
+        "profile", help="time one protected execution phase by phase"
+    )
+    _add_signal_options(profile)
+    profile.set_defaults(func=_cmd_profile)
+
+    stats = sub.add_parser(
+        "stats", help="print the process-wide telemetry registry"
+    )
+    stats.add_argument(
+        "--json", action="store_true", help="emit the registry snapshot as JSON"
+    )
+    stats.add_argument(
+        "--prometheus", action="store_true",
+        help="emit Prometheus text exposition format",
+    )
+    stats.set_defaults(func=_cmd_stats)
 
     predict = sub.add_parser("predict", help="print the Section 7 overhead model")
     predict.add_argument("--size", "-n", type=int, default=2**25, help="problem size (default 2^25)")

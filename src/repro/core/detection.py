@@ -12,6 +12,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.telemetry import metrics as _metrics
+from repro.telemetry import trace as _trace
+
 __all__ = ["VerificationRecord", "CorrectionRecord", "FTReport"]
 
 
@@ -60,9 +63,25 @@ class FTReport:
     ) -> VerificationRecord:
         record = VerificationRecord(site, index, float(residual), float(threshold), bool(detected))
         self.verifications.append(record)
+        # Process-wide telemetry rides on the same choke points every scheme
+        # already funnels through, so no execution path can under-report:
+        # volume counters mirror from bump() (which the vectorized batch
+        # paths call in bulk), fault events from the record_* methods.
+        # merge() folds raw lists/counters and never re-enters either, so
+        # merged per-rank reports count exactly once.
         self.bump("verifications")
+        scheme = self.scheme or "unlabelled"
         if detected:
-            self.bump("detections")
+            _metrics.inc("abft_detected", site=site, scheme=scheme)
+            if _trace.active:
+                _trace.emit(
+                    "threshold-violation",
+                    site=site,
+                    index=index,
+                    residual=float(residual),
+                    threshold=float(threshold),
+                    scheme=scheme,
+                )
         return record
 
     def record_correction(self, kind: str, site: str, index: Optional[int], detail: str = "") -> CorrectionRecord:
@@ -70,17 +89,50 @@ class FTReport:
         self.corrections.append(record)
         self.bump(f"corrections::{kind}")
         self.bump("corrections")
+        scheme = self.scheme or "unlabelled"
+        _metrics.inc("abft_corrected", kind=kind, site=site, scheme=scheme)
+        if index is not None:
+            # A concrete index means the locating pair (or DMR vote)
+            # pinpointed the faulty element, not just the faulty pass.
+            _metrics.inc("abft_located", site=site, scheme=scheme)
+        if kind == "restart":
+            _metrics.inc("abft_retries", site=site, scheme=scheme)
+        if _trace.active:
+            _trace.emit(
+                "repair",
+                kind=kind,
+                site=site,
+                index=index,
+                detail=detail,
+                scheme=scheme,
+            )
         return record
 
     def record_uncorrectable(self, message: str) -> None:
         self.uncorrectable.append(message)
         self.bump("uncorrectable")
+        scheme = self.scheme or "unlabelled"
+        _metrics.inc("abft_uncorrectable", scheme=scheme)
+        if _trace.active:
+            _trace.emit("uncorrectable", message=message, scheme=scheme)
 
     def note(self, message: str) -> None:
         self.notes.append(message)
 
     def bump(self, counter: str, amount: int = 1) -> None:
         self.counters[counter] = self.counters.get(counter, 0) + amount
+        # The verification *volume* counters mirror into the registry here
+        # rather than in record_verification: the vectorized batch paths
+        # bump whole-batch amounts without materializing per-row records,
+        # and this choke point sees both.  Per-site labels live on the
+        # event counters (abft_detected / abft_corrected / ...), which only
+        # the record_* methods feed.
+        if counter == "verifications":
+            _metrics.inc("abft_verifications", amount, scheme=self.scheme or "unlabelled")
+        elif counter == "memory-verifications":
+            _metrics.inc(
+                "abft_memory_verifications", amount, scheme=self.scheme or "unlabelled"
+            )
 
     def merge(self, other: "FTReport") -> None:
         """Fold another report (e.g. from a per-rank execution) into this one."""

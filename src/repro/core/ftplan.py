@@ -66,6 +66,7 @@ from repro.faults.injector import FaultInjector, NullInjector
 from repro.faults.models import FaultSite
 from repro.fftlib.backends import get_backend, resolve_backend_name
 from repro.runtime.pool import get_pool, resolve_thread_count, split_ranges
+from repro.telemetry import trace as _trace
 from repro.utils.validation import as_complex_vector, ensure_positive_int
 
 __all__ = [
@@ -1429,9 +1430,94 @@ class FTPlan:
                 result.output = output.astype(self.dtype)
         return result
 
+    def profile(self, x: np.ndarray) -> "ProfileResult":
+        """Timed per-phase breakdown of one fault-free execution (diagnostic).
+
+        Times the checksum encode pass, each lowered transform stage, and
+        the fused tap verification of one execution and returns a
+        :class:`repro.telemetry.profile.ProfileResult`.  Profiling is a
+        diagnostic run outside the hot-path contract (it allocates and
+        re-executes freely); the steady-state paths are untouched.
+        """
+
+        import time
+
+        from repro.telemetry.profile import ProfileEntry, ProfileResult
+
+        entries: List[ProfileEntry] = []
+        fused = self._fused_program
+        if self._real and self._real_program is not None:
+            xs = np.asarray(x, dtype=np.float64)
+            inner = self._real_program.profile(xs)
+            entries.extend(inner.entries)
+            start = time.perf_counter()
+            result = self.execute(xs)
+            end_to_end = time.perf_counter() - start
+            entries.append(
+                ProfileEntry(
+                    "protection overhead (checksums + verification)",
+                    max(end_to_end - inner.total_seconds, 0.0),
+                )
+            )
+            return ProfileResult(
+                n=self.n,
+                description=self.describe(),
+                entries=tuple(entries),
+                total_seconds=end_to_end,
+                output=result.output,
+            )
+        if fused is not None:
+            xs = as_complex_vector(x, name="x")
+            start = time.perf_counter()
+            fused.encode(xs)
+            encode_seconds = time.perf_counter() - start
+            entries.append(
+                ProfileEntry("encode (checksum references)", encode_seconds)
+            )
+            inner = fused.program.profile(xs)
+            entries.extend(inner.entries)
+            start = time.perf_counter()
+            output, _taps = fused.execute_tapped(xs)
+            tapped_seconds = time.perf_counter() - start
+            entries.append(
+                ProfileEntry(
+                    "tap verification (fused checksum taps)",
+                    max(tapped_seconds - inner.total_seconds, 0.0),
+                )
+            )
+            return ProfileResult(
+                n=self.n,
+                description=self.describe(),
+                entries=tuple(entries),
+                total_seconds=encode_seconds + tapped_seconds,
+                output=output,
+            )
+        # No compiled fast path to dissect (foreign backend or plain
+        # scheme): time the protected execution end to end.
+        start = time.perf_counter()
+        result = self.execute(np.asarray(x))
+        total = time.perf_counter() - start
+        entries.append(ProfileEntry("protected execute (end to end)", total))
+        return ProfileResult(
+            n=self.n,
+            description=self.describe(),
+            entries=tuple(entries),
+            total_seconds=total,
+            output=result.output,
+        )
+
     def describe(self) -> str:
         real = f", real -> {self.bins} bins" if self._real else ""
-        inplace = ", inplace" if self._inplace else ""
+        if self._inplace:
+            # Uniform capability-fallback wording (same shape as the
+            # native-fallback report): a requested in-place lowering the
+            # size cannot support is called out, never silently dropped.
+            if self._inplace_program is not None or self._real:
+                inplace = ", inplace"
+            else:
+                inplace = ", inplace-fallback(no Stockham lowering for this size)"
+        else:
+            inplace = ""
         native = ""
         if self.config.native:
             from repro.fftlib.plan import _native_program_state
@@ -1534,7 +1620,17 @@ def plan(n: int, config: Union[FTConfig, str, None] = None, **overrides: Any) ->
         _cache[key] = created
         while len(_cache) > _cache_limit:
             _cache.popitem(last=False)
-        return created
+    if _trace.active:
+        _trace.emit(
+            "plan-compile",
+            n=int(n),
+            scheme=created.scheme.name,
+            backend=resolved,
+            real=bool(config.real),
+            inplace=bool(config.inplace),
+            native=bool(config.native),
+        )
+    return created
 
 
 def plan_cache_info() -> PlanCacheInfo:

@@ -55,6 +55,7 @@ import numpy as np
 from repro.fftlib import factorization
 from repro.fftlib.codelets import apply_codelet, has_codelet
 from repro.fftlib.twiddle import get_global_cache
+from repro.telemetry import trace as _trace
 
 __all__ = [
     "Stage",
@@ -292,6 +293,116 @@ class StageProgram:
             )
             current = target
         return current.reshape(shape)
+
+    # ------------------------------------------------------------------
+    def profile(self, x: np.ndarray):
+        """One *timed* execution, broken into base-kernel and combine phases.
+
+        Returns a :class:`repro.telemetry.profile.ProfileResult` whose
+        entries mirror the stage loop of :meth:`execute` (same kernels, same
+        buffers, a ``perf_counter`` pair around each phase).  Diagnostic
+        path: unlike the hot execute methods it may allocate and format
+        freely, which is why it lives outside the ``execute*`` naming that
+        the hot-path contract (and reprolint) covers.
+        """
+
+        import time
+
+        from repro.telemetry.profile import ProfileEntry, ProfileResult
+
+        x = np.asarray(x, dtype=np.complex128)
+        if x.ndim == 0:
+            raise ValueError("input must have at least one dimension")
+        n = self.n
+        if x.shape[-1] != n:
+            raise ValueError(
+                f"program of size {n} applied to array with last axis {x.shape[-1]}"
+            )
+        shape = x.shape
+        batch = x.size // n
+        xs = np.ascontiguousarray(x.reshape(batch, n))
+        entries = []
+        perf = time.perf_counter
+
+        def _result(current, total):
+            return ProfileResult(
+                n=n,
+                description=self.describe(),
+                entries=tuple(entries),
+                total_seconds=total,
+                output=current.reshape(shape),
+            )
+
+        if self.native is not None:
+            out = np.empty((batch, n), dtype=np.complex128)
+            start = perf()
+            if self.stages:
+                work_a, work_b = _work_buffers(batch * n)
+                self.native.execute(xs, out, work_a, work_b)
+            else:
+                self.native.execute(xs, out, None, None)
+            elapsed = perf() - start
+            entries.append(
+                ProfileEntry("native kernel (one foreign call)", elapsed)
+            )
+            return _result(out, elapsed)
+
+        if not self.stages:
+            start = perf()
+            if self.base_kind == "codelet":
+                out = apply_codelet(xs, n)
+            elif self.base_kind == "bluestein":
+                from repro.fftlib.bluestein import bluestein_fft
+
+                out = bluestein_fft(xs)
+            else:
+                out = np.matmul(xs, self.base_matrix)
+            elapsed = perf() - start
+            entries.append(ProfileEntry(f"base {self.base_kind}({self.base})", elapsed))
+            return _result(out, elapsed)
+
+        work_a, work_b = _work_buffers(batch * n)
+        base = self.base
+        q = n // base
+        gathered = xs.reshape(batch, base, q).transpose(0, 2, 1)
+        start = perf()
+        if self.base_kind == "bluestein":
+            from repro.fftlib.bluestein import bluestein_fft
+
+            current = np.ascontiguousarray(bluestein_fft(gathered))
+        else:
+            current = np.matmul(
+                gathered, self.base_matrix, out=work_a[: batch * n].reshape(batch, q, base)
+            )
+        entries.append(ProfileEntry(f"base {self.base_kind}({self.base})", perf() - start))
+
+        last = len(self.stages) - 1
+        total = entries[0].seconds
+        for index, stage in enumerate(self.stages):
+            r, p, count = stage.radix, stage.span, stage.count
+            start = perf()
+            grouped = work_b[: batch * n].reshape(batch, r, count, p)
+            np.multiply(
+                current.reshape(batch, r, count, p),
+                stage.twiddle[:, None, :],
+                out=grouped,
+            )
+            if index == last:
+                target = np.empty((batch, count, r * p), dtype=np.complex128)
+            else:
+                target = work_a[: batch * n].reshape(batch, count, r * p)
+            np.matmul(
+                grouped.transpose(0, 2, 3, 1),
+                stage.matrix,
+                out=target.reshape(batch, count, r, p).transpose(0, 1, 3, 2),
+            )
+            elapsed = perf() - start
+            entries.append(
+                ProfileEntry(f"combine radix {r} (span {p} -> {r * p})", elapsed)
+            )
+            total += elapsed
+            current = target
+        return _result(current, total)
 
     # ------------------------------------------------------------------
     def execute_into(self, data: np.ndarray, work: np.ndarray) -> np.ndarray:
@@ -657,6 +768,54 @@ class RealStageProgram:
         return self.execute_inverse(spectrum)
 
     # ------------------------------------------------------------------
+    def profile(self, x: np.ndarray):
+        """Timed per-phase breakdown of one packed forward execution.
+
+        Same diagnostic contract as :meth:`StageProgram.profile`: pack,
+        half-length transform stages, and the disentangle pass each get a
+        timed entry.  Odd lengths profile the full-length complex program
+        plus the bin slice.
+        """
+
+        import time
+
+        from repro.telemetry.profile import ProfileEntry, ProfileResult
+
+        x = np.asarray(x, dtype=np.float64)
+        perf = time.perf_counter
+        if self.n == 1 or self.half == 0:
+            start = perf()
+            out = self.execute(x)
+            elapsed = perf() - start
+            label = "trivial n=1" if self.n == 1 else "odd length (full complex + slice)"
+            return ProfileResult(
+                n=self.n,
+                description=self.describe(),
+                entries=(ProfileEntry(label, elapsed),),
+                total_seconds=elapsed,
+                output=out,
+            )
+        start = perf()
+        z = self.pack(x)
+        pack_seconds = perf() - start
+        inner = self.program.profile(z)
+        start = perf()
+        out = self.disentangle(inner.output)
+        repack_seconds = perf() - start
+        entries = (
+            (ProfileEntry("pack (zero-copy complex view)", pack_seconds),)
+            + inner.entries
+            + (ProfileEntry("disentangle (conjugate-even repack)", repack_seconds),)
+        )
+        return ProfileResult(
+            n=self.n,
+            description=self.describe(),
+            entries=entries,
+            total_seconds=pack_seconds + inner.total_seconds + repack_seconds,
+            output=out,
+        )
+
+    # ------------------------------------------------------------------
     def describe(self) -> str:
         """One-line program listing (half-length program plus repack pass)."""
 
@@ -963,6 +1122,10 @@ def _cached_program(key, factory):
                 _programs.popitem(last=False)
             _inflight.pop(key, None)
         guard.set()
+        if _trace.active:
+            # The owner's factory path is the one actual compile per key
+            # (waiters and cache hits never reach here).
+            _trace.emit("program-compile", key=key, program=created.describe())
         return created
 
 

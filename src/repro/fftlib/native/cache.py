@@ -37,6 +37,8 @@ import threading
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+from repro.telemetry import trace as _trace
+
 from .generator import GENERATOR_VERSION, NATIVE_ABI, generate_source
 
 __all__ = [
@@ -209,6 +211,8 @@ def _build_and_load() -> Tuple[Optional[ctypes.CDLL], Optional[str]]:
             if lib is not None:
                 with _stats_lock:
                     _disk_hits += 1
+                if _trace.active:
+                    _trace.emit("native-cache-hit", path=so_path)
                 return lib, None
             # Stale/corrupt entry: fall through and rebuild over it.
         error = _compile(cc, source, flags, so_path)
@@ -217,6 +221,10 @@ def _build_and_load() -> Tuple[Optional[ctypes.CDLL], Optional[str]]:
             if lib is not None:
                 with _stats_lock:
                     _compiles += 1
+                if _trace.active:
+                    _trace.emit(
+                        "native-compile", path=so_path, flags=" ".join(flags)
+                    )
                 return lib, None
             last_error = "compiled object failed to load or ABI mismatch"
         else:
@@ -225,6 +233,8 @@ def _build_and_load() -> Tuple[Optional[ctypes.CDLL], Optional[str]]:
         # with the portable flag set before giving up.
     with _stats_lock:
         _failures += 1
+    if _trace.active:
+        _trace.emit("native-compile-failed", reason=last_error)
     return None, f"compile failed: {last_error}"
 
 

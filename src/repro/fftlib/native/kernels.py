@@ -21,10 +21,12 @@ exposes the capability gate the rest of the stack (and the reprolint
 * :func:`native_info` - ``cache_info()``-style counters: compiles, disk
   hits, failures, programs built, fallbacks, and the current status/reason.
 
-Fallback is always silent and always correct: any reason the tier cannot
+Fallback is always correct and never raises: any reason the tier cannot
 serve a program (disabled, no compiler, compile failure, Bluestein base, a
-radix past the generic-kernel bound) is reported as a reason string and the
-caller keeps the pure-NumPy stage bodies.
+radix past the generic-kernel bound) is reported as a reason string, counted
+in the telemetry registry (``native_fallbacks``), and emitted as a
+``fallback`` trace event when tracing is on; the caller keeps the pure-NumPy
+stage bodies.
 """
 
 from __future__ import annotations
@@ -35,6 +37,9 @@ import threading
 from typing import Any, Dict, Optional, Tuple
 
 import numpy as np
+
+from repro.telemetry import metrics as _metrics
+from repro.telemetry import trace as _trace
 
 from .cache import cache_dir, cache_stats, load_library, reset_cache_state
 from .generator import CODELET_RADICES, MAX_GENERIC_ORDER
@@ -307,6 +312,11 @@ def build_native_program(
     if reason is not None:
         with _counter_lock:
             _fallbacks += 1
+        _metrics.inc("native_fallbacks", reason=reason)
+        if _trace.active:
+            _trace.emit(
+                "fallback", kind="native", n=int(program.n), reason=reason
+            )
         return None, reason
     if not native_supported():  # pragma: no cover - raced env flip
         return None, native_unavailable_reason()

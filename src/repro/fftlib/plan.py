@@ -146,6 +146,11 @@ class Plan:
     threads: int = 1
     inplace: bool = False
     native: bool = False
+    #: ``"kind-fallback(reason)"`` notes for capability requests the planner
+    #: could not honour (threads/inplace/native collapsed by measurement or
+    #: unsupported sizes); surfaced verbatim by :meth:`describe` and mirrored
+    #: as ``fallback`` telemetry events at plan-creation time.
+    fallbacks: tuple = field(default=(), compare=False, repr=False)
     #: compiled stage program (``fftlib`` backend only); built at plan time
     #: so ``execute`` pays no factorization/twiddle setup.
     program: Optional[object] = field(default=None, compare=False, repr=False)
@@ -312,7 +317,41 @@ class Plan:
         )
         return Plan(
             self.n, direction, self.strategy, self.flops, self.backend, self.real,
-            self.threads, self.inplace, self.native,
+            self.threads, self.inplace, self.native, self.fallbacks,
+        )
+
+    def profile(self, x: np.ndarray) -> object:
+        """Time one execution phase by phase (a :class:`ProfileResult`).
+
+        Lowered ``fftlib`` plans delegate to their compiled program's
+        ``profile`` (per-stage timings); any other lowering reports a
+        single end-to-end entry.  One real execution runs either way and
+        its output is available as ``result.output``.
+        """
+
+        import time as _time
+
+        from repro.telemetry import ProfileEntry, ProfileResult
+
+        program = self.program
+        if program is not None and hasattr(program, "profile") and self.is_forward:
+            inner = program.profile(x)
+            return ProfileResult(
+                n=self.n,
+                description=self.describe(),
+                entries=inner.entries,
+                total_seconds=inner.total_seconds,
+                output=inner.output,
+            )
+        start = _time.perf_counter()
+        output = self.execute(x)
+        elapsed = _time.perf_counter() - start
+        return ProfileResult(
+            n=self.n,
+            description=self.describe(),
+            entries=(ProfileEntry("execute (end to end)", elapsed),),
+            total_seconds=elapsed,
+            output=output,
         )
 
     def describe(self) -> str:
@@ -322,6 +361,14 @@ class Plan:
         backend = self.backend or "fftlib"
         kind = "real, " if self.real else ""
         threaded = f", threads={self.threads}" if self.threads > 1 else ""
+        if self.threads > 1 and getattr(self.program, "serial", None) is not None:
+            # A threaded plan whose program lowered to the serial fallback
+            # (size/profitability collapse inside the program itself).
+            reason = (
+                getattr(self.program, "fallback_reason", None)
+                or "not profitable for this size"
+            )
+            threaded = f", threads-fallback({reason})"
         inplace = ", inplace" if self.inplace else ""
         native = ""
         if self.native:
@@ -336,8 +383,11 @@ class Plan:
                         else f"backend {backend} has no native lowering"
                     )
                 native = f", native-fallback({reason})"
+        notes = "".join(
+            f", {note}" for note in self.fallbacks if note not in (threaded, native)
+        )
         return (
             f"Plan(n={self.n}, {kind}dir={self.direction.value}, "
             f"strategy={self.strategy.value}, backend={backend}{threaded}"
-            f"{inplace}{native}, radices={factors}, ~{self.flops:.0f} flops)"
+            f"{inplace}{native}{notes}, radices={factors}, ~{self.flops:.0f} flops)"
         )

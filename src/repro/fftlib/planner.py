@@ -29,6 +29,8 @@ from repro.fftlib import factorization
 from repro.fftlib.backends import get_backend, resolve_backend_name
 from repro.fftlib.codelets import has_codelet
 from repro.fftlib.plan import Plan, PlanDirection, PlanStrategy
+from repro.telemetry import metrics as _metrics
+from repro.telemetry import trace as _trace
 
 __all__ = ["PlannerPolicy", "Planner", "plan_fft", "get_default_planner"]
 
@@ -140,15 +142,24 @@ class Planner:
 
         backend_name = resolve_backend_name(backend)
         real = bool(real)
-        nthreads = self._normalize_threads(backend_name, real, threads)
-        requested_inplace = self._normalize_inplace(backend_name, real, inplace)
-        requested_native = self._normalize_native(backend_name, native)
+        nthreads, threads_note = self._normalize_threads(backend_name, real, threads)
+        requested_inplace, inplace_note = self._normalize_inplace(
+            backend_name, real, inplace
+        )
+        requested_native, native_note = self._normalize_native(backend_name, native)
+        request_notes = [
+            note for note in (threads_note, inplace_note, native_note) if note
+        ]
         key = (
             int(n), direction, backend_name, real, nthreads, requested_inplace,
             requested_native,
         )
         cached = self.wisdom.get(key)
         if cached is not None:
+            # Request-level collapses (real/backend capability) alias onto
+            # the plain key, so they are reported per request, hit or miss.
+            if request_notes:
+                self._record_fallbacks(int(n), request_notes)
             return cached
 
         if (
@@ -163,9 +174,24 @@ class Planner:
         effective = self._effective_threads(int(n), nthreads)
         lowered_inplace = self._effective_inplace(int(n), requested_inplace)
         lowered_native = self._effective_native(int(n), requested_native)
+        notes = list(request_notes)
+        if nthreads > 1 and effective == 1:
+            notes.append(
+                f"threads-fallback({self._threads_collapse_reason(int(n), nthreads)})"
+            )
+        if requested_inplace and not lowered_inplace:
+            notes.append(
+                f"inplace-fallback({self._inplace_collapse_reason(int(n))})"
+            )
+        if requested_native and not lowered_native:
+            # _effective_native keeps unsupported requests (describe reports
+            # them); a dropped flag can only mean a measured loss.
+            notes.append("native-fallback(measured slower than pure NumPy)")
+        if notes:
+            self._record_fallbacks(int(n), notes)
         plan = Plan(
             int(n), direction, strategy, 0.0, backend_name, real, effective,
-            lowered_inplace, lowered_native,
+            lowered_inplace, lowered_native, tuple(notes),
         )
         # two racing planners build equivalent plans; setdefault keeps the
         # first one so every caller shares a single Plan object per key
@@ -173,50 +199,122 @@ class Planner:
             return self.wisdom.setdefault(key, plan)
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _record_fallbacks(n: int, notes: "list[str]") -> None:
+        """Count + trace each ``kind-fallback(reason)`` capability fallback."""
+
+        for note in notes:
+            kind, _, rest = note.partition("-fallback(")
+            reason = rest[:-1] if rest.endswith(")") else rest
+            _metrics.inc("capability_fallbacks", kind=kind, reason=reason)
+            if _trace.active:
+                _trace.emit("fallback", kind=kind, n=n, reason=reason)
+
+    @staticmethod
+    def _record_race(
+        race: str, n: int, challenger: str, incumbent: str, timings: Dict[str, float]
+    ) -> None:
+        """Count + trace the outcome of one freshly measured wisdom race."""
+
+        winner = challenger if timings[challenger] < timings[incumbent] else incumbent
+        _metrics.inc("wisdom_measure_races", race=race, winner=winner)
+        if _trace.active:
+            _trace.emit(
+                "measure-race",
+                race=race,
+                n=int(n),
+                winner=winner,
+                timings={name: float(t) for name, t in timings.items()},
+            )
+
+    @staticmethod
+    def _threads_collapse_reason(n: int, nthreads: int) -> str:
+        """Why a supported threads request lowered to the serial program."""
+
+        from repro.runtime.threaded import MIN_THREADED_SIZE, threading_profitable
+
+        if n < MIN_THREADED_SIZE:
+            return "size below threaded threshold"
+        if not threading_profitable(n, nthreads):
+            return "no balanced split for this factorization"
+        return "measured slower than serial"
+
+    @staticmethod
+    def _inplace_collapse_reason(n: int) -> str:
+        """Why a supported inplace request kept the ping-pong program."""
+
+        from repro.fftlib.executor import stockham_supported
+
+        if not stockham_supported(n):
+            return "no Stockham lowering for this size"
+        return "measured slower than ping-pong"
+
+    # ------------------------------------------------------------------
     def _normalize_threads(
         self, backend_name: str, real: bool, threads: Optional[int]
-    ) -> int:
+    ) -> Tuple[int, Optional[str]]:
         """Resolve the requested ``threads`` knob to a concrete chunk count.
 
         Real plans and backends without :attr:`~repro.fftlib.backends.
         FFTBackend.supports_threads` stay serial (real transforms thread at
         the batch level inside :class:`~repro.core.ftplan.FTPlan` instead).
+        Returns ``(count, note)`` where ``note`` is the
+        ``threads-fallback(...)`` wording when the request was collapsed.
         """
 
         from repro.runtime.pool import resolve_thread_count
 
         nthreads = resolve_thread_count(threads)
         if nthreads <= 1:
-            return 1
-        if real or not getattr(get_backend(backend_name), "supports_threads", False):
-            return 1
-        return nthreads
+            return 1, None
+        if real:
+            return 1, "threads-fallback(real plans thread at the batch level)"
+        if not getattr(get_backend(backend_name), "supports_threads", False):
+            return 1, (
+                f"threads-fallback(backend '{backend_name}' has no threaded lowering)"
+            )
+        return nthreads, None
 
-    def _normalize_inplace(self, backend_name: str, real: bool, inplace: bool) -> bool:
+    def _normalize_inplace(
+        self, backend_name: str, real: bool, inplace: bool
+    ) -> Tuple[bool, Optional[str]]:
         """Resolve the requested ``inplace`` knob.
 
         Only the ``fftlib`` backend lowers Stockham programs, and real
         plans change their output length (no in-place form); everywhere
-        else the knob is inert, mirroring ``threads``.
+        else the knob is inert, mirroring ``threads``.  Returns
+        ``(flag, note)`` like :meth:`_normalize_threads`.
         """
 
-        if not inplace or real:
-            return False
-        return bool(getattr(get_backend(backend_name), "supports_inplace", False))
+        if not inplace:
+            return False, None
+        if real:
+            return False, "inplace-fallback(real plans have no in-place form)"
+        if not getattr(get_backend(backend_name), "supports_inplace", False):
+            return False, (
+                f"inplace-fallback(backend '{backend_name}' has no Stockham lowering)"
+            )
+        return True, None
 
-    def _normalize_native(self, backend_name: str, native: bool) -> bool:
+    def _normalize_native(
+        self, backend_name: str, native: bool
+    ) -> Tuple[bool, Optional[str]]:
         """Resolve the requested ``native`` knob.
 
         Only backends advertising
         :attr:`~repro.fftlib.backends.FFTBackend.supports_native` lower the
         generated-C stage bodies (foreign kernels are already compiled
         code); everywhere else the knob is inert, mirroring ``threads`` and
-        ``inplace``.
+        ``inplace``.  Returns ``(flag, note)`` like the other knobs.
         """
 
         if not native:
-            return False
-        return bool(getattr(get_backend(backend_name), "supports_native", False))
+            return False, None
+        if not getattr(get_backend(backend_name), "supports_native", False):
+            return False, (
+                f"native-fallback(backend '{backend_name}' has no native lowering)"
+            )
+        return True, None
 
     def _effective_native(
         self, n: int, native: bool, *, allow_timing: bool = True
@@ -279,6 +377,7 @@ class Planner:
                 timings[label] = best
             with self._lock:
                 self.native_measurements[key] = timings
+            self._record_race("native-vs-numpy", n, "native", "numpy", timings)
         return timings["native"] < timings["numpy"]
 
     def _effective_inplace(
@@ -350,6 +449,7 @@ class Planner:
                 timings[label] = best
             with self._lock:
                 self.inplace_measurements[key] = timings
+            self._record_race("stockham-vs-pingpong", n, "stockham", "pingpong", timings)
         return timings["stockham"] < timings["pingpong"]
 
     def fused_wins(
@@ -388,6 +488,7 @@ class Planner:
                 timings[label] = best
             with self._lock:
                 self.fused_measurements[key] = timings
+            self._record_race("fused-vs-scheme", n, "fused", "scheme", timings)
         return timings["fused"] < timings["scheme"]
 
     def _effective_threads(self, n: int, nthreads: int, *, allow_timing: bool = True) -> int:
@@ -450,6 +551,7 @@ class Planner:
                 timings[label] = best
             with self._lock:
                 self.thread_measurements[key] = timings
+            self._record_race("threaded-vs-serial", n, "threaded", "serial", timings)
         return timings["threaded"] < timings["serial"]
 
     # ------------------------------------------------------------------
@@ -509,6 +611,17 @@ class Planner:
                 best_strategy = strategy
         with self._lock:
             self.measurements[n] = timings
+        _metrics.inc(
+            "wisdom_measure_races", race="strategy", winner=best_strategy.value
+        )
+        if _trace.active:
+            _trace.emit(
+                "measure-race",
+                race="strategy",
+                n=int(n),
+                winner=best_strategy.value,
+                timings={name: float(t) for name, t in timings.items()},
+            )
         return best_strategy
 
     # ------------------------------------------------------------------

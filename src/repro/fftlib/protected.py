@@ -47,6 +47,7 @@ from typing import Tuple
 import numpy as np
 
 from repro.fftlib.executor import StageProgram, _cached_program, _work_buffers, get_program
+from repro.telemetry import trace as _trace
 
 __all__ = [
     "StageTap",
@@ -206,6 +207,15 @@ class ProtectedStageProgram:
             else:
                 w1, w2 = memory_weights_classic(n)
             w1_rms = weight_rms(w1)
+        if _trace.active:
+            _trace.emit(
+                "protected-compile",
+                n=int(n),
+                optimized=bool(optimized),
+                memory_ft=bool(memory_ft),
+                taps=len(taps),
+                interior_taps=len(taps) - 1,
+            )
         return cls(
             n=int(n),
             program=program,

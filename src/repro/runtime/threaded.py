@@ -59,6 +59,8 @@ from repro.fftlib.executor import (
 )
 from repro.fftlib.twiddle import get_global_cache
 from repro.runtime.pool import WorkerPool, get_pool, resolve_thread_count, split_ranges
+from repro.telemetry import metrics as _metrics
+from repro.telemetry import trace as _trace
 
 __all__ = [
     "MIN_THREADED_SIZE",
@@ -111,6 +113,7 @@ class ThreadedSixStepProgram:
         "row_stockham",
         "col_stockham",
         "twiddle",
+        "fallback_reason",
         "_col_ranges",
         "_mid_ranges",
     )
@@ -138,6 +141,19 @@ class ThreadedSixStepProgram:
             # program is the right tool and keeps every size valid.  An
             # in-place request keeps its Stockham lowering through the
             # fallback when the size supports one.
+            if self.threads <= 1:
+                self.fallback_reason = "single thread"
+            elif self.n < MIN_THREADED_SIZE:
+                self.fallback_reason = "size below threaded threshold"
+            else:
+                self.fallback_reason = "no balanced split for this factorization"
+            _metrics.inc(
+                "capability_fallbacks", kind="threads", reason=self.fallback_reason
+            )
+            if _trace.active:
+                _trace.emit(
+                    "fallback", kind="threads", n=self.n, reason=self.fallback_reason
+                )
             if self.inplace and stockham_supported(self.n):
                 self.serial = get_stockham_program(self.n, native=self.native)
             else:
@@ -151,6 +167,7 @@ class ThreadedSixStepProgram:
             self._col_ranges = self._mid_ranges = ()
             return
         self.serial = None
+        self.fallback_reason = None
         self.m, self.k = factorization.balanced_split(self.n)
         self.row_program = get_program(self.m, native=self.native)
         self.col_program = get_program(self.k, native=self.native)
@@ -355,8 +372,8 @@ class ThreadedSixStepProgram:
 
         if self.serial is not None:
             return (
-                f"ThreadedSixStep(n={self.n}, serial fallback -> "
-                f"{self.serial.describe()})"
+                f"ThreadedSixStep(n={self.n}, serial fallback "
+                f"({self.fallback_reason}) -> {self.serial.describe()})"
             )
         row = (self.row_stockham or self.row_program).describe()
         col = (self.col_stockham or self.col_program).describe()

@@ -1,0 +1,68 @@
+"""Unified telemetry: metrics registry, event trace, and timing profiles.
+
+The paper's value proposition is *what the ABFT layer did at runtime* -
+detections, locations, corrections, threshold decisions, fallbacks.  This
+package gives those outcomes one home with three pillars:
+
+**Metrics registry** (:func:`registry`, :func:`snapshot`,
+:func:`render_prometheus`): named monotone counters (per-site/per-scheme
+ABFT activity, native fallbacks by reason, capability fallbacks, wisdom
+MEASURE race outcomes) merged with every existing ``cache_info()`` /
+``pool_info()`` surface, exportable as a plain dict, JSON, or Prometheus
+text.  Counters are per-thread sharded and merged on read, so
+chunk-parallel workers never contend.
+
+**Event trace** (:func:`enable_trace`, :func:`events`): a bounded ring of
+typed event records (plan/program/native compiles, threshold violations,
+repairs, fallbacks) with an opt-in JSONL sink - ``REPRO_TRACE=path`` or
+``enable_trace(path)``.  Disabled (the default), every emit site costs one
+attribute check and nothing else.
+
+**Timing profiles** (``plan.profile(x)``, ``repro profile``): one timed
+execution broken into base kernel, combine stages, checksum encode, and tap
+verification phases.
+
+This is the observability layer ROADMAP item 4's ``repro serve`` daemon
+will mount as its ``/metrics`` endpoint.
+"""
+
+from repro.telemetry.metrics import (
+    Registry,
+    counters,
+    inc,
+    register_collector,
+    registry,
+    render_prometheus,
+    reset,
+    set_gauge,
+    snapshot,
+)
+from repro.telemetry.profile import ProfileEntry, ProfileResult
+from repro.telemetry.trace import (
+    clear_events,
+    disable_trace,
+    emit,
+    enable_trace,
+    events,
+    trace_path,
+)
+
+__all__ = [
+    "Registry",
+    "registry",
+    "counters",
+    "inc",
+    "set_gauge",
+    "register_collector",
+    "snapshot",
+    "render_prometheus",
+    "reset",
+    "enable_trace",
+    "disable_trace",
+    "trace_path",
+    "emit",
+    "events",
+    "clear_events",
+    "ProfileEntry",
+    "ProfileResult",
+]

@@ -1,0 +1,109 @@
+"""Acceptance test: trace events bitwise-match a fault-injection campaign.
+
+Runs the Table 6 methodology (n = 4096, one random high-bit flip per trial,
+200 trials) with the JSONL trace sink enabled and asserts that the
+``threshold-violation`` / ``repair`` / ``uncorrectable`` events in the file,
+grouped per fault site, exactly equal the detection and correction tallies
+the campaign's own FTReports recorded.  Both views come from the same
+``record_*`` choke points in :class:`repro.core.detection.FTReport`, so any
+drift means an execution path stopped funnelling through them.
+"""
+
+import json
+from collections import Counter
+
+import numpy as np
+import pytest
+
+import repro
+from repro import telemetry
+from repro.faults.campaign import CoverageCampaign
+from repro.faults.models import FaultKind, FaultSite, FaultSpec
+
+N = 4096
+TRIALS = 200
+SITES = (FaultSite.STAGE1_INPUT, FaultSite.INTERMEDIATE, FaultSite.OUTPUT)
+
+
+@pytest.fixture(autouse=True)
+def _tracing_off():
+    telemetry.disable_trace()
+    telemetry.clear_events()
+    yield
+    telemetry.disable_trace()
+    telemetry.clear_events()
+
+
+def test_campaign_trace_counts_match_reports(tmp_path):
+    plan = repro.plan(N)
+    reports = []
+
+    def make_input(trial, rng):
+        return rng.standard_normal(N) + 1j * rng.standard_normal(N)
+
+    def reference(x):
+        return np.fft.fft(x)
+
+    def make_faults(trial, rng):
+        # one random high-bit flip (bits 50-62) per trial, cycling the
+        # instrumented fault sites - always far above the thresholds
+        return [
+            FaultSpec(
+                site=SITES[trial % len(SITES)],
+                element=int(rng.integers(0, N)),
+                kind=FaultKind.BIT_FLIP,
+                bit=int(rng.integers(50, 63)),
+            )
+        ]
+
+    def run_trial(x, injector):
+        result = plan.execute(x, injector)
+        reports.append(result.report)
+        report = result.report
+        return result.output, report.detected, report.corrected, report.has_uncorrectable
+
+    campaign = CoverageCampaign(
+        make_input=make_input,
+        run_trial=run_trial,
+        reference=reference,
+        make_faults=make_faults,
+        seed=17,
+    )
+
+    path = tmp_path / "campaign.jsonl"
+    telemetry.enable_trace(str(path))
+    try:
+        result = campaign.run(TRIALS)
+    finally:
+        telemetry.disable_trace()
+
+    assert result.trials == TRIALS
+    assert len(reports) == TRIALS
+    # high-bit flips are always detectable; the campaign must catch them all
+    assert result.detection_rate == 1.0
+
+    events = [
+        json.loads(line)
+        for line in path.read_text(encoding="utf-8").splitlines()
+    ]
+
+    # per-site detections: one threshold-violation event per detected
+    # verification record, bitwise equal
+    traced_detections = Counter(
+        e["site"] for e in events if e["event"] == "threshold-violation"
+    )
+    report_detections = Counter(
+        v.site for r in reports for v in r.verifications if v.detected
+    )
+    assert traced_detections == report_detections
+    assert sum(traced_detections.values()) > 0
+
+    # per-site corrections: one repair event per correction record
+    traced_repairs = Counter(e["site"] for e in events if e["event"] == "repair")
+    report_repairs = Counter(c.site for r in reports for c in r.corrections)
+    assert traced_repairs == report_repairs
+
+    # uncorrectable outcomes line up too (usually zero for this fault model)
+    traced_uncorrectable = sum(1 for e in events if e["event"] == "uncorrectable")
+    report_uncorrectable = sum(len(r.uncorrectable) for r in reports)
+    assert traced_uncorrectable == report_uncorrectable

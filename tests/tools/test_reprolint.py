@@ -143,6 +143,56 @@ class TestHotpathAlloc:
         )
         assert found == []
 
+    def test_flags_unguarded_telemetry_emit_in_hot_function(self):
+        found = _rules(
+            hotpath,
+            """
+            from repro.telemetry import trace as _trace
+
+            def execute(x):
+                _trace.emit("stage-done", n=x.size)
+                return x
+            """,
+        )
+        assert [v.rule for v in found] == ["hotpath-alloc"]
+        assert "unguarded telemetry emit" in found[0].message
+
+    def test_guarded_emit_and_cold_function_emit_are_clean(self):
+        guarded = """
+        from repro.telemetry import trace as _trace
+
+        def execute(x):
+            if _trace.active:
+                _trace.emit("stage-done", n=x.size)
+            return x
+        """
+        assert _rules(hotpath, guarded) == []
+        cold = """
+        from repro.telemetry import trace as _trace
+
+        def build(x):
+            _trace.emit("compiled", n=x.size)
+            return x
+        """
+        assert _rules(hotpath, cold) == []
+
+    def test_emit_in_else_branch_of_active_guard_is_flagged(self):
+        found = _rules(
+            hotpath,
+            """
+            from repro.telemetry import trace as _trace
+
+            def transform_rows(rows):
+                if _trace.active:
+                    _trace.emit("on", rows=len(rows))
+                else:
+                    _trace.emit("off", rows=len(rows))
+                return rows
+            """,
+        )
+        assert [v.rule for v in found] == ["hotpath-alloc"]
+        assert "unguarded telemetry emit" in found[0].message
+
 
 # ----------------------------------------------------------------------
 # rule 2: lock-discipline

@@ -18,6 +18,14 @@ The sanctioned escape hatches are the thread-local scratch helpers
 functions) and an explicit ``# reprolint: alloc-ok - <why>`` waiver for
 the handful of boundary allocations (final output buffers, cold fallback
 branches) that are part of the contract.
+
+Telemetry emits in hot functions follow the same discipline: an
+``emit(...)`` call on a trace alias (``_trace.emit`` / ``trace.emit``)
+must be lexically dominated by an ``if`` whose test reads ``.active``, so
+the disabled path costs one attribute check and never allocates, locks, or
+formats (the :mod:`repro.telemetry.trace` hot-path contract).  The
+always-on counters (``_metrics.inc``) are exempt: incrementing a
+per-thread shard is lock-free and allocation-free by construction.
 """
 
 from __future__ import annotations
@@ -81,6 +89,9 @@ ALLOCATING_METHODS = frozenset({"copy", "astype"})
 
 NUMPY_ALIASES = frozenset({"np", "numpy"})
 
+#: receiver names an ``emit(...)`` attribute call is treated as telemetry on
+TRACE_ALIASES = frozenset({"_trace", "trace"})
+
 
 def is_hot_function(name: str, prefixes: Tuple[str, ...]) -> bool:
     stripped = name.lstrip("_")
@@ -116,6 +127,17 @@ def _check_function(ctx: FileContext, func: ast.FunctionDef) -> Iterator[Violati
             f"{finding} in hot function {func.name!r} "
             f"(waive with '# reprolint: {WAIVER} - <why>' or use the "
             f"thread-local scratch helpers)",
+        )
+    for node in _unguarded_emits(func, guarded=False):
+        if ctx.waived(WAIVER, node):
+            continue
+        yield Violation(
+            ctx.rel,
+            node.lineno,
+            RULE,
+            f"unguarded telemetry emit in hot function {func.name!r}: wrap "
+            f"in 'if _trace.active:' so the disabled path stays a single "
+            f"attribute check (waive with '# reprolint: {WAIVER} - <why>')",
         )
 
 
@@ -161,6 +183,44 @@ def _allocating_call(call: ast.Call, in_loop: bool) -> str:
         # literals: per-iteration allocation is what the rule forbids
         return f"allocating constructor {func.id}(...) inside a loop"
     return ""
+
+
+def _is_emit_call(node: ast.AST) -> bool:
+    """Whether ``node`` is a telemetry emit (``_trace.emit(...)`` shape)."""
+
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Attribute) and func.attr == "emit":
+        base = func.value
+        return isinstance(base, ast.Name) and base.id in TRACE_ALIASES
+    return isinstance(func, ast.Name) and func.id == "emit"
+
+
+def _test_reads_active(test: ast.AST) -> bool:
+    """Whether an ``if`` test reads the trace gate (``....active``)."""
+
+    for sub in ast.walk(test):
+        if isinstance(sub, ast.Attribute) and sub.attr == "active":
+            return True
+        if isinstance(sub, ast.Name) and sub.id == "active":
+            return True
+    return False
+
+
+def _unguarded_emits(node: ast.AST, guarded: bool) -> Iterator[ast.AST]:
+    """Yield emit calls not lexically dominated by an ``if ... .active:``."""
+
+    for child in ast.iter_child_nodes(node):
+        if isinstance(child, ast.If) and _test_reads_active(child.test):
+            for stmt in child.body:
+                yield from _unguarded_emits(stmt, True)
+            for stmt in child.orelse:
+                yield from _unguarded_emits(stmt, guarded)
+            continue
+        if not guarded and _is_emit_call(child):
+            yield child
+        yield from _unguarded_emits(child, guarded)
 
 
 def _literal_label(node: ast.AST) -> str:
