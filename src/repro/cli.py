@@ -26,7 +26,16 @@ repro.cli <command>``:
 ``stats``
     Print the process-wide telemetry registry (every ``*_info`` cache
     surface plus the event counters) as a table, ``--json``, or
-    ``--prometheus`` text exposition.
+    ``--prometheus`` text exposition (byte-identical to the serve
+    daemon's ``/metrics`` endpoint).
+``serve``
+    Run the always-on transform daemon: micro-batch concurrent requests
+    into ``execute_many`` windows, keep plans and wisdom warm, expose
+    ``/healthz`` / ``/stats`` / ``/metrics``, drain gracefully on
+    SIGTERM.  See ``docs/serving.md``.
+``submit``
+    Send one signal (or ``--repeat`` copies) to a running daemon and
+    print the per-row fault-tolerance summary.
 
 The CLI only composes the public plan API (``repro.plan`` + ``FTConfig``);
 everything it prints can also be obtained programmatically.
@@ -412,7 +421,12 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         print(telemetry.registry().to_json())
         return 0
     if getattr(args, "prometheus", False):
-        print(telemetry.render_prometheus(), end="")
+        # The one shared rendering path with the serve daemon's /metrics
+        # endpoint: both emit telemetry.prometheus_exposition() verbatim,
+        # so a scrape and a CLI dump of the same process state are
+        # byte-identical (tests/server/test_metrics_parity.py pins this).
+        sys.stdout.buffer.write(telemetry.prometheus_exposition())
+        sys.stdout.buffer.flush()
         return 0
     snapshot = telemetry.snapshot()
     counters = snapshot["counters"]
@@ -437,6 +451,92 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             surface_table.add_row(field_name, str(value))
         print(surface_table.render())
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the always-on transform daemon (see docs/serving.md)."""
+
+    import asyncio
+    import json
+
+    from repro.server import TransformServer
+
+    if args.wisdom:
+        from repro.fftlib.planner import get_default_planner
+
+        with open(args.wisdom, "r", encoding="utf-8") as handle:
+            get_default_planner().import_wisdom(json.load(handle))
+        print(f"wisdom imported from {args.wisdom}")
+    for spec in args.warm or ():
+        size_text, _, scheme = spec.partition(":")
+        warm_plan = plan(int(size_text), scheme or "opt-online+mem")
+        # One throwaway execution compiles the stage programs, caches the
+        # twiddles, and (for native plans) builds the codelets up front.
+        dtype = np.float64 if warm_plan.config.real else np.complex128
+        warm_plan.execute_many(np.zeros((1, warm_plan.n), dtype))
+        print(f"warmed n={warm_plan.n} config={warm_plan.config.to_name()}")
+
+    port = args.port
+    if port is None and not args.unix:
+        port = 8791  # repro.server.DEFAULT_PORT; keep the CLI default visible here
+    server = TransformServer(
+        host=args.host,
+        port=port,
+        unix_path=args.unix,
+        window=args.window_ms / 1000.0,
+        max_batch=args.max_batch,
+        workers=args.workers,
+        max_payload=args.max_payload_mb * 1024 * 1024,
+    )
+
+    async def _run() -> None:
+        await server.start()
+        for address in server.addresses:
+            print(f"listening on {address}")
+        print(
+            f"micro-batch window {server.window * 1e3:.1f} ms, "
+            f"max batch {server.max_batch}, {server.workers} worker(s)"
+        )
+        sys.stdout.flush()
+        await server.serve_forever(install_signal_handlers=True)
+
+    asyncio.run(_run())
+    print("drained; bye")
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    """Send one or more signals to a running daemon and print the outcome."""
+
+    from repro.client import Client
+    from repro.server.protocol import canonical_config
+
+    scheme = args.scheme
+    if args.real and not canonical_config(scheme)[1]:
+        scheme += "+real"
+    config, real = canonical_config(scheme)
+    signal_args = argparse.Namespace(**vars(args))
+    signal_args.real = real
+    inject = None
+    if args.site is not None:
+        inject = {"site": args.site, "kind": args.kind, "magnitude": args.magnitude}
+    with Client(args.address) as client:
+        failures = 0
+        for index in range(max(1, args.repeat)):
+            if args.seed is not None:
+                signal_args.seed = args.seed + index
+            x = _load_signal(signal_args)
+            reply = client.transform(x, config, inject=inject)
+            print(
+                f"[{index}] scheme={reply.scheme} batch={reply.batch_index + 1}/"
+                f"{reply.batch_size} detected={reply.detected} "
+                f"corrected={reply.corrected} uncorrectable={reply.uncorrectable}"
+            )
+            failures += int(reply.uncorrectable)
+            if args.output and index == 0:
+                np.savetxt(args.output, np.column_stack([reply.output.real, reply.output.imag]))
+                print(f"spectrum written to {args.output}")
+    return 0 if failures == 0 else 1
 
 
 def _cmd_predict(args: argparse.Namespace) -> int:
@@ -542,6 +642,96 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit Prometheus text exposition format",
     )
     stats.set_defaults(func=_cmd_stats)
+
+    serve = sub.add_parser(
+        "serve", help="run the always-on micro-batching transform daemon"
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="TCP bind host (default 127.0.0.1)")
+    serve.add_argument(
+        "--port", type=int, default=None, metavar="P",
+        help="TCP port (default 8791; 0 picks an ephemeral port; omitted "
+             "entirely when --unix is the only listener requested)",
+    )
+    serve.add_argument(
+        "--unix", default=None, metavar="PATH",
+        help="also (or only, without --port) listen on this unix socket",
+    )
+    serve.add_argument(
+        "--window-ms", type=float, default=0.0, metavar="MS",
+        help="micro-batch window: how long the first request of a "
+             "(n, config) group waits for peers.  The default 0 batches "
+             "opportunistically - everything already queued when the event "
+             "loop goes idle coalesces, adding no latency; a positive "
+             "window holds the batch open on a timer (useful for sparse "
+             "open-loop traffic, but it stalls closed-loop clients)",
+    )
+    serve.add_argument(
+        "--max-batch", type=int, default=32, metavar="B",
+        help="flush a group early at B rows; 1 disables batching and "
+             "serves one execute() per request (default 32)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=1, metavar="W",
+        help="executor threads running execute_many batches (default 1; "
+             "numpy releases the GIL inside the kernels)",
+    )
+    serve.add_argument(
+        "--max-payload-mb", type=int, default=64, metavar="MB",
+        help="reject request payloads larger than this (default 64 MiB)",
+    )
+    serve.add_argument(
+        "--wisdom", default=None, metavar="FILE",
+        help="import an export_wisdom() JSON snapshot before serving "
+             "(measured backend choices and twiddle hints start warm)",
+    )
+    serve.add_argument(
+        "--warm", action="append", metavar="N[:CONFIG]",
+        help="pre-build the plan for this size (and config; default "
+             "opt-online+mem) before accepting traffic; repeatable",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    submit = sub.add_parser(
+        "submit", help="send a transform request to a running daemon"
+    )
+    submit.add_argument(
+        "--address", "-a", default="127.0.0.1:8791",
+        help="server address: host:port, unix:/path, or a socket path "
+             "(default 127.0.0.1:8791)",
+    )
+    submit.add_argument("--size", "-n", type=int, default=4096, help="transform length (default 4096)")
+    submit.add_argument(
+        "--signal", choices=["uniform", "normal", "tones"], default="uniform",
+        help="synthetic input kind (ignored when --input is given)",
+    )
+    submit.add_argument("--input", help="file with one (complex) sample per line")
+    submit.add_argument("--seed", type=int, default=None, help="seed for the synthetic input")
+    submit.add_argument(
+        "--scheme", default="opt-online+mem",
+        help="protection config in flag grammar, e.g. opt-online+mem+real+t2 "
+             "(default: opt-online+mem)",
+    )
+    submit.add_argument(
+        "--real", action="store_true",
+        help="send a real float64 signal (appends +real to --scheme)",
+    )
+    submit.add_argument(
+        "--repeat", type=int, default=1, metavar="N",
+        help="send N requests over the same connection (default 1)",
+    )
+    submit.add_argument(
+        "--site", default=None, choices=[site.value for site in FaultSite],
+        help="inject a live fault at this site on the server (solo execute path)",
+    )
+    submit.add_argument(
+        "--kind", default=FaultKind.ADD_CONSTANT.value,
+        choices=[kind.value for kind in FaultKind], help="corruption model for --site",
+    )
+    submit.add_argument(
+        "--magnitude", type=float, default=10.0, help="constant used by add/set faults"
+    )
+    submit.add_argument("--output", "-o", help="write the first spectrum (re, im columns) here")
+    submit.set_defaults(func=_cmd_submit)
 
     predict = sub.add_parser("predict", help="print the Section 7 overhead model")
     predict.add_argument("--size", "-n", type=int, default=2**25, help="problem size (default 2^25)")

@@ -1,0 +1,300 @@
+"""Blocking client for the transform server.
+
+:class:`Client` speaks the frame protocol of :mod:`repro.server.protocol`
+over one keep-alive HTTP/1.1 connection (TCP or unix socket) using nothing
+but the stdlib ``socket`` module, so scripts and load generators need no
+HTTP dependency::
+
+    from repro.client import Client
+
+    with Client(("127.0.0.1", 8791)) as client:
+        reply = client.transform(x, config="opt-online+mem")
+        spectrum = reply.output          # packed complex128 spectrum
+        assert not reply.uncorrectable   # per-row ABFT outcome
+
+Addresses: a ``(host, port)`` tuple, ``"host:port"``, ``"unix:/path"``, or
+a bare filesystem path to a unix socket.  The connection is established
+lazily and re-established once per request if the server closed an idle
+keep-alive connection.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.server import protocol
+from repro.server.protocol import DEFAULT_CONFIG, FRAME_CONTENT_TYPE, ProtocolError
+
+__all__ = ["Address", "Client", "ProtocolError", "ServerError", "TransformReply"]
+
+Address = Union[str, Tuple[str, int]]
+
+
+class ServerError(RuntimeError):
+    """The server rejected or failed a request (carries status and kind)."""
+
+    def __init__(self, message: str, *, status: int = 500, kind: str = "error") -> None:
+        super().__init__(message)
+        self.status = int(status)
+        self.kind = str(kind)
+
+
+@dataclass
+class TransformReply:
+    """One transform response: the spectrum plus its fault-tolerance summary."""
+
+    output: np.ndarray
+    meta: Dict[str, Any]
+
+    @property
+    def report(self) -> Dict[str, Any]:
+        return self.meta.get("report", {})
+
+    @property
+    def detected(self) -> bool:
+        return bool(self.report.get("detected"))
+
+    @property
+    def corrected(self) -> bool:
+        return bool(self.report.get("corrected"))
+
+    @property
+    def uncorrectable(self) -> bool:
+        return bool(self.report.get("uncorrectable"))
+
+    @property
+    def scheme(self) -> str:
+        return str(self.meta.get("scheme", ""))
+
+    @property
+    def batch_size(self) -> int:
+        return int(self.meta.get("batch_size", 1))
+
+    @property
+    def batch_index(self) -> int:
+        return int(self.meta.get("batch_index", 0))
+
+
+def _parse_address(address: Address) -> Tuple[int, Union[str, Tuple[str, int]]]:
+    """Normalise an address to ``(socket family, connect target)``."""
+
+    if isinstance(address, tuple):
+        host, port = address
+        return socket.AF_INET, (str(host), int(port))
+    if address.startswith("unix:"):
+        return socket.AF_UNIX, address[len("unix:") :]
+    if "/" in address:
+        return socket.AF_UNIX, address
+    host, sep, port = address.rpartition(":")
+    if not sep:
+        raise ValueError(f"address {address!r} is neither host:port nor a unix socket path")
+    return socket.AF_INET, (host, int(port))
+
+
+class Client:
+    """A synchronous transform-server client over one keep-alive connection."""
+
+    def __init__(self, address: Address, *, timeout: float = 60.0) -> None:
+        self._family, self._target = _parse_address(address)
+        self.timeout = float(timeout)
+        self._sock: Optional[socket.socket] = None
+        self._file: Optional[Any] = None
+
+    # ------------------------------------------------------------------
+    # connection plumbing
+    # ------------------------------------------------------------------
+    def _connect(self) -> None:
+        if self._sock is not None:
+            return
+        sock = socket.socket(self._family, socket.SOCK_STREAM)
+        sock.settimeout(self.timeout)
+        if self._family == socket.AF_INET:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        sock.connect(self._target)
+        self._sock = sock
+        self._file = sock.makefile("rb")
+
+    def close(self) -> None:
+        """Close the connection (the next request reconnects)."""
+
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:
+                pass
+            self._file = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def _request(
+        self, method: str, path: str, body: bytes = b"", content_type: str = "application/json"
+    ) -> Tuple[int, bytes]:
+        """One round trip; retries once through a fresh connection if the
+        server closed the idle keep-alive socket under us."""
+
+        for attempt in (0, 1):
+            try:
+                self._connect()
+                assert self._sock is not None and self._file is not None
+                head = (
+                    f"{method} {path} HTTP/1.1\r\n"
+                    "Host: repro\r\n"
+                    f"Content-Type: {content_type}\r\n"
+                    f"Content-Length: {len(body)}\r\n"
+                    "\r\n"
+                ).encode("latin-1")
+                self._sock.sendall(head + body)
+                return self._read_response()
+            except (BrokenPipeError, ConnectionResetError, ConnectionAbortedError, EOFError):
+                self.close()
+                if attempt:
+                    raise
+        raise AssertionError("unreachable")
+
+    def _read_response(self) -> Tuple[int, bytes]:
+        assert self._file is not None
+        status_line = self._file.readline()
+        if not status_line:
+            raise EOFError("server closed the connection")
+        parts = status_line.split()
+        if len(parts) < 2 or not parts[1].isdigit():
+            raise ServerError(f"malformed status line {status_line!r}")
+        status = int(parts[1])
+        length = 0
+        close = False
+        while True:
+            header = self._file.readline()
+            if header in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = header.decode("latin-1").partition(":")
+            name = name.strip().lower()
+            if name == "content-length":
+                length = int(value.strip())
+            elif name == "connection" and value.strip().lower() == "close":
+                close = True
+        payload = self._file.read(length) if length else b""
+        if payload is None or len(payload) != length:
+            raise EOFError("server closed the connection mid-response")
+        if close:
+            self.close()
+        return status, payload
+
+    @staticmethod
+    def _raise_for_error(status: int, payload: bytes) -> None:
+        try:
+            body = json.loads(payload)
+        except ValueError:
+            body = {}
+        raise ServerError(
+            str(body.get("error", f"server answered HTTP {status}")),
+            status=status,
+            kind=str(body.get("kind", "error")),
+        )
+
+    # ------------------------------------------------------------------
+    # API
+    # ------------------------------------------------------------------
+    def transform(
+        self,
+        x: np.ndarray,
+        config: str = DEFAULT_CONFIG,
+        *,
+        inject: Optional[Dict[str, Any]] = None,
+    ) -> TransformReply:
+        """Protected transform of one row on the server.
+
+        ``config`` uses the scheme-name grammar of
+        :meth:`repro.core.config.FTConfig.from_name` (``"opt-online+mem"``,
+        ``"...+real"``, ...).  ``inject`` is an optional fault-injection
+        spec (``site``/``kind``/``magnitude``/``bit``/``index``/``element``)
+        executed live on the server through the scalar protected path.
+        """
+
+        frame = protocol.encode_request(x, config, inject)
+        status, payload = self._request(
+            "POST", "/v1/transform", frame, content_type=FRAME_CONTENT_TYPE
+        )
+        return self._transform_reply(status, payload)
+
+    def submit(
+        self,
+        x: np.ndarray,
+        config: str = DEFAULT_CONFIG,
+        *,
+        inject: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Send one transform request without waiting for the reply.
+
+        The sending half of :meth:`transform`, for callers that multiplex
+        several connections from one thread (one ``Client`` per
+        connection: ``submit`` on each, then :meth:`collect` on each) so
+        their requests land at the server together and can share a
+        micro-batch.  Each ``submit`` must be matched by exactly one
+        ``collect`` on the same client before the next ``submit``; the
+        server answers one request per connection at a time.  Unlike
+        :meth:`transform` there is no transparent reconnect - a dead
+        connection surfaces on ``collect``.
+        """
+
+        frame = protocol.encode_request(x, config, inject)
+        self._connect()
+        assert self._sock is not None
+        head = (
+            "POST /v1/transform HTTP/1.1\r\n"
+            "Host: repro\r\n"
+            f"Content-Type: {FRAME_CONTENT_TYPE}\r\n"
+            f"Content-Length: {len(frame)}\r\n"
+            "\r\n"
+        ).encode("latin-1")
+        self._sock.sendall(head + frame)
+
+    def collect(self) -> TransformReply:
+        """Read the reply to the oldest outstanding :meth:`submit`."""
+
+        status, payload = self._read_response()
+        return self._transform_reply(status, payload)
+
+    def _transform_reply(self, status: int, payload: bytes) -> TransformReply:
+        if status != 200:
+            self._raise_for_error(status, payload)
+        meta, spectrum = protocol.parse_response(payload)
+        if not meta.get("ok") or spectrum is None:
+            raise ServerError(str(meta.get("error", "transform failed")), status=status)
+        return TransformReply(output=spectrum, meta=meta)
+
+    def healthz(self) -> Dict[str, Any]:
+        status, payload = self._request("GET", "/healthz")
+        if status != 200:
+            self._raise_for_error(status, payload)
+        return dict(json.loads(payload))
+
+    def stats(self) -> Dict[str, Any]:
+        """The server's telemetry registry snapshot (``/stats``)."""
+
+        status, payload = self._request("GET", "/stats")
+        if status != 200:
+            self._raise_for_error(status, payload)
+        return dict(json.loads(payload))
+
+    def metrics(self) -> bytes:
+        """The raw Prometheus exposition served by ``/metrics``."""
+
+        status, payload = self._request("GET", "/metrics")
+        if status != 200:
+            self._raise_for_error(status, payload)
+        return payload

@@ -61,6 +61,12 @@ _NAME_TO_TRIPLE: Dict[str, Tuple[str, bool, bool]] = {
 
 _TRIPLE_TO_NAME = {triple: name for name, triple in _NAME_TO_TRIPLE.items()}
 
+#: Sub-FFT backends expressible as a name flag (``"opt-online+mem+numpy"``).
+#: These are the two stdlib-registered backends; custom backends registered
+#: through :func:`repro.fftlib.backends.register_backend` remain a
+#: programmatic knob (``FTConfig(backend=...)``) without a name flag.
+_BACKEND_FLAGS = ("numpy", "fftlib")
+
 
 def legacy_scheme_names() -> Sequence[str]:
     """The registry names accepted by :meth:`FTConfig.from_name`."""
@@ -102,7 +108,10 @@ class FTConfig:
         Execution is always double precision internally.
     backend:
         Sub-FFT kernel registry name (``None`` = process default; see
-        :mod:`repro.fftlib.backends`).
+        :mod:`repro.fftlib.backends`).  The two stdlib backends carry a
+        legacy-name flag (``"opt-online+mem+numpy"`` /
+        ``"opt-online+mem+fftlib"``), so name-driven surfaces (the CLI,
+        the serve daemon) can select the pocketfft substrate explicitly.
     real:
         Real-input mode: the plan consumes ``n`` float64 samples and
         produces the packed ``n//2 + 1`` half-complex spectrum
@@ -204,10 +213,13 @@ class FTConfig:
         (``"opt-online+mem+real"``), a ``+ip`` suffix in-place execution
         (``"opt-online+mem+ip"``), a ``+t{N}`` suffix the shared-memory
         thread count (``"opt-online+mem+t4"``, ``+t0`` = automatic), a
-        ``+native`` suffix the generated-C kernel tier (they compose as
-        ``"...+real+ip+t4+native"``); ``overrides`` set any other field
-        (``m``, ``k``, ``thresholds``, ``flags``, ``dtype``, ``backend``,
-        ``real``, ``threads``, ``inplace``, ``native``).
+        ``+numpy`` / ``+fftlib`` suffix the sub-FFT backend
+        (``"opt-online+mem+numpy"`` runs the checksummed pipeline on
+        pocketfft), a ``+native`` suffix the generated-C kernel tier (they
+        compose as ``"...+real+ip+t4+numpy+native"``); ``overrides`` set
+        any other field (``m``, ``k``, ``thresholds``, ``flags``,
+        ``dtype``, ``backend``, ``real``, ``threads``, ``inplace``,
+        ``native``).
         """
 
         base = name
@@ -215,6 +227,12 @@ class FTConfig:
             base = base[: -len("+native")]
             if not overrides.get("native"):
                 overrides["native"] = True
+        for backend_flag in _BACKEND_FLAGS:
+            if base.endswith("+" + backend_flag):
+                base = base[: -len(backend_flag) - 1]
+                if overrides.get("backend") is None:
+                    overrides["backend"] = backend_flag
+                break
         head, sep, tail = base.rpartition("+t")
         if sep and tail.isdigit():
             base = head
@@ -250,6 +268,10 @@ class FTConfig:
             name += "+ip"
         if self.threads is not None:
             name += f"+t{self.threads}"
+        # Only the stdlib-registered backends have name flags; a custom
+        # registered backend stays a programmatic-only knob, like dtype.
+        if self.backend in _BACKEND_FLAGS:
+            name += f"+{self.backend}"
         if self.native:
             name += "+native"
         return name

@@ -93,6 +93,10 @@ class BatchResult:
     #: flat indices (into the flattened batch) of rows that failed the
     #: vectorized verification and went through scalar recovery
     fallback_rows: Tuple[int, ...] = ()
+    #: flat indices of rows whose recovery ultimately failed; per-row
+    #: consumers (the serving batcher) read this instead of parsing the
+    #: report's free-text ``uncorrectable`` messages
+    uncorrectable_rows: Tuple[int, ...] = ()
 
     @property
     def detected(self) -> bool:
@@ -1026,7 +1030,10 @@ class FTPlan:
             result = self.execute_many(X, axis, injector)
             np.copyto(out, result.output)
             return BatchResult(
-                output=out, report=result.report, fallback_rows=result.fallback_rows
+                output=out,
+                report=result.report,
+                fallback_rows=result.fallback_rows,
+                uncorrectable_rows=result.uncorrectable_rows,
             )
         X = np.asarray(X)
         if X.ndim == 0:
@@ -1056,6 +1063,7 @@ class FTPlan:
         injector = injector or NullInjector()
         report = FTReport(scheme=f"{self.scheme.name}[batch]")
         fallback: List[int] = []
+        dead: List[int] = []
 
         # Chunk layout of the (possibly) parallel execution: a function of
         # (batch, threads) only, so threaded runs are deterministic.  One
@@ -1168,6 +1176,7 @@ class FTPlan:
                 fallback.append(idx)
                 ok = self._recover_row(rows, out, idx, cx, etas, s1, s2, report)
                 if not ok:
+                    dead.append(idx)
                     report.record_uncorrectable(
                         f"batch row {idx} still failing after {self._max_retries} retries"
                     )
@@ -1176,7 +1185,12 @@ class FTPlan:
         output = np.moveaxis(output, -1, axis)
         if self.dtype != np.complex128:
             output = output.astype(self.dtype)
-        return BatchResult(output=output, report=report, fallback_rows=tuple(fallback))
+        return BatchResult(
+            output=output,
+            report=report,
+            fallback_rows=tuple(fallback),
+            uncorrectable_rows=tuple(dead),
+        )
 
     # ------------------------------------------------------------------
     def _execute_many_out(
@@ -1210,6 +1224,7 @@ class FTPlan:
         injector = injector or NullInjector()
         report = FTReport(scheme=f"{self.scheme.name}[batch,inplace]")
         fallback: List[int] = []
+        dead: List[int] = []
 
         chunks = min(self.threads, batch) if self.threads > 1 else 1
         ranges = split_ranges(batch, chunks)
@@ -1262,6 +1277,7 @@ class FTPlan:
                         rows[idx], self._w1, self._w2, s1[idx], s2[idx]
                     )
                     if repaired is None:
+                        dead.append(idx)
                         report.record_uncorrectable(
                             f"batch row {idx}: input corruption could not be "
                             f"located before overwrite"
@@ -1313,6 +1329,10 @@ class FTPlan:
                     )
                     if ok:
                         break
+                if ok is not True:
+                    # ok is None: the surrogate repair itself failed (already
+                    # recorded); ok is False: repairs kept failing verification.
+                    dead.append(idx)
                 if ok is False:
                     report.record_uncorrectable(
                         f"batch row {idx}: in-place verification still failing "
@@ -1321,7 +1341,12 @@ class FTPlan:
 
         if not rows_alias_out:
             moved[...] = rows.reshape(moved.shape)
-        return BatchResult(output=out, report=report, fallback_rows=tuple(fallback))
+        return BatchResult(
+            output=out,
+            report=report,
+            fallback_rows=tuple(fallback),
+            uncorrectable_rows=tuple(sorted(set(dead))),
+        )
 
     # ------------------------------------------------------------------
     def _run_chunks(
@@ -1361,16 +1386,15 @@ class FTPlan:
             return self._transform_real(rows)
         if self._batch_program is not None:
             return self._batch_program.execute(rows)
-        tl = self.scheme.plan
-        batch = rows.shape[0]
-        work = rows.reshape(batch, tl.m, tl.k)
-        inner = tl.inner_plan.execute_batch(work, axis=1)
-        twiddled = inner * tl.twiddles[None, :, :]
-        outer = tl.outer_plan.execute_batch(twiddled, axis=2)
-        # scatter_output, batched: result[j2, j1] holds frequency j1*m + j2.
-        # reprolint: alloc-ok - the batched result array itself (the
-        # transpose gather IS the two-layer scatter-output pass)
-        return np.ascontiguousarray(outer.transpose(0, 2, 1)).reshape(batch, self.n)
+        # Foreign backends (pocketfft & co.): every registered backend's
+        # ``fft`` is a full-size transform batched over the leading axes by
+        # contract, and compiled kernels beat the decomposed two-layer
+        # pipeline ~3x at serving sizes (one library call vs two batched
+        # sub-FFT passes plus twiddle multiply and transpose gather).  The
+        # batch path's protection is end-to-end - the checksums bracket
+        # whatever produces the spectrum - so unlike the scalar scheme it
+        # does not need the two-layer stage structure.
+        return get_backend(self.backend).fft(rows, axis=-1)
 
     def _recover_row(
         self,
@@ -1462,8 +1486,12 @@ class FTPlan:
             return ProfileResult(
                 n=self.n,
                 description=self.describe(),
+                # The overhead entry is clamped at zero, so the reported
+                # total must take the same floor - otherwise a noisy
+                # sub-profile (inner run measured slower than the real
+                # execution) breaks sum(entries) == total.
                 entries=tuple(entries),
-                total_seconds=end_to_end,
+                total_seconds=max(end_to_end, inner.total_seconds),
                 output=result.output,
             )
         if fused is not None:
@@ -1489,7 +1517,10 @@ class FTPlan:
                 n=self.n,
                 description=self.describe(),
                 entries=tuple(entries),
-                total_seconds=encode_seconds + tapped_seconds,
+                # Same floor as the tap-verification entry's zero clamp:
+                # sum(entries) == total even when the stage sub-profile
+                # measured slower than the tapped execution.
+                total_seconds=encode_seconds + max(tapped_seconds, inner.total_seconds),
                 output=output,
             )
         # No compiled fast path to dissect (foreign backend or plain

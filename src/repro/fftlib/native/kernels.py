@@ -329,11 +329,15 @@ def build_native_program(
 def native_info() -> Dict[str, Any]:
     """``cache_info()``-style snapshot of the tier's state and counters."""
 
+    # Probe support *before* reading the cache counters: the probe lazily
+    # loads the shared library, and that load is itself a disk hit - read
+    # the other way round, the first snapshot under-reports by one and two
+    # back-to-back renders of an idle process disagree.
+    supported = native_supported()
     stats = cache_stats()
     with _counter_lock:
         built = _programs_built
         fallbacks = _fallbacks
-    supported = native_supported()
     return {
         "supported": supported,
         "reason": None if supported else native_unavailable_reason(),

@@ -22,20 +22,25 @@ attribute check and nothing else.
 execution broken into base kernel, combine stages, checksum encode, and tap
 verification phases.
 
-This is the observability layer ROADMAP item 4's ``repro serve`` daemon
-will mount as its ``/metrics`` endpoint.
+This is the observability layer the ``repro serve`` daemon mounts as its
+``/metrics`` (Prometheus, via :func:`prometheus_exposition`) and ``/stats``
+(JSON ``snapshot()``) endpoints; see ``docs/metrics.md`` for the reference
+table of every counter and event.
 """
 
 from repro.telemetry.metrics import (
     Registry,
+    collector_names,
     counters,
     inc,
+    prometheus_exposition,
     register_collector,
     registry,
     render_prometheus,
     reset,
     set_gauge,
     snapshot,
+    unregister_collector,
 )
 from repro.telemetry.profile import ProfileEntry, ProfileResult
 from repro.telemetry.trace import (
@@ -54,8 +59,11 @@ __all__ = [
     "inc",
     "set_gauge",
     "register_collector",
+    "unregister_collector",
     "snapshot",
     "render_prometheus",
+    "prometheus_exposition",
+    "collector_names",
     "reset",
     "enable_trace",
     "disable_trace",

@@ -27,7 +27,7 @@ from __future__ import annotations
 import json
 import re
 import threading
-from typing import Any, Callable, Dict, List, Mapping, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
 __all__ = [
     "Registry",
@@ -35,9 +35,12 @@ __all__ = [
     "inc",
     "set_gauge",
     "register_collector",
+    "unregister_collector",
     "counters",
+    "collector_names",
     "snapshot",
     "render_prometheus",
+    "prometheus_exposition",
     "reset",
 ]
 
@@ -129,6 +132,27 @@ class Registry:
         with self._lock:
             self._collectors[name] = fn
 
+    def unregister_collector(
+        self, name: str, fn: Optional[Callable[[], Mapping[str, Any]]] = None
+    ) -> None:
+        """Remove a collector so a retired surface stops rendering.
+
+        With ``fn`` given, the name is only removed while it still maps to
+        that collector - a component shutting down after something else
+        re-registered the name (two in-process servers in one test run)
+        must not tear down its successor's surface.
+        """
+
+        with self._lock:
+            if fn is None or self._collectors.get(name) == fn:
+                self._collectors.pop(name, None)
+
+    def collector_names(self) -> List[str]:
+        """Names of the registered info-surface collectors (sorted)."""
+
+        with self._lock:
+            return sorted(self._collectors)
+
     def collect(self) -> Dict[str, Dict[str, Any]]:
         """Run every collector; a failing collector reports its error inline."""
 
@@ -172,6 +196,10 @@ class Registry:
         Counters become ``repro_<name>_total`` counter series; gauges and
         every numeric field of the collected cache surfaces become
         ``repro_<surface>_<field>`` gauges.
+
+        This is the **only** rendering path: ``repro stats --prometheus``
+        and the serve daemon's ``/metrics`` endpoint both go through
+        :func:`prometheus_exposition`, so the two can never drift.
         """
 
         lines: List[str] = []
@@ -235,6 +263,12 @@ def register_collector(name: str, fn: Callable[[], Mapping[str, Any]]) -> None:
     _REGISTRY.register_collector(name, fn)
 
 
+def unregister_collector(
+    name: str, fn: Optional[Callable[[], Mapping[str, Any]]] = None
+) -> None:
+    _REGISTRY.unregister_collector(name, fn)
+
+
 def counters() -> Dict[CounterKey, int]:
     return _REGISTRY.counters()
 
@@ -245,6 +279,21 @@ def snapshot() -> Dict[str, Any]:
 
 def render_prometheus() -> str:
     return _REGISTRY.render_prometheus()
+
+
+def prometheus_exposition() -> bytes:
+    """The Prometheus exposition as the exact bytes every consumer serves.
+
+    The CLI writes these bytes to ``stdout.buffer`` and the serve daemon's
+    ``/metrics`` endpoint sends them as the response body - one call path,
+    byte-identical output (pinned by ``tests/server/test_metrics_parity``).
+    """
+
+    return _REGISTRY.render_prometheus().encode("utf-8")
+
+
+def collector_names() -> List[str]:
+    return _REGISTRY.collector_names()
 
 
 def reset() -> None:

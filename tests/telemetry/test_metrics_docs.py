@@ -1,0 +1,111 @@
+"""Anti-rot check: ``docs/metrics.md`` vs the live telemetry vocabulary.
+
+The reference tables in ``docs/metrics.md`` must name *exactly* the
+counters, gauges, collector surfaces, and trace events the source tree can
+emit.  Both directions are enforced: an undocumented name fails (new
+telemetry ships with its documentation), and a documented name that no
+longer exists fails (the docs cannot describe ghosts).
+
+The live vocabulary is recovered by walking the AST of every module under
+``src/`` for literal first arguments to ``inc`` / ``set_gauge`` /
+``register_collector`` / ``emit`` calls - the same shapes reprolint
+checks, so dynamically-computed metric names (there are none, by
+convention) would be a lint conversation first.
+"""
+
+import ast
+import re
+from pathlib import Path
+from typing import Dict, Set
+
+REPO_ROOT = Path(__file__).resolve().parent.parent.parent
+SRC_ROOT = REPO_ROOT / "src"
+DOC_PATH = REPO_ROOT / "docs" / "metrics.md"
+
+#: docs/metrics.md section heading -> vocabulary bucket
+SECTIONS = {
+    "## Counters": "counters",
+    "## Gauges": "gauges",
+    "## Collector surfaces": "collectors",
+    "## Trace events": "events",
+}
+
+_CALLS = {
+    "inc": "counters",
+    "set_gauge": "gauges",
+    "register_collector": "collectors",
+    "emit": "events",
+}
+
+_ROW = re.compile(r"^\|\s*`([a-z][a-z0-9_-]*)`")
+
+
+def scan_source_vocabulary() -> Dict[str, Set[str]]:
+    vocabulary: Dict[str, Set[str]] = {bucket: set() for bucket in _CALLS.values()}
+    for path in sorted(SRC_ROOT.rglob("*.py")):
+        tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call) or not node.args:
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                name = func.attr
+            elif isinstance(func, ast.Name):
+                name = func.id
+            else:
+                continue
+            bucket = _CALLS.get(name)
+            if bucket is None:
+                continue
+            first = node.args[0]
+            if isinstance(first, ast.Constant) and isinstance(first.value, str):
+                vocabulary[bucket].add(first.value)
+    return vocabulary
+
+
+def parse_documented_vocabulary() -> Dict[str, Set[str]]:
+    documented: Dict[str, Set[str]] = {bucket: set() for bucket in SECTIONS.values()}
+    bucket = None
+    for line in DOC_PATH.read_text(encoding="utf-8").splitlines():
+        if line.startswith("## "):
+            bucket = SECTIONS.get(line.strip())
+            continue
+        if bucket is None:
+            continue
+        match = _ROW.match(line)
+        if match:
+            documented[bucket].add(match.group(1))
+    return documented
+
+
+def test_docs_metrics_exists():
+    assert DOC_PATH.exists(), "docs/metrics.md is part of the telemetry contract"
+
+
+def test_every_live_name_is_documented():
+    live = scan_source_vocabulary()
+    documented = parse_documented_vocabulary()
+    for bucket, names in live.items():
+        missing = names - documented[bucket]
+        assert not missing, (
+            f"telemetry {bucket} missing from docs/metrics.md: {sorted(missing)} "
+            f"- document them in the '{bucket}' table"
+        )
+
+
+def test_every_documented_name_is_live():
+    live = scan_source_vocabulary()
+    documented = parse_documented_vocabulary()
+    for bucket, names in documented.items():
+        stale = names - live[bucket]
+        assert not stale, (
+            f"docs/metrics.md documents {bucket} that no longer exist: {sorted(stale)} "
+            f"- delete the rows (or restore the telemetry)"
+        )
+
+
+def test_doc_tables_are_nonempty():
+    documented = parse_documented_vocabulary()
+    assert documented["counters"], "the counters table parsed empty - check the headings"
+    assert documented["collectors"], "the collector table parsed empty"
+    assert documented["events"], "the trace-events table parsed empty"

@@ -55,6 +55,13 @@ HOT_FILES = {
     # foreign call plus pointer marshalling - any numpy allocation here
     # would defeat the tier's purpose.
     "src/repro/fftlib/native/kernels.py": ("execute", "transform"),
+    # The serve daemon's per-request hot path: frame parse (head JSON +
+    # zero-copy payload view; response encodes carry waivers for the one
+    # response-buffer copy) and the batch append (dict lookup + two list
+    # appends between parse and flush).  Batch *execution* runs on worker
+    # threads through execute_many and is covered by ftplan's entries.
+    "src/repro/server/protocol.py": ("parse", "encode"),
+    "src/repro/server/batching.py": ("append",),
 }
 HOT_SUFFIXES = ("_into", "_overwrite")
 
